@@ -1,0 +1,45 @@
+# multiclust build/test/benchmark entry points. Stdlib-only; any Go >= 1.22.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per regenerated figure/table plus scalability micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every experiment table (see DESIGN.md / EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/customer
+	$(GO) run ./examples/sensor
+	$(GO) run ./examples/genes
+	$(GO) run ./examples/text
+
+# Short fuzz sessions over the parsing and metric surfaces.
+fuzz:
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
+	$(GO) test -fuzz=FuzzComparisonMeasures -fuzztime=30s ./internal/metrics/
+
+clean:
+	$(GO) clean -testcache

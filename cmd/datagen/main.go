@@ -1,0 +1,104 @@
+// Command datagen emits the module's synthetic benchmark datasets as CSV on
+// stdout, with ground-truth labels as trailing columns when available.
+//
+// Usage:
+//
+//	datagen -kind toy|multiview|subspace|twosource|hypercube [-n N] [-d D] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiclust"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "toy", "dataset kind: toy, multiview, subspace, twosource, hypercube")
+		n    = flag.Int("n", 200, "number of objects")
+		d    = flag.Int("d", 6, "dimensionality (where applicable)")
+		seed = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*kind, *n, *d, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, n, d int, seed int64) error {
+	switch kind {
+	case "toy":
+		ds, hor, ver := multiclust.FourBlobToy(seed, n/4)
+		return writeWithLabels(ds, [][]int{hor, ver}, []string{"view_horizontal", "view_vertical"})
+	case "multiview":
+		ds, labelings, _ := multiclust.MultiViewGaussians(seed, n, []multiclust.ViewSpec{
+			{Dims: d / 2, K: 2, Sep: 8, Sigma: 0.5},
+			{Dims: d - d/2, K: 3, Sep: 6, Sigma: 0.5},
+		})
+		return writeWithLabels(ds, labelings, []string{"view1", "view2"})
+	case "subspace":
+		ds, truth, err := multiclust.SubspaceData(seed, n, d, []multiclust.SubspaceSpec{
+			{Dims: []int{0, 1}, Size: n * 3 / 10, Width: 0.08},
+			{Dims: []int{d - 3, d - 2}, Size: n / 4, Width: 0.08},
+		})
+		if err != nil {
+			return err
+		}
+		labels := make([][]int, len(truth))
+		names := make([]string, len(truth))
+		for i, sc := range truth {
+			member := make([]int, ds.N())
+			for _, o := range sc.Objects {
+				member[o] = 1
+			}
+			labels[i] = member
+			names[i] = fmt.Sprintf("in_cluster%d_dims%v", i, sc.Dims)
+		}
+		return writeWithLabels(ds, labels, names)
+	case "twosource":
+		a, b, truth := multiclust.TwoSourceViews(seed, n, 3, d/2, d-d/2, 0.5, 0)
+		fmt.Fprintln(os.Stderr, "datagen: emitting view A then view B, both with the shared labels")
+		if err := writeWithLabels(a, [][]int{truth}, []string{"class"}); err != nil {
+			return err
+		}
+		fmt.Println()
+		return writeWithLabels(b, [][]int{truth}, []string{"class"})
+	case "hypercube":
+		ds := multiclust.UniformHypercube(seed, n, d)
+		return ds.WriteCSV(os.Stdout)
+	default:
+		return fmt.Errorf("unknown dataset kind %q", kind)
+	}
+}
+
+func writeWithLabels(ds *multiclust.Dataset, labelings [][]int, names []string) error {
+	wide := ds.Clone()
+	for li, labels := range labelings {
+		col := make([][]float64, ds.N())
+		for i, l := range labels {
+			col[i] = []float64{float64(l)}
+		}
+		part := multiclust.NewDataset(col)
+		part.Names[0] = names[li]
+		merged, err := concat(wide, part)
+		if err != nil {
+			return err
+		}
+		wide = merged
+	}
+	return wide.WriteCSV(os.Stdout)
+}
+
+func concat(a, b *multiclust.Dataset) (*multiclust.Dataset, error) {
+	pts := make([][]float64, a.N())
+	for i := range pts {
+		row := append(append([]float64(nil), a.Points[i]...), b.Points[i]...)
+		pts[i] = row
+	}
+	out := multiclust.NewDataset(pts)
+	copy(out.Names, append(append([]string(nil), a.Names...), b.Names...))
+	return out, nil
+}

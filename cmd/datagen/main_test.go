@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"multiclust"
+)
+
+// TestRunKinds drives every dataset kind; output goes to /dev/null.
+func TestRunKinds(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	for _, kind := range []string{"toy", "multiview", "subspace", "twosource", "hypercube"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			if err := run(kind, 40, 6, 1); err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+		})
+	}
+	if err := run("nope", 40, 6, 1); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestConcatHelper(t *testing.T) {
+	a := multiclust.NewDataset([][]float64{{1}, {2}})
+	b := multiclust.NewDataset([][]float64{{3}, {4}})
+	out, err := concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim() != 2 || out.Points[1][1] != 4 {
+		t.Errorf("concat = %v", out.Points)
+	}
+}

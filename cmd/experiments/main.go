@@ -1,0 +1,31 @@
+// Command experiments regenerates every figure and table of the tutorial
+// (see DESIGN.md for the per-experiment index). With no arguments it runs
+// everything; pass experiment ids (e.g. E01 T2) to run a subset.
+//
+//	go run ./cmd/experiments [ids...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"multiclust/internal/experiments"
+)
+
+func main() {
+	ids := os.Args[1:]
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		t, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Command multiclust runs a multiple-clustering algorithm on a CSV dataset
+// and prints the discovered solutions with quality metrics.
+//
+// Usage:
+//
+//	multiclust -algo <name> [-in data.csv] [flags]
+//
+// Algorithms: kmeans, dbscan, em, spectral, meta, coala, cib, mincentropy,
+// deckmeans, cami, contingency, metricflip, alttransform, orthproj, clique,
+// schism, subclu, proclus, orclus, predecon, doc, mineclus, enclus,
+// condens, flexible, taxonomy.
+//
+// When -in is omitted a demonstration dataset (the four-blob toy) is used.
+// Given-knowledge algorithms (coala, cib, metricflip, alttransform) read the
+// known clustering from -given, a CSV with one integer label per line; if
+// omitted the result of k-means is used as the given clustering.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"multiclust"
+)
+
+func main() {
+	var (
+		algo   = flag.String("algo", "taxonomy", "algorithm to run (see doc comment)")
+		in     = flag.String("in", "", "input CSV file (default: built-in toy dataset)")
+		header = flag.Bool("header", true, "input CSV has a header row")
+		givenF = flag.String("given", "", "file with one integer label per line (given clustering)")
+		k      = flag.Int("k", 2, "number of clusters (per solution)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		eps    = flag.Float64("eps", 0.1, "DBSCAN epsilon")
+		minPts = flag.Int("minpts", 4, "DBSCAN minPts")
+		xi     = flag.Int("xi", 10, "grid intervals per dimension")
+		tau    = flag.Float64("tau", 0.1, "grid density threshold / significance")
+	)
+	flag.Parse()
+
+	if err := run(*algo, *in, *header, *givenF, *k, *seed, *eps, *minPts, *xi, *tau); err != nil {
+		fmt.Fprintln(os.Stderr, "multiclust:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algo, in string, header bool, givenF string, k int, seed int64, eps float64, minPts, xi int, tau float64) error {
+	if algo == "taxonomy" {
+		return multiclust.WriteTaxonomyTable(os.Stdout)
+	}
+
+	ds, truthHor, truthVer, err := loadData(in, header)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: n=%d d=%d\n", ds.N(), ds.Dim())
+
+	given, err := loadGiven(givenF, ds, k, seed)
+	if err != nil {
+		return err
+	}
+
+	printOne := func(name string, c *multiclust.Clustering) {
+		fmt.Printf("%s: k=%d noise=%d silhouette=%.3f", name, c.K(), c.NoiseCount(),
+			multiclust.Silhouette(ds.Points, c))
+		if truthHor != nil {
+			fmt.Printf(" ARI(view1)=%.2f ARI(view2)=%.2f",
+				multiclust.AdjustedRand(truthHor, c.Labels),
+				multiclust.AdjustedRand(truthVer, c.Labels))
+		}
+		fmt.Println()
+		fmt.Printf("  labels: %s\n", labelString(c.Labels, 40))
+	}
+	printSubspace := func(name string, m multiclust.SubspaceClustering) {
+		fmt.Printf("%s: %d subspace clusters in %d subspaces\n", name, len(m), len(m.GroupBySubspace()))
+		for i, c := range m {
+			if i == 12 {
+				fmt.Printf("  ... %d more\n", len(m)-12)
+				break
+			}
+			fmt.Printf("  %s\n", c)
+		}
+	}
+
+	switch algo {
+	case "kmeans":
+		res, err := multiclust.KMeans(ds.Points, multiclust.KMeansConfig{K: k, Seed: seed, Restarts: 5})
+		if err != nil {
+			return err
+		}
+		printOne("kmeans", res.Clustering)
+	case "dbscan":
+		res, err := multiclust.DBSCAN(ds.Points, multiclust.DBSCANConfig{Eps: eps, MinPts: minPts})
+		if err != nil {
+			return err
+		}
+		printOne("dbscan", res)
+	case "em":
+		res, err := multiclust.EM(ds.Points, multiclust.EMConfig{K: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		printOne("em", res.Clustering)
+		fmt.Printf("  log-likelihood: %.2f\n", res.LogLik)
+	case "spectral":
+		res, err := multiclust.Spectral(ds.Points, multiclust.SpectralConfig{K: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		printOne("spectral", res.Clustering)
+	case "meta":
+		res, err := multiclust.MetaClustering(ds.Points, multiclust.MetaClusteringConfig{K: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("meta clustering: %d base solutions, mean pairwise dissimilarity %.3f\n",
+			len(res.Generated), res.MeanPairwise)
+		for i, r := range res.Representatives {
+			printOne(fmt.Sprintf("representative %d", i+1), r)
+		}
+	case "coala":
+		res, err := multiclust.Coala(ds.Points, given, multiclust.CoalaConfig{K: k})
+		if err != nil {
+			return err
+		}
+		printOne("coala alternative", res.Clustering)
+		fmt.Printf("  merges: %d quality, %d dissimilarity\n", res.QualityMerges, res.DissimilarityMerges)
+	case "cib":
+		res, err := multiclust.CIB(ds.Points, given, multiclust.CIBConfig{K: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		printOne("cib alternative", res.Clustering)
+	case "mincentropy":
+		res, err := multiclust.MinCEntropy(ds.Points, []*multiclust.Clustering{given}, multiclust.MinCEntropyConfig{K: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		printOne("minCEntropy alternative", res.Clustering)
+	case "deckmeans":
+		res, err := multiclust.DecKMeans(ds.Points, multiclust.DecKMeansConfig{Ks: []int{k, k}, Seed: seed})
+		if err != nil {
+			return err
+		}
+		for i, c := range res.Clusterings {
+			printOne(fmt.Sprintf("solution %d", i+1), c)
+		}
+		fmt.Printf("  NMI between solutions: %.3f\n",
+			multiclust.NMI(res.Clusterings[0].Labels, res.Clusterings[1].Labels))
+	case "cami":
+		res, err := multiclust.CAMI(ds.Points, multiclust.CAMIConfig{K1: k, K2: k, Mu: 5, Seed: seed})
+		if err != nil {
+			return err
+		}
+		printOne("model 1", res.Clustering1)
+		printOne("model 2", res.Clustering2)
+		fmt.Printf("  soft MI: %.3f\n", res.MutualInfo)
+	case "contingency":
+		res, err := multiclust.Contingency(ds.Points, multiclust.ContingencyConfig{K1: k, K2: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		printOne("solution 1", res.Clustering1)
+		printOne("solution 2", res.Clustering2)
+		fmt.Printf("  uniformity: %.3f\n", res.Uniformity)
+	case "metricflip":
+		res, err := multiclust.MetricFlip(ds.Points, given, multiclust.KMeansBase(k, seed))
+		if err != nil {
+			return err
+		}
+		printOne("flipped-space alternative", res.Clustering)
+	case "alttransform":
+		res, err := multiclust.AlternativeTransform(ds.Points, given, multiclust.KMeansBase(k, seed))
+		if err != nil {
+			return err
+		}
+		printOne("transformed-space alternative", res.Clustering)
+	case "orthproj":
+		iters, err := multiclust.OrthogonalProjections(ds.Points, multiclust.KMeansBase(k, seed), multiclust.OrthogonalProjectionsConfig{})
+		if err != nil {
+			return err
+		}
+		for i, it := range iters {
+			printOne(fmt.Sprintf("round %d (residual var %.2f)", i+1, it.ResidualVariance), it.Clustering)
+		}
+	case "clique":
+		res, err := multiclust.Clique(ds.Normalize().Points, multiclust.CliqueConfig{Xi: xi, Tau: tau})
+		if err != nil {
+			return err
+		}
+		printSubspace("clique", res.Clusters)
+		fmt.Printf("  candidates counted %d, pruned %d\n", res.Stats.CandidatesGenerated, res.Stats.CandidatesPruned)
+	case "schism":
+		res, err := multiclust.Schism(ds.Normalize().Points, multiclust.SchismConfig{Xi: xi, Tau: tau})
+		if err != nil {
+			return err
+		}
+		printSubspace("schism", res.Clusters)
+	case "dusc":
+		res, err := multiclust.Dusc(ds.Normalize().Points, multiclust.DuscConfig{Eps: eps, MaxDim: 3})
+		if err != nil {
+			return err
+		}
+		printSubspace("dusc", res.Clusters)
+	case "subclu":
+		res, err := multiclust.Subclu(ds.Normalize().Points, multiclust.SubcluConfig{Eps: eps, MinPts: minPts})
+		if err != nil {
+			return err
+		}
+		printSubspace("subclu", res.Clusters)
+	case "orclus":
+		res, err := multiclust.Orclus(ds.Points, multiclust.OrclusConfig{K: k, L: 2, Seed: seed})
+		if err != nil {
+			return err
+		}
+		printOne("orclus", res.Assignment)
+		fmt.Printf("  projected energy: %.4f\n", res.Energy)
+	case "predecon":
+		res, err := multiclust.Predecon(ds.Points, multiclust.PredeconConfig{Eps: eps, MinPts: minPts, Delta: eps * eps / 4})
+		if err != nil {
+			return err
+		}
+		printOne("predecon", res.Assignment)
+		printSubspace("predecon subspaces", res.Clusters)
+	case "proclus":
+		res, err := multiclust.Proclus(ds.Points, multiclust.ProclusConfig{K: k, L: 2, Seed: seed})
+		if err != nil {
+			return err
+		}
+		printSubspace("proclus", res.Clusters)
+	case "fires":
+		res, err := multiclust.Fires(ds.Normalize().Points, multiclust.FiresConfig{Eps: eps, MinPts: minPts})
+		if err != nil {
+			return err
+		}
+		printSubspace("fires", res.Clusters)
+	case "mineclus":
+		res, err := multiclust.MineClus(ds.Normalize().Points, multiclust.MineClusConfig{W: eps, Seed: seed})
+		if err != nil {
+			return err
+		}
+		printSubspace("mineclus", res.Clusters)
+	case "condens":
+		res, err := multiclust.CondEns(ds.Points, given, multiclust.CondEnsConfig{K: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		printOne("condens alternative", res.Clustering)
+	case "flexible":
+		res, err := multiclust.Flexible(ds.Points, []*multiclust.Clustering{given},
+			multiclust.SilhouetteQuality(), multiclust.RandDissimilarity(),
+			multiclust.FlexibleConfig{K: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		printOne("flexible alternative", res.Clustering)
+		fmt.Printf("  objective=%.3f quality=%.3f diss=%.3f\n", res.Objective, res.Quality, res.Dissimilarity)
+	case "doc":
+		res, err := multiclust.DOC(ds.Normalize().Points, multiclust.DOCConfig{W: eps, Seed: seed})
+		if err != nil {
+			return err
+		}
+		printSubspace("doc", res.Clusters)
+	case "universes":
+		res, err := multiclust.ParallelUniverses([][][]float64{ds.Points, ds.Points}, multiclust.UniversesConfig{K: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		for v, c := range res.Clusterings {
+			printOne(fmt.Sprintf("universe %d", v), c)
+		}
+	case "distdbscan":
+		res, err := multiclust.DistributedDBSCAN(ds.Points, multiclust.DistributedDBSCANConfig{Eps: eps, MinPts: minPts})
+		if err != nil {
+			return err
+		}
+		printOne("distributed dbscan", res.Clustering)
+		fmt.Printf("  representatives shipped: %d, local clusters: %d\n", len(res.Representatives), res.LocalClusters)
+	case "ris":
+		scores, err := multiclust.RIS(ds.Normalize().Points, multiclust.RISConfig{Eps: eps, MinPts: minPts, TopK: 15})
+		if err != nil {
+			return err
+		}
+		fmt.Println("ris subspace ranking (best first):")
+		for _, s := range scores {
+			fmt.Printf("  %v core=%d quality=%.2f\n", s.Dims, s.CoreObjects, s.Quality)
+		}
+	case "enclus":
+		scores, err := multiclust.Enclus(ds.Normalize().Points, multiclust.EnclusConfig{Xi: xi, MaxEntropy: 16})
+		if err != nil {
+			return err
+		}
+		fmt.Println("enclus subspace ranking (lowest entropy first):")
+		for i, s := range scores {
+			if i == 15 {
+				fmt.Printf("  ... %d more\n", len(scores)-15)
+				break
+			}
+			fmt.Printf("  %v H=%.3f interest=%.3f\n", s.Dims, s.Entropy, s.Interest)
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return nil
+}
+
+// loadData reads the CSV, or builds the toy with its two ground truths.
+func loadData(path string, header bool) (*multiclust.Dataset, []int, []int, error) {
+	if path == "" {
+		ds, hor, ver := multiclust.FourBlobToy(1, 25)
+		return ds, hor, ver, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	ds, err := multiclust.ReadCSV(f, header)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return ds, nil, nil, nil
+}
+
+// loadGiven reads a labels file or derives a k-means clustering.
+func loadGiven(path string, ds *multiclust.Dataset, k int, seed int64) (*multiclust.Clustering, error) {
+	if path == "" {
+		res, err := multiclust.KMeans(ds.Points, multiclust.KMeansConfig{K: k, Seed: seed, Restarts: 5})
+		if err != nil {
+			return nil, err
+		}
+		return res.Clustering, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	labels, err := readLabels(f)
+	if err != nil {
+		return nil, err
+	}
+	c := multiclust.NewClustering(labels)
+	if err := c.Validate(ds.N()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func readLabels(r io.Reader) ([]int, error) {
+	var labels []int
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("bad label %q: %w", line, err)
+		}
+		labels = append(labels, v)
+	}
+	return labels, sc.Err()
+}
+
+func labelString(labels []int, max int) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i == max {
+			fmt.Fprintf(&b, "... (%d total)", len(labels))
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", l)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadLabels(t *testing.T) {
+	labels, err := readLabels(strings.NewReader("0\n1\n\n 2 \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 3 || labels[2] != 2 {
+		t.Errorf("labels = %v", labels)
+	}
+	if _, err := readLabels(strings.NewReader("x\n")); err == nil {
+		t.Error("non-numeric label should fail")
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	s := labelString([]int{1, 2, 3, 4}, 2)
+	if !strings.Contains(s, "...") || !strings.Contains(s, "4 total") {
+		t.Errorf("labelString = %q", s)
+	}
+	if labelString([]int{7}, 5) != "7" {
+		t.Errorf("short labelString = %q", labelString([]int{7}, 5))
+	}
+}
+
+// TestRunAlgorithms drives the CLI entry point across every algorithm on
+// the built-in toy dataset — the command-level integration test.
+func TestRunAlgorithms(t *testing.T) {
+	algos := []string{
+		"taxonomy", "kmeans", "dbscan", "em", "spectral", "meta",
+		"coala", "cib", "mincentropy", "deckmeans", "cami", "contingency",
+		"metricflip", "alttransform", "orthproj",
+		"clique", "schism", "subclu", "proclus", "orclus", "predecon", "doc", "mineclus", "enclus",
+		"condens", "flexible", "universes", "distdbscan", "fires", "ris", "dusc",
+	}
+	// Silence stdout during the sweep.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	for _, algo := range algos {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			if err := run(algo, "", true, "", 2, 1, 0.1, 4, 10, 0.15); err != nil {
+				t.Fatalf("%s: %v", algo, err)
+			}
+		})
+	}
+	if err := run("nope", "", true, "", 2, 1, 0.1, 4, 10, 0.1); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestRunWithCSVAndGiven(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(dataPath, []byte("a,b\n0,0\n0.1,0\n5,5\n5.1,5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	givenPath := filepath.Join(dir, "given.txt")
+	if err := os.WriteFile(givenPath, []byte("0\n0\n1\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	if err := run("coala", dataPath, true, givenPath, 2, 1, 0.1, 2, 10, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched given length fails.
+	badGiven := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(badGiven, []byte("0\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("coala", dataPath, true, badGiven, 2, 1, 0.1, 2, 10, 0.1); err == nil {
+		t.Error("given/data size mismatch should fail")
+	}
+	// Missing file fails.
+	if err := run("kmeans", filepath.Join(dir, "missing.csv"), true, "", 2, 1, 0.1, 2, 10, 0.1); err == nil {
+		t.Error("missing input should fail")
+	}
+}

@@ -1,0 +1,125 @@
+package multiclust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFacadeProjectedClustering drives the projected-clustering trio —
+// PROCLUS, ORCLUS, DOC, MineClus — through the public API on one benchmark.
+func TestFacadeProjectedClustering(t *testing.T) {
+	objsA := make([]int, 60)
+	objsB := make([]int, 60)
+	for i := range objsA {
+		objsA[i], objsB[i] = i, 60+i
+	}
+	ds, truth, err := SubspaceData(3, 120, 5, []SubspaceSpec{
+		{Dims: []int{0, 1}, Size: 60, Width: 0.08, Objects: objsA},
+		{Dims: []int{2, 3}, Size: 60, Width: 0.08, Objects: objsB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro, err := Proclus(ds.Points, ProclusConfig{K: 2, L: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 := SubspaceF1(truth, pro.Clusters); f1 < 0.7 {
+		t.Errorf("PROCLUS F1 = %v", f1)
+	}
+	doc, err := DOC(ds.Points, DOCConfig{W: 0.06, Alpha: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 := SubspaceF1(truth, doc.Clusters); f1 < 0.6 {
+		t.Errorf("DOC F1 = %v", f1)
+	}
+	mc, err := MineClus(ds.Points, MineClusConfig{W: 0.06, Alpha: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 := SubspaceF1(truth, mc.Clusters); f1 < 0.6 {
+		t.Errorf("MineClus F1 = %v", f1)
+	}
+}
+
+func TestFacadeOrclus(t *testing.T) {
+	// Oriented clusters: spread along rotated directions.
+	rng := rand.New(rand.NewSource(4))
+	var pts [][]float64
+	var truth []int
+	dirs := [][]float64{{1 / math.Sqrt2, 1 / math.Sqrt2, 0}, {0, 1 / math.Sqrt2, -1 / math.Sqrt2}}
+	centers := [][]float64{{0, 0, 0}, {7, 7, 7}}
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 50; i++ {
+			tt := rng.NormFloat64() * 3
+			row := make([]float64, 3)
+			for j := range row {
+				row[j] = centers[c][j] + tt*dirs[c][j] + rng.NormFloat64()*0.1
+			}
+			pts = append(pts, row)
+			truth = append(truth, c)
+		}
+	}
+	res, err := Orclus(pts, OrclusConfig{K: 2, L: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari := AdjustedRand(truth, res.Assignment.Labels); ari < 0.9 {
+		t.Errorf("ORCLUS ARI = %v", ari)
+	}
+}
+
+func TestFacadePredecon(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var pts [][]float64
+	for i := 0; i < 50; i++ {
+		pts = append(pts, []float64{0.5 + rng.NormFloat64()*0.02, rng.Float64() * 1.5})
+		pts = append(pts, []float64{2.5 + rng.Float64()*1.5, 3.5 + rng.NormFloat64()*0.02})
+	}
+	res, err := Predecon(pts, PredeconConfig{Eps: 2.0, MinPts: 5, Delta: 0.05, Lambda: 1, Kappa: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.K() < 2 {
+		t.Errorf("PreDeCon K = %d", res.Assignment.K())
+	}
+}
+
+func TestFacadeQualityAndDissFunctions(t *testing.T) {
+	ds, hor, ver := FourBlobToy(1, 15)
+	a := NewClustering(hor)
+	b := NewClustering(ver)
+	if NegSSEQuality()(ds.Points, a) >= 0 {
+		t.Error("negSSE should be negative for a non-trivial clustering")
+	}
+	if RandDissimilarity()(a, b) <= 0 {
+		t.Error("orthogonal views should be dissimilar")
+	}
+	q, diss := EvaluateSolutionSet(ds.Points, []*Clustering{a, b}, SilhouetteQuality(), VIDissimilarity())
+	if q <= 0 || diss <= 0 {
+		t.Errorf("combined objective = (%v, %v)", q, diss)
+	}
+	adco, err := ADCO(ds.Points, a, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adco <= 0 {
+		t.Errorf("ADCO = %v", adco)
+	}
+}
+
+func TestTaxonomyCoversFacade(t *testing.T) {
+	// Every taxonomy entry's package exists in this module's layout; the
+	// registry and the facade should stay in sync on headline names.
+	names := map[string]bool{}
+	for _, e := range Taxonomy() {
+		names[e.Algorithm] = true
+	}
+	for _, want := range []string{"MineClus", "ORCLUS", "PreDeCon", "COALA", "CAMI", "OSCLU", "CoEM"} {
+		if !names[want] {
+			t.Errorf("taxonomy missing %s", want)
+		}
+	}
+}

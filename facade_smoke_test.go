@@ -1,0 +1,189 @@
+package multiclust
+
+import (
+	"testing"
+)
+
+// TestFacadeSmoke exercises every remaining thin wrapper once so the public
+// surface stays wired to the implementations.
+func TestFacadeSmoke(t *testing.T) {
+	ds, hor, ver := FourBlobToy(1, 15)
+	given := NewClustering(hor)
+
+	if _, err := MetaClustering(ds.Points, MetaClusteringConfig{K: 2, NumSolutions: 6, MetaClusters: 2, Seed: 1}); err != nil {
+		t.Error(err)
+	}
+	if _, err := CIB(ds.Points, given, CIBConfig{K: 2, Seed: 1, Restarts: 1, MaxIter: 10}); err != nil {
+		t.Error(err)
+	}
+	if _, err := MinCEntropy(ds.Points, []*Clustering{given}, MinCEntropyConfig{K: 2, Seed: 1, Restarts: 1, MaxIter: 3}); err != nil {
+		t.Error(err)
+	}
+	if _, err := CondEns(ds.Points, given, CondEnsConfig{K: 2, NumSolutions: 5, Seed: 1}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Flexible(ds.Points, []*Clustering{given}, SilhouetteQuality(), RandDissimilarity(), FlexibleConfig{K: 2, Seed: 1, Restarts: 1, MaxIter: 5}); err != nil {
+		t.Error(err)
+	}
+	if _, err := CAMI(ds.Points, CAMIConfig{K1: 2, K2: 2, Mu: 2, Seed: 1, Restarts: 2, MaxIter: 20}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Contingency(ds.Points, ContingencyConfig{K1: 2, K2: 2, Seed: 1, MaxIter: 5, Restarts: 1}); err != nil {
+		t.Error(err)
+	}
+	if _, err := AlternativeTransform(ds.Points, given, KMeansBase(2, 1)); err != nil {
+		t.Error(err)
+	}
+	if _, err := OrthogonalProjections(ds.Points, KMeansBase(2, 1), OrthogonalProjectionsConfig{MaxClusterings: 2}); err != nil {
+		t.Error(err)
+	}
+
+	norm := ds.Normalize()
+	if _, err := Schism(norm.Points, SchismConfig{Xi: 4, Tau: 0.05, MaxDim: 2}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Subclu(norm.Points, SubcluConfig{Eps: 0.1, MinPts: 3, MaxDim: 2}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Fires(norm.Points, FiresConfig{Eps: 0.02, MinPts: 3}); err != nil {
+		t.Error(err)
+	}
+	if _, err := RIS(norm.Points, RISConfig{Eps: 0.1, MinPts: 3, MaxDim: 2, TopK: 3}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Enclus(norm.Points, EnclusConfig{Xi: 4, MaxEntropy: 16, MaxDim: 2}); err != nil {
+		t.Error(err)
+	}
+	cl, err := Clique(norm.Points, CliqueConfig{Xi: 4, Tau: 0.1, MaxDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StatPC(cl.Grid, StatPCConfig{N: ds.N()}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Rescu(cl.Clusters, RescuConfig{}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Asclu(cl.Clusters, AscluConfig{OscluConfig: OscluConfig{}, Known: nil}); err != nil {
+		t.Error(err)
+	}
+
+	views := [][][]float64{ds.Points, ds.Points}
+	if _, err := MSC(ds.Points, MSCConfig{K: 2, Views: 2, DimsPer: 1, Seed: 1}); err != nil {
+		t.Error(err)
+	}
+	if _, err := HSIC(ds.Points, ds.Points); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParallelUniverses(views, UniversesConfig{K: 2, Seed: 1, MaxIter: 10}); err != nil {
+		t.Error(err)
+	}
+	if _, err := DistributedDBSCAN(ds.Points, DistributedDBSCANConfig{Eps: 0.2, MinPts: 3}); err != nil {
+		t.Error(err)
+	}
+	if _, err := RandomProjectionEnsemble(ds.Points, RandomProjectionEnsembleConfig{K: 2, Runs: 3, Seed: 1}); err != nil {
+		t.Error(err)
+	}
+	if s := SharedNMI(hor, [][]int{ver}); s < 0 {
+		t.Error("SharedNMI negative")
+	}
+	if _, err := FromClusters(4, [][]int{{0, 1}, {2, 3}}); err != nil {
+		t.Error(err)
+	}
+	sc := NewSubspaceCluster([]int{0, 1}, []int{0})
+	if sc.Size() != 2 {
+		t.Error("NewSubspaceCluster wrapper broken")
+	}
+	mr := NewMultiResult(given, NewClustering(ver))
+	if mr.PairwiseDissimilarity(RandDissimilarity()) <= 0 {
+		t.Error("MultiResult wrapper broken")
+	}
+	if ds := UniformHypercube(1, 10, 2); ds.N() != 10 {
+		t.Error("UniformHypercube wrapper broken")
+	}
+	if ring, labels := RingAndBlob(1, 10, 5); ring.N() != 15 || len(labels) != 15 {
+		t.Error("RingAndBlob wrapper broken")
+	}
+	if c := CombineLabels(hor, ver); len(c) != len(hor) {
+		t.Error("CombineLabels wrapper broken")
+	}
+	if DistanceContrast(ds, 0) < 0 {
+		t.Error("DistanceContrast wrapper broken")
+	}
+	if _, err := MineClus(norm.Points, MineClusConfig{W: 0.1, Seed: 1, MaxClusters: 2}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Proclus(ds.Points, ProclusConfig{K: 2, L: 2, Seed: 1}); err != nil {
+		t.Error(err)
+	}
+	if _, err := DOC(norm.Points, DOCConfig{W: 0.1, Seed: 1, MaxClusters: 2}); err != nil {
+		t.Error(err)
+	}
+	if _, err := TwoViewSpectral(ds.Points, ds.Points, 2, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := MetricFlip(ds.Points, given, KMeansBase(2, 1)); err != nil {
+		t.Error(err)
+	}
+	if _, err := Coala(ds.Points, given, CoalaConfig{K: 2}); err != nil {
+		t.Error(err)
+	}
+	if _, err := CoEM(ds.Points, ds.Points, CoEMConfig{K: 2, Seed: 1, MaxIter: 5}); err != nil {
+		t.Error(err)
+	}
+	if _, err := MVDBSCAN(views, MVDBSCANConfig{Eps: []float64{0.2, 0.2}, MinPts: 3, Mode: Union}); err != nil {
+		t.Error(err)
+	}
+	if _, err := CSPA([][]int{hor, ver}, ConsensusConfig{K: 2}); err != nil {
+		t.Error(err)
+	}
+	if _, err := DecKMeans(ds.Points, DecKMeansConfig{Ks: []int{2, 2}, Seed: 1, Restarts: 1, MaxIter: 10}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Orclus(ds.Points, OrclusConfig{K: 2, L: 1, Seed: 1}); err != nil {
+		t.Error(err)
+	}
+	if _, err := Predecon(ds.Points, PredeconConfig{Eps: 0.3, MinPts: 3, Delta: 0.01}); err != nil {
+		t.Error(err)
+	}
+	if _, err := ADCO(ds.Points, given, NewClustering(ver), 4); err != nil {
+		t.Error(err)
+	}
+	if v := VariationOfInformation(hor, ver); v <= 0 {
+		t.Error("VI wrapper broken")
+	}
+	if v := JaccardIndex(hor, hor); v != 1 {
+		t.Error("Jaccard wrapper broken")
+	}
+	if v := PairF1(hor, hor); v != 1 {
+		t.Error("PairF1 wrapper broken")
+	}
+	if v := MutualInformation(hor, ver); v < 0 {
+		t.Error("MI wrapper broken")
+	}
+	if v := ConditionalEntropy(hor, ver); v < 0 {
+		t.Error("H(A|B) wrapper broken")
+	}
+	if v := SubspaceDimPrecision(cl.Clusters, cl.Clusters); v <= 0 {
+		t.Error("SubspaceDimPrecision wrapper broken")
+	}
+	if v := Redundancy(cl.Clusters, 0.5); v < 0 {
+		t.Error("Redundancy wrapper broken")
+	}
+	if v := NMIDissimilarity()(given, given); v > 1e-9 {
+		t.Error("NMIDissimilarity wrapper broken")
+	}
+	if v := VIDissimilarity()(given, given); v > 1e-9 {
+		t.Error("VIDissimilarity wrapper broken")
+	}
+	if v := ADCODissimilarity(ds.Points, 4)(given, given); v > 1e-9 {
+		t.Error("ADCODissimilarity wrapper broken")
+	}
+	if v := NegSSEQuality()(ds.Points, given); v >= 0 {
+		t.Error("NegSSEQuality wrapper broken")
+	}
+	q, d := EvaluateSolutionSet(ds.Points, []*Clustering{given}, SilhouetteQuality(), RandDissimilarity())
+	if q == 0 && d != 0 {
+		t.Error("EvaluateSolutionSet wrapper broken")
+	}
+}

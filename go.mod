@@ -1,0 +1,3 @@
+module multiclust
+
+go 1.22

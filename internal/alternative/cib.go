@@ -1,0 +1,334 @@
+package alternative
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"multiclust/internal/core"
+	"multiclust/internal/stats"
+)
+
+// CIBConfig controls the conditional information bottleneck run.
+type CIBConfig struct {
+	K        int     // clusters in the alternative solution
+	Beta     float64 // preservation weight (larger = sharper clusters), default 5
+	Bins     int     // feature discretization bins for p(y|x), default 8
+	MaxIter  int     // default 100
+	Restarts int     // random initializations, best (lowest) objective wins; default 5
+	Seed     int64
+	Tol      float64 // relative objective tolerance, default 1e-7
+}
+
+// CIBResult is a fitted conditional-information-bottleneck clustering.
+type CIBResult struct {
+	Clustering *core.Clustering
+	Posterior  [][]float64 // soft assignments p(c|x)
+	Objective  float64     // I(X;C) - Beta * I(Y;C|D), minimized
+	Iterations int
+}
+
+// CIB computes an alternative clustering via the conditional information
+// bottleneck of Gondek & Hofmann (2003): minimize
+//
+//	F(C) = I(X;C) - Beta * I(Y;C|D)
+//
+// where D is the given clustering (the known structure to be factored out)
+// and Y is a feature variable derived from the data. Compression I(X;C)
+// keeps clusters simple; the conditional information term rewards clusters
+// that are informative about the features *beyond* what D already explains,
+// steering C away from D.
+//
+// Feature channel: each object x is given a distribution p(y|x) over
+// (dimension, bin) feature events by histogram discretization; within each
+// given class d the fixed-point update is the IB-like
+//
+//	p(c|x) ∝ p(c) * exp(-Beta * KL(p(y|x) || p(y|c,d(x)))).
+func CIB(points [][]float64, given *core.Clustering, cfg CIBConfig) (*CIBResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if err := given.Validate(n); err != nil {
+		return nil, err
+	}
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("alternative: invalid K=%d", cfg.K)
+	}
+	if cfg.Beta <= 0 {
+		cfg.Beta = 5
+	}
+	if cfg.Bins <= 0 {
+		cfg.Bins = 8
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-7
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 5
+	}
+
+	py := featureChannel(points, cfg.Bins) // n × m, rows sum to 1
+	m := len(py[0])
+	k := cfg.K
+
+	// Given classes; objects with noise labels form their own class so the
+	// conditioning stays total.
+	dlab := make([]int, n)
+	dmap := map[int]int{}
+	for i, l := range given.Labels {
+		id, ok := dmap[l]
+		if !ok {
+			id = len(dmap)
+			dmap[l] = id
+		}
+		dlab[i] = id
+	}
+	nd := len(dmap)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var best *CIBResult
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		res := cibOnce(points, py, dlab, nd, m, k, cfg, rng)
+		if best == nil || res.Objective < best.Objective {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// cibOnce runs one random initialization of the alternating minimization.
+func cibOnce(points [][]float64, py [][]float64, dlab []int, nd, m, k int, cfg CIBConfig, rng *rand.Rand) *CIBResult {
+	n := len(points)
+	post := make([][]float64, n)
+	for i := range post {
+		row := make([]float64, k)
+		var s float64
+		for c := range row {
+			row[c] = rng.Float64() + 0.1
+			s += row[c]
+		}
+		for c := range row {
+			row[c] /= s
+		}
+		post[i] = row
+	}
+
+	pc := make([]float64, k)
+	pycd := make([][][]float64, nd) // [d][c][y]
+	for d := range pycd {
+		pycd[d] = make([][]float64, k)
+		for c := range pycd[d] {
+			pycd[d][c] = make([]float64, m)
+		}
+	}
+
+	objective := math.Inf(1)
+	iter := 0
+	for ; iter < cfg.MaxIter; iter++ {
+		// M-like step: p(c) and p(y|c,d).
+		for c := range pc {
+			pc[c] = 0
+		}
+		for d := range pycd {
+			for c := range pycd[d] {
+				row := pycd[d][c]
+				for y := range row {
+					row[y] = 0
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			d := dlab[i]
+			for c := 0; c < k; c++ {
+				w := post[i][c]
+				pc[c] += w
+				row := pycd[d][c]
+				for y := 0; y < m; y++ {
+					row[y] += w * py[i][y]
+				}
+			}
+		}
+		for c := range pc {
+			pc[c] /= float64(n)
+			if pc[c] < 1e-12 {
+				pc[c] = 1e-12
+			}
+		}
+		const smooth = 1e-9
+		for d := range pycd {
+			for c := range pycd[d] {
+				row := pycd[d][c]
+				var s float64
+				for y := range row {
+					row[y] += smooth
+					s += row[y]
+				}
+				for y := range row {
+					row[y] /= s
+				}
+			}
+		}
+
+		// E-like step: fixed-point update of p(c|x).
+		logits := make([]float64, k)
+		for i := 0; i < n; i++ {
+			d := dlab[i]
+			for c := 0; c < k; c++ {
+				kl := klRow(py[i], pycd[d][c])
+				logits[c] = math.Log(pc[c]) - cfg.Beta*kl
+			}
+			lse := stats.LogSumExp(logits)
+			for c := 0; c < k; c++ {
+				post[i][c] = math.Exp(logits[c] - lse)
+			}
+		}
+
+		obj := cibObjective(post, pc, py, pycd, dlab, cfg.Beta)
+		if math.Abs(objective-obj) <= cfg.Tol*(1+math.Abs(obj)) {
+			objective = obj
+			break
+		}
+		objective = obj
+	}
+
+	hard := make([]int, n)
+	for i := range post {
+		best, bestV := 0, -1.0
+		for c, v := range post[i] {
+			if v > bestV {
+				best, bestV = c, v
+			}
+		}
+		hard[i] = best
+	}
+	return &CIBResult{
+		Clustering: core.NewClustering(hard),
+		Posterior:  post,
+		Objective:  objective,
+		Iterations: iter,
+	}
+}
+
+// featureChannel builds p(y|x): each dimension is discretized into bins over
+// its range, and each object emits one event per dimension (uniform weight
+// across dimensions), giving an m = d*bins event space.
+func featureChannel(points [][]float64, bins int) [][]float64 {
+	n, d := len(points), len(points[0])
+	mins := make([]float64, d)
+	maxs := make([]float64, d)
+	for j := 0; j < d; j++ {
+		mins[j], maxs[j] = math.Inf(1), math.Inf(-1)
+	}
+	for _, p := range points {
+		for j, v := range p {
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	m := d * bins
+	out := make([][]float64, n)
+	w := 1 / float64(d)
+	for i, p := range points {
+		row := make([]float64, m)
+		for j, v := range p {
+			span := maxs[j] - mins[j]
+			b := 0
+			if span > 0 {
+				b = int((v - mins[j]) / span * float64(bins))
+				if b >= bins {
+					b = bins - 1
+				}
+			}
+			row[j*bins+b] = w
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func klRow(p, q []float64) float64 {
+	var kl float64
+	for y, pv := range p {
+		if pv <= 0 {
+			continue
+		}
+		kl += pv * math.Log(pv/q[y])
+	}
+	return kl
+}
+
+// cibObjective evaluates I(X;C) - Beta * I(Y;C|D) from the current soft
+// assignment.
+func cibObjective(post [][]float64, pc []float64, py [][]float64, pycd [][][]float64, dlab []int, beta float64) float64 {
+	n := len(post)
+	k := len(pc)
+	// I(X;C) = (1/n) sum_x sum_c p(c|x) log(p(c|x)/p(c))
+	var ixc float64
+	for i := 0; i < n; i++ {
+		for c := 0; c < k; c++ {
+			v := post[i][c]
+			if v <= 0 {
+				continue
+			}
+			ixc += v * math.Log(v/pc[c])
+		}
+	}
+	ixc /= float64(n)
+
+	// I(Y;C|D) = sum_d p(d) sum_{c,y} p(c,y|d) log(p(y|c,d)/p(y|d)).
+	nd := len(pycd)
+	m := len(py[0])
+	counts := make([]float64, nd)
+	for _, d := range dlab {
+		counts[d]++
+	}
+	var iycd float64
+	for d := 0; d < nd; d++ {
+		if counts[d] == 0 {
+			continue
+		}
+		// p(y|d) and p(c|d) from members of class d.
+		pyd := make([]float64, m)
+		pcd := make([]float64, k)
+		for i, di := range dlab {
+			if di != d {
+				continue
+			}
+			for y := 0; y < m; y++ {
+				pyd[y] += py[i][y]
+			}
+			for c := 0; c < k; c++ {
+				pcd[c] += post[i][c]
+			}
+		}
+		for y := range pyd {
+			pyd[y] /= counts[d]
+		}
+		for c := range pcd {
+			pcd[c] /= counts[d]
+		}
+		var term float64
+		for c := 0; c < k; c++ {
+			if pcd[c] <= 0 {
+				continue
+			}
+			for y := 0; y < m; y++ {
+				pyc := pycd[d][c][y]
+				if pyc <= 0 || pyd[y] <= 0 {
+					continue
+				}
+				term += pcd[c] * pyc * math.Log(pyc/pyd[y])
+			}
+		}
+		iycd += counts[d] / float64(n) * term
+	}
+	return ixc - beta*iycd
+}

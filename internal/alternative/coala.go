@@ -1,0 +1,189 @@
+// Package alternative implements the "given knowledge → iterative
+// alternative" paradigm of the tutorial's section 2: COALA's constraint-
+// driven agglomeration (Bae & Bailey 2006), a conditional information
+// bottleneck (Chechik & Tishby 2002; Gondek & Hofmann 2003/2004), and a
+// minCEntropy-style conditional objective (Vinh & Epps 2010).
+package alternative
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dist"
+)
+
+// CoalaConfig controls a COALA run.
+type CoalaConfig struct {
+	K int // clusters in the alternative solution
+	// W trades quality against dissimilarity (slide 33): a quality merge is
+	// taken when dQual < W*dDiss. Large W prefers quality merges, small W
+	// prefers dissimilarity merges. Default 1.
+	W        float64
+	Distance dist.Func // default Euclidean
+}
+
+// CoalaResult records the alternative clustering and merge statistics.
+type CoalaResult struct {
+	Clustering *core.Clustering
+	// QualityMerges and DissimilarityMerges count which branch of the merge
+	// rule fired, exposing the W trade-off directly.
+	QualityMerges       int
+	DissimilarityMerges int
+}
+
+// Coala computes an alternative clustering to given, using cannot-link
+// constraints derived from it: objects sharing a cluster in given must not
+// be grouped again. Average-link agglomeration proceeds with the dual merge
+// rule of the paper:
+//
+//	q  = best merge ignoring constraints (smallest average-link distance)
+//	d  = best merge among constraint-respecting pairs
+//	if dist(q) < W*dist(d) take q, else take d.
+func Coala(points [][]float64, given *core.Clustering, cfg CoalaConfig) (*CoalaResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if err := given.Validate(n); err != nil {
+		return nil, err
+	}
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("alternative: invalid K=%d", cfg.K)
+	}
+	if cfg.W <= 0 {
+		cfg.W = 1
+	}
+	if cfg.Distance == nil {
+		cfg.Distance = dist.Euclidean
+	}
+
+	pd := dist.PairwiseMatrix(points, cfg.Distance)
+
+	// Group state. sumDist[a][b] is the sum of point-pair distances between
+	// groups a and b, so the average link is sumDist/(size_a*size_b) and both
+	// update in O(groups) per merge (Lance–Williams style).
+	type group struct {
+		members []int
+		origSet map[int]bool // original-cluster labels present in the group
+	}
+	groups := make(map[int]*group, n)
+	for i := 0; i < n; i++ {
+		gs := map[int]bool{}
+		if l := given.Labels[i]; l >= 0 {
+			gs[l] = true
+		}
+		groups[i] = &group{members: []int{i}, origSet: gs}
+	}
+	sumDist := make(map[[2]int]float64)
+	key := func(a, b int) [2]int {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sumDist[key(i, j)] = pd.At(i, j)
+		}
+	}
+
+	compatible := func(a, b *group) bool {
+		// A cannot-link exists between the groups iff they share an original
+		// cluster label (any two objects of that label are cannot-linked).
+		small, large := a.origSet, b.origSet
+		if len(small) > len(large) {
+			small, large = large, small
+		}
+		for l := range small {
+			if large[l] {
+				return false
+			}
+		}
+		return true
+	}
+
+	res := &CoalaResult{}
+	nextID := n
+	for len(groups) > cfg.K {
+		bestQA, bestQB, bestQ := -1, -1, math.Inf(1)
+		bestDA, bestDB, bestD := -1, -1, math.Inf(1)
+		ids := sortedKeys(groups)
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				a, b := ids[x], ids[y]
+				ga, gb := groups[a], groups[b]
+				avg := sumDist[key(a, b)] / float64(len(ga.members)*len(gb.members))
+				if avg < bestQ {
+					bestQA, bestQB, bestQ = a, b, avg
+				}
+				if avg < bestD && compatible(ga, gb) {
+					bestDA, bestDB, bestD = a, b, avg
+				}
+			}
+		}
+		var ma, mb int
+		if bestDA < 0 || bestQ < cfg.W*bestD {
+			// No constraint-respecting merge exists, or quality wins.
+			ma, mb = bestQA, bestQB
+			res.QualityMerges++
+		} else {
+			ma, mb = bestDA, bestDB
+			res.DissimilarityMerges++
+		}
+		ga, gb := groups[ma], groups[mb]
+		merged := &group{
+			members: append(append([]int(nil), ga.members...), gb.members...),
+			origSet: map[int]bool{},
+		}
+		for l := range ga.origSet {
+			merged.origSet[l] = true
+		}
+		for l := range gb.origSet {
+			merged.origSet[l] = true
+		}
+		// Update linkage sums to every other group.
+		for _, other := range ids {
+			if other == ma || other == mb {
+				continue
+			}
+			sumDist[key(nextID, other)] = sumDist[key(ma, other)] + sumDist[key(mb, other)]
+			delete(sumDist, key(ma, other))
+			delete(sumDist, key(mb, other))
+		}
+		delete(sumDist, key(ma, mb))
+		delete(groups, ma)
+		delete(groups, mb)
+		groups[nextID] = merged
+		nextID++
+	}
+
+	labels := make([]int, n)
+	cid := 0
+	for _, id := range sortedKeys(groups) {
+		for _, o := range groups[id].members {
+			labels[o] = cid
+		}
+		cid++
+	}
+	res.Clustering = core.NewClustering(labels)
+	return res, nil
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ErrNoAlternative is returned by algorithms that cannot produce a valid
+// alternative under the requested constraints.
+var ErrNoAlternative = errors.New("alternative: no valid alternative clustering exists under the given constraints")

@@ -1,0 +1,86 @@
+package alternative
+
+import (
+	"fmt"
+
+	"multiclust/internal/core"
+	"multiclust/internal/metaclust"
+	"multiclust/internal/metrics"
+)
+
+// CondEnsConfig controls the conditional-ensemble alternative search.
+type CondEnsConfig struct {
+	K            int
+	NumSolutions int     // ensemble size, default 20
+	Lambda       float64 // weight of the dissimilarity-to-given term, default 1
+	Seed         int64
+}
+
+// CondEnsResult carries the chosen alternative and the scored ensemble.
+type CondEnsResult struct {
+	Clustering *core.Clustering
+	// Scores holds, per ensemble member, quality (silhouette), NMI to the
+	// given clustering, and the combined objective — the data behind the
+	// quality/dissimilarity scatter this method reasons over.
+	Scores    []CondEnsScore
+	BestIndex int
+}
+
+// CondEnsScore is one ensemble member's evaluation.
+type CondEnsScore struct {
+	Quality    float64
+	NMIToGiven float64
+	Objective  float64
+}
+
+// CondEns implements the ensemble route to non-redundant clustering
+// (Gondek & Hofmann 2005, tutorial slide 34): generate a diverse ensemble
+// of base clusterings (the meta-clustering generator), score every member
+// by quality minus Lambda times its information overlap with the given
+// clustering, and return the best member. Unlike the iterative methods it
+// never modifies a clustering — it selects from independently generated
+// candidates, so any base clusterer can supply the ensemble.
+func CondEns(points [][]float64, given *core.Clustering, cfg CondEnsConfig) (*CondEnsResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if err := given.Validate(n); err != nil {
+		return nil, err
+	}
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("alternative: invalid K=%d", cfg.K)
+	}
+	if cfg.NumSolutions <= 0 {
+		cfg.NumSolutions = 20
+	}
+	if cfg.Lambda < 0 {
+		return nil, fmt.Errorf("alternative: negative Lambda")
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 1
+	}
+	ens, err := metaclust.Run(points, metaclust.Config{
+		K:            cfg.K,
+		NumSolutions: cfg.NumSolutions,
+		MetaClusters: 1, // grouping not needed; we score members directly
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CondEnsResult{BestIndex: -1}
+	best := 0.0
+	for i, c := range ens.Generated {
+		q := metrics.Silhouette(points, c)
+		nmi := metrics.NMI(c.Labels, given.Labels)
+		obj := q - cfg.Lambda*nmi
+		res.Scores = append(res.Scores, CondEnsScore{Quality: q, NMIToGiven: nmi, Objective: obj})
+		if res.BestIndex < 0 || obj > best {
+			best = obj
+			res.BestIndex = i
+		}
+	}
+	res.Clustering = ens.Generated[res.BestIndex]
+	return res, nil
+}

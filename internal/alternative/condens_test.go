@@ -1,0 +1,68 @@
+package alternative
+
+import (
+	"testing"
+
+	"multiclust/internal/core"
+	"multiclust/internal/metrics"
+)
+
+func TestCondEnsSelectsAlternative(t *testing.T) {
+	pts, hor, ver := toy(t)
+	given := core.NewClustering(hor)
+	res, err := CondEns(pts, given, CondEnsConfig{K: 2, NumSolutions: 30, Lambda: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := metrics.AdjustedRand(ver, res.Clustering.Labels); a < 0.9 {
+		t.Errorf("CondEns alternative ARI = %v", a)
+	}
+	if a := metrics.AdjustedRand(hor, res.Clustering.Labels); a > 0.2 {
+		t.Errorf("too similar to given: %v", a)
+	}
+	if len(res.Scores) != 30 {
+		t.Fatalf("scores = %d", len(res.Scores))
+	}
+	if res.BestIndex < 0 || res.BestIndex >= 30 {
+		t.Fatalf("best index = %d", res.BestIndex)
+	}
+	// The selected member must have the maximal objective.
+	best := res.Scores[res.BestIndex].Objective
+	for i, s := range res.Scores {
+		if s.Objective > best+1e-12 {
+			t.Errorf("member %d beats the selected one: %v > %v", i, s.Objective, best)
+		}
+	}
+}
+
+func TestCondEnsLambdaZeroIsPureQuality(t *testing.T) {
+	// Lambda defaults to 1 on 0; explicit tiny Lambda selects by quality
+	// alone, which on the toy is either of the natural views.
+	pts, hor, ver := toy(t)
+	given := core.NewClustering(hor)
+	res, err := CondEns(pts, given, CondEnsConfig{K: 2, NumSolutions: 20, Lambda: 1e-9, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := metrics.AdjustedRand(hor, res.Clustering.Labels)
+	b := metrics.AdjustedRand(ver, res.Clustering.Labels)
+	if a < 0.9 && b < 0.9 {
+		t.Errorf("pure-quality selection should pick a natural view: %v %v", a, b)
+	}
+}
+
+func TestCondEnsErrors(t *testing.T) {
+	if _, err := CondEns(nil, core.NewClustering(nil), CondEnsConfig{K: 2}); err == nil {
+		t.Error("empty data should fail")
+	}
+	pts := [][]float64{{0}, {1}}
+	if _, err := CondEns(pts, core.NewClustering([]int{0}), CondEnsConfig{K: 2}); err == nil {
+		t.Error("given mismatch should fail")
+	}
+	if _, err := CondEns(pts, core.NewClustering([]int{0, 0}), CondEnsConfig{K: 0}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := CondEns(pts, core.NewClustering([]int{0, 0}), CondEnsConfig{K: 2, Lambda: -1}); err == nil {
+		t.Error("negative lambda should fail")
+	}
+}

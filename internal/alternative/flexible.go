@@ -1,0 +1,125 @@
+package alternative
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"multiclust/internal/core"
+)
+
+// FlexibleConfig controls the generic alternative-clustering search.
+type FlexibleConfig struct {
+	K        int
+	Lambda   float64 // dissimilarity weight, default 1
+	MaxIter  int     // local-search sweeps, default 40
+	Restarts int     // default 4
+	Seed     int64
+}
+
+// FlexibleResult is the fitted alternative clustering with its objective
+// decomposition.
+type FlexibleResult struct {
+	Clustering    *core.Clustering
+	Objective     float64 // Quality + Lambda * mean dissimilarity to the givens
+	Quality       float64
+	Dissimilarity float64 // mean Diss to the given clusterings
+}
+
+// Flexible is the tutorial's abstract problem statement (slide 27) turned
+// into a runnable procedure: maximize
+//
+//	Q(C) + Lambda * mean_i Diss(C, Given_i)
+//
+// over flat K-clusterings by restarted first-improvement label moves. Both
+// the quality and the dissimilarity definitions are exchangeable — the
+// "flexibility" axis of the taxonomy (slide 22). Plugging in silhouette
+// plus 1-Rand reproduces a minCEntropy-style search; plugging in the ADCO
+// density-profile dissimilarity reproduces the Bae, Bailey & Dong (2010)
+// idea of alternatives that realize a different density profile.
+func Flexible(points [][]float64, givens []*core.Clustering, q core.QualityFunc, diss core.DissimilarityFunc, cfg FlexibleConfig) (*FlexibleResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("alternative: invalid K=%d", cfg.K)
+	}
+	if q == nil || diss == nil {
+		return nil, errors.New("alternative: quality and dissimilarity functions are required")
+	}
+	for _, g := range givens {
+		if err := g.Validate(n); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Lambda < 0 {
+		return nil, errors.New("alternative: negative Lambda")
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 1
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 40
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	evaluate := func(c *core.Clustering) (obj, quality, dl float64) {
+		quality = q(points, c)
+		if len(givens) > 0 {
+			for _, g := range givens {
+				dl += diss(c, g)
+			}
+			dl /= float64(len(givens))
+		}
+		return quality + cfg.Lambda*dl, quality, dl
+	}
+
+	var best *FlexibleResult
+	for r := 0; r < cfg.Restarts; r++ {
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(cfg.K)
+		}
+		c := core.NewClustering(labels)
+		obj, _, _ := evaluate(c)
+		order := rng.Perm(n)
+		for iter := 0; iter < cfg.MaxIter; iter++ {
+			improved := false
+			for _, i := range order {
+				orig := labels[i]
+				bestC, bestObj := orig, obj
+				for k := 0; k < cfg.K; k++ {
+					if k == orig {
+						continue
+					}
+					labels[i] = k
+					if cand, _, _ := evaluate(c); cand > bestObj+1e-12 {
+						bestC, bestObj = k, cand
+					}
+				}
+				labels[i] = bestC
+				if bestC != orig {
+					obj = bestObj
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		finalObj, quality, dl := evaluate(c)
+		if best == nil || finalObj > best.Objective {
+			best = &FlexibleResult{
+				Clustering:    core.NewClustering(append([]int(nil), labels...)),
+				Objective:     finalObj,
+				Quality:       quality,
+				Dissimilarity: dl,
+			}
+		}
+	}
+	return best, nil
+}

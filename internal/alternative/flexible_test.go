@@ -1,0 +1,101 @@
+package alternative
+
+import (
+	"testing"
+
+	"multiclust/internal/core"
+	"multiclust/internal/metrics"
+)
+
+func TestFlexibleWithRandDissimilarity(t *testing.T) {
+	pts, hor, ver := toy(t)
+	given := core.NewClustering(hor)
+	res, err := Flexible(pts, []*core.Clustering{given},
+		metrics.SilhouetteQuality(), metrics.RandDissimilarity(),
+		FlexibleConfig{K: 2, Lambda: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := metrics.AdjustedRand(ver, res.Clustering.Labels); a < 0.9 {
+		t.Errorf("flexible(Rand) alternative ARI = %v", a)
+	}
+	if a := metrics.AdjustedRand(hor, res.Clustering.Labels); a > 0.2 {
+		t.Errorf("too similar to given: %v", a)
+	}
+	if res.Dissimilarity <= 0 {
+		t.Errorf("dissimilarity = %v", res.Dissimilarity)
+	}
+}
+
+func TestFlexibleWithADCO(t *testing.T) {
+	// Exchangeable definitions (taxonomy "flexibility" axis): swap in the
+	// density-profile dissimilarity, same search.
+	pts, hor, ver := toy(t)
+	given := core.NewClustering(hor)
+	res, err := Flexible(pts, []*core.Clustering{given},
+		metrics.SilhouetteQuality(), metrics.ADCODissimilarity(pts, 5),
+		FlexibleConfig{K: 2, Lambda: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The alternative must carve a different density profile...
+	adco, err := metrics.ADCO(pts, given, res.Clustering, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adco < 0.2 {
+		t.Errorf("density profile unchanged: ADCO = %v", adco)
+	}
+	// The ADCO objective admits any profile-different alternative (vertical,
+	// diagonal, or unbalanced), so assert the contract rather than one
+	// specific view: different from the given, and a real clustering.
+	if a := metrics.AdjustedRand(hor, res.Clustering.Labels); a > 0.3 {
+		t.Errorf("too similar to given: ARI = %v", a)
+	}
+	if res.Clustering.K() != 2 {
+		t.Errorf("degenerate alternative: K = %d", res.Clustering.K())
+	}
+	_ = ver
+}
+
+func TestFlexibleNoGivens(t *testing.T) {
+	// With no given knowledge the search degenerates to pure quality
+	// maximization.
+	pts, hor, ver := toy(t)
+	res, err := Flexible(pts, nil, metrics.SilhouetteQuality(), metrics.RandDissimilarity(),
+		FlexibleConfig{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := metrics.AdjustedRand(hor, res.Clustering.Labels)
+	b := metrics.AdjustedRand(ver, res.Clustering.Labels)
+	if a < 0.9 && b < 0.9 {
+		t.Errorf("pure quality search should find a natural split: %v %v", a, b)
+	}
+	if res.Dissimilarity != 0 {
+		t.Errorf("dissimilarity without givens = %v", res.Dissimilarity)
+	}
+}
+
+func TestFlexibleErrors(t *testing.T) {
+	pts := [][]float64{{0}, {1}}
+	if _, err := Flexible(nil, nil, metrics.SilhouetteQuality(), metrics.RandDissimilarity(), FlexibleConfig{K: 2}); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := Flexible(pts, nil, nil, metrics.RandDissimilarity(), FlexibleConfig{K: 2}); err == nil {
+		t.Error("nil quality should fail")
+	}
+	if _, err := Flexible(pts, nil, metrics.SilhouetteQuality(), nil, FlexibleConfig{K: 2}); err == nil {
+		t.Error("nil dissimilarity should fail")
+	}
+	if _, err := Flexible(pts, nil, metrics.SilhouetteQuality(), metrics.RandDissimilarity(), FlexibleConfig{K: 0}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	bad := core.NewClustering([]int{0})
+	if _, err := Flexible(pts, []*core.Clustering{bad}, metrics.SilhouetteQuality(), metrics.RandDissimilarity(), FlexibleConfig{K: 2}); err == nil {
+		t.Error("given size mismatch should fail")
+	}
+	if _, err := Flexible(pts, nil, metrics.SilhouetteQuality(), metrics.RandDissimilarity(), FlexibleConfig{K: 2, Lambda: -1}); err == nil {
+		t.Error("negative lambda should fail")
+	}
+}

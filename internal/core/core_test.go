@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClusteringBasics(t *testing.T) {
+	c := NewClustering([]int{0, 0, 2, 2, Noise, 5})
+	if c.N() != 6 {
+		t.Errorf("N = %d", c.N())
+	}
+	if c.K() != 3 {
+		t.Errorf("K = %d, want 3", c.K())
+	}
+	if c.NoiseCount() != 1 {
+		t.Errorf("NoiseCount = %d", c.NoiseCount())
+	}
+	cl := c.Clusters()
+	if len(cl) != 3 {
+		t.Fatalf("Clusters len = %d", len(cl))
+	}
+	if cl[0][0] != 0 || cl[0][1] != 1 {
+		t.Errorf("cluster 0 = %v", cl[0])
+	}
+	if cl[2][0] != 5 {
+		t.Errorf("cluster for label 5 = %v", cl[2])
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	c := NewClustering([]int{7, 7, 3, Noise, 3, 9})
+	r := c.Relabel()
+	want := []int{0, 0, 1, Noise, 1, 2}
+	for i, l := range r.Labels {
+		if l != want[i] {
+			t.Fatalf("Relabel = %v, want %v", r.Labels, want)
+		}
+	}
+	// Original untouched.
+	if c.Labels[0] != 7 {
+		t.Error("Relabel mutated the receiver")
+	}
+}
+
+func TestValidateAndClone(t *testing.T) {
+	c := NewClustering([]int{0, 1})
+	if err := c.Validate(2); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := c.Validate(3); err == nil {
+		t.Error("Validate should fail on wrong n")
+	}
+	cl := c.Clone()
+	cl.Labels[0] = 9
+	if c.Labels[0] == 9 {
+		t.Error("Clone aliases the receiver")
+	}
+}
+
+func TestFromClusters(t *testing.T) {
+	c, err := FromClusters(5, [][]int{{0, 1}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Labels[0] != 0 || c.Labels[3] != 1 || c.Labels[2] != Noise || c.Labels[4] != Noise {
+		t.Errorf("labels = %v", c.Labels)
+	}
+	if _, err := FromClusters(2, [][]int{{0}, {0}}); err == nil {
+		t.Error("overlapping clusters should fail")
+	}
+	if _, err := FromClusters(2, [][]int{{5}}); err == nil {
+		t.Error("out-of-range object should fail")
+	}
+}
+
+func TestSubspaceCluster(t *testing.T) {
+	a := NewSubspaceCluster([]int{3, 1, 2}, []int{2, 0})
+	if a.Objects[0] != 1 || a.Dims[0] != 0 {
+		t.Error("NewSubspaceCluster should sort indices")
+	}
+	if a.Size() != 3 || a.Dimensionality() != 2 {
+		t.Errorf("size/dim = %d/%d", a.Size(), a.Dimensionality())
+	}
+	b := NewSubspaceCluster([]int{2, 3, 9}, []int{0, 5})
+	if got := a.SharedObjects(b); got != 2 {
+		t.Errorf("SharedObjects = %d, want 2", got)
+	}
+	if got := a.SharedDims(b); got != 1 {
+		t.Errorf("SharedDims = %d, want 1", got)
+	}
+	if a.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSubspaceClusteringGrouping(t *testing.T) {
+	m := SubspaceClustering{
+		NewSubspaceCluster([]int{0, 1}, []int{0, 1}),
+		NewSubspaceCluster([]int{2, 3}, []int{0, 1}),
+		NewSubspaceCluster([]int{0, 2}, []int{2}),
+	}
+	if m.TotalObjects() != 4 {
+		t.Errorf("TotalObjects = %d", m.TotalObjects())
+	}
+	groups := m.GroupBySubspace()
+	if len(groups) != 2 {
+		t.Errorf("groups = %d, want 2", len(groups))
+	}
+}
+
+// Property: Relabel preserves the partition structure (same co-membership).
+func TestQuickRelabelPreservesPartition(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		labels := make([]int, len(raw))
+		for i, v := range raw {
+			labels[i] = int(v%5) - 1 // includes Noise
+		}
+		c := NewClustering(labels)
+		r := c.Relabel()
+		for i := range labels {
+			for j := i + 1; j < len(labels); j++ {
+				same := labels[i] == labels[j] && labels[i] >= 0
+				sameR := r.Labels[i] == r.Labels[j] && r.Labels[i] >= 0
+				if same != sameR {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersectionSize is symmetric and bounded by min length.
+func TestQuickIntersection(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		sa := dedupSorted(a)
+		sb := dedupSorted(b)
+		x := NewSubspaceCluster(sa, sa)
+		y := NewSubspaceCluster(sb, sb)
+		n := x.SharedObjects(y)
+		if n != y.SharedObjects(x) {
+			return false
+		}
+		minLen := len(sa)
+		if len(sb) < minLen {
+			minLen = len(sb)
+		}
+		return n <= minLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedupSorted(v []uint8) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range v {
+		if !seen[int(x)] {
+			seen[int(x)] = true
+			out = append(out, int(x))
+		}
+	}
+	return out
+}
+
+func TestMultiResultTwinObjective(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0, 1}, {10, 0}, {10, 1}}
+	byX := NewClustering([]int{0, 0, 1, 1})
+	byY := NewClustering([]int{0, 1, 0, 1})
+	m := NewMultiResult(byX, byY)
+	diss := func(a, b *Clustering) float64 {
+		same := 0
+		for i := range a.Labels {
+			if (a.Labels[i] == a.Labels[0]) == (b.Labels[i] == b.Labels[0]) {
+				same++
+			}
+		}
+		return 1 - float64(same)/float64(len(a.Labels))
+	}
+	if d := m.PairwiseDissimilarity(diss); d <= 0 {
+		t.Errorf("pairwise dissimilarity = %v", d)
+	}
+	single := NewMultiResult(byX)
+	if d := single.PairwiseDissimilarity(diss); d != 0 {
+		t.Errorf("single-solution dissimilarity = %v", d)
+	}
+	q := func(points [][]float64, c *Clustering) float64 { return float64(c.K()) }
+	if got := m.TotalQuality(pts, q); got != 4 {
+		t.Errorf("total quality = %v, want 4", got)
+	}
+}

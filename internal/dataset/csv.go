@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses numeric CSV into a dataset. When hasHeader is true, the
+// first record supplies column names.
+func ReadCSV(r io.Reader, hasHeader bool) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv is empty")
+	}
+	var names []string
+	if hasHeader {
+		names = records[0]
+		records = records[1:]
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv has a header but no data rows")
+	}
+	pts := make([][]float64, len(records))
+	for i, rec := range records {
+		row := make([]float64, len(rec))
+		for j, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d col %d: %w", i+1, j+1, err)
+			}
+			row[j] = v
+		}
+		pts[i] = row
+	}
+	ds := New(pts)
+	if names != nil {
+		if len(names) != ds.Dim() {
+			return nil, fmt.Errorf("dataset: header has %d names, data has %d columns", len(names), ds.Dim())
+		}
+		// Blank or whitespace-only names would not survive a write/read
+		// round trip (the CSV layer trims them away); substitute generated
+		// names.
+		for i, name := range names {
+			if strings.TrimSpace(name) == "" {
+				names[i] = fmt.Sprintf("dim%d", i)
+			}
+		}
+		ds.Names = names
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// WriteCSV writes the dataset as CSV with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.Names); err != nil {
+		return fmt.Errorf("dataset: writing header: %w", err)
+	}
+	rec := make([]string, d.Dim())
+	for _, p := range d.Points {
+		for j, v := range p {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

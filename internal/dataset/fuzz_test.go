@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV reader never panics and that everything it
+// accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n3,4\n", true)
+	f.Add("1,2\n3,4\n", false)
+	f.Add("", false)
+	f.Add("x\n", true)
+	f.Add("1,2\n3\n", false)
+	f.Add("NaN,Inf\n-Inf,1e308\n", false)
+	f.Fuzz(func(t *testing.T, input string, header bool) {
+		ds, err := ReadCSV(strings.NewReader(input), header)
+		if err != nil {
+			return
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("accepted invalid dataset: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadCSV(&buf, true)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != ds.N() || back.Dim() != ds.Dim() {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d", ds.N(), ds.Dim(), back.N(), back.Dim())
+		}
+	})
+}

@@ -1,0 +1,305 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"multiclust/internal/core"
+)
+
+// GaussianBlobs samples n points from k isotropic Gaussians placed at the
+// given centers (cycled through round-robin so cluster sizes are balanced).
+// It returns the dataset and the ground-truth labels.
+func GaussianBlobs(seed int64, n int, centers [][]float64, sigma float64) (*Dataset, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	d := len(centers[0])
+	pts := make([][]float64, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % len(centers)
+		labels[i] = c
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			row[j] = centers[c][j] + rng.NormFloat64()*sigma
+		}
+		pts[i] = row
+	}
+	return New(pts), labels
+}
+
+// FourBlobToy builds the tutorial's slide-26 toy: four tight blobs at the
+// corners of the unit square. The dataset admits two equally meaningful
+// 2-partitions, returned as ground truths: horizontal (left vs right
+// columns) and vertical (bottom vs top rows).
+func FourBlobToy(seed int64, perBlob int) (ds *Dataset, horizontal, vertical []int) {
+	rng := rand.New(rand.NewSource(seed))
+	corners := [][2]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	n := 4 * perBlob
+	pts := make([][]float64, 0, n)
+	horizontal = make([]int, 0, n)
+	vertical = make([]int, 0, n)
+	const sigma = 0.08
+	for ci, c := range corners {
+		for i := 0; i < perBlob; i++ {
+			pts = append(pts, []float64{
+				c[0] + rng.NormFloat64()*sigma,
+				c[1] + rng.NormFloat64()*sigma,
+			})
+			horizontal = append(horizontal, ci%2) // 0 = left column, 1 = right
+			vertical = append(vertical, ci/2)     // 0 = bottom row, 1 = top
+		}
+	}
+	return New(pts), horizontal, vertical
+}
+
+// ViewSpec describes one hidden view of a multi-view dataset.
+type ViewSpec struct {
+	Dims  int     // number of dimensions in this view
+	K     int     // number of clusters in this view
+	Sep   float64 // distance between adjacent cluster centers
+	Sigma float64 // within-cluster standard deviation
+}
+
+// MultiViewGaussians builds the slide-10 "customer" scenario: one table whose
+// dimensions decompose into independent views, each with its own clustering.
+// Cluster memberships are drawn independently per view, so the views are
+// statistically orthogonal groupings of the same objects.
+//
+// It returns the concatenated dataset, one ground-truth labeling per view,
+// and the dimension indices of each view within the concatenated space.
+func MultiViewGaussians(seed int64, n int, specs []ViewSpec) (*Dataset, [][]int, [][]int) {
+	rng := rand.New(rand.NewSource(seed))
+	labelings := make([][]int, len(specs))
+	parts := make([]*Dataset, len(specs))
+	for v, spec := range specs {
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(spec.K)
+		}
+		labelings[v] = labels
+		centers := simplexCenters(rng, spec.K, spec.Dims, spec.Sep)
+		pts := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, spec.Dims)
+			for j := 0; j < spec.Dims; j++ {
+				row[j] = centers[labels[i]][j] + rng.NormFloat64()*spec.Sigma
+			}
+			pts[i] = row
+		}
+		parts[v] = New(pts)
+	}
+	ds, err := Concat(parts...)
+	if err != nil {
+		panic(fmt.Sprintf("dataset: MultiViewGaussians concat: %v", err)) // unreachable: equal n by construction
+	}
+	viewDims := make([][]int, len(specs))
+	offset := 0
+	for v, spec := range specs {
+		dims := make([]int, spec.Dims)
+		for j := range dims {
+			dims[j] = offset + j
+		}
+		viewDims[v] = dims
+		offset += spec.Dims
+	}
+	return ds, labelings, viewDims
+}
+
+// simplexCenters places k well-separated centers in d dimensions: each
+// center gets coordinates sep*position on a distinct axis pattern plus small
+// jitter, guaranteeing pairwise distance of at least roughly sep.
+func simplexCenters(rng *rand.Rand, k, d int, sep float64) [][]float64 {
+	centers := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			// Walk the centers along a diagonal lattice so any pair differs
+			// by at least sep in some coordinate.
+			row[j] = sep * float64((c+j*(c+1))%k)
+			row[j] += rng.NormFloat64() * 0.01 * sep
+		}
+		centers[c] = row
+	}
+	return centers
+}
+
+// SubspaceSpec describes one hidden axis-parallel subspace cluster.
+type SubspaceSpec struct {
+	Dims    []int   // relevant dimensions
+	Size    int     // number of member objects
+	Width   float64 // cluster extent per relevant dimension (in [0,1] space)
+	Objects []int   // optional explicit members; sampled when nil
+}
+
+// SubspaceData embeds the given subspace clusters into an n×d dataset that is
+// otherwise uniform noise on [0,1]^d — the standard benchmark layout for
+// CLIQUE/SCHISM/SUBCLU-style evaluations. Objects may participate in several
+// clusters as long as the clusters' dimension sets are disjoint; this is the
+// "each object may have several roles" property of slide 5. It returns the
+// dataset and the ground truth.
+func SubspaceData(seed int64, n, d int, specs []SubspaceSpec) (*Dataset, core.SubspaceClustering, error) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		pts[i] = row
+	}
+	truth := make(core.SubspaceClustering, 0, len(specs))
+	for si, spec := range specs {
+		if spec.Size > n {
+			return nil, nil, fmt.Errorf("dataset: spec %d size %d exceeds n=%d", si, spec.Size, n)
+		}
+		for _, dim := range spec.Dims {
+			if dim < 0 || dim >= d {
+				return nil, nil, fmt.Errorf("dataset: spec %d dim %d out of range", si, dim)
+			}
+		}
+		objects := spec.Objects
+		if objects == nil {
+			objects = rng.Perm(n)[:spec.Size]
+		}
+		// Center placed so the cluster fits inside [0,1].
+		center := make([]float64, len(spec.Dims))
+		for j := range center {
+			center[j] = spec.Width/2 + rng.Float64()*(1-spec.Width)
+		}
+		for _, o := range objects {
+			for j, dim := range spec.Dims {
+				pts[o][dim] = center[j] + (rng.Float64()-0.5)*spec.Width
+			}
+		}
+		truth = append(truth, core.NewSubspaceCluster(objects, spec.Dims))
+	}
+	return New(pts), truth, nil
+}
+
+// TwoSourceViews builds the multi-source scenario of section 5: the same n
+// objects described by two representations that are conditionally independent
+// given a shared latent cluster label. unreliableB > 0 replaces that fraction
+// of view-B rows with pure noise (the "unreliable view" of slide 107).
+func TwoSourceViews(seed int64, n, k, dimA, dimB int, sigma, unreliableB float64) (viewA, viewB *Dataset, labels []int) {
+	rng := rand.New(rand.NewSource(seed))
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(k)
+	}
+	centersA := simplexCenters(rng, k, dimA, 4)
+	centersB := simplexCenters(rng, k, dimB, 4)
+	ptsA := make([][]float64, n)
+	ptsB := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a := make([]float64, dimA)
+		for j := range a {
+			a[j] = centersA[labels[i]][j] + rng.NormFloat64()*sigma
+		}
+		b := make([]float64, dimB)
+		if rng.Float64() < unreliableB {
+			for j := range b {
+				b[j] = rng.Float64()*8 - 4 // uniform junk across the data range
+			}
+		} else {
+			for j := range b {
+				b[j] = centersB[labels[i]][j] + rng.NormFloat64()*sigma
+			}
+		}
+		ptsA[i] = a
+		ptsB[i] = b
+	}
+	return New(ptsA), New(ptsB), labels
+}
+
+// UniformHypercube samples n points uniformly from [0,1]^d; the substrate
+// for the curse-of-dimensionality probe of slide 12.
+func UniformHypercube(seed int64, n, d int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		pts[i] = row
+	}
+	return New(pts)
+}
+
+// RingAndBlob builds a 2-dimensional dataset with an annulus (ring) cluster
+// and a Gaussian blob inside it — the classic arbitrary-shape case where
+// density-based clustering succeeds and grid/centroid methods struggle
+// (slide 74). Returns the dataset and ground truth labels (0 = ring,
+// 1 = blob).
+func RingAndBlob(seed int64, nRing, nBlob int) (*Dataset, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, 0, nRing+nBlob)
+	labels := make([]int, 0, nRing+nBlob)
+	for i := 0; i < nRing; i++ {
+		theta := rng.Float64() * 2 * math.Pi
+		r := 1 + rng.NormFloat64()*0.05
+		pts = append(pts, []float64{r * math.Cos(theta), r * math.Sin(theta)})
+		labels = append(labels, 0)
+	}
+	for i := 0; i < nBlob; i++ {
+		pts = append(pts, []float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1})
+		labels = append(labels, 1)
+	}
+	return New(pts), labels
+}
+
+// CombineLabels returns the product labeling of two labelings: objects get
+// the same combined label iff they agree in both inputs. Noise in either
+// input yields noise.
+func CombineLabels(a, b []int) []int {
+	if len(a) != len(b) {
+		panic("dataset: CombineLabels length mismatch")
+	}
+	type pair struct{ x, y int }
+	idx := map[pair]int{}
+	out := make([]int, len(a))
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			out[i] = core.Noise
+			continue
+		}
+		p := pair{a[i], b[i]}
+		id, ok := idx[p]
+		if !ok {
+			id = len(idx)
+			idx[p] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// DistanceContrast returns the relative contrast
+// (maxDist - minDist)/minDist of point o to all other points in ds under the
+// Euclidean distance — the quantity of the Beyer et al. (1999) curse-of-
+// dimensionality statement quoted on slide 12.
+func DistanceContrast(ds *Dataset, o int) float64 {
+	minD, maxD := math.Inf(1), math.Inf(-1)
+	for i, p := range ds.Points {
+		if i == o {
+			continue
+		}
+		var s float64
+		for j, v := range p {
+			diff := v - ds.Points[o][j]
+			s += diff * diff
+		}
+		d := math.Sqrt(s)
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if minD == 0 || math.IsInf(minD, 1) {
+		return 0
+	}
+	return (maxD - minD) / minD
+}

@@ -1,0 +1,232 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dist"
+)
+
+func TestGaussianBlobsDeterministic(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 10}}
+	a, la := GaussianBlobs(7, 50, centers, 0.5)
+	b, lb := GaussianBlobs(7, 50, centers, 0.5)
+	for i := range a.Points {
+		if la[i] != lb[i] || a.Points[i][0] != b.Points[i][0] {
+			t.Fatal("same seed must reproduce the same data")
+		}
+	}
+	// Points near their center.
+	for i, p := range a.Points {
+		if dist.Euclidean(p, centers[la[i]]) > 4 {
+			t.Fatalf("point %d too far from its center", i)
+		}
+	}
+}
+
+func TestFourBlobToyStructure(t *testing.T) {
+	ds, hor, ver := FourBlobToy(1, 25)
+	if ds.N() != 100 || len(hor) != 100 || len(ver) != 100 {
+		t.Fatalf("sizes: %d %d %d", ds.N(), len(hor), len(ver))
+	}
+	// Horizontal label must match x side, vertical the y side.
+	for i, p := range ds.Points {
+		wantH := 0
+		if p[0] > 0.5 {
+			wantH = 1
+		}
+		wantV := 0
+		if p[1] > 0.5 {
+			wantV = 1
+		}
+		if hor[i] != wantH || ver[i] != wantV {
+			t.Fatalf("labels inconsistent at %d: p=%v hor=%d ver=%d", i, p, hor[i], ver[i])
+		}
+	}
+	// The two labelings are (nearly) independent: product has 4 groups.
+	combined := CombineLabels(hor, ver)
+	c := core.NewClustering(combined)
+	if c.K() != 4 {
+		t.Errorf("combined labeling has %d groups, want 4", c.K())
+	}
+}
+
+func TestMultiViewGaussians(t *testing.T) {
+	specs := []ViewSpec{
+		{Dims: 3, K: 2, Sep: 6, Sigma: 0.4},
+		{Dims: 2, K: 3, Sep: 6, Sigma: 0.4},
+	}
+	ds, labelings, viewDims := MultiViewGaussians(11, 200, specs)
+	if ds.N() != 200 || ds.Dim() != 5 {
+		t.Fatalf("shape %dx%d", ds.N(), ds.Dim())
+	}
+	if len(labelings) != 2 || len(viewDims) != 2 {
+		t.Fatal("wrong number of views")
+	}
+	if len(viewDims[0]) != 3 || viewDims[1][0] != 3 {
+		t.Errorf("viewDims = %v", viewDims)
+	}
+	// Each view's labels have the requested number of clusters.
+	if core.NewClustering(labelings[0]).K() != 2 || core.NewClustering(labelings[1]).K() != 3 {
+		t.Error("wrong cluster counts per view")
+	}
+	// Within a view, same-label points are closer (in that view's dims)
+	// than different-label points on average.
+	for v := range specs {
+		sub := ds.Subspace(viewDims[v])
+		var same, diff float64
+		var ns, nd int
+		for i := 0; i < 100; i++ {
+			for j := i + 1; j < 100; j++ {
+				d := dist.Euclidean(sub.Points[i], sub.Points[j])
+				if labelings[v][i] == labelings[v][j] {
+					same += d
+					ns++
+				} else {
+					diff += d
+					nd++
+				}
+			}
+		}
+		if ns == 0 || nd == 0 {
+			t.Fatalf("degenerate labeling in view %d", v)
+		}
+		if same/float64(ns) >= diff/float64(nd) {
+			t.Errorf("view %d: same-cluster distance not smaller", v)
+		}
+	}
+}
+
+func TestSubspaceData(t *testing.T) {
+	specs := []SubspaceSpec{
+		{Dims: []int{0, 1}, Size: 40, Width: 0.05},
+		{Dims: []int{3, 4}, Size: 30, Width: 0.05},
+	}
+	ds, truth, err := SubspaceData(3, 100, 6, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 100 || ds.Dim() != 6 {
+		t.Fatalf("shape %dx%d", ds.N(), ds.Dim())
+	}
+	if len(truth) != 2 || truth[0].Size() != 40 || truth[1].Size() != 30 {
+		t.Fatalf("truth = %v", truth)
+	}
+	// Cluster members are tightly packed in the relevant dims.
+	for _, sc := range truth {
+		for _, d := range sc.Dims {
+			lo, hi := 1.0, 0.0
+			for _, o := range sc.Objects {
+				v := ds.Points[o][d]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if hi-lo > 0.06 {
+				t.Errorf("cluster spread in dim %d = %v, want <= width", d, hi-lo)
+			}
+		}
+	}
+	// Invalid specs rejected.
+	if _, _, err := SubspaceData(1, 10, 3, []SubspaceSpec{{Dims: []int{5}, Size: 5, Width: 0.1}}); err == nil {
+		t.Error("out-of-range dim should fail")
+	}
+	if _, _, err := SubspaceData(1, 10, 3, []SubspaceSpec{{Dims: []int{0}, Size: 50, Width: 0.1}}); err == nil {
+		t.Error("oversized cluster should fail")
+	}
+}
+
+func TestSubspaceDataExplicitObjects(t *testing.T) {
+	objs := []int{1, 3, 5}
+	_, truth, err := SubspaceData(9, 10, 4, []SubspaceSpec{{Dims: []int{0}, Size: 3, Width: 0.1, Objects: objs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth[0].Objects[0] != 1 || truth[0].Objects[2] != 5 {
+		t.Errorf("explicit objects not used: %v", truth[0].Objects)
+	}
+}
+
+func TestTwoSourceViews(t *testing.T) {
+	a, b, labels := TwoSourceViews(5, 300, 3, 2, 2, 0.3, 0)
+	if a.N() != 300 || b.N() != 300 || len(labels) != 300 {
+		t.Fatal("sizes wrong")
+	}
+	// Both views separate the latent classes.
+	for _, view := range []*Dataset{a, b} {
+		var same, diff float64
+		var ns, nd int
+		for i := 0; i < 150; i++ {
+			for j := i + 1; j < 150; j++ {
+				d := dist.Euclidean(view.Points[i], view.Points[j])
+				if labels[i] == labels[j] {
+					same, ns = same+d, ns+1
+				} else {
+					diff, nd = diff+d, nd+1
+				}
+			}
+		}
+		if same/float64(ns) >= diff/float64(nd) {
+			t.Error("view does not separate latent classes")
+		}
+	}
+	// Unreliable view: junk rows exist out of cluster range.
+	_, bU, _ := TwoSourceViews(5, 300, 3, 2, 2, 0.3, 0.5)
+	outliers := 0
+	for _, p := range bU.Points {
+		if math.Abs(p[0]) > 3.5 && p[0] < 0 { // junk is uniform over [-4,4]; centers are >= 0
+			outliers++
+		}
+	}
+	if outliers == 0 {
+		t.Error("unreliable view should contain junk rows")
+	}
+}
+
+func TestUniformHypercubeAndContrast(t *testing.T) {
+	low := UniformHypercube(2, 200, 2)
+	high := UniformHypercube(2, 200, 200)
+	cLow := DistanceContrast(low, 0)
+	cHigh := DistanceContrast(high, 0)
+	if cLow <= cHigh {
+		t.Errorf("contrast should shrink with dimensionality: low=%v high=%v", cLow, cHigh)
+	}
+	if cHigh > 1 {
+		t.Errorf("high-dim contrast should be small, got %v", cHigh)
+	}
+	// Degenerate case: duplicated points give contrast 0.
+	dup := New([][]float64{{1, 1}, {1, 1}, {1, 1}})
+	if DistanceContrast(dup, 0) != 0 {
+		t.Error("contrast of duplicates should be 0")
+	}
+}
+
+func TestRingAndBlob(t *testing.T) {
+	ds, labels := RingAndBlob(4, 100, 50)
+	if ds.N() != 150 {
+		t.Fatal("size wrong")
+	}
+	for i, p := range ds.Points {
+		r := math.Hypot(p[0], p[1])
+		if labels[i] == 0 && (r < 0.7 || r > 1.3) {
+			t.Fatalf("ring point %d at radius %v", i, r)
+		}
+		if labels[i] == 1 && r > 0.6 {
+			t.Fatalf("blob point %d at radius %v", i, r)
+		}
+	}
+}
+
+func TestCombineLabelsNoise(t *testing.T) {
+	got := CombineLabels([]int{0, 0, -1, 1}, []int{0, 1, 0, 1})
+	if got[2] != core.Noise {
+		t.Error("noise should propagate")
+	}
+	if got[0] == got[1] {
+		t.Error("different second labels must split")
+	}
+}

@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Normalize maps every coordinate into [0,1].
+func TestQuickNormalizeRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		d := 1 + r.Intn(5)
+		pts := make([][]float64, n)
+		for i := range pts {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = r.NormFloat64() * 100
+			}
+			pts[i] = row
+		}
+		norm := New(pts).Normalize()
+		for _, p := range norm.Points {
+			for _, v := range p {
+				if v < 0 || v > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Standardize leaves column means at ~0 and sample variance at
+// ~1 for non-constant columns.
+func TestQuickStandardizeMoments(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(30)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{r.NormFloat64()*5 + 3}
+		}
+		std := New(pts).Standardize()
+		var mean float64
+		for _, p := range std.Points {
+			mean += p[0]
+		}
+		mean /= float64(n)
+		if mean > 1e-9 || mean < -1e-9 {
+			return false
+		}
+		var variance float64
+		for _, p := range std.Points {
+			variance += (p[0] - mean) * (p[0] - mean)
+		}
+		variance /= float64(n - 1)
+		// Constant columns (possible for tiny random draws) stay at 0.
+		return variance < 1e-9 || (variance > 1-1e-6 && variance < 1+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CombineLabels produces a labeling at least as fine as both
+// inputs — co-membership in the product implies co-membership in each.
+func TestQuickCombineLabelsRefines(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		a := make([]int, len(raw))
+		b := make([]int, len(raw))
+		for i, v := range raw {
+			a[i] = int(v % 3)
+			b[i] = int(v / 3 % 3)
+		}
+		comb := CombineLabels(a, b)
+		for i := range comb {
+			for j := i + 1; j < len(comb); j++ {
+				if comb[i] >= 0 && comb[i] == comb[j] {
+					if a[i] != a[j] || b[i] != b[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GaussianBlobs assigns labels round-robin, so cluster sizes
+// differ by at most one.
+func TestQuickBlobBalance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(4)
+		n := k + r.Intn(50)
+		centers := make([][]float64, k)
+		for c := range centers {
+			centers[c] = []float64{float64(c * 10)}
+		}
+		_, labels := GaussianBlobs(seed, n, centers, 0.1)
+		counts := make([]int, k)
+		for _, l := range labels {
+			counts[l]++
+		}
+		min, max := counts[0], counts[0]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package dbscan implements density-based clustering (Ester et al. 1996)
+// over a pluggable neighbourhood function. The abstraction matters here:
+// SUBCLU runs DBSCAN inside candidate subspaces, and the multi-represented
+// DBSCAN of Kailing et al. (2004a) swaps in union/intersection
+// neighbourhoods over several data sources, so the core expansion loop must
+// not assume a concrete distance.
+package dbscan
+
+import (
+	"errors"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dist"
+)
+
+// NeighborFunc returns the indices of all objects (including o itself) in
+// the neighbourhood of object o.
+type NeighborFunc func(o int) []int
+
+// Config controls a run over points with a concrete distance.
+type Config struct {
+	Eps    float64
+	MinPts int
+}
+
+// Run clusters points with plain DBSCAN under distance d.
+func Run(points [][]float64, d dist.Func, cfg Config) (*core.Clustering, error) {
+	if len(points) == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.Eps <= 0 || cfg.MinPts <= 0 {
+		return nil, errors.New("dbscan: Eps and MinPts must be positive")
+	}
+	nf := EpsNeighbors(points, d, cfg.Eps)
+	return RunGeneric(len(points), nf, cfg.MinPts)
+}
+
+// EpsNeighbors builds the standard epsilon-ball neighbourhood function.
+func EpsNeighbors(points [][]float64, d dist.Func, eps float64) NeighborFunc {
+	return func(o int) []int {
+		var out []int
+		for i, p := range points {
+			if d(points[o], p) <= eps {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+// RunGeneric is the DBSCAN expansion loop over an abstract neighbourhood.
+// An object is a core object when its neighbourhood holds at least minPts
+// objects; clusters are the transitive closure of core-object reachability.
+func RunGeneric(n int, neighbors NeighborFunc, minPts int) (*core.Clustering, error) {
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if minPts <= 0 {
+		return nil, errors.New("dbscan: minPts must be positive")
+	}
+	const unvisited = -2
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = unvisited
+	}
+	clusterID := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		nb := neighbors(i)
+		if len(nb) < minPts {
+			labels[i] = core.Noise
+			continue
+		}
+		// Start a new cluster and expand it breadth-first.
+		labels[i] = clusterID
+		queue := append([]int(nil), nb...)
+		for qi := 0; qi < len(queue); qi++ {
+			o := queue[qi]
+			if labels[o] == core.Noise {
+				labels[o] = clusterID // border object adopted by the cluster
+			}
+			if labels[o] != unvisited {
+				continue
+			}
+			labels[o] = clusterID
+			onb := neighbors(o)
+			if len(onb) >= minPts {
+				queue = append(queue, onb...)
+			}
+		}
+		clusterID++
+	}
+	return core.NewClustering(labels), nil
+}

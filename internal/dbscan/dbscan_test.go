@@ -1,0 +1,106 @@
+package dbscan
+
+import (
+	"testing"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dataset"
+	"multiclust/internal/dist"
+)
+
+func TestRunRingAndBlob(t *testing.T) {
+	ds, truth := dataset.RingAndBlob(1, 300, 80)
+	c, err := Run(ds.Points, dist.Euclidean, Config{Eps: 0.25, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 2 {
+		t.Fatalf("K = %d, want 2 (ring + blob)", c.K())
+	}
+	// Clusters must align with truth for non-noise points.
+	agree := 0
+	tot := 0
+	for i := range truth {
+		if c.Labels[i] < 0 {
+			continue
+		}
+		tot++
+		if (truth[i] == 0) == (c.Labels[i] == c.Labels[0]) {
+			agree++
+		}
+	}
+	if tot == 0 || float64(agree)/float64(tot) < 0.95 {
+		t.Errorf("agreement %d/%d", agree, tot)
+	}
+}
+
+func TestNoiseDetection(t *testing.T) {
+	// Two dense pairs far apart plus one isolated point.
+	pts := [][]float64{{0, 0}, {0, 0.1}, {0.1, 0}, {10, 10}, {10, 10.1}, {10.1, 10}, {100, 100}}
+	c, err := Run(pts, dist.Euclidean, Config{Eps: 0.5, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 2 {
+		t.Fatalf("K = %d", c.K())
+	}
+	if c.Labels[6] != core.Noise {
+		t.Errorf("isolated point labelled %d, want Noise", c.Labels[6])
+	}
+}
+
+func TestBorderAdoption(t *testing.T) {
+	// A border point within eps of a core point but itself not core.
+	pts := [][]float64{{0}, {0.1}, {0.2}, {0.55}}
+	c, err := Run(pts, dist.Euclidean, Config{Eps: 0.4, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Labels[3] == core.Noise {
+		t.Error("border point should be adopted by the cluster")
+	}
+	if c.K() != 1 {
+		t.Errorf("K = %d", c.K())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, dist.Euclidean, Config{Eps: 1, MinPts: 1}); err == nil {
+		t.Error("empty data should fail")
+	}
+	pts := [][]float64{{0}}
+	if _, err := Run(pts, dist.Euclidean, Config{Eps: 0, MinPts: 1}); err == nil {
+		t.Error("eps=0 should fail")
+	}
+	if _, err := Run(pts, dist.Euclidean, Config{Eps: 1, MinPts: 0}); err == nil {
+		t.Error("minPts=0 should fail")
+	}
+	if _, err := RunGeneric(0, nil, 1); err == nil {
+		t.Error("RunGeneric n=0 should fail")
+	}
+	if _, err := RunGeneric(1, func(int) []int { return nil }, 0); err == nil {
+		t.Error("RunGeneric minPts=0 should fail")
+	}
+}
+
+func TestRunGenericCustomNeighborhood(t *testing.T) {
+	// Neighbourhood defined by index adjacency, not geometry: a path graph.
+	n := 6
+	nf := func(o int) []int {
+		out := []int{o}
+		if o > 0 {
+			out = append(out, o-1)
+		}
+		if o < n-1 {
+			out = append(out, o+1)
+		}
+		return out
+	}
+	c, err := RunGeneric(n, nf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 1 {
+		t.Errorf("path graph should form one cluster, K = %d", c.K())
+	}
+}

@@ -1,0 +1,138 @@
+// Package dist provides the distance functions used across paradigms,
+// including the subspace-restricted Euclidean distance central to the
+// subspace clustering section of the tutorial (slide 67):
+//
+//	dist_S(o, p) = sqrt( sum_{i in S} (o_i - p_i)^2 )
+package dist
+
+import (
+	"math"
+
+	"multiclust/internal/linalg"
+)
+
+// Func is a distance between two equal-length vectors.
+type Func func(a, b []float64) float64
+
+// Euclidean returns the L2 distance.
+func Euclidean(a, b []float64) float64 { return math.Sqrt(SqEuclidean(a, b)) }
+
+// SqEuclidean returns the squared L2 distance.
+func SqEuclidean(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Manhattan returns the L1 distance.
+func Manhattan(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Chebyshev returns the L∞ distance.
+func Chebyshev(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Cosine returns 1 - cosine similarity; zero vectors are at distance 1 from
+// everything (including each other), keeping the function total.
+func Cosine(a, b []float64) float64 {
+	na, nb := linalg.Norm(a), linalg.Norm(b)
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - linalg.Dot(a, b)/(na*nb)
+}
+
+// Subspace restricts base to the given dimensions.
+func Subspace(dims []int, base Func) Func {
+	return func(a, b []float64) float64 {
+		pa := make([]float64, len(dims))
+		pb := make([]float64, len(dims))
+		for i, d := range dims {
+			pa[i] = a[d]
+			pb[i] = b[d]
+		}
+		return base(pa, pb)
+	}
+}
+
+// SqEuclideanSubspace is the common special case of Subspace(dims,
+// SqEuclidean) without the projection copies.
+func SqEuclideanSubspace(a, b []float64, dims []int) float64 {
+	var s float64
+	for _, d := range dims {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}
+
+// EuclideanSubspace is sqrt of SqEuclideanSubspace.
+func EuclideanSubspace(a, b []float64, dims []int) float64 {
+	return math.Sqrt(SqEuclideanSubspace(a, b, dims))
+}
+
+// Weighted returns the weighted squared Euclidean distance with per-dimension
+// weights w.
+func Weighted(w []float64) Func {
+	return func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += w[i] * d * d
+		}
+		return math.Sqrt(s)
+	}
+}
+
+// Mahalanobis returns x ↦ sqrt((a-b)^T B (a-b)) for a positive semi-definite
+// matrix B = M^T M; this is the ||·||_B norm of Qi & Davidson (2009,
+// tutorial slide 54). Negative quadratic forms from numerical noise are
+// clamped to zero.
+func Mahalanobis(b *linalg.Matrix) Func {
+	return func(x, y []float64) float64 {
+		diff := linalg.SubVec(x, y)
+		q := linalg.Dot(diff, b.MulVec(diff))
+		if q < 0 {
+			q = 0
+		}
+		return math.Sqrt(q)
+	}
+}
+
+// Transformed returns the base distance measured after applying the linear
+// map m to both arguments — distance in the transformed space of the
+// orthogonal-transformation paradigm (tutorial section 3).
+func Transformed(m *linalg.Matrix, base Func) Func {
+	return func(a, b []float64) float64 {
+		return base(m.MulVec(a), m.MulVec(b))
+	}
+}
+
+// PairwiseMatrix materializes the n×n distance matrix of points under d.
+func PairwiseMatrix(points [][]float64, d Func) *linalg.Matrix {
+	n := len(points)
+	out := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := d(points[i], points[j])
+			out.Set(i, j, v)
+			out.Set(j, i, v)
+		}
+	}
+	return out
+}

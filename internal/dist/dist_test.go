@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multiclust/internal/linalg"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBasicDistances(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if Euclidean(a, b) != 5 {
+		t.Errorf("Euclidean = %v", Euclidean(a, b))
+	}
+	if SqEuclidean(a, b) != 25 {
+		t.Errorf("SqEuclidean = %v", SqEuclidean(a, b))
+	}
+	if Manhattan(a, b) != 7 {
+		t.Errorf("Manhattan = %v", Manhattan(a, b))
+	}
+	if Chebyshev(a, b) != 4 {
+		t.Errorf("Chebyshev = %v", Chebyshev(a, b))
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{2, 0}); !approxEq(got, 0, 1e-12) {
+		t.Errorf("parallel cosine distance = %v", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{0, 3}); !approxEq(got, 1, 1e-12) {
+		t.Errorf("orthogonal cosine distance = %v", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 1}); got != 1 {
+		t.Errorf("zero-vector cosine distance = %v, want 1", got)
+	}
+}
+
+func TestSubspace(t *testing.T) {
+	a := []float64{0, 100, 0}
+	b := []float64{3, -100, 4}
+	d := Subspace([]int{0, 2}, Euclidean)
+	if got := d(a, b); !approxEq(got, 5, 1e-12) {
+		t.Errorf("subspace distance = %v, want 5", got)
+	}
+	if got := EuclideanSubspace(a, b, []int{0, 2}); !approxEq(got, 5, 1e-12) {
+		t.Errorf("EuclideanSubspace = %v", got)
+	}
+	if got := SqEuclideanSubspace(a, b, []int{1}); got != 200*200 {
+		t.Errorf("SqEuclideanSubspace = %v", got)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	d := Weighted([]float64{1, 0})
+	if got := d([]float64{0, 5}, []float64{3, 100}); !approxEq(got, 3, 1e-12) {
+		t.Errorf("weighted = %v, want 3 (second dim zeroed)", got)
+	}
+}
+
+func TestMahalanobisIdentityIsEuclidean(t *testing.T) {
+	d := Mahalanobis(linalg.Identity(2))
+	if got := d([]float64{0, 0}, []float64{3, 4}); !approxEq(got, 5, 1e-12) {
+		t.Errorf("Mahalanobis(I) = %v, want 5", got)
+	}
+}
+
+func TestTransformed(t *testing.T) {
+	// Scaling x by 2 doubles distances along x.
+	m, _ := linalg.FromRows([][]float64{{2, 0}, {0, 1}})
+	d := Transformed(m, Euclidean)
+	if got := d([]float64{0, 0}, []float64{1, 0}); !approxEq(got, 2, 1e-12) {
+		t.Errorf("transformed = %v, want 2", got)
+	}
+}
+
+func TestPairwiseMatrix(t *testing.T) {
+	pts := [][]float64{{0, 0}, {3, 4}, {0, 1}}
+	m := PairwiseMatrix(pts, Euclidean)
+	if m.At(0, 1) != 5 || m.At(1, 0) != 5 {
+		t.Errorf("pairwise not symmetric/correct: %v", m)
+	}
+	if m.At(2, 2) != 0 {
+		t.Error("diagonal must be 0")
+	}
+}
+
+// Property: metric axioms (symmetry, identity, triangle) for Euclidean and
+// Manhattan on random vectors.
+func TestQuickMetricAxioms(t *testing.T) {
+	for name, d := range map[string]Func{"euclidean": Euclidean, "manhattan": Manhattan, "chebyshev": Chebyshev} {
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			n := 1 + r.Intn(6)
+			vecs := make([][]float64, 3)
+			for i := range vecs {
+				vecs[i] = make([]float64, n)
+				for j := range vecs[i] {
+					vecs[i][j] = r.NormFloat64()
+				}
+			}
+			a, b, c := vecs[0], vecs[1], vecs[2]
+			if !approxEq(d(a, b), d(b, a), 1e-12) {
+				return false
+			}
+			if d(a, a) != 0 {
+				return false
+			}
+			return d(a, c) <= d(a, b)+d(b, c)+1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package hierarchical
+
+import (
+	"testing"
+
+	"multiclust/internal/dataset"
+	"multiclust/internal/dist"
+)
+
+func TestRunAndCutTwoBlobs(t *testing.T) {
+	ds, truth := dataset.GaussianBlobs(1, 40, [][]float64{{0, 0}, {10, 10}}, 0.3)
+	for _, link := range []Linkage{SingleLink, CompleteLink, AverageLink} {
+		dg, err := Run(ds.Points, dist.Euclidean, link)
+		if err != nil {
+			t.Fatalf("%v: %v", link, err)
+		}
+		if len(dg.Merges) != ds.N()-1 {
+			t.Fatalf("%v: merges = %d, want %d", link, len(dg.Merges), ds.N()-1)
+		}
+		c, err := dg.Cut(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.K() != 2 {
+			t.Fatalf("%v: K = %d", link, c.K())
+		}
+		// Must match the ground-truth split exactly on well-separated blobs.
+		for i := range truth {
+			if (truth[i] == truth[0]) != (c.Labels[i] == c.Labels[0]) {
+				t.Fatalf("%v: wrong split at %d", link, i)
+			}
+		}
+	}
+}
+
+func TestCutExtremes(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {5}}
+	dg, err := Run(pts, dist.Euclidean, AverageLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cAll, err := dg.Cut(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cAll.K() != 3 {
+		t.Errorf("Cut(n) K = %d", cAll.K())
+	}
+	cOne, err := dg.Cut(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cOne.K() != 1 {
+		t.Errorf("Cut(1) K = %d", cOne.K())
+	}
+	if _, err := dg.Cut(0); err == nil {
+		t.Error("Cut(0) should fail")
+	}
+	if _, err := dg.Cut(4); err == nil {
+		t.Error("Cut(n+1) should fail")
+	}
+}
+
+func TestMergeOrderRespectsDistance(t *testing.T) {
+	// Points on a line: 0, 1, 10 — first merge must join 0 and 1.
+	pts := [][]float64{{0}, {1}, {10}}
+	dg, err := Run(pts, dist.Euclidean, SingleLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := dg.Merges[0]
+	if !(first.A == 0 && first.B == 1) {
+		t.Errorf("first merge = %+v, want groups 0 and 1", first)
+	}
+	if first.Distance != 1 {
+		t.Errorf("first merge distance = %v", first.Distance)
+	}
+	if dg.Merges[1].Distance < first.Distance {
+		t.Error("merge distances should be non-decreasing for single link")
+	}
+}
+
+func TestSingleVsCompleteLinkChains(t *testing.T) {
+	// A chain with slightly growing gaps: single link chains left to right
+	// and a 2-cut isolates only the last point (7/1), while complete link
+	// merges adjacent pairs first and a 2-cut splits the chain 4/4.
+	pts := make([][]float64, 8)
+	x := 0.0
+	for i := range pts {
+		pts[i] = []float64{x}
+		x += 1 + 0.01*float64(i)
+	}
+	single, _ := Run(pts, dist.Euclidean, SingleLink)
+	sc, _ := single.Cut(2)
+	// Single link cut of a uniform chain: one cluster holds 7 points.
+	sizes := map[int]int{}
+	for _, l := range sc.Labels {
+		sizes[l]++
+	}
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	if maxSize != 7 {
+		t.Errorf("single link chain max cluster = %d, want 7", maxSize)
+	}
+	complete, _ := Run(pts, dist.Euclidean, CompleteLink)
+	cc, _ := complete.Cut(2)
+	sizes = map[int]int{}
+	for _, l := range cc.Labels {
+		sizes[l]++
+	}
+	for _, s := range sizes {
+		if s != 4 {
+			t.Errorf("complete link should split the chain 4/4, got %v", sizes)
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if _, err := Run(nil, dist.Euclidean, AverageLink); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if SingleLink.String() != "single" || CompleteLink.String() != "complete" || AverageLink.String() != "average" {
+		t.Error("Linkage names wrong")
+	}
+	if Linkage(9).String() == "" {
+		t.Error("unknown linkage should still render")
+	}
+}

@@ -1,0 +1,260 @@
+// Package kmeans implements Lloyd's k-means with k-means++ seeding, random
+// restarts, and a k-medoid variant. K-means is the tutorial's running example
+// of a traditional single-solution algorithm (slide 3) and the base learner
+// inside several multiple-clustering methods (decorrelated k-means, meta
+// clustering, orthogonal projections).
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dist"
+)
+
+// Config controls a k-means run.
+type Config struct {
+	K        int
+	MaxIter  int   // default 100
+	Restarts int   // default 1; best-SSE run wins
+	Seed     int64 // RNG seed for seeding and restarts
+}
+
+// Result is a fitted k-means model.
+type Result struct {
+	Clustering *core.Clustering
+	Centers    [][]float64
+	SSE        float64 // sum of squared distances to assigned centers
+	Iterations int
+}
+
+// Run clusters points with Lloyd's algorithm.
+func Run(points [][]float64, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("kmeans: K must be positive, got %d", cfg.K)
+	}
+	if cfg.K > n {
+		return nil, fmt.Errorf("kmeans: K=%d exceeds n=%d", cfg.K, n)
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var best *Result
+	for r := 0; r < cfg.Restarts; r++ {
+		res := runOnce(points, cfg.K, cfg.MaxIter, rng)
+		if best == nil || res.SSE < best.SSE {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func runOnce(points [][]float64, k, maxIter int, rng *rand.Rand) *Result {
+	centers := PlusPlusSeeds(points, k, rng)
+	n, d := len(points), len(points[0])
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var sse float64
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		sse = 0
+		for i, p := range points {
+			bestC, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if dd := dist.SqEuclidean(p, ctr); dd < bestD {
+					bestC, bestD = c, dd
+				}
+			}
+			if labels[i] != bestC {
+				labels[i] = bestC
+				changed = true
+			}
+			sse += bestD
+		}
+		if !changed {
+			break
+		}
+		// Recompute centers; empty clusters get re-seeded to the point
+		// farthest from its center, the standard fix for dead centroids.
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, d)
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for j, v := range p {
+				next[c][j] += v
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if dd := dist.SqEuclidean(p, centers[labels[i]]); dd > farD {
+						far, farD = i, dd
+					}
+				}
+				copy(next[c], points[far])
+				continue
+			}
+			for j := range next[c] {
+				next[c][j] /= float64(counts[c])
+			}
+		}
+		centers = next
+	}
+	return &Result{
+		Clustering: core.NewClustering(labels),
+		Centers:    centers,
+		SSE:        sse,
+		Iterations: iter,
+	}
+}
+
+// PlusPlusSeeds picks k initial centers with the k-means++ D^2 weighting.
+func PlusPlusSeeds(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centers := make([][]float64, 0, k)
+	first := points[rng.Intn(n)]
+	centers = append(centers, append([]float64(nil), first...))
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if dd := dist.SqEuclidean(p, c); dd < best {
+					best = dd
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var idx int
+		if total == 0 {
+			idx = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			var cum float64
+			for i, w := range d2 {
+				cum += w
+				if cum >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		centers = append(centers, append([]float64(nil), points[idx]...))
+	}
+	return centers
+}
+
+// Assign labels each point to its nearest center under d.
+func Assign(points [][]float64, centers [][]float64, d dist.Func) *core.Clustering {
+	labels := make([]int, len(points))
+	for i, p := range points {
+		bestC, bestD := 0, math.Inf(1)
+		for c, ctr := range centers {
+			if dd := d(p, ctr); dd < bestD {
+				bestC, bestD = c, dd
+			}
+		}
+		labels[i] = bestC
+	}
+	return core.NewClustering(labels)
+}
+
+// SSE returns the sum of squared Euclidean distances from each point to its
+// assigned center; the tutorial's example quality function Q for k-means
+// (slide 28), negated (lower SSE = higher quality).
+func SSE(points [][]float64, c *core.Clustering, centers [][]float64) float64 {
+	var s float64
+	for i, p := range points {
+		l := c.Labels[i]
+		if l < 0 || l >= len(centers) {
+			continue
+		}
+		s += dist.SqEuclidean(p, centers[l])
+	}
+	return s
+}
+
+// Medoids runs a PAM-style k-medoid clustering under an arbitrary distance,
+// used by PROCLUS. It greedily swaps medoids while the total assignment cost
+// improves.
+func Medoids(points [][]float64, k int, d dist.Func, seed int64, maxIter int) (*core.Clustering, []int, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, nil, core.ErrEmptyDataset
+	}
+	if k <= 0 || k > n {
+		return nil, nil, errors.New("kmeans: invalid medoid count")
+	}
+	if maxIter <= 0 {
+		maxIter = 30
+	}
+	rng := rand.New(rand.NewSource(seed))
+	medoids := rng.Perm(n)[:k]
+	assign := func(meds []int) ([]int, float64) {
+		labels := make([]int, n)
+		var cost float64
+		for i, p := range points {
+			bestC, bestD := 0, math.Inf(1)
+			for c, m := range meds {
+				if dd := d(p, points[m]); dd < bestD {
+					bestC, bestD = c, dd
+				}
+			}
+			labels[i] = bestC
+			cost += bestD
+		}
+		return labels, cost
+	}
+	labels, cost := assign(medoids)
+	for iter := 0; iter < maxIter; iter++ {
+		improved := false
+		for c := 0; c < k; c++ {
+			for cand := 0; cand < n; cand++ {
+				if contains(medoids, cand) {
+					continue
+				}
+				trial := append([]int(nil), medoids...)
+				trial[c] = cand
+				tl, tc := assign(trial)
+				if tc < cost-1e-12 {
+					medoids, labels, cost = trial, tl, tc
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return core.NewClustering(labels), medoids, nil
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

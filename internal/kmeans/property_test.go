@@ -1,0 +1,95 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multiclust/internal/dist"
+)
+
+// Property: every k-means result is a total K-partition with centers equal
+// to the means of their assigned points (fixed-point condition).
+func TestQuickKMeansFixedPoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(40)
+		k := 1 + r.Intn(3)
+		d := 1 + r.Intn(3)
+		pts := make([][]float64, n)
+		for i := range pts {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = r.NormFloat64()
+			}
+			pts[i] = row
+		}
+		res, err := Run(pts, Config{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		// Total assignment with valid labels.
+		counts := make([]int, k)
+		for _, l := range res.Clustering.Labels {
+			if l < 0 || l >= k {
+				return false
+			}
+			counts[l]++
+		}
+		// Non-empty clusters have centers at their member means.
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			mean := make([]float64, d)
+			for i, p := range pts {
+				if res.Clustering.Labels[i] == c {
+					for j, v := range p {
+						mean[j] += v
+					}
+				}
+			}
+			for j := range mean {
+				mean[j] /= float64(counts[c])
+				diff := mean[j] - res.Centers[c][j]
+				if diff > 1e-6 || diff < -1e-6 {
+					return false
+				}
+			}
+		}
+		// Each point sits with its nearest center.
+		for i, p := range pts {
+			own := dist.SqEuclidean(p, res.Centers[res.Clustering.Labels[i]])
+			for c := 0; c < k; c++ {
+				if dist.SqEuclidean(p, res.Centers[c]) < own-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SSE never increases when k grows (best-of-restarts).
+func TestSSEMonotoneInK(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 60
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+	}
+	prev := -1.0
+	for k := 1; k <= 5; k++ {
+		res, err := Run(pts, Config{K: k, Seed: 1, Restarts: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.SSE > prev+1e-6 {
+			t.Errorf("SSE increased from k=%d to k=%d: %v -> %v", k-1, k, prev, res.SSE)
+		}
+		prev = res.SSE
+	}
+}

@@ -1,0 +1,106 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization is
+// requested for a matrix that is not (numerically) positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L with A = L*L^T.
+type Cholesky struct {
+	L *Matrix
+}
+
+// CholeskyDecompose factorizes the symmetric positive-definite matrix a.
+func CholeskyDecompose(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			li, lj := l.Row(i), l.Row(j)
+			for k := 0; k < j; k++ {
+				sum -= li[k] * lj[k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrNotPositiveDefinite
+				}
+				li[j] = math.Sqrt(sum)
+			} else {
+				li[j] = sum / lj[j]
+			}
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// Solve solves A*x = b via the factorization.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n := c.L.Rows
+	if len(b) != n {
+		panic("linalg: Cholesky.Solve length mismatch")
+	}
+	// Forward: L*y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		ri := c.L.Row(i)
+		for k := 0; k < i; k++ {
+			s -= ri[k] * y[k]
+		}
+		y[i] = s / ri[i]
+	}
+	// Backward: L^T*x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.At(k, i) * x[k]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	return x
+}
+
+// LogDet returns log(det(A)) = 2 * sum(log(L_ii)).
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.L.Rows; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}
+
+// QuadForm returns x^T * A^{-1} * x, the squared Mahalanobis form, using the
+// triangular solve L*y = x so only one substitution pass is needed.
+func (c *Cholesky) QuadForm(x []float64) float64 {
+	n := c.L.Rows
+	if len(x) != n {
+		panic("linalg: Cholesky.QuadForm length mismatch")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := x[i]
+		ri := c.L.Row(i)
+		for k := 0; k < i; k++ {
+			s -= ri[k] * y[k]
+		}
+		y[i] = s / ri[i]
+	}
+	return Dot(y, y)
+}
+
+// RegularizeInPlace adds eps to the diagonal of a square matrix. Used to keep
+// empirical covariances positive definite.
+func RegularizeInPlace(a *Matrix, eps float64) {
+	for i := 0; i < a.Rows; i++ {
+		a.Data[i*a.Cols+i] += eps
+	}
+}

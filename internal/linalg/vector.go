@@ -1,0 +1,93 @@
+package linalg
+
+import "math"
+
+// Dot returns the inner product of x and y. Panics on length mismatch.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of x.
+func Norm(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// ScaleVec multiplies x by a in place.
+func ScaleVec(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// SubVec returns x - y (allocates).
+func SubVec(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("linalg: SubVec length mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] - y[i]
+	}
+	return out
+}
+
+// AddVec returns x + y (allocates).
+func AddVec(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("linalg: AddVec length mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+	return out
+}
+
+// Normalize scales x in place to unit Euclidean norm. A zero vector is left
+// unchanged. It returns the original norm.
+func Normalize(x []float64) float64 {
+	n := Norm(x)
+	if n > 0 {
+		ScaleVec(1/n, x)
+	}
+	return n
+}
+
+// CosineSim returns the cosine similarity of x and y, or 0 if either has
+// zero norm.
+func CosineSim(x, y []float64) float64 {
+	nx, ny := Norm(x), Norm(y)
+	if nx == 0 || ny == 0 {
+		return 0
+	}
+	return Dot(x, y) / (nx * ny)
+}
+
+// Mean returns the element-wise mean of the given vectors (allocates).
+// Panics if vecs is empty or ragged.
+func Mean(vecs [][]float64) []float64 {
+	if len(vecs) == 0 {
+		panic("linalg: Mean of no vectors")
+	}
+	out := make([]float64, len(vecs[0]))
+	for _, v := range vecs {
+		Axpy(1, v, out)
+	}
+	ScaleVec(1/float64(len(vecs)), out)
+	return out
+}

@@ -1,0 +1,164 @@
+// Package metaclust implements meta clustering (Caruana et al. 2006,
+// tutorial slide 29): generate many base clusterings by perturbing the
+// clustering process (random restarts, random feature weightings, varying
+// k), measure pairwise dissimilarity between the solutions (1 - Rand index),
+// group the solutions at the meta level with agglomerative clustering, and
+// return one representative per meta cluster.
+//
+// The tutorial's criticism — blind generation yields many near-duplicate
+// solutions — is observable in the result: Generated holds every base
+// clustering, Representatives the few distinct ones.
+package metaclust
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dist"
+	"multiclust/internal/hierarchical"
+	"multiclust/internal/kmeans"
+	"multiclust/internal/metrics"
+)
+
+// Config controls the meta clustering run.
+type Config struct {
+	K             int     // clusters per base solution
+	NumSolutions  int     // base clusterings to generate (default 20)
+	MetaClusters  int     // distinct solutions to return (default 3)
+	FeatureJitter float64 // stddev of the log-normal feature weights (default 1)
+	Seed          int64
+	Diss          core.DissimilarityFunc // default 1 - Rand index
+}
+
+// Result of a meta clustering run.
+type Result struct {
+	Generated       []*core.Clustering // all base solutions
+	Weights         [][]float64        // feature weighting used per solution
+	MetaLabels      []int              // meta-cluster id per base solution
+	Representatives []*core.Clustering // one per meta cluster (medoid by Diss)
+	MeanPairwise    float64            // mean pairwise dissimilarity of Generated
+}
+
+// Run generates and groups base clusterings of points.
+func Run(points [][]float64, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("metaclust: invalid K=%d", cfg.K)
+	}
+	if cfg.NumSolutions <= 0 {
+		cfg.NumSolutions = 20
+	}
+	if cfg.MetaClusters <= 0 {
+		cfg.MetaClusters = 3
+	}
+	if cfg.MetaClusters > cfg.NumSolutions {
+		return nil, errors.New("metaclust: MetaClusters exceeds NumSolutions")
+	}
+	if cfg.FeatureJitter <= 0 {
+		cfg.FeatureJitter = 1
+	}
+	if cfg.Diss == nil {
+		cfg.Diss = func(a, b *core.Clustering) float64 {
+			return 1 - metrics.RandIndex(a.Labels, b.Labels)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := len(points[0])
+
+	res := &Result{}
+	weighted := make([][]float64, n)
+	for s := 0; s < cfg.NumSolutions; s++ {
+		// Zipf-style random feature weighting, the diversity device of the
+		// original paper: w_j = exp(jitter * N(0,1)).
+		w := make([]float64, d)
+		for j := range w {
+			w[j] = expNorm(rng, cfg.FeatureJitter)
+		}
+		for i, p := range points {
+			row := make([]float64, d)
+			for j, v := range p {
+				row[j] = v * w[j]
+			}
+			weighted[i] = row
+		}
+		km, err := kmeans.Run(weighted, kmeans.Config{K: cfg.K, Seed: rng.Int63()})
+		if err != nil {
+			return nil, err
+		}
+		res.Generated = append(res.Generated, km.Clustering)
+		res.Weights = append(res.Weights, w)
+	}
+
+	// Pairwise dissimilarity at the meta level.
+	m := len(res.Generated)
+	diss := make([][]float64, m)
+	var sum float64
+	var cnt int
+	for i := range diss {
+		diss[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			v := cfg.Diss(res.Generated[i], res.Generated[j])
+			diss[i][j], diss[j][i] = v, v
+			sum += v
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		res.MeanPairwise = sum / float64(cnt)
+	}
+
+	// Group solutions: average-link agglomerative over the meta distance.
+	// Each "point" is a solution index; the distance function looks up the
+	// precomputed matrix.
+	ids := make([][]float64, m)
+	for i := range ids {
+		ids[i] = []float64{float64(i)}
+	}
+	metaDist := dist.Func(func(a, b []float64) float64 { return diss[int(a[0])][int(b[0])] })
+	dg, err := hierarchical.Run(ids, metaDist, hierarchical.AverageLink)
+	if err != nil {
+		return nil, err
+	}
+	metaC, err := dg.Cut(cfg.MetaClusters)
+	if err != nil {
+		return nil, err
+	}
+	res.MetaLabels = metaC.Labels
+
+	// Representative of each meta cluster: the medoid (min summed Diss to
+	// the rest of its group).
+	for _, group := range metaC.Clusters() {
+		best, bestCost := group[0], -1.0
+		for _, i := range group {
+			var cost float64
+			for _, j := range group {
+				cost += diss[i][j]
+			}
+			if bestCost < 0 || cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		res.Representatives = append(res.Representatives, res.Generated[best])
+	}
+	return res, nil
+}
+
+// expNorm returns exp(sigma * N(0,1)), clamped to avoid overflow.
+func expNorm(rng *rand.Rand, sigma float64) float64 {
+	x := rng.NormFloat64() * sigma
+	if x > 6 {
+		x = 6
+	}
+	if x < -6 {
+		x = -6
+	}
+	return math.Exp(x)
+}

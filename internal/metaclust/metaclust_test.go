@@ -1,0 +1,110 @@
+package metaclust
+
+import (
+	"testing"
+
+	"multiclust/internal/dataset"
+	"multiclust/internal/metrics"
+)
+
+func TestRunRecoversBothToyViews(t *testing.T) {
+	ds, hor, ver := dataset.FourBlobToy(1, 30)
+	res, err := Run(ds.Points, Config{K: 2, NumSolutions: 30, MetaClusters: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Generated) != 30 {
+		t.Fatalf("generated %d", len(res.Generated))
+	}
+	if len(res.Representatives) != 3 {
+		t.Fatalf("representatives %d", len(res.Representatives))
+	}
+	// Among representatives there should be one close to the horizontal
+	// split and one close to the vertical split.
+	bestHor, bestVer := 0.0, 0.0
+	for _, r := range res.Representatives {
+		if a := metrics.AdjustedRand(hor, r.Labels); a > bestHor {
+			bestHor = a
+		}
+		if a := metrics.AdjustedRand(ver, r.Labels); a > bestVer {
+			bestVer = a
+		}
+	}
+	if bestHor < 0.8 || bestVer < 0.8 {
+		t.Errorf("representatives miss a view: hor=%v ver=%v", bestHor, bestVer)
+	}
+}
+
+func TestBlindGenerationIsRedundant(t *testing.T) {
+	// The tutorial's criticism (slide 29): many generated solutions are
+	// near-duplicates. Verify redundancy exists: mean pairwise dissimilarity
+	// of all generated solutions is much lower than 1, and at least two
+	// generated solutions are near-identical.
+	ds, _, _ := dataset.FourBlobToy(2, 25)
+	res, err := Run(ds.Points, Config{K: 2, NumSolutions: 20, MetaClusters: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDup := false
+	for i := 0; i < len(res.Generated) && !foundDup; i++ {
+		for j := i + 1; j < len(res.Generated); j++ {
+			if metrics.RandIndex(res.Generated[i].Labels, res.Generated[j].Labels) > 0.99 {
+				foundDup = true
+				break
+			}
+		}
+	}
+	if !foundDup {
+		t.Error("expected near-duplicate base solutions from blind generation")
+	}
+	if res.MeanPairwise <= 0 {
+		t.Errorf("mean pairwise dissimilarity = %v, want > 0", res.MeanPairwise)
+	}
+}
+
+func TestMetaLabelsPartitionSolutions(t *testing.T) {
+	ds, _, _ := dataset.FourBlobToy(4, 20)
+	res, err := Run(ds.Points, Config{K: 2, NumSolutions: 12, MetaClusters: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MetaLabels) != 12 {
+		t.Fatalf("meta labels %d", len(res.MetaLabels))
+	}
+	seen := map[int]bool{}
+	for _, l := range res.MetaLabels {
+		if l < 0 {
+			t.Fatal("meta labels must not contain noise")
+		}
+		seen[l] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("meta clusters = %d, want 4", len(seen))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, Config{K: 2}); err == nil {
+		t.Error("empty data should fail")
+	}
+	pts := [][]float64{{0}, {1}, {2}}
+	if _, err := Run(pts, Config{K: 0}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := Run(pts, Config{K: 2, NumSolutions: 2, MetaClusters: 5}); err == nil {
+		t.Error("MetaClusters > NumSolutions should fail")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds, _, _ := dataset.FourBlobToy(5, 15)
+	a, _ := Run(ds.Points, Config{K: 2, NumSolutions: 8, MetaClusters: 2, Seed: 11})
+	b, _ := Run(ds.Points, Config{K: 2, NumSolutions: 8, MetaClusters: 2, Seed: 11})
+	for i := range a.Generated {
+		for j := range a.Generated[i].Labels {
+			if a.Generated[i].Labels[j] != b.Generated[i].Labels[j] {
+				t.Fatal("same seed must reproduce the same solutions")
+			}
+		}
+	}
+}

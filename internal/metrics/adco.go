@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"errors"
+
+	"multiclust/internal/core"
+	"multiclust/internal/linalg"
+)
+
+// DensityProfile is the attribute-bin occupancy representation of a
+// clustering used by the ADCO measure of Bae, Bailey & Dong (2010, tutorial
+// slide 34): for every cluster, the number of its members falling into each
+// of Bins equal-width intervals of each attribute.
+type DensityProfile struct {
+	Bins    int
+	Vectors [][]float64 // one concatenated (d*Bins) count vector per cluster
+}
+
+// NewDensityProfile builds the profile of clustering c over points.
+func NewDensityProfile(points [][]float64, c *core.Clustering, bins int) (*DensityProfile, error) {
+	if len(points) == 0 {
+		return nil, errors.New("metrics: empty dataset")
+	}
+	if bins <= 0 {
+		bins = 5
+	}
+	d := len(points[0])
+	mins := make([]float64, d)
+	maxs := make([]float64, d)
+	for j := 0; j < d; j++ {
+		mins[j], maxs[j] = points[0][j], points[0][j]
+	}
+	for _, p := range points {
+		for j, v := range p {
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	prof := &DensityProfile{Bins: bins}
+	for _, members := range c.Clusters() {
+		vec := make([]float64, d*bins)
+		for _, o := range members {
+			for j, v := range points[o] {
+				span := maxs[j] - mins[j]
+				b := 0
+				if span > 0 {
+					b = int((v - mins[j]) / span * float64(bins))
+					if b >= bins {
+						b = bins - 1
+					}
+				}
+				vec[j*bins+b]++
+			}
+		}
+		prof.Vectors = append(prof.Vectors, vec)
+	}
+	if len(prof.Vectors) == 0 {
+		return nil, errors.New("metrics: clustering has no clusters")
+	}
+	return prof, nil
+}
+
+// ADCO returns the density-profile dissimilarity between two clusterings of
+// the same points (Bae, Bailey & Dong 2010): clusters of one clustering are
+// matched to clusters of the other by maximum profile dot-product
+// (greedily), the matched similarity is normalized by the self-similarity
+// max(sim(A,A), sim(B,B)), and the dissimilarity is 1 minus that value.
+// Two clusterings with the same per-attribute density structure score near
+// 0 even when their labels differ; clusterings carving the space along
+// different attributes score near 1. Intended as a Diss function for
+// alternative-clustering searches.
+func ADCO(points [][]float64, a, b *core.Clustering, bins int) (float64, error) {
+	pa, err := NewDensityProfile(points, a, bins)
+	if err != nil {
+		return 0, err
+	}
+	pb, err := NewDensityProfile(points, b, bins)
+	if err != nil {
+		return 0, err
+	}
+	sim := profileSim(pa, pb)
+	self := profileSim(pa, pa)
+	if s := profileSim(pb, pb); s > self {
+		self = s
+	}
+	if self == 0 {
+		return 0, nil
+	}
+	v := 1 - sim/self
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+// profileSim greedily matches clusters across the two profiles by maximal
+// dot product and sums the matched products.
+func profileSim(a, b *DensityProfile) float64 {
+	usedA := make([]bool, len(a.Vectors))
+	usedB := make([]bool, len(b.Vectors))
+	var total float64
+	pairs := len(a.Vectors)
+	if len(b.Vectors) < pairs {
+		pairs = len(b.Vectors)
+	}
+	for p := 0; p < pairs; p++ {
+		bi, bj, best := -1, -1, -1.0
+		for i := range a.Vectors {
+			if usedA[i] {
+				continue
+			}
+			for j := range b.Vectors {
+				if usedB[j] {
+					continue
+				}
+				if dp := linalg.Dot(a.Vectors[i], b.Vectors[j]); dp > best {
+					bi, bj, best = i, j, dp
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		usedA[bi] = true
+		usedB[bj] = true
+		total += best
+	}
+	return total
+}

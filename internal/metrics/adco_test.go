@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"testing"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dataset"
+)
+
+func TestADCOIdenticalClusteringsScoreZero(t *testing.T) {
+	ds, hor, _ := dataset.FourBlobToy(1, 20)
+	a := core.NewClustering(hor)
+	v, err := ADCO(ds.Points, a, a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 1e-9 {
+		t.Errorf("ADCO(a,a) = %v, want 0", v)
+	}
+}
+
+func TestADCOLabelInvariance(t *testing.T) {
+	// Same partition under permuted labels must still score ~0.
+	ds, hor, _ := dataset.FourBlobToy(2, 20)
+	a := core.NewClustering(hor)
+	swapped := make([]int, len(hor))
+	for i, l := range hor {
+		swapped[i] = 1 - l
+	}
+	b := core.NewClustering(swapped)
+	v, err := ADCO(ds.Points, a, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 1e-9 {
+		t.Errorf("ADCO under label permutation = %v, want 0", v)
+	}
+}
+
+func TestADCOOrthogonalViewsScoreHigh(t *testing.T) {
+	// Horizontal vs vertical split of the toy carve different attributes:
+	// their density profiles differ, ADCO must be clearly positive, and
+	// larger than the ADCO of two near-identical clusterings.
+	ds, hor, ver := dataset.FourBlobToy(3, 20)
+	a := core.NewClustering(hor)
+	b := core.NewClustering(ver)
+	cross, err := ADCO(ds.Points, a, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross < 0.2 {
+		t.Errorf("ADCO(hor, ver) = %v, want clearly positive", cross)
+	}
+	// Perturb a few labels of hor: still low dissimilarity.
+	perturbed := append([]int(nil), hor...)
+	for i := 0; i < 4; i++ {
+		perturbed[i] = 1 - perturbed[i]
+	}
+	near, err := ADCO(ds.Points, a, core.NewClustering(perturbed), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near >= cross {
+		t.Errorf("near-identical ADCO %v should be below orthogonal ADCO %v", near, cross)
+	}
+}
+
+func TestADCOErrors(t *testing.T) {
+	if _, err := ADCO(nil, core.NewClustering(nil), core.NewClustering(nil), 5); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	pts := [][]float64{{0}, {1}}
+	noise := core.NewClustering([]int{core.Noise, core.Noise})
+	if _, err := ADCO(pts, noise, noise, 5); err == nil {
+		t.Error("clustering without clusters should fail")
+	}
+}
+
+func TestDensityProfileShape(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}, {0, 1}, {1, 0}}
+	c := core.NewClustering([]int{0, 0, 1, 1})
+	p, err := NewDensityProfile(pts, c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Vectors) != 2 {
+		t.Fatalf("vectors = %d", len(p.Vectors))
+	}
+	if len(p.Vectors[0]) != 4 { // 2 dims * 2 bins
+		t.Fatalf("vector width = %d", len(p.Vectors[0]))
+	}
+	// Each cluster has 2 members, so each vector sums to members*dims = 4.
+	for _, v := range p.Vectors {
+		var s float64
+		for _, x := range v {
+			s += x
+		}
+		if s != 4 {
+			t.Errorf("profile mass = %v, want 4", s)
+		}
+	}
+	// Default bin count kicks in for bins<=0.
+	p2, err := NewDensityProfile(pts, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Bins != 5 {
+		t.Errorf("default bins = %d", p2.Bins)
+	}
+}

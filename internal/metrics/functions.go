@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"multiclust/internal/core"
+)
+
+// This file instantiates the tutorial's abstract interface (slide 27):
+// quality functions Q : Clusterings -> R and dissimilarity functions
+// Diss : Clusterings x Clusterings -> R, as core.QualityFunc and
+// core.DissimilarityFunc values ready to plug into search procedures.
+
+// NegSSEQuality is the k-means-style quality: the negated sum of squared
+// distances to cluster means, so that higher is better.
+func NegSSEQuality() core.QualityFunc {
+	return func(points [][]float64, c *core.Clustering) float64 {
+		return -SSE(points, c)
+	}
+}
+
+// SilhouetteQuality scores a clustering by its mean silhouette width.
+func SilhouetteQuality() core.QualityFunc {
+	return func(points [][]float64, c *core.Clustering) float64 {
+		return Silhouette(points, c)
+	}
+}
+
+// RandDissimilarity is 1 - Rand index: the pairwise-disagreement rate used
+// by meta clustering (slide 29).
+func RandDissimilarity() core.DissimilarityFunc {
+	return func(a, b *core.Clustering) float64 {
+		return 1 - RandIndex(a.Labels, b.Labels)
+	}
+}
+
+// VIDissimilarity is the variation of information, a true metric on
+// partitions.
+func VIDissimilarity() core.DissimilarityFunc {
+	return func(a, b *core.Clustering) float64 {
+		return VariationOfInformation(a.Labels, b.Labels)
+	}
+}
+
+// NMIDissimilarity is 1 - NMI, in [0,1].
+func NMIDissimilarity() core.DissimilarityFunc {
+	return func(a, b *core.Clustering) float64 {
+		return 1 - NMI(a.Labels, b.Labels)
+	}
+}
+
+// ADCODissimilarity is the density-profile dissimilarity of Bae, Bailey &
+// Dong (2010) bound to a dataset and bin count. Unlike the label-based
+// measures it looks at WHERE in attribute space the clusters sit, so two
+// clusterings with different labels but the same per-attribute density
+// structure count as similar.
+func ADCODissimilarity(points [][]float64, bins int) core.DissimilarityFunc {
+	return func(a, b *core.Clustering) float64 {
+		v, err := ADCO(points, a, b, bins)
+		if err != nil {
+			return 0
+		}
+		return v
+	}
+}
+
+// EvaluateSolutionSet scores a set of clusterings under the tutorial's twin
+// objectives: the summed quality of the solutions and the summed pairwise
+// dissimilarity between them (slide 39's combined objective).
+func EvaluateSolutionSet(points [][]float64, sols []*core.Clustering, q core.QualityFunc, diss core.DissimilarityFunc) (quality, dissimilarity float64) {
+	for _, s := range sols {
+		quality += q(points, s)
+	}
+	for i := 0; i < len(sols); i++ {
+		for j := i + 1; j < len(sols); j++ {
+			dissimilarity += diss(sols[i], sols[j])
+		}
+	}
+	return quality, dissimilarity
+}

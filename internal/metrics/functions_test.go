@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dataset"
+)
+
+func TestQualityFunctions(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0, 1}, {10, 0}, {10, 1}}
+	good := core.NewClustering([]int{0, 0, 1, 1})
+	bad := core.NewClustering([]int{0, 1, 0, 1})
+	for name, q := range map[string]core.QualityFunc{
+		"negSSE":     NegSSEQuality(),
+		"silhouette": SilhouetteQuality(),
+	} {
+		if q(pts, good) <= q(pts, bad) {
+			t.Errorf("%s: good clustering should score higher", name)
+		}
+	}
+}
+
+func TestDissimilarityFunctions(t *testing.T) {
+	a := core.NewClustering([]int{0, 0, 1, 1})
+	same := core.NewClustering([]int{1, 1, 0, 0})
+	indep := core.NewClustering([]int{0, 1, 0, 1})
+	for name, d := range map[string]core.DissimilarityFunc{
+		"rand": RandDissimilarity(),
+		"vi":   VIDissimilarity(),
+		"nmi":  NMIDissimilarity(),
+	} {
+		if v := d(a, same); math.Abs(v) > 1e-9 {
+			t.Errorf("%s: identical partitions scored %v", name, v)
+		}
+		if d(a, indep) <= 0 {
+			t.Errorf("%s: independent partitions should be dissimilar", name)
+		}
+		// Symmetry.
+		if math.Abs(d(a, indep)-d(indep, a)) > 1e-12 {
+			t.Errorf("%s not symmetric", name)
+		}
+	}
+}
+
+func TestADCODissimilarityFunc(t *testing.T) {
+	ds, hor, ver := dataset.FourBlobToy(1, 20)
+	d := ADCODissimilarity(ds.Points, 5)
+	a := core.NewClustering(hor)
+	b := core.NewClustering(ver)
+	if d(a, a) > 1e-9 {
+		t.Error("ADCO(a,a) should be 0")
+	}
+	if d(a, b) < 0.2 {
+		t.Errorf("ADCO of orthogonal views = %v", d(a, b))
+	}
+	// Degenerate clustering: the bound function returns 0 instead of error.
+	noise := core.NewClustering(make([]int, 0))
+	bad := ADCODissimilarity(nil, 5)
+	if bad(noise, noise) != 0 {
+		t.Error("error path should return 0")
+	}
+}
+
+func TestEvaluateSolutionSet(t *testing.T) {
+	ds, hor, ver := dataset.FourBlobToy(2, 15)
+	sols := []*core.Clustering{core.NewClustering(hor), core.NewClustering(ver)}
+	q, diss := EvaluateSolutionSet(ds.Points, sols, SilhouetteQuality(), RandDissimilarity())
+	if q <= 0 {
+		t.Errorf("combined quality = %v", q)
+	}
+	if diss <= 0.3 {
+		t.Errorf("combined dissimilarity = %v", diss)
+	}
+	// A redundant solution set has near-zero dissimilarity.
+	dup := []*core.Clustering{core.NewClustering(hor), core.NewClustering(hor)}
+	_, dupDiss := EvaluateSolutionSet(ds.Points, dup, SilhouetteQuality(), RandDissimilarity())
+	if dupDiss > 1e-9 {
+		t.Errorf("duplicate solutions dissimilarity = %v", dupDiss)
+	}
+}

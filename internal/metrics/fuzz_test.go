@@ -1,0 +1,58 @@
+package metrics
+
+import "testing"
+
+// FuzzComparisonMeasures drives the pair-counting and information-theoretic
+// comparison measures with arbitrary labelings and asserts their ranges and
+// symmetry, whatever the input.
+func FuzzComparisonMeasures(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1}, []byte{1, 1, 0, 0})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{255}, []byte{0})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		n := len(rawA)
+		if len(rawB) < n {
+			n = len(rawB)
+		}
+		if n > 64 {
+			n = 64
+		}
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = int(rawA[i]%5) - 1 // includes Noise
+			b[i] = int(rawB[i]%5) - 1
+		}
+		ri := RandIndex(a, b)
+		if ri < 0 || ri > 1 {
+			t.Fatalf("Rand out of range: %v", ri)
+		}
+		if ri != RandIndex(b, a) {
+			t.Fatal("Rand not symmetric")
+		}
+		ari := AdjustedRand(a, b)
+		if ari > 1+1e-9 {
+			t.Fatalf("ARI above 1: %v", ari)
+		}
+		nmi := NMI(a, b)
+		if nmi < 0 || nmi > 1+1e-9 {
+			t.Fatalf("NMI out of range: %v", nmi)
+		}
+		vi := VariationOfInformation(a, b)
+		if vi < 0 {
+			t.Fatalf("VI negative: %v", vi)
+		}
+		j := JaccardIndex(a, b)
+		if j < 0 || j > 1 {
+			t.Fatalf("Jaccard out of range: %v", j)
+		}
+		p := Purity(a, b)
+		if p < 0 || p > 1 {
+			t.Fatalf("Purity out of range: %v", p)
+		}
+		f1 := PairF1(a, b)
+		if f1 < 0 || f1 > 1+1e-9 {
+			t.Fatalf("PairF1 out of range: %v", f1)
+		}
+	})
+}

@@ -1,0 +1,355 @@
+// Package metrics implements the clustering comparison and quality measures
+// the tutorial leans on: pair-counting indices (Rand, Adjusted Rand,
+// Jaccard, pairwise F1), information-theoretic measures (NMI, variation of
+// information, conditional entropy), purity, SSE/silhouette quality scores,
+// and a best-match F1 for subspace clusterings. Comparison measures are the
+// Diss functions of the abstract problem definition (slide 27); quality
+// measures are the Q functions.
+package metrics
+
+import (
+	"math"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dist"
+	"multiclust/internal/stats"
+)
+
+// PairCounts holds the four pair-counting cells for two labelings:
+// a = pairs together in both, b = together in A only, c = together in B
+// only, d = separated in both. Pairs involving noise objects are skipped.
+type PairCounts struct{ A, B, C, D float64 }
+
+// CountPairs tallies object pairs for two labelings of equal length.
+func CountPairs(x, y []int) PairCounts {
+	var pc PairCounts
+	n := len(x)
+	for i := 0; i < n; i++ {
+		if x[i] < 0 || y[i] < 0 {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if x[j] < 0 || y[j] < 0 {
+				continue
+			}
+			sx := x[i] == x[j]
+			sy := y[i] == y[j]
+			switch {
+			case sx && sy:
+				pc.A++
+			case sx && !sy:
+				pc.B++
+			case !sx && sy:
+				pc.C++
+			default:
+				pc.D++
+			}
+		}
+	}
+	return pc
+}
+
+// RandIndex returns (a+d)/(a+b+c+d) in [0,1]; 1 means identical partitions.
+// This is the dissimilarity base used by meta clustering (slide 29).
+func RandIndex(x, y []int) float64 {
+	pc := CountPairs(x, y)
+	tot := pc.A + pc.B + pc.C + pc.D
+	if tot == 0 {
+		return 1
+	}
+	return (pc.A + pc.D) / tot
+}
+
+// AdjustedRand returns the Hubert–Arabie adjusted Rand index, which is 0 in
+// expectation for independent partitions and 1 for identical ones.
+func AdjustedRand(x, y []int) float64 {
+	ct := stats.NewContingencyTable(x, y)
+	var sumComb, sumRow, sumCol float64
+	for _, row := range ct.Counts {
+		for _, nij := range row {
+			sumComb += comb2(nij)
+		}
+	}
+	for _, r := range ct.RowSums {
+		sumRow += comb2(r)
+	}
+	for _, c := range ct.ColSums {
+		sumCol += comb2(c)
+	}
+	total := comb2(ct.Total)
+	if total == 0 {
+		return 1
+	}
+	expected := sumRow * sumCol / total
+	maxIdx := 0.5 * (sumRow + sumCol)
+	if maxIdx == expected {
+		return 1 // both partitions trivial
+	}
+	return (sumComb - expected) / (maxIdx - expected)
+}
+
+func comb2(n float64) float64 { return n * (n - 1) / 2 }
+
+// JaccardIndex returns a/(a+b+c), ignoring jointly-separated pairs.
+func JaccardIndex(x, y []int) float64 {
+	pc := CountPairs(x, y)
+	den := pc.A + pc.B + pc.C
+	if den == 0 {
+		return 1
+	}
+	return pc.A / den
+}
+
+// PairF1 treats "pair clustered together" as a retrieval task with x as
+// truth: precision a/(a+c), recall a/(a+b), and returns their harmonic mean.
+func PairF1(truth, found []int) float64 {
+	pc := CountPairs(truth, found)
+	if pc.A == 0 {
+		return 0
+	}
+	prec := pc.A / (pc.A + pc.C)
+	rec := pc.A / (pc.A + pc.B)
+	return 2 * prec * rec / (prec + rec)
+}
+
+// NMI returns the normalized mutual information of two labelings, in [0,1].
+func NMI(x, y []int) float64 {
+	return stats.NMI(stats.NewContingencyTable(x, y))
+}
+
+// VariationOfInformation returns VI(x,y) = H(x|y) + H(y|x) in nats; 0 means
+// identical partitions and larger means more different. VI is a true metric
+// on partitions, making it a principled Diss function.
+func VariationOfInformation(x, y []int) float64 {
+	ct := stats.NewContingencyTable(x, y)
+	hxy := ct.JointEntropy()
+	v := 2*hxy - ct.EntropyRow() - ct.EntropyCol()
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// ConditionalEntropy returns H(x|y) in nats.
+func ConditionalEntropy(x, y []int) float64 {
+	return stats.NewContingencyTable(x, y).ConditionalEntropyRowGivenCol()
+}
+
+// MutualInformation returns I(x;y) in nats.
+func MutualInformation(x, y []int) float64 {
+	return stats.NewContingencyTable(x, y).MutualInformation()
+}
+
+// Purity returns the weighted fraction of objects in each found cluster that
+// belong to that cluster's majority truth class. Noise objects in found are
+// excluded.
+func Purity(truth, found []int) float64 {
+	byCluster := map[int]map[int]int{}
+	total := 0
+	for i, f := range found {
+		if f < 0 || truth[i] < 0 {
+			continue
+		}
+		m, ok := byCluster[f]
+		if !ok {
+			m = map[int]int{}
+			byCluster[f] = m
+		}
+		m[truth[i]]++
+		total++
+	}
+	if total == 0 {
+		return 0
+	}
+	var correct int
+	for _, m := range byCluster {
+		best := 0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(total)
+}
+
+// SSE returns the sum of squared Euclidean distances of each clustered point
+// to its cluster mean — the canonical Q for centroid methods. Noise points
+// are ignored.
+func SSE(points [][]float64, c *core.Clustering) float64 {
+	clusters := c.Clusters()
+	var sse float64
+	for _, members := range clusters {
+		if len(members) == 0 {
+			continue
+		}
+		d := len(points[members[0]])
+		mean := make([]float64, d)
+		for _, o := range members {
+			for j, v := range points[o] {
+				mean[j] += v
+			}
+		}
+		for j := range mean {
+			mean[j] /= float64(len(members))
+		}
+		for _, o := range members {
+			sse += dist.SqEuclidean(points[o], mean)
+		}
+	}
+	return sse
+}
+
+// Silhouette returns the mean silhouette coefficient over clustered points,
+// in [-1, 1]; higher means tighter, better-separated clusters. Points in
+// singleton clusters contribute 0; noise points are skipped.
+func Silhouette(points [][]float64, c *core.Clustering) float64 {
+	clusters := c.Clusters()
+	if len(clusters) < 2 {
+		return 0
+	}
+	memberOf := make(map[int]int) // object -> cluster index in clusters
+	for ci, members := range clusters {
+		for _, o := range members {
+			memberOf[o] = ci
+		}
+	}
+	var sum float64
+	var count int
+	for o, ci := range memberOf {
+		own := clusters[ci]
+		if len(own) <= 1 {
+			count++
+			continue
+		}
+		var a float64
+		for _, p := range own {
+			if p != o {
+				a += dist.Euclidean(points[o], points[p])
+			}
+		}
+		a /= float64(len(own) - 1)
+		b := math.Inf(1)
+		for cj, other := range clusters {
+			if cj == ci {
+				continue
+			}
+			var s float64
+			for _, p := range other {
+				s += dist.Euclidean(points[o], points[p])
+			}
+			if avg := s / float64(len(other)); avg < b {
+				b = avg
+			}
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			sum += (b - a) / den
+		}
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// AverageWithinDistance returns the mean pairwise distance inside clusters —
+// COALA's dissimilarity-vs-quality experiments report this as cluster
+// quality (lower is tighter).
+func AverageWithinDistance(points [][]float64, c *core.Clustering, d dist.Func) float64 {
+	var sum float64
+	var count int
+	for _, members := range c.Clusters() {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				sum += d(points[members[i]], points[members[j]])
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// SubspaceF1 scores a found subspace clustering against ground truth with
+// best-match F1: each truth cluster is matched to the found cluster
+// maximizing object-set F1, and the matched F1 values are averaged. The
+// standard recall-oriented score of the subspace clustering evaluation study
+// (Müller et al. 2009b).
+func SubspaceF1(truth, found core.SubspaceClustering) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	var total float64
+	for _, tc := range truth {
+		best := 0.0
+		for _, fc := range found {
+			inter := float64(tc.SharedObjects(fc))
+			if inter == 0 {
+				continue
+			}
+			prec := inter / float64(fc.Size())
+			rec := inter / float64(tc.Size())
+			f1 := 2 * prec * rec / (prec + rec)
+			if f1 > best {
+				best = f1
+			}
+		}
+		total += best
+	}
+	return total / float64(len(truth))
+}
+
+// SubspaceDimPrecision measures how well the found clusters' dimension sets
+// match their best-matching truth clusters (Jaccard of dim sets averaged
+// over found clusters matched by objects).
+func SubspaceDimPrecision(truth, found core.SubspaceClustering) float64 {
+	if len(found) == 0 {
+		return 0
+	}
+	var total float64
+	for _, fc := range found {
+		bestObj := 0
+		var bestTruth *core.SubspaceCluster
+		for ti := range truth {
+			if inter := fc.SharedObjects(truth[ti]); inter > bestObj {
+				bestObj = inter
+				bestTruth = &truth[ti]
+			}
+		}
+		if bestTruth == nil {
+			continue
+		}
+		interDims := float64(fc.SharedDims(*bestTruth))
+		unionDims := float64(len(fc.Dims)+len(bestTruth.Dims)) - interDims
+		if unionDims > 0 {
+			total += interDims / unionDims
+		}
+	}
+	return total / float64(len(found))
+}
+
+// Redundancy measures the fraction of clusters in m that are near-duplicates
+// of an earlier cluster: object-set Jaccard above the threshold. The
+// redundancy pathology of slide 77 is exactly a high value here.
+func Redundancy(m core.SubspaceClustering, jaccardThreshold float64) float64 {
+	if len(m) <= 1 {
+		return 0
+	}
+	redundant := 0
+	for i := 1; i < len(m); i++ {
+		for j := 0; j < i; j++ {
+			inter := float64(m[i].SharedObjects(m[j]))
+			union := float64(m[i].Size()+m[j].Size()) - inter
+			if union > 0 && inter/union >= jaccardThreshold {
+				redundant++
+				break
+			}
+		}
+	}
+	return float64(redundant) / float64(len(m))
+}

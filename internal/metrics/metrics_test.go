@@ -1,0 +1,271 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multiclust/internal/core"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCountPairsKnown(t *testing.T) {
+	x := []int{0, 0, 1, 1}
+	y := []int{0, 1, 0, 1}
+	pc := CountPairs(x, y)
+	// 6 pairs total: none together in both, 2 together in x only (01, 23),
+	// 2 together in y only (02, 13), 2 separated in both (03, 12).
+	if pc.A != 0 || pc.B != 2 || pc.C != 2 || pc.D != 2 {
+		t.Errorf("pairs = %+v", pc)
+	}
+}
+
+func TestCountPairsSkipsNoise(t *testing.T) {
+	x := []int{0, 0, core.Noise}
+	y := []int{0, 0, 0}
+	pc := CountPairs(x, y)
+	if pc.A != 1 || pc.B+pc.C+pc.D != 0 {
+		t.Errorf("pairs with noise = %+v", pc)
+	}
+}
+
+func TestRandIndex(t *testing.T) {
+	x := []int{0, 0, 1, 1}
+	if RandIndex(x, x) != 1 {
+		t.Error("Rand(x,x) != 1")
+	}
+	y := []int{0, 1, 0, 1}
+	if got := RandIndex(x, y); !approxEq(got, 1.0/3, 1e-12) {
+		t.Errorf("Rand = %v, want 1/3", got)
+	}
+	// Relabeling does not change the index.
+	z := []int{5, 5, 2, 2}
+	if RandIndex(x, z) != 1 {
+		t.Error("Rand should be label-invariant")
+	}
+}
+
+func TestAdjustedRand(t *testing.T) {
+	x := []int{0, 0, 1, 1, 2, 2}
+	if got := AdjustedRand(x, x); !approxEq(got, 1, 1e-12) {
+		t.Errorf("ARI(x,x) = %v", got)
+	}
+	// Independent labelings hover around 0 (exact value dataset-specific,
+	// just check it is clearly below 0.5).
+	y := []int{0, 1, 2, 0, 1, 2}
+	if got := AdjustedRand(x, y); got > 0.5 {
+		t.Errorf("ARI(independent) = %v", got)
+	}
+	// Trivial partitions: both all-one-cluster.
+	ones := []int{0, 0, 0}
+	if got := AdjustedRand(ones, ones); got != 1 {
+		t.Errorf("ARI(trivial) = %v", got)
+	}
+}
+
+func TestJaccardAndF1(t *testing.T) {
+	x := []int{0, 0, 1, 1}
+	if JaccardIndex(x, x) != 1 {
+		t.Error("Jaccard(x,x) != 1")
+	}
+	y := []int{0, 1, 0, 1}
+	if got := JaccardIndex(x, y); got != 0 {
+		t.Errorf("Jaccard(disjoint pairs) = %v", got)
+	}
+	if got := PairF1(x, x); got != 1 {
+		t.Errorf("PairF1(x,x) = %v", got)
+	}
+	if got := PairF1(x, y); got != 0 {
+		t.Errorf("PairF1 disjoint = %v", got)
+	}
+	// Asymmetric case with partial overlap.
+	found := []int{0, 0, 0, 1}
+	got := PairF1(x, found)
+	if got <= 0 || got >= 1 {
+		t.Errorf("PairF1 partial = %v, want in (0,1)", got)
+	}
+}
+
+func TestNMIAndVI(t *testing.T) {
+	x := []int{0, 0, 1, 1}
+	if !approxEq(NMI(x, x), 1, 1e-12) {
+		t.Error("NMI(x,x) != 1")
+	}
+	y := []int{0, 1, 0, 1}
+	if !approxEq(NMI(x, y), 0, 1e-12) {
+		t.Error("NMI(independent) != 0")
+	}
+	if !approxEq(VariationOfInformation(x, x), 0, 1e-12) {
+		t.Error("VI(x,x) != 0")
+	}
+	// VI of independent binary splits: H(x|y)+H(y|x) = 2 ln 2.
+	if got := VariationOfInformation(x, y); !approxEq(got, 2*math.Ln2, 1e-12) {
+		t.Errorf("VI = %v, want 2ln2", got)
+	}
+	if got := MutualInformation(x, y); !approxEq(got, 0, 1e-12) {
+		t.Errorf("MI = %v", got)
+	}
+	if got := ConditionalEntropy(x, y); !approxEq(got, math.Ln2, 1e-12) {
+		t.Errorf("H(x|y) = %v, want ln2", got)
+	}
+}
+
+// Property: VI is symmetric and satisfies the triangle inequality.
+func TestQuickVIMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(20)
+		x := make([]int, n)
+		y := make([]int, n)
+		z := make([]int, n)
+		for i := 0; i < n; i++ {
+			x[i], y[i], z[i] = r.Intn(3), r.Intn(3), r.Intn(3)
+		}
+		if !approxEq(VariationOfInformation(x, y), VariationOfInformation(y, x), 1e-9) {
+			return false
+		}
+		return VariationOfInformation(x, z) <= VariationOfInformation(x, y)+VariationOfInformation(y, z)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Rand and ARI are symmetric; Rand within [0,1], ARI <= 1.
+func TestQuickIndexRanges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(20)
+		x := make([]int, n)
+		y := make([]int, n)
+		for i := 0; i < n; i++ {
+			x[i], y[i] = r.Intn(4), r.Intn(4)
+		}
+		ri := RandIndex(x, y)
+		if ri < 0 || ri > 1 {
+			return false
+		}
+		if !approxEq(ri, RandIndex(y, x), 1e-12) {
+			return false
+		}
+		ari := AdjustedRand(x, y)
+		if ari > 1+1e-12 {
+			return false
+		}
+		return approxEq(ari, AdjustedRand(y, x), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	if got := Purity(truth, truth); got != 1 {
+		t.Errorf("Purity(t,t) = %v", got)
+	}
+	found := []int{0, 0, 0, 0}
+	if got := Purity(truth, found); got != 0.5 {
+		t.Errorf("Purity(all-one) = %v, want 0.5", got)
+	}
+	if got := Purity(truth, []int{core.Noise, core.Noise, core.Noise, core.Noise}); got != 0 {
+		t.Errorf("Purity(all noise) = %v", got)
+	}
+}
+
+func TestSSEAndSilhouette(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0, 1}, {10, 0}, {10, 1}}
+	good := core.NewClustering([]int{0, 0, 1, 1})
+	bad := core.NewClustering([]int{0, 1, 0, 1})
+	if SSE(pts, good) >= SSE(pts, bad) {
+		t.Error("good clustering should have lower SSE")
+	}
+	sg := Silhouette(pts, good)
+	sb := Silhouette(pts, bad)
+	if sg <= sb {
+		t.Errorf("silhouette good=%v <= bad=%v", sg, sb)
+	}
+	if sg < 0.8 {
+		t.Errorf("silhouette of ideal split = %v", sg)
+	}
+	if got := Silhouette(pts, core.NewClustering([]int{0, 0, 0, 0})); got != 0 {
+		t.Errorf("silhouette of single cluster = %v, want 0", got)
+	}
+}
+
+func TestAverageWithinDistance(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}, {11}}
+	tight := core.NewClustering([]int{0, 0, 1, 1})
+	loose := core.NewClustering([]int{0, 1, 0, 1})
+	dt := AverageWithinDistance(pts, tight, func(a, b []float64) float64 { return math.Abs(a[0] - b[0]) })
+	dl := AverageWithinDistance(pts, loose, func(a, b []float64) float64 { return math.Abs(a[0] - b[0]) })
+	if dt != 1 {
+		t.Errorf("tight avg = %v, want 1", dt)
+	}
+	if dl != 10 {
+		t.Errorf("loose avg = %v, want 10", dl)
+	}
+	empty := core.NewClustering([]int{core.Noise})
+	if got := AverageWithinDistance([][]float64{{0}}, empty, nil); got != 0 {
+		t.Errorf("empty avg = %v", got)
+	}
+}
+
+func TestSubspaceF1(t *testing.T) {
+	truth := core.SubspaceClustering{
+		core.NewSubspaceCluster([]int{0, 1, 2, 3}, []int{0, 1}),
+		core.NewSubspaceCluster([]int{4, 5, 6, 7}, []int{2, 3}),
+	}
+	if got := SubspaceF1(truth, truth); !approxEq(got, 1, 1e-12) {
+		t.Errorf("SubspaceF1 self = %v", got)
+	}
+	// Half-overlapping found clusters.
+	found := core.SubspaceClustering{
+		core.NewSubspaceCluster([]int{0, 1}, []int{0, 1}),
+	}
+	got := SubspaceF1(truth, found)
+	if got <= 0 || got >= 1 {
+		t.Errorf("SubspaceF1 partial = %v", got)
+	}
+	if SubspaceF1(nil, found) != 0 {
+		t.Error("empty truth should score 0")
+	}
+	if SubspaceF1(truth, nil) != 0 {
+		t.Error("empty found should score 0")
+	}
+}
+
+func TestSubspaceDimPrecision(t *testing.T) {
+	truth := core.SubspaceClustering{
+		core.NewSubspaceCluster([]int{0, 1, 2}, []int{0, 1}),
+	}
+	exact := core.SubspaceClustering{
+		core.NewSubspaceCluster([]int{0, 1, 2}, []int{0, 1}),
+	}
+	if got := SubspaceDimPrecision(truth, exact); !approxEq(got, 1, 1e-12) {
+		t.Errorf("dim precision exact = %v", got)
+	}
+	wrongDims := core.SubspaceClustering{
+		core.NewSubspaceCluster([]int{0, 1, 2}, []int{3, 4}),
+	}
+	if got := SubspaceDimPrecision(truth, wrongDims); got != 0 {
+		t.Errorf("dim precision disjoint = %v", got)
+	}
+	if SubspaceDimPrecision(truth, nil) != 0 {
+		t.Error("empty found should score 0")
+	}
+}
+
+func TestRedundancy(t *testing.T) {
+	a := core.NewSubspaceCluster([]int{0, 1, 2, 3}, []int{0})
+	aDup := core.NewSubspaceCluster([]int{0, 1, 2, 3}, []int{0, 1})
+	b := core.NewSubspaceCluster([]int{10, 11, 12}, []int{2})
+	if got := Redundancy(core.SubspaceClustering{a, aDup, b}, 0.9); !approxEq(got, 1.0/3, 1e-12) {
+		t.Errorf("Redundancy = %v, want 1/3", got)
+	}
+	if Redundancy(core.SubspaceClustering{a}, 0.9) != 0 {
+		t.Error("single cluster cannot be redundant")
+	}
+}

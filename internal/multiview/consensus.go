@@ -1,0 +1,224 @@
+package multiview
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dist"
+	"multiclust/internal/em"
+	"multiclust/internal/hierarchical"
+	"multiclust/internal/linalg"
+	"multiclust/internal/metrics"
+)
+
+// ConsensusConfig controls the similarity-based consensus step.
+type ConsensusConfig struct {
+	K int // clusters in the consensus solution
+}
+
+// ConsensusFromCoAssociation merges a set of soft co-association entries
+// into one clustering: the n×n matrix sim (entries in [0,1], 1 = always
+// together) is converted to a distance and cut with average-link
+// agglomeration — the cluster-ensemble step used by Fern & Brodley (2003)
+// and CSPA (Strehl & Ghosh 2002).
+func ConsensusFromCoAssociation(sim *linalg.Matrix, cfg ConsensusConfig) (*core.Clustering, error) {
+	if sim.Rows != sim.Cols || sim.Rows == 0 {
+		return nil, errors.New("multiview: similarity matrix must be square and non-empty")
+	}
+	n := sim.Rows
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("multiview: invalid consensus K=%d", cfg.K)
+	}
+	ids := make([][]float64, n)
+	for i := range ids {
+		ids[i] = []float64{float64(i)}
+	}
+	d := dist.Func(func(a, b []float64) float64 {
+		return 1 - sim.At(int(a[0]), int(b[0]))
+	})
+	dg, err := hierarchical.Run(ids, d, hierarchical.AverageLink)
+	if err != nil {
+		return nil, err
+	}
+	return dg.Cut(cfg.K)
+}
+
+// CoAssociationFromLabelings builds the co-association similarity from hard
+// labelings: sim_ij = fraction of labelings putting i and j in the same
+// cluster (noise assignments never co-associate).
+func CoAssociationFromLabelings(labelings [][]int) (*linalg.Matrix, error) {
+	if len(labelings) == 0 {
+		return nil, errors.New("multiview: no labelings")
+	}
+	n := len(labelings[0])
+	for _, l := range labelings {
+		if len(l) != n {
+			return nil, ErrViewMismatch
+		}
+	}
+	sim := linalg.NewMatrix(n, n)
+	for _, l := range labelings {
+		for i := 0; i < n; i++ {
+			if l[i] < 0 {
+				continue
+			}
+			for j := i; j < n; j++ {
+				if l[j] == l[i] {
+					sim.Data[i*n+j]++
+					sim.Data[j*n+i] = sim.Data[i*n+j]
+				}
+			}
+		}
+	}
+	inv := 1 / float64(len(labelings))
+	for i := range sim.Data {
+		sim.Data[i] *= inv
+	}
+	// The loop above double-scales the diagonal; normalize it to exactly 1.
+	for i := 0; i < n; i++ {
+		sim.Set(i, i, 1)
+	}
+	return sim, nil
+}
+
+// CSPA runs the cluster-based similarity partitioning consensus of Strehl &
+// Ghosh (2002) over hard labelings.
+func CSPA(labelings [][]int, cfg ConsensusConfig) (*core.Clustering, error) {
+	sim, err := CoAssociationFromLabelings(labelings)
+	if err != nil {
+		return nil, err
+	}
+	return ConsensusFromCoAssociation(sim, cfg)
+}
+
+// SharedNMI is the ensemble objective of Strehl & Ghosh: the average
+// normalized mutual information between a candidate consensus and the input
+// labelings. The best consensus maximizes it.
+func SharedNMI(consensus []int, labelings [][]int) float64 {
+	if len(labelings) == 0 {
+		return 0
+	}
+	var s float64
+	for _, l := range labelings {
+		s += metrics.NMI(consensus, l)
+	}
+	return s / float64(len(labelings))
+}
+
+// RandomProjectionEnsembleConfig controls the Fern & Brodley pipeline.
+type RandomProjectionEnsembleConfig struct {
+	K         int // clusters per run and in the consensus
+	Runs      int // ensemble size, default 10
+	TargetDim int // projected dimensionality, default 2
+	Seed      int64
+}
+
+// RandomProjectionEnsembleResult keeps the per-run clusterings alongside the
+// consensus so the diversity-vs-consensus figure can be regenerated.
+type RandomProjectionEnsembleResult struct {
+	Consensus  *core.Clustering
+	Runs       []*core.Clustering
+	Similarity *linalg.Matrix
+}
+
+// RandomProjectionEnsemble implements Fern & Brodley (2003, slides 108–110):
+// project the data onto Runs random subspaces, soft-cluster each projection
+// with EM, aggregate the probabilistic co-association matrix
+//
+//	P_ij = (1/Runs) * sum_t sum_l post_t[i][l] * post_t[j][l]
+//
+// and extract the consensus clustering from it. A single random projection
+// is unstable; the ensemble's aggregated similarity is not.
+func RandomProjectionEnsemble(points [][]float64, cfg RandomProjectionEnsembleConfig) (*RandomProjectionEnsembleResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("multiview: invalid K=%d", cfg.K)
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 10
+	}
+	d := len(points[0])
+	if cfg.TargetDim <= 0 {
+		cfg.TargetDim = 2
+	}
+	if cfg.TargetDim > d {
+		cfg.TargetDim = d
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// The runs are independent; execute them concurrently with seeds drawn
+	// up front and reduce in run order so the result stays deterministic.
+	type runOut struct {
+		clustering *core.Clustering
+		posterior  [][]float64
+		err        error
+	}
+	seeds := make([][2]int64, cfg.Runs)
+	for t := range seeds {
+		seeds[t] = [2]int64{rng.Int63(), rng.Int63()} // projection seed, EM seed
+	}
+	outs := make([]runOut, cfg.Runs)
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Runs; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			prng := rand.New(rand.NewSource(seeds[t][0]))
+			proj := linalg.NewMatrix(cfg.TargetDim, d)
+			for i := range proj.Data {
+				proj.Data[i] = prng.NormFloat64()
+			}
+			projected := make([][]float64, n)
+			for i, p := range points {
+				projected[i] = proj.MulVec(p)
+			}
+			fit, err := em.Fit(projected, em.Config{K: cfg.K, Seed: seeds[t][1], MaxIter: 60})
+			if err != nil {
+				outs[t].err = err
+				return
+			}
+			outs[t].clustering = fit.Clustering
+			outs[t].posterior = fit.Posterior
+		}(t)
+	}
+	wg.Wait()
+
+	sim := linalg.NewMatrix(n, n)
+	res := &RandomProjectionEnsembleResult{}
+	for t := 0; t < cfg.Runs; t++ {
+		if outs[t].err != nil {
+			return nil, outs[t].err
+		}
+		res.Runs = append(res.Runs, outs[t].clustering)
+		post := outs[t].posterior
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				var p float64
+				for l := 0; l < cfg.K; l++ {
+					p += post[i][l] * post[j][l]
+				}
+				sim.Data[i*n+j] += p
+				if i != j {
+					sim.Data[j*n+i] += p
+				}
+			}
+		}
+	}
+	inv := 1 / float64(cfg.Runs)
+	for i := range sim.Data {
+		sim.Data[i] *= inv
+	}
+	res.Similarity = sim
+	consensus, err := ConsensusFromCoAssociation(sim, ConsensusConfig{K: cfg.K})
+	if err != nil {
+		return nil, err
+	}
+	res.Consensus = consensus
+	return res, nil
+}

@@ -1,0 +1,128 @@
+package multiview
+
+import (
+	"errors"
+	"math"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dbscan"
+	"multiclust/internal/dist"
+)
+
+// DistributedDBSCANConfig controls the scalable distributed clustering.
+type DistributedDBSCANConfig struct {
+	Eps        float64
+	MinPts     int
+	Partitions int // number of local sites, default 4
+	// RepsPerCluster caps the representatives each local cluster ships to
+	// the central site, default 4.
+	RepsPerCluster int
+}
+
+// DistributedDBSCANResult carries the global clustering plus the
+// distributed bookkeeping.
+type DistributedDBSCANResult struct {
+	Clustering      *core.Clustering
+	Representatives []int // global indices of the shipped representatives
+	LocalClusters   int   // clusters found across the local sites
+}
+
+// DistributedDBSCAN implements scalable density-based distributed
+// clustering in the style of Januzaj, Kriegel & Pfeifle (2004, tutorial
+// slide 100): the database is split across Partitions sites, each site runs
+// DBSCAN locally and ships a few representatives per local cluster to the
+// central site, which clusters the representatives (with a widened radius,
+// as in the paper) and broadcasts the merged labeling; every object adopts
+// the global label of its nearest representative. Noise objects stay noise.
+func DistributedDBSCAN(points [][]float64, cfg DistributedDBSCANConfig) (*DistributedDBSCANResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.Eps <= 0 || cfg.MinPts <= 0 {
+		return nil, errors.New("multiview: Eps and MinPts must be positive")
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 4
+	}
+	if cfg.Partitions > n {
+		cfg.Partitions = n
+	}
+	if cfg.RepsPerCluster <= 0 {
+		cfg.RepsPerCluster = 4
+	}
+
+	res := &DistributedDBSCANResult{}
+	// Round-robin partitioning (site p owns objects i with i % P == p),
+	// standing in for the horizontally split databases of the paper.
+	for p := 0; p < cfg.Partitions; p++ {
+		var local []int
+		for i := p; i < n; i += cfg.Partitions {
+			local = append(local, i)
+		}
+		if len(local) == 0 {
+			continue
+		}
+		sub := make([][]float64, len(local))
+		for li, o := range local {
+			sub[li] = points[o]
+		}
+		c, err := dbscan.Run(sub, dist.Euclidean, dbscan.Config{Eps: cfg.Eps, MinPts: cfg.MinPts})
+		if err != nil {
+			return nil, err
+		}
+		for _, members := range c.Clusters() {
+			res.LocalClusters++
+			// Representatives: spread members evenly (first, then strided).
+			stride := len(members) / cfg.RepsPerCluster
+			if stride < 1 {
+				stride = 1
+			}
+			taken := 0
+			for mi := 0; mi < len(members) && taken < cfg.RepsPerCluster; mi += stride {
+				res.Representatives = append(res.Representatives, local[members[mi]])
+				taken++
+			}
+		}
+	}
+	if len(res.Representatives) == 0 {
+		// No local structure anywhere: everything is noise.
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = core.Noise
+		}
+		res.Clustering = core.NewClustering(labels)
+		return res, nil
+	}
+
+	// Central site: cluster the representatives with a widened radius (the
+	// paper uses 2*eps to bridge partition-induced gaps).
+	repPoints := make([][]float64, len(res.Representatives))
+	for ri, o := range res.Representatives {
+		repPoints[ri] = points[o]
+	}
+	central, err := dbscan.Run(repPoints, dist.Euclidean, dbscan.Config{Eps: 2 * cfg.Eps, MinPts: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	// Broadcast: each object adopts the global label of its nearest
+	// representative when that representative is within eps-reach of it;
+	// otherwise it stays noise.
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		bestRep, bestD := -1, math.Inf(1)
+		for ri := range repPoints {
+			if d := dist.Euclidean(points[i], repPoints[ri]); d < bestD {
+				bestRep, bestD = ri, d
+			}
+		}
+		if bestRep >= 0 && bestD <= 2*cfg.Eps {
+			labels[i] = central.Labels[bestRep]
+		} else {
+			labels[i] = core.Noise
+		}
+	}
+	res.Clustering = core.NewClustering(labels)
+	return res, nil
+}

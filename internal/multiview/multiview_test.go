@@ -1,0 +1,326 @@
+package multiview
+
+import (
+	"testing"
+
+	"multiclust/internal/dataset"
+	"multiclust/internal/em"
+	"multiclust/internal/metrics"
+)
+
+func TestCoEMRecoversSharedStructure(t *testing.T) {
+	a, b, labels := dataset.TwoSourceViews(1, 240, 3, 2, 2, 0.4, 0)
+	res, err := CoEM(a.Points, b.Points, CoEMConfig{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari := metrics.AdjustedRand(labels, res.Clustering.Labels); ari < 0.9 {
+		t.Errorf("co-EM consensus ARI = %v", ari)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no history")
+	}
+	// Agreement between the views should end high.
+	last := res.History[len(res.History)-1]
+	if last.Agreement < 0.9 {
+		t.Errorf("final agreement = %v", last.Agreement)
+	}
+}
+
+func TestCoEMMultiViewInitBeatsColdSingleView(t *testing.T) {
+	// Slide 104's claim: refining a single view from the co-EM final
+	// parameters reaches at least the likelihood of a cold single-view EM.
+	a, b, _ := dataset.TwoSourceViews(2, 200, 3, 2, 2, 0.5, 0)
+	co, err := CoEM(a.Points, b.Points, CoEMConfig{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := em.FitFrom(a.Points, co.ModelA.Clone(), em.Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := em.Fit(a.Points, em.Config{K: 3, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.LogLik < cold.LogLik-1.0 {
+		t.Errorf("warm start from co-EM should not be much worse: warm=%v cold=%v", warm.LogLik, cold.LogLik)
+	}
+}
+
+func TestCoEMErrors(t *testing.T) {
+	if _, err := CoEM(nil, nil, CoEMConfig{K: 2}); err == nil {
+		t.Error("empty data should fail")
+	}
+	a := [][]float64{{0}, {1}}
+	b := [][]float64{{0}}
+	if _, err := CoEM(a, b, CoEMConfig{K: 2}); err == nil {
+		t.Error("mismatched views should fail")
+	}
+	if _, err := CoEM(a, a, CoEMConfig{K: 0}); err == nil {
+		t.Error("K=0 should fail")
+	}
+}
+
+func TestMVDBSCANUnionHelpsSparseViews(t *testing.T) {
+	// Two sparse views: each view only separates part of the structure
+	// (half the objects are junk in each view, complementary halves).
+	n := 200
+	a, b, labels := dataset.TwoSourceViews(3, n, 2, 2, 2, 0.3, 0)
+	// Sparsify: the first 40% of objects are junk in view A, the last 40%
+	// junk in view B; the middle 20% stay good in both views and bridge the
+	// halves. Junk points are isolated (spacing 10 >> eps).
+	for i := 0; i < 2*n/5; i++ {
+		a.Points[i][0] += 1000 + 10*float64(i)
+	}
+	for i := 3 * n / 5; i < n; i++ {
+		b.Points[i][0] += 1000 + 10*float64(i)
+	}
+	views := [][][]float64{a.Points, b.Points}
+	union, err := MVDBSCAN(views, MVDBSCANConfig{Eps: []float64{1.2, 1.2}, MinPts: 4, Mode: Union})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uARI := metrics.AdjustedRand(labels, union.Labels)
+	if uARI < 0.8 {
+		t.Errorf("union ARI = %v", uARI)
+	}
+	inter, err := MVDBSCAN(views, MVDBSCANConfig{Eps: []float64{1.2, 1.2}, MinPts: 4, Mode: Intersection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intersection on sparse views drowns: most objects become noise.
+	if inter.NoiseCount() <= union.NoiseCount() {
+		t.Errorf("intersection should have more noise on sparse views: %d vs %d",
+			inter.NoiseCount(), union.NoiseCount())
+	}
+}
+
+func TestMVDBSCANIntersectionHelpsUnreliableViews(t *testing.T) {
+	// View B unreliable for 30% of objects: intersection keeps clusters pure.
+	a, b, labels := dataset.TwoSourceViews(4, 200, 2, 2, 2, 0.3, 0.3)
+	views := [][][]float64{a.Points, b.Points}
+	inter, err := MVDBSCAN(views, MVDBSCANConfig{Eps: []float64{1.2, 1.2}, MinPts: 4, Mode: Intersection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Purity of non-noise assignments must be high.
+	if p := metrics.Purity(labels, inter.Labels); p < 0.95 {
+		t.Errorf("intersection purity = %v", p)
+	}
+}
+
+func TestMVDBSCANErrors(t *testing.T) {
+	if _, err := MVDBSCAN(nil, MVDBSCANConfig{}); err == nil {
+		t.Error("no views should fail")
+	}
+	v := [][][]float64{{{0}}, {{0}, {1}}}
+	if _, err := MVDBSCAN(v, MVDBSCANConfig{Eps: []float64{1, 1}, MinPts: 1}); err == nil {
+		t.Error("mismatched views should fail")
+	}
+	v2 := [][][]float64{{{0}, {1}}}
+	if _, err := MVDBSCAN(v2, MVDBSCANConfig{Eps: []float64{1, 1}, MinPts: 1}); err == nil {
+		t.Error("eps count mismatch should fail")
+	}
+	if _, err := MVDBSCAN(v2, MVDBSCANConfig{Eps: []float64{0}, MinPts: 1}); err == nil {
+		t.Error("eps=0 should fail")
+	}
+	if _, err := MVDBSCAN(v2, MVDBSCANConfig{Eps: []float64{1}, MinPts: 0}); err == nil {
+		t.Error("minPts=0 should fail")
+	}
+}
+
+func TestCoAssociationAndCSPA(t *testing.T) {
+	l1 := []int{0, 0, 1, 1}
+	l2 := []int{1, 1, 0, 0} // same partition, different labels
+	sim, err := CoAssociationFromLabelings([][]int{l1, l2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.At(0, 1) != 1 || sim.At(0, 2) != 0 || sim.At(0, 0) != 1 {
+		t.Errorf("co-association wrong: %v", sim)
+	}
+	c, err := CSPA([][]int{l1, l2}, ConsensusConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari := metrics.AdjustedRand(l1, c.Labels); ari != 1 {
+		t.Errorf("CSPA consensus ARI = %v", ari)
+	}
+}
+
+func TestCSPAMajority(t *testing.T) {
+	// Two agreeing labelings and one disagreeing: consensus follows the
+	// majority.
+	maj := []int{0, 0, 0, 1, 1, 1}
+	odd := []int{0, 1, 0, 1, 0, 1}
+	c, err := CSPA([][]int{maj, maj, odd}, ConsensusConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari := metrics.AdjustedRand(maj, c.Labels); ari != 1 {
+		t.Errorf("majority consensus ARI = %v", ari)
+	}
+	if s := SharedNMI(c.Labels, [][]int{maj, maj, odd}); s < 0.6 {
+		t.Errorf("SharedNMI = %v", s)
+	}
+}
+
+func TestConsensusErrors(t *testing.T) {
+	if _, err := CoAssociationFromLabelings(nil); err == nil {
+		t.Error("no labelings should fail")
+	}
+	if _, err := CoAssociationFromLabelings([][]int{{0}, {0, 1}}); err == nil {
+		t.Error("ragged labelings should fail")
+	}
+	if _, err := CSPA([][]int{{0, 1}}, ConsensusConfig{K: 5}); err == nil {
+		t.Error("K>n should fail")
+	}
+}
+
+func TestRandomProjectionEnsemble(t *testing.T) {
+	ds, truth := dataset.GaussianBlobs(5, 150, [][]float64{
+		{0, 0, 0, 0, 0, 0, 0, 0},
+		{6, 6, 6, 6, 6, 6, 6, 6},
+		{0, 6, 0, 6, 0, 6, 0, 6},
+	}, 0.8)
+	res, err := RandomProjectionEnsemble(ds.Points, RandomProjectionEnsembleConfig{K: 3, Runs: 12, TargetDim: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consensusARI := metrics.AdjustedRand(truth, res.Consensus.Labels)
+	if consensusARI < 0.9 {
+		t.Errorf("consensus ARI = %v", consensusARI)
+	}
+	// The consensus should beat the WORST individual run (single random
+	// projections are unstable, slide 110).
+	worst := 1.0
+	for _, r := range res.Runs {
+		if a := metrics.AdjustedRand(truth, r.Labels); a < worst {
+			worst = a
+		}
+	}
+	if consensusARI < worst {
+		t.Errorf("consensus %v worse than worst individual %v", consensusARI, worst)
+	}
+	if res.Similarity == nil || res.Similarity.Rows != 150 {
+		t.Error("similarity matrix missing")
+	}
+}
+
+func TestRandomProjectionEnsembleErrors(t *testing.T) {
+	if _, err := RandomProjectionEnsemble(nil, RandomProjectionEnsembleConfig{K: 2}); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := RandomProjectionEnsemble([][]float64{{0}}, RandomProjectionEnsembleConfig{K: 0}); err == nil {
+		t.Error("K=0 should fail")
+	}
+}
+
+func TestHSIC(t *testing.T) {
+	// Dependent: y = x. Independent: y decorrelated from x.
+	n := 60
+	x := make([][]float64, n)
+	same := make([][]float64, n)
+	indep := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v := float64(i%10) - 4.5
+		x[i] = []float64{v}
+		same[i] = []float64{2 * v}
+		indep[i] = []float64{float64((i*7)%10) - 4.5}
+	}
+	hSame, err := HSIC(x, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hIndep, err := HSIC(x, indep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hSame <= hIndep {
+		t.Errorf("HSIC(dependent)=%v should exceed HSIC(independent)=%v", hSame, hIndep)
+	}
+	if _, err := HSIC(x, x[:10]); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+}
+
+func TestMSCExtractsIndependentViews(t *testing.T) {
+	ds, labelings, viewDims := dataset.MultiViewGaussians(7, 150, []dataset.ViewSpec{
+		{Dims: 2, K: 2, Sep: 6, Sigma: 0.4},
+		{Dims: 2, K: 2, Sep: 6, Sigma: 0.4},
+	})
+	views, err := MSC(ds.Points, MSCConfig{K: 2, Views: 2, DimsPer: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 {
+		t.Fatalf("views = %d", len(views))
+	}
+	// Each extracted view should match one ground-truth view's labeling.
+	bestFirst, bestSecond := 0.0, 0.0
+	for _, v := range views {
+		if a := metrics.AdjustedRand(labelings[0], v.Clustering.Labels); a > bestFirst {
+			bestFirst = a
+		}
+		if a := metrics.AdjustedRand(labelings[1], v.Clustering.Labels); a > bestSecond {
+			bestSecond = a
+		}
+	}
+	if bestFirst < 0.8 || bestSecond < 0.8 {
+		t.Errorf("views not recovered: %v %v", bestFirst, bestSecond)
+	}
+	// Dims of the two views must be disjoint.
+	_ = viewDims
+	for _, d2 := range views[1].Dims {
+		for _, d1 := range views[0].Dims {
+			if d1 == d2 {
+				t.Fatal("views share dimensions")
+			}
+		}
+	}
+}
+
+func TestMSCErrors(t *testing.T) {
+	if _, err := MSC(nil, MSCConfig{K: 2}); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := MSC([][]float64{{0, 1}}, MSCConfig{K: 0}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := MSC([][]float64{{0, 1}, {1, 0}}, MSCConfig{K: 2, Lambda: -1}); err == nil {
+		t.Error("negative lambda should fail")
+	}
+}
+
+func TestTwoViewSpectral(t *testing.T) {
+	a, b, labels := dataset.TwoSourceViews(9, 120, 2, 2, 2, 0.4, 0)
+	c, err := TwoViewSpectral(a.Points, b.Points, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari := metrics.AdjustedRand(labels, c.Labels); ari < 0.9 {
+		t.Errorf("two-view spectral ARI = %v", ari)
+	}
+	if _, err := TwoViewSpectral(a.Points, a.Points[:5], 2, 1); err == nil {
+		t.Error("mismatched views should fail")
+	}
+	if _, err := TwoViewSpectral(nil, nil, 2, 1); err == nil {
+		t.Error("empty should fail")
+	}
+}
+
+func TestCombineModeString(t *testing.T) {
+	if Union.String() != "union" || Intersection.String() != "intersection" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestAgreementLabelMatching(t *testing.T) {
+	// Perfectly agreeing posteriors under permuted labels.
+	a := [][]float64{{1, 0}, {1, 0}, {0, 1}}
+	b := [][]float64{{0, 1}, {0, 1}, {1, 0}}
+	if got := agreement(a, b); got != 1 {
+		t.Errorf("agreement = %v, want 1 (label permutation)", got)
+	}
+}

@@ -1,0 +1,220 @@
+package multiview
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dist"
+)
+
+// UniversesConfig controls learning in parallel universes.
+type UniversesConfig struct {
+	K       int     // clusters per universe
+	M       float64 // fuzzifier (>1), default 2
+	MaxIter int     // default 100
+	Seed    int64
+	Tol     float64 // relative objective tolerance, default 1e-6
+}
+
+// UniversesResult carries per-universe clusterings and the learned
+// object-universe memberships.
+type UniversesResult struct {
+	// Clusterings holds the hard clustering per universe; objects whose
+	// universe membership is low elsewhere are still assigned everywhere
+	// (use UniverseOf for the primary universe).
+	Clusterings []*core.Clustering
+	// UniverseWeight[i][v] is the learned degree to which object i belongs
+	// to universe v (rows sum to 1).
+	UniverseWeight [][]float64
+	// UniverseOf[i] is the argmax universe per object.
+	UniverseOf []int
+	Objective  float64
+	Iterations int
+}
+
+// ParallelUniverses implements learning in parallel universes (Wiswedel,
+// Höppner & Berthold 2010, tutorial slide 100): fuzzy c-means runs in every
+// universe (view) simultaneously while each object learns a membership
+// distribution over the universes, so an object shapes the clustering only
+// of the universes it belongs to. The joint objective minimized is
+//
+//	sum_i sum_v w_iv^M * sum_c u_ivc^M * d²(x_iv, center_vc)
+//
+// with both membership layers updated by the standard FCM closed forms.
+func ParallelUniverses(views [][][]float64, cfg UniversesConfig) (*UniversesResult, error) {
+	nv := len(views)
+	if nv == 0 {
+		return nil, errors.New("multiview: no universes")
+	}
+	n := len(views[0])
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	for v := 1; v < nv; v++ {
+		if len(views[v]) != n {
+			return nil, ErrViewMismatch
+		}
+	}
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("multiview: invalid K=%d", cfg.K)
+	}
+	if cfg.M <= 1 {
+		cfg.M = 2
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-6
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Initialize cluster centers per universe from random objects and
+	// uniform-ish memberships.
+	centers := make([][][]float64, nv)
+	for v := range centers {
+		d := len(views[v][0])
+		centers[v] = make([][]float64, cfg.K)
+		perm := rng.Perm(n)
+		for c := 0; c < cfg.K; c++ {
+			centers[v][c] = append([]float64(nil), views[v][perm[c%n]]...)
+			_ = d
+		}
+	}
+	w := make([][]float64, n) // universe memberships
+	u := make([][][]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = make([]float64, nv)
+		u[i] = make([][]float64, nv)
+		for v := 0; v < nv; v++ {
+			w[i][v] = 1 / float64(nv)
+			u[i][v] = make([]float64, cfg.K)
+			for c := range u[i][v] {
+				u[i][v][c] = rng.Float64() + 0.1
+			}
+			normalizeRow(u[i][v])
+		}
+	}
+
+	const epsD = 1e-9
+	prev := math.Inf(1)
+	var obj float64
+	iter := 0
+	for ; iter < cfg.MaxIter; iter++ {
+		// Cluster membership update (per universe, standard FCM).
+		exp := 2 / (cfg.M - 1)
+		for i := 0; i < n; i++ {
+			for v := 0; v < nv; v++ {
+				for c := 0; c < cfg.K; c++ {
+					dc := dist.SqEuclidean(views[v][i], centers[v][c]) + epsD
+					var s float64
+					for c2 := 0; c2 < cfg.K; c2++ {
+						d2 := dist.SqEuclidean(views[v][i], centers[v][c2]) + epsD
+						s += math.Pow(dc/d2, exp/2)
+					}
+					u[i][v][c] = 1 / s
+				}
+			}
+		}
+		// Universe membership update: w_iv ∝ (1/J_iv)^{1/(M-1)} with J_iv
+		// the object's fuzzy distortion inside universe v.
+		for i := 0; i < n; i++ {
+			jv := make([]float64, nv)
+			for v := 0; v < nv; v++ {
+				var s float64
+				for c := 0; c < cfg.K; c++ {
+					s += math.Pow(u[i][v][c], cfg.M) * (dist.SqEuclidean(views[v][i], centers[v][c]) + epsD)
+				}
+				jv[v] = s + epsD
+			}
+			var total float64
+			for v := 0; v < nv; v++ {
+				w[i][v] = math.Pow(1/jv[v], 1/(cfg.M-1))
+				total += w[i][v]
+			}
+			for v := 0; v < nv; v++ {
+				w[i][v] /= total
+			}
+		}
+		// Center update, weighted by both membership layers.
+		for v := 0; v < nv; v++ {
+			d := len(views[v][0])
+			for c := 0; c < cfg.K; c++ {
+				num := make([]float64, d)
+				var den float64
+				for i := 0; i < n; i++ {
+					wt := math.Pow(w[i][v], cfg.M) * math.Pow(u[i][v][c], cfg.M)
+					den += wt
+					for j, x := range views[v][i] {
+						num[j] += wt * x
+					}
+				}
+				if den > 0 {
+					for j := range num {
+						num[j] /= den
+					}
+					centers[v][c] = num
+				}
+			}
+		}
+		// Objective.
+		obj = 0
+		for i := 0; i < n; i++ {
+			for v := 0; v < nv; v++ {
+				wm := math.Pow(w[i][v], cfg.M)
+				for c := 0; c < cfg.K; c++ {
+					obj += wm * math.Pow(u[i][v][c], cfg.M) * dist.SqEuclidean(views[v][i], centers[v][c])
+				}
+			}
+		}
+		if math.Abs(prev-obj) <= cfg.Tol*(1+math.Abs(obj)) {
+			break
+		}
+		prev = obj
+	}
+
+	res := &UniversesResult{
+		UniverseWeight: w,
+		UniverseOf:     make([]int, n),
+		Objective:      obj,
+		Iterations:     iter,
+	}
+	for i := 0; i < n; i++ {
+		best, bestW := 0, -1.0
+		for v := 0; v < nv; v++ {
+			if w[i][v] > bestW {
+				best, bestW = v, w[i][v]
+			}
+		}
+		res.UniverseOf[i] = best
+	}
+	for v := 0; v < nv; v++ {
+		labels := make([]int, n)
+		for i := 0; i < n; i++ {
+			best, bestU := 0, -1.0
+			for c := 0; c < cfg.K; c++ {
+				if u[i][v][c] > bestU {
+					best, bestU = c, u[i][v][c]
+				}
+			}
+			labels[i] = best
+		}
+		res.Clusterings = append(res.Clusterings, core.NewClustering(labels))
+	}
+	return res, nil
+}
+
+func normalizeRow(row []float64) {
+	var s float64
+	for _, v := range row {
+		s += v
+	}
+	if s > 0 {
+		for i := range row {
+			row[i] /= s
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package multiview
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"multiclust/internal/dataset"
+	"multiclust/internal/metrics"
+)
+
+// universeData builds two universes where half the objects have structure
+// in universe 0 (noise in universe 1) and vice versa.
+func universeData(seed int64, nPer int) (views [][][]float64, universeOf []int, classOf []int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 * nPer
+	viewA := make([][]float64, n)
+	viewB := make([][]float64, n)
+	universeOf = make([]int, n)
+	classOf = make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := rng.Intn(2)
+		classOf[i] = cls
+		center := float64(cls * 6)
+		if i < nPer {
+			universeOf[i] = 0
+			viewA[i] = []float64{center + rng.NormFloat64()*0.3, center + rng.NormFloat64()*0.3}
+			viewB[i] = []float64{rng.Float64() * 20, rng.Float64() * 20}
+		} else {
+			universeOf[i] = 1
+			viewA[i] = []float64{rng.Float64() * 20, rng.Float64() * 20}
+			viewB[i] = []float64{center + rng.NormFloat64()*0.3, center + rng.NormFloat64()*0.3}
+		}
+	}
+	return [][][]float64{viewA, viewB}, universeOf, classOf
+}
+
+func TestParallelUniversesAssignsObjectsToTheirUniverse(t *testing.T) {
+	views, universeOf, classOf := universeData(1, 60)
+	res, err := ParallelUniverses(views, UniversesConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Universe recovery.
+	agree := 0
+	for i, v := range res.UniverseOf {
+		if v == universeOf[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(universeOf)); frac < 0.9 {
+		t.Errorf("universe recovery = %v", frac)
+	}
+	// Within each universe, the objects belonging to it must be clustered
+	// by class.
+	for v := 0; v < 2; v++ {
+		var truth, found []int
+		for i := range classOf {
+			if universeOf[i] == v {
+				truth = append(truth, classOf[i])
+				found = append(found, res.Clusterings[v].Labels[i])
+			}
+		}
+		if ari := metrics.AdjustedRand(truth, found); ari < 0.9 {
+			t.Errorf("universe %d class ARI = %v", v, ari)
+		}
+	}
+	// Membership rows sum to 1.
+	for i, row := range res.UniverseWeight {
+		var s float64
+		for _, w := range row {
+			s += w
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("universe weights of object %d sum to %v", i, s)
+		}
+	}
+	if math.IsNaN(res.Objective) {
+		t.Error("objective NaN")
+	}
+}
+
+func TestParallelUniversesErrors(t *testing.T) {
+	if _, err := ParallelUniverses(nil, UniversesConfig{K: 2}); err == nil {
+		t.Error("no universes should fail")
+	}
+	if _, err := ParallelUniverses([][][]float64{{}}, UniversesConfig{K: 2}); err == nil {
+		t.Error("empty universe should fail")
+	}
+	v := [][][]float64{{{0}}, {{0}, {1}}}
+	if _, err := ParallelUniverses(v, UniversesConfig{K: 1}); err == nil {
+		t.Error("mismatched universes should fail")
+	}
+	v2 := [][][]float64{{{0}, {1}}}
+	if _, err := ParallelUniverses(v2, UniversesConfig{K: 5}); err == nil {
+		t.Error("K>n should fail")
+	}
+}
+
+func TestDistributedDBSCANMatchesCentralized(t *testing.T) {
+	ds, truth := dataset.GaussianBlobs(1, 240, [][]float64{{0, 0}, {10, 10}, {0, 10}}, 0.5)
+	res, err := DistributedDBSCAN(ds.Points, DistributedDBSCANConfig{
+		Eps: 1.2, MinPts: 4, Partitions: 4, RepsPerCluster: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari := metrics.AdjustedRand(truth, res.Clustering.Labels); ari < 0.95 {
+		t.Errorf("distributed ARI = %v", ari)
+	}
+	// Communication is bounded: far fewer representatives than objects.
+	if len(res.Representatives) >= ds.N()/2 {
+		t.Errorf("too many representatives shipped: %d of %d", len(res.Representatives), ds.N())
+	}
+	if res.LocalClusters < 3 {
+		t.Errorf("local clusters = %d", res.LocalClusters)
+	}
+}
+
+func TestDistributedDBSCANAllNoise(t *testing.T) {
+	// Far-apart singletons: every site sees only noise.
+	pts := [][]float64{{0, 0}, {100, 0}, {0, 100}, {100, 100}, {50, 50}, {200, 200}}
+	res, err := DistributedDBSCAN(pts, DistributedDBSCANConfig{Eps: 1, MinPts: 2, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clustering.NoiseCount() != len(pts) {
+		t.Errorf("noise = %d, want all", res.Clustering.NoiseCount())
+	}
+}
+
+func TestDistributedDBSCANErrors(t *testing.T) {
+	if _, err := DistributedDBSCAN(nil, DistributedDBSCANConfig{Eps: 1, MinPts: 2}); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := DistributedDBSCAN([][]float64{{0}}, DistributedDBSCANConfig{Eps: 0, MinPts: 2}); err == nil {
+		t.Error("eps=0 should fail")
+	}
+}

@@ -1,0 +1,303 @@
+// Package orthogonal implements the space-transformation paradigm of the
+// tutorial's section 3: learn a transformation from the known clustering and
+// re-cluster the transformed database, so dissimilarity is ensured
+// implicitly by the transformation and any clustering algorithm can be
+// plugged in (slide 48). Three methods are provided:
+//
+//   - MetricFlip — Davidson & Qi (2008): learn a metric that makes the given
+//     clustering easy, SVD it, invert the stretch.
+//   - AlternativeTransform — Qi & Davidson (2009): the closed-form
+//     M = Sigma~^{-1/2} from a constrained KL-preservation problem.
+//   - OrthogonalProjections — Cui, Fern & Dy (2007): iteratively project
+//     onto the orthogonal complement of the clustering's mean subspace.
+package orthogonal
+
+import (
+	"errors"
+	"fmt"
+
+	"multiclust/internal/core"
+	"multiclust/internal/kmeans"
+	"multiclust/internal/linalg"
+)
+
+// Base is the pluggable clustering step used after each transformation. It
+// receives the transformed points and must return a flat clustering.
+type Base func(points [][]float64) (*core.Clustering, error)
+
+// KMeansBase adapts k-means as the default base learner.
+func KMeansBase(k int, seed int64) Base {
+	return func(points [][]float64) (*core.Clustering, error) {
+		res, err := kmeans.Run(points, kmeans.Config{K: k, Seed: seed, Restarts: 5})
+		if err != nil {
+			return nil, err
+		}
+		return res.Clustering, nil
+	}
+}
+
+// clusterMeans returns the mean vector of every non-noise cluster.
+func clusterMeans(points [][]float64, c *core.Clustering) [][]float64 {
+	var means [][]float64
+	for _, members := range c.Clusters() {
+		if len(members) == 0 {
+			continue
+		}
+		mean := make([]float64, len(points[0]))
+		for _, o := range members {
+			linalg.Axpy(1, points[o], mean)
+		}
+		linalg.ScaleVec(1/float64(len(members)), mean)
+		means = append(means, mean)
+	}
+	return means
+}
+
+// withinClusterScatter returns the pooled within-cluster scatter matrix
+// sum_c sum_{x in c} (x - mean_c)(x - mean_c)^T / n, regularized with eps on
+// the diagonal.
+func withinClusterScatter(points [][]float64, c *core.Clustering, eps float64) *linalg.Matrix {
+	d := len(points[0])
+	s := linalg.NewMatrix(d, d)
+	n := 0
+	for _, members := range c.Clusters() {
+		if len(members) == 0 {
+			continue
+		}
+		mean := make([]float64, d)
+		for _, o := range members {
+			linalg.Axpy(1, points[o], mean)
+		}
+		linalg.ScaleVec(1/float64(len(members)), mean)
+		for _, o := range members {
+			diff := linalg.SubVec(points[o], mean)
+			s.OuterInto(1, diff, diff)
+			n++
+		}
+	}
+	if n > 0 {
+		for i := range s.Data {
+			s.Data[i] /= float64(n)
+		}
+	}
+	linalg.RegularizeInPlace(s, eps)
+	return s
+}
+
+// MetricFlipResult carries the learned and flipped transformations.
+type MetricFlipResult struct {
+	Learned     *linalg.Matrix // D: metric under which `given` is compact
+	Alternative *linalg.Matrix // M = H S^{-1} A^T: the inverted stretch
+	Clustering  *core.Clustering
+	Transformed [][]float64
+}
+
+// MetricFlip implements Davidson & Qi (2008, slides 50–52). The metric
+// learned from the given clustering is the whitening transform
+// D = Sw^{-1/2} (Sw = within-cluster scatter), under which the given
+// clusters become spherical and easy; its SVD D = H·S·A^T is then flipped to
+// M = H·S^{-1}·A^T, compressing exactly the directions D stretched. The
+// base learner clusters {M·x}.
+func MetricFlip(points [][]float64, given *core.Clustering, base Base) (*MetricFlipResult, error) {
+	if len(points) == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if err := given.Validate(len(points)); err != nil {
+		return nil, err
+	}
+	if base == nil {
+		return nil, errors.New("orthogonal: nil base learner")
+	}
+	sw := withinClusterScatter(points, given, 1e-8)
+	d, err := linalg.InvSqrt(sw, 1e-10)
+	if err != nil {
+		return nil, fmt.Errorf("orthogonal: learning metric: %w", err)
+	}
+	svd, err := linalg.ComputeSVD(d)
+	if err != nil {
+		return nil, fmt.Errorf("orthogonal: svd of learned metric: %w", err)
+	}
+	m := svd.InvertStretch(1e-10)
+	transformed := applyTransform(points, m)
+	c, err := base(transformed)
+	if err != nil {
+		return nil, err
+	}
+	return &MetricFlipResult{Learned: d, Alternative: m, Clustering: c, Transformed: transformed}, nil
+}
+
+// AlternativeTransformResult carries the closed-form transform of Qi &
+// Davidson (2009) and the clustering found in the transformed space.
+type AlternativeTransformResult struct {
+	M           *linalg.Matrix // Sigma~^{-1/2}
+	Clustering  *core.Clustering
+	Transformed [][]float64
+}
+
+// AlternativeTransform implements Qi & Davidson (2009, slides 54–55):
+// minimize the KL divergence between the original and transformed data
+// distributions subject to transformed points sitting far from their old
+// cluster means. The optimal linear map is M = Sigma~^{-1/2} with
+//
+//	Sigma~ = (1/n) sum_i sum_{j : x_i not in C_j} (x_i - m_j)(x_i - m_j)^T.
+func AlternativeTransform(points [][]float64, given *core.Clustering, base Base) (*AlternativeTransformResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if err := given.Validate(n); err != nil {
+		return nil, err
+	}
+	if base == nil {
+		return nil, errors.New("orthogonal: nil base learner")
+	}
+	means := clusterMeans(points, given)
+	if len(means) < 2 {
+		return nil, errors.New("orthogonal: given clustering needs at least 2 clusters")
+	}
+	d := len(points[0])
+	sigma := linalg.NewMatrix(d, d)
+	clusters := given.Clusters()
+	memberOf := make([]int, n)
+	for i := range memberOf {
+		memberOf[i] = -1
+	}
+	for ci, members := range clusters {
+		for _, o := range members {
+			memberOf[o] = ci
+		}
+	}
+	for i, x := range points {
+		for j := range means {
+			if memberOf[i] == j {
+				continue
+			}
+			diff := linalg.SubVec(x, means[j])
+			sigma.OuterInto(1/float64(n), diff, diff)
+		}
+	}
+	m, err := linalg.InvSqrt(sigma, 1e-10)
+	if err != nil {
+		return nil, fmt.Errorf("orthogonal: inverse sqrt of scatter: %w", err)
+	}
+	transformed := applyTransform(points, m)
+	c, err := base(transformed)
+	if err != nil {
+		return nil, err
+	}
+	return &AlternativeTransformResult{M: m, Clustering: c, Transformed: transformed}, nil
+}
+
+// ProjectionIteration records one round of the Cui et al. loop.
+type ProjectionIteration struct {
+	Clustering       *core.Clustering
+	Projector        *linalg.Matrix // applied AFTER this round to remove its structure
+	ResidualVariance float64        // total variance remaining after projection
+}
+
+// OrthogonalProjectionsConfig controls the iterative projection loop.
+type OrthogonalProjectionsConfig struct {
+	MaxClusterings  int     // hard cap, default d (dimension)
+	MinVarianceFrac float64 // stop when residual variance falls below this fraction of the original, default 0.05
+	Components      int     // principal components of the means to remove per round; default k-1
+}
+
+// OrthogonalProjections implements Cui, Fern & Dy (2007, slides 57–60):
+// cluster, find the subspace A spanned by the strong principal components of
+// the cluster means, project the database onto the orthogonal complement
+// I - A(A^T A)^{-1}A^T, and repeat until no variance (and hence no
+// structure) remains. The number of clusterings is determined automatically.
+func OrthogonalProjections(points [][]float64, base Base, cfg OrthogonalProjectionsConfig) ([]ProjectionIteration, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if base == nil {
+		return nil, errors.New("orthogonal: nil base learner")
+	}
+	d := len(points[0])
+	if cfg.MaxClusterings <= 0 {
+		cfg.MaxClusterings = d
+	}
+	if cfg.MinVarianceFrac <= 0 {
+		cfg.MinVarianceFrac = 0.05
+	}
+
+	cur := make([][]float64, n)
+	for i, p := range points {
+		cur[i] = append([]float64(nil), p...)
+	}
+	initialVar := totalVariance(cur)
+	if initialVar == 0 {
+		return nil, errors.New("orthogonal: data has no variance")
+	}
+
+	var out []ProjectionIteration
+	for round := 0; round < cfg.MaxClusterings; round++ {
+		c, err := base(cur)
+		if err != nil {
+			return nil, err
+		}
+		means := clusterMeans(cur, c)
+		if len(means) < 2 {
+			break
+		}
+		// Principal components of the means (centered); they span at most
+		// k-1 dimensions.
+		comp := cfg.Components
+		if comp <= 0 || comp > len(means)-1 {
+			comp = len(means) - 1
+		}
+		mm, err := linalg.FromRows(means)
+		if err != nil {
+			return nil, err
+		}
+		pca, err := linalg.ComputePCA(mm)
+		if err != nil {
+			return nil, err
+		}
+		a := pca.TopComponents(comp)
+		proj, err := linalg.OrthogonalProjector(a)
+		if err != nil {
+			return nil, err
+		}
+		for i := range cur {
+			cur[i] = proj.MulVec(cur[i])
+		}
+		resid := totalVariance(cur)
+		out = append(out, ProjectionIteration{Clustering: c, Projector: proj, ResidualVariance: resid})
+		if resid < cfg.MinVarianceFrac*initialVar {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("orthogonal: base learner produced no multi-cluster solution")
+	}
+	return out, nil
+}
+
+func totalVariance(points [][]float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	d := len(points[0])
+	mean := make([]float64, d)
+	for _, p := range points {
+		linalg.Axpy(1, p, mean)
+	}
+	linalg.ScaleVec(1/float64(len(points)), mean)
+	var v float64
+	for _, p := range points {
+		diff := linalg.SubVec(p, mean)
+		v += linalg.Dot(diff, diff)
+	}
+	return v / float64(len(points))
+}
+
+func applyTransform(points [][]float64, m *linalg.Matrix) [][]float64 {
+	out := make([][]float64, len(points))
+	for i, p := range points {
+		out[i] = m.MulVec(p)
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package orthogonal
+
+import (
+	"math"
+	"testing"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dataset"
+	"multiclust/internal/metrics"
+)
+
+func TestMetricFlipFindsAlternative(t *testing.T) {
+	ds, hor, ver := dataset.FourBlobToy(1, 25)
+	given := core.NewClustering(hor)
+	res, err := MetricFlip(ds.Points, given, KMeansBase(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	altARI := metrics.AdjustedRand(ver, res.Clustering.Labels)
+	givenARI := metrics.AdjustedRand(hor, res.Clustering.Labels)
+	if altARI < 0.9 {
+		t.Errorf("flip should reveal the vertical split: ARI=%v", altARI)
+	}
+	if givenARI > 0.2 {
+		t.Errorf("flip result too similar to given: ARI=%v", givenARI)
+	}
+	if res.Learned == nil || res.Alternative == nil {
+		t.Fatal("transforms missing")
+	}
+}
+
+func TestMetricFlipStretchInversion(t *testing.T) {
+	// The alternative transform must compress what the learned metric
+	// stretched: the product of their actions along any direction should be
+	// roughly isotropic. Verify D*M has near-equal singular values.
+	ds, hor, _ := dataset.FourBlobToy(2, 20)
+	res, err := MetricFlip(ds.Points, core.NewClustering(hor), KMeansBase(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := res.Learned.Mul(res.Alternative)
+	// D and M share singular vectors, so D*M = H S S^{-1} H^T = I exactly.
+	n := prod.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-6 {
+				t.Fatalf("D*M not identity at (%d,%d): %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMetricFlipErrors(t *testing.T) {
+	if _, err := MetricFlip(nil, core.NewClustering(nil), KMeansBase(2, 1)); err == nil {
+		t.Error("empty data should fail")
+	}
+	pts := [][]float64{{0, 0}, {1, 1}}
+	if _, err := MetricFlip(pts, core.NewClustering([]int{0}), KMeansBase(2, 1)); err == nil {
+		t.Error("label mismatch should fail")
+	}
+	if _, err := MetricFlip(pts, core.NewClustering([]int{0, 1}), nil); err == nil {
+		t.Error("nil base should fail")
+	}
+}
+
+func TestAlternativeTransformFindsAlternative(t *testing.T) {
+	ds, hor, ver := dataset.FourBlobToy(3, 25)
+	res, err := AlternativeTransform(ds.Points, core.NewClustering(hor), KMeansBase(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	altARI := metrics.AdjustedRand(ver, res.Clustering.Labels)
+	givenARI := metrics.AdjustedRand(hor, res.Clustering.Labels)
+	if altARI < 0.9 {
+		t.Errorf("transform should reveal the vertical split: ARI=%v", altARI)
+	}
+	if givenARI > 0.2 {
+		t.Errorf("transform result too similar to given: ARI=%v", givenARI)
+	}
+}
+
+func TestAlternativeTransformMovesPointsFromOldMeans(t *testing.T) {
+	// After the transform, distances of points to their OLD cluster means
+	// (transformed) should be less concentrated than distances to other
+	// means — i.e., the old structure is no longer privileged: compare mean
+	// within-cluster distance under old labels, before vs after, normalized
+	// by overall spread.
+	ds, hor, _ := dataset.FourBlobToy(4, 25)
+	given := core.NewClustering(hor)
+	res, err := AlternativeTransform(ds.Points, given, KMeansBase(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioBefore := metrics.AverageWithinDistance(ds.Points, given, euclid) / meanPairwise(ds.Points)
+	ratioAfter := metrics.AverageWithinDistance(res.Transformed, given, euclid) / meanPairwise(res.Transformed)
+	if ratioAfter <= ratioBefore {
+		t.Errorf("old clustering should loosen: before=%v after=%v", ratioBefore, ratioAfter)
+	}
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func meanPairwise(pts [][]float64) float64 {
+	var s float64
+	var c int
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			s += euclid(pts[i], pts[j])
+			c++
+		}
+	}
+	return s / float64(c)
+}
+
+func TestAlternativeTransformErrors(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}, {2, 2}}
+	if _, err := AlternativeTransform(nil, core.NewClustering(nil), KMeansBase(2, 1)); err == nil {
+		t.Error("empty data should fail")
+	}
+	// Single-cluster given knowledge cannot define the scatter.
+	if _, err := AlternativeTransform(pts, core.NewClustering([]int{0, 0, 0}), KMeansBase(2, 1)); err == nil {
+		t.Error("single-cluster given should fail")
+	}
+	if _, err := AlternativeTransform(pts, core.NewClustering([]int{0, 1, 0}), nil); err == nil {
+		t.Error("nil base should fail")
+	}
+}
+
+func TestOrthogonalProjectionsRecoversSuccessiveViews(t *testing.T) {
+	// Two independent views in disjoint dimensions, the first with larger
+	// spread so the first clustering locks onto it; projection removal then
+	// exposes the second.
+	ds, labelings, _ := dataset.MultiViewGaussians(5, 240, []dataset.ViewSpec{
+		{Dims: 2, K: 2, Sep: 12, Sigma: 0.5},
+		{Dims: 2, K: 2, Sep: 6, Sigma: 0.5},
+	})
+	iters, err := OrthogonalProjections(ds.Points, KMeansBase(2, 1), OrthogonalProjectionsConfig{MaxClusterings: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) < 2 {
+		t.Fatalf("rounds = %d, want >= 2", len(iters))
+	}
+	first := metrics.AdjustedRand(labelings[0], iters[0].Clustering.Labels)
+	second := metrics.AdjustedRand(labelings[1], iters[1].Clustering.Labels)
+	if first < 0.9 {
+		t.Errorf("round 1 should find the dominant view: ARI=%v", first)
+	}
+	if second < 0.8 {
+		t.Errorf("round 2 should find the hidden view: ARI=%v", second)
+	}
+	// Residual variance decreases monotonically.
+	for i := 1; i < len(iters); i++ {
+		if iters[i].ResidualVariance > iters[i-1].ResidualVariance+1e-9 {
+			t.Errorf("residual variance increased at round %d", i)
+		}
+	}
+}
+
+func TestOrthogonalProjectionsAutoStops(t *testing.T) {
+	// Low-dimensional data: after removing the mean subspace once or twice
+	// nothing remains; the loop must stop on its own well before the cap.
+	ds, _, _ := dataset.FourBlobToy(6, 25)
+	iters, err := OrthogonalProjections(ds.Points, KMeansBase(2, 4), OrthogonalProjectionsConfig{MaxClusterings: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) > 3 {
+		t.Errorf("expected early stop in 2D, got %d rounds", len(iters))
+	}
+}
+
+func TestOrthogonalProjectionsErrors(t *testing.T) {
+	if _, err := OrthogonalProjections(nil, KMeansBase(2, 1), OrthogonalProjectionsConfig{}); err == nil {
+		t.Error("empty data should fail")
+	}
+	pts := [][]float64{{1, 1}, {1, 1}}
+	if _, err := OrthogonalProjections(pts, KMeansBase(2, 1), OrthogonalProjectionsConfig{}); err == nil {
+		t.Error("zero-variance data should fail")
+	}
+	if _, err := OrthogonalProjections([][]float64{{0, 1}, {1, 0}}, nil, OrthogonalProjectionsConfig{}); err == nil {
+		t.Error("nil base should fail")
+	}
+}

@@ -1,0 +1,197 @@
+package simultaneous
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dist"
+)
+
+// ContingencyConfig controls the disparate-clusterings run.
+type ContingencyConfig struct {
+	K1, K2   int
+	Gamma    float64 // uniformity weight, default 1
+	MaxIter  int     // sweeps, default 40
+	Restarts int     // default 3
+	Seed     int64
+}
+
+// ContingencyResult holds two prototype-based clusterings with a near-uniform
+// contingency table.
+type ContingencyResult struct {
+	Clustering1, Clustering2 *core.Clustering
+	Prototypes1, Prototypes2 [][]float64
+	Uniformity               float64 // 1 - normalized deviation from independence
+	SSE                      float64 // combined prototype SSE (quality term)
+}
+
+// Contingency implements the disparate-clustering idea of Hossain et al.
+// (2010, slide 44): represent both clusterings by prototypes — which keeps
+// them meaningful — and drive the contingency table between them toward the
+// uniform (independent) profile. The joint objective minimized is
+//
+//	J = SSE_1 + SSE_2 + Gamma * n * sum_ij (p_ij - p_i q_j)^2
+//
+// via restarted first-improvement label moves with prototype re-estimation
+// after each sweep.
+func Contingency(points [][]float64, cfg ContingencyConfig) (*ContingencyResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.K1 <= 0 || cfg.K2 <= 0 || cfg.K1 > n || cfg.K2 > n {
+		return nil, fmt.Errorf("simultaneous: invalid K1=%d K2=%d", cfg.K1, cfg.K2)
+	}
+	if cfg.Gamma < 0 {
+		return nil, fmt.Errorf("simultaneous: negative Gamma")
+	}
+	if cfg.Gamma == 0 {
+		cfg.Gamma = 1
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 40
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var best *ContingencyResult
+	bestJ := math.Inf(1)
+	for r := 0; r < cfg.Restarts; r++ {
+		res, j := contingencyOnce(points, cfg, rng)
+		if j < bestJ {
+			best, bestJ = res, j
+		}
+	}
+	return best, nil
+}
+
+func contingencyOnce(points [][]float64, cfg ContingencyConfig, rng *rand.Rand) (*ContingencyResult, float64) {
+	n := len(points)
+	d := len(points[0])
+	l1 := make([]int, n)
+	l2 := make([]int, n)
+	for i := range l1 {
+		l1[i] = rng.Intn(cfg.K1)
+		l2[i] = rng.Intn(cfg.K2)
+	}
+	protos := func(lab []int, k int) [][]float64 {
+		p := make([][]float64, k)
+		counts := make([]float64, k)
+		for c := range p {
+			p[c] = make([]float64, d)
+		}
+		for i, x := range points {
+			c := lab[i]
+			counts[c]++
+			for j, v := range x {
+				p[c][j] += v
+			}
+		}
+		for c := range p {
+			if counts[c] > 0 {
+				for j := range p[c] {
+					p[c][j] /= counts[c]
+				}
+			} else {
+				copy(p[c], points[rng.Intn(n)])
+			}
+		}
+		return p
+	}
+	sse := func(lab []int, p [][]float64) float64 {
+		var s float64
+		for i, x := range points {
+			s += dist.SqEuclidean(x, p[lab[i]])
+		}
+		return s
+	}
+	devFromIndependence := func() float64 {
+		counts := make([][]float64, cfg.K1)
+		for c := range counts {
+			counts[c] = make([]float64, cfg.K2)
+		}
+		row := make([]float64, cfg.K1)
+		col := make([]float64, cfg.K2)
+		for i := range l1 {
+			counts[l1[i]][l2[i]]++
+			row[l1[i]]++
+			col[l2[i]]++
+		}
+		var dev float64
+		nn := float64(n)
+		for a := 0; a < cfg.K1; a++ {
+			for b := 0; b < cfg.K2; b++ {
+				p := counts[a][b] / nn
+				diff := p - (row[a]/nn)*(col[b]/nn)
+				dev += diff * diff
+			}
+		}
+		return dev
+	}
+
+	p1 := protos(l1, cfg.K1)
+	p2 := protos(l2, cfg.K2)
+	objective := func() float64 {
+		return sse(l1, p1) + sse(l2, p2) + cfg.Gamma*float64(n)*devFromIndependence()
+	}
+	j := objective()
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		improved := false
+		for i := 0; i < n; i++ {
+			// Try moving object i in clustering 1.
+			orig := l1[i]
+			bestC, bestJ := orig, j
+			for c := 0; c < cfg.K1; c++ {
+				if c == orig {
+					continue
+				}
+				l1[i] = c
+				if cand := objective(); cand < bestJ-1e-12 {
+					bestC, bestJ = c, cand
+				}
+			}
+			l1[i] = bestC
+			if bestC != orig {
+				j = bestJ
+				improved = true
+			}
+			// And in clustering 2.
+			orig = l2[i]
+			bestC, bestJ = orig, j
+			for c := 0; c < cfg.K2; c++ {
+				if c == orig {
+					continue
+				}
+				l2[i] = c
+				if cand := objective(); cand < bestJ-1e-12 {
+					bestC, bestJ = c, cand
+				}
+			}
+			l2[i] = bestC
+			if bestC != orig {
+				j = bestJ
+				improved = true
+			}
+		}
+		p1 = protos(l1, cfg.K1)
+		p2 = protos(l2, cfg.K2)
+		j = objective()
+		if !improved {
+			break
+		}
+	}
+	maxDev := 1.0 // crude bound; uniformity reported relative to it
+	res := &ContingencyResult{
+		Clustering1: core.NewClustering(append([]int(nil), l1...)),
+		Clustering2: core.NewClustering(append([]int(nil), l2...)),
+		Prototypes1: p1,
+		Prototypes2: p2,
+		Uniformity:  1 - devFromIndependence()/maxDev,
+		SSE:         sse(l1, p1) + sse(l2, p2),
+	}
+	return res, j
+}

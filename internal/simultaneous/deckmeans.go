@@ -1,0 +1,252 @@
+// Package simultaneous implements the "no given knowledge, simultaneous
+// computation" paradigm of the tutorial's section 2: decorrelated k-means
+// (Jain, Meka & Dhillon 2008), the generative CAMI model (Dang & Bailey
+// 2010a), and the contingency-table uniformity approach (Hossain et al.
+// 2010). All three optimize one combined objective
+//
+//	maximize  sum_i Q(Clust_i) + sum_{i!=j} Diss(Clust_i, Clust_j)
+//
+// instead of extracting alternatives one at a time (slide 39).
+package simultaneous
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dist"
+	"multiclust/internal/linalg"
+)
+
+// DecKMeansConfig controls decorrelated k-means.
+type DecKMeansConfig struct {
+	Ks       []int   // cluster count of each of the T clusterings (len >= 2)
+	Lambda   float64 // decorrelation weight (slide 41); default n, so the penalty competes with the SSE term
+	MaxIter  int     // default 100
+	Restarts int     // random initializations, best (lowest) objective wins; default 4
+	Seed     int64
+	Tol      float64 // relative objective tolerance, default 1e-7
+}
+
+// DecKMeansResult holds the T simultaneous clusterings.
+type DecKMeansResult struct {
+	Clusterings     []*core.Clustering
+	Representatives [][][]float64 // [t][cluster][dim], in original coordinates
+	Means           [][][]float64 // cluster means (alphas/betas of the paper)
+	Objective       float64       // final value of G (lower is better)
+	Iterations      int
+}
+
+// DecKMeans minimizes the Jain et al. (2008) objective
+//
+//	G = sum_t sum_{x in C_t,i} ||x - r_t,i||^2
+//	  + lambda * sum_{t != t'} sum_{i,j} (mean_{t',j}^T r_t,i)^2
+//
+// by alternating nearest-representative assignment with the closed-form
+// representative update (n_i I + lambda * B_t) r = sum of members, where B_t
+// is the outer-product sum of the *other* clusterings' means. Data is
+// centered internally, as the decorrelation term assumes.
+func DecKMeans(points [][]float64, cfg DecKMeansConfig) (*DecKMeansResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if len(cfg.Ks) < 2 {
+		return nil, fmt.Errorf("simultaneous: DecKMeans needs at least 2 clusterings, got %d", len(cfg.Ks))
+	}
+	for _, k := range cfg.Ks {
+		if k <= 0 || k > n {
+			return nil, fmt.Errorf("simultaneous: invalid cluster count %d", k)
+		}
+	}
+	if cfg.Lambda < 0 {
+		return nil, fmt.Errorf("simultaneous: negative Lambda")
+	}
+	if cfg.Lambda == 0 {
+		// The SSE term scales with n while the representative penalty does
+		// not; defaulting Lambda to n keeps the two comparable, matching the
+		// regime the paper's experiments operate in.
+		cfg.Lambda = float64(n)
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-7
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 4
+	}
+	d := len(points[0])
+
+	// Center the data.
+	center := make([]float64, d)
+	for _, p := range points {
+		linalg.Axpy(1, p, center)
+	}
+	linalg.ScaleVec(1/float64(n), center)
+	x := make([][]float64, n)
+	for i, p := range points {
+		x[i] = linalg.SubVec(p, center)
+	}
+
+	var best *DecKMeansResult
+	for r := 0; r < cfg.Restarts; r++ {
+		res := decKMeansOnce(x, center, cfg, cfg.Seed+int64(r)*7919)
+		if best == nil || res.Objective < best.Objective {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// decKMeansOnce runs one random initialization of the alternating scheme.
+func decKMeansOnce(x [][]float64, center []float64, cfg DecKMeansConfig, seed int64) *DecKMeansResult {
+	n := len(x)
+	d := len(x[0])
+	T := len(cfg.Ks)
+	rng := rand.New(rand.NewSource(seed))
+	reps := make([][][]float64, T)
+	for t, k := range cfg.Ks {
+		reps[t] = make([][]float64, k)
+		perm := rng.Perm(n)
+		for c := 0; c < k; c++ {
+			reps[t][c] = append([]float64(nil), x[perm[c%n]]...)
+		}
+	}
+	labels := make([][]int, T)
+	means := make([][][]float64, T)
+
+	assign := func() {
+		for t := range reps {
+			lab := make([]int, n)
+			for i, xi := range x {
+				best, bestD := 0, math.Inf(1)
+				for c, r := range reps[t] {
+					if dd := dist.SqEuclidean(xi, r); dd < bestD {
+						best, bestD = c, dd
+					}
+				}
+				lab[i] = best
+			}
+			labels[t] = lab
+		}
+	}
+	computeMeans := func() {
+		for t, k := range cfg.Ks {
+			m := make([][]float64, k)
+			counts := make([]float64, k)
+			for c := range m {
+				m[c] = make([]float64, d)
+			}
+			for i, xi := range x {
+				c := labels[t][i]
+				counts[c]++
+				linalg.Axpy(1, xi, m[c])
+			}
+			for c := range m {
+				if counts[c] > 0 {
+					linalg.ScaleVec(1/counts[c], m[c])
+				}
+			}
+			means[t] = m
+		}
+	}
+	objective := func() float64 {
+		var g float64
+		for t := range reps {
+			for i, xi := range x {
+				g += dist.SqEuclidean(xi, reps[t][labels[t][i]])
+			}
+		}
+		for t := range reps {
+			for u := range reps {
+				if t == u {
+					continue
+				}
+				for _, r := range reps[t] {
+					for _, mu := range means[u] {
+						ip := linalg.Dot(mu, r)
+						g += cfg.Lambda * ip * ip
+					}
+				}
+			}
+		}
+		return g
+	}
+
+	prev := math.Inf(1)
+	var obj float64
+	iter := 0
+	for ; iter < cfg.MaxIter; iter++ {
+		assign()
+		computeMeans()
+		// Representative update per clustering t: solve
+		// (n_c I + lambda*B_t) r = sum_{x in cluster}
+		for t, k := range cfg.Ks {
+			b := linalg.NewMatrix(d, d)
+			for u := range means {
+				if u == t {
+					continue
+				}
+				for _, mu := range means[u] {
+					b.OuterInto(cfg.Lambda, mu, mu)
+				}
+			}
+			sums := make([][]float64, k)
+			counts := make([]float64, k)
+			for c := range sums {
+				sums[c] = make([]float64, d)
+			}
+			for i, xi := range x {
+				c := labels[t][i]
+				counts[c]++
+				linalg.Axpy(1, xi, sums[c])
+			}
+			for c := 0; c < k; c++ {
+				if counts[c] == 0 {
+					// Dead representative: re-seed at a random point.
+					reps[t][c] = append([]float64(nil), x[rng.Intn(n)]...)
+					continue
+				}
+				a := b.Clone()
+				for j := 0; j < d; j++ {
+					a.Data[j*d+j] += counts[c]
+				}
+				r, err := linalg.Solve(a, sums[c])
+				if err != nil {
+					// Singular system cannot occur for counts>0 (diagonal
+					// dominance), but fall back to the mean defensively.
+					r = append([]float64(nil), sums[c]...)
+					linalg.ScaleVec(1/counts[c], r)
+				}
+				reps[t][c] = r
+			}
+		}
+		obj = objective()
+		if math.Abs(prev-obj) <= cfg.Tol*(1+math.Abs(obj)) {
+			break
+		}
+		prev = obj
+	}
+	assign()
+	computeMeans()
+
+	res := &DecKMeansResult{Objective: obj, Iterations: iter}
+	for t := range labels {
+		res.Clusterings = append(res.Clusterings, core.NewClustering(labels[t]))
+		// Shift representatives and means back to original coordinates.
+		rr := make([][]float64, len(reps[t]))
+		mm := make([][]float64, len(means[t]))
+		for c := range reps[t] {
+			rr[c] = linalg.AddVec(reps[t][c], center)
+		}
+		for c := range means[t] {
+			mm[c] = linalg.AddVec(means[t][c], center)
+		}
+		res.Representatives = append(res.Representatives, rr)
+		res.Means = append(res.Means, mm)
+	}
+	return res
+}

@@ -1,0 +1,140 @@
+package stats
+
+import "math"
+
+// ContingencyTable is the joint count table of two labelings over the same
+// objects. Rows index the clusters of the first labeling, columns the
+// clusters of the second. Noise objects (label < 0 in either labeling) are
+// excluded.
+type ContingencyTable struct {
+	Counts   [][]float64
+	RowSums  []float64
+	ColSums  []float64
+	Total    float64
+	RowIDs   []int // original label of each row
+	ColIDs   []int // original label of each column
+	rowIndex map[int]int
+	colIndex map[int]int
+}
+
+// NewContingencyTable builds the table for labelings a and b, which must have
+// equal length.
+func NewContingencyTable(a, b []int) *ContingencyTable {
+	if len(a) != len(b) {
+		panic("stats: contingency table label length mismatch")
+	}
+	t := &ContingencyTable{rowIndex: map[int]int{}, colIndex: map[int]int{}}
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			continue
+		}
+		ri, ok := t.rowIndex[a[i]]
+		if !ok {
+			ri = len(t.RowIDs)
+			t.rowIndex[a[i]] = ri
+			t.RowIDs = append(t.RowIDs, a[i])
+			t.Counts = append(t.Counts, nil)
+			t.RowSums = append(t.RowSums, 0)
+			for r := range t.Counts {
+				for len(t.Counts[r]) < len(t.ColIDs) {
+					t.Counts[r] = append(t.Counts[r], 0)
+				}
+			}
+		}
+		ci, ok := t.colIndex[b[i]]
+		if !ok {
+			ci = len(t.ColIDs)
+			t.colIndex[b[i]] = ci
+			t.ColIDs = append(t.ColIDs, b[i])
+			t.ColSums = append(t.ColSums, 0)
+			for r := range t.Counts {
+				for len(t.Counts[r]) < len(t.ColIDs) {
+					t.Counts[r] = append(t.Counts[r], 0)
+				}
+			}
+		}
+		t.Counts[ri][ci]++
+		t.RowSums[ri]++
+		t.ColSums[ci]++
+		t.Total++
+	}
+	return t
+}
+
+// MutualInformation returns I(A;B) in nats.
+func (t *ContingencyTable) MutualInformation() float64 {
+	if t.Total == 0 {
+		return 0
+	}
+	var mi float64
+	for i, row := range t.Counts {
+		for j, nij := range row {
+			if nij == 0 {
+				continue
+			}
+			pij := nij / t.Total
+			pi := t.RowSums[i] / t.Total
+			pj := t.ColSums[j] / t.Total
+			mi += pij * math.Log(pij/(pi*pj))
+		}
+	}
+	if mi < 0 { // numerical noise
+		mi = 0
+	}
+	return mi
+}
+
+// EntropyRow returns H(A) in nats.
+func (t *ContingencyTable) EntropyRow() float64 { return Entropy(t.RowSums) }
+
+// EntropyCol returns H(B) in nats.
+func (t *ContingencyTable) EntropyCol() float64 { return Entropy(t.ColSums) }
+
+// JointEntropy returns H(A,B) in nats.
+func (t *ContingencyTable) JointEntropy() float64 {
+	flat := make([]float64, 0, len(t.Counts)*max(1, len(t.ColIDs)))
+	for _, row := range t.Counts {
+		flat = append(flat, row...)
+	}
+	return Entropy(flat)
+}
+
+// ConditionalEntropyRowGivenCol returns H(A|B) = H(A,B) - H(B) in nats.
+func (t *ContingencyTable) ConditionalEntropyRowGivenCol() float64 {
+	h := t.JointEntropy() - t.EntropyCol()
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// Uniformity measures how close the table is to the fully independent
+// (uniform) profile that Hossain et al. (2010) maximize for disparate
+// clusterings. It is 1 - NMI, so 1 means the labelings are independent and
+// 0 means they determine each other.
+func (t *ContingencyTable) Uniformity() float64 { return 1 - NMI(t) }
+
+// NMI returns the normalized mutual information I(A;B)/sqrt(H(A)H(B)),
+// in [0,1]. If either entropy is zero, NMI is defined as 0 unless both are
+// zero and the labelings are identical-trivial, in which case it is 1.
+func NMI(t *ContingencyTable) float64 {
+	ha, hb := t.EntropyRow(), t.EntropyCol()
+	if ha == 0 && hb == 0 {
+		return 1
+	}
+	if ha == 0 || hb == 0 {
+		return 0
+	}
+	v := t.MutualInformation() / math.Sqrt(ha*hb)
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

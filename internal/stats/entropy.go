@@ -1,0 +1,104 @@
+// Package stats provides the information-theoretic and probabilistic
+// primitives shared by the clustering algorithms: entropy, mutual
+// information, contingency tables, Gaussian densities, kernel density
+// estimation, Chernoff–Hoeffding tail bounds, and histograms.
+package stats
+
+import "math"
+
+// Entropy returns the Shannon entropy (in nats) of a discrete distribution
+// given as unnormalized non-negative weights. Zero weights contribute zero.
+func Entropy(weights []float64) float64 {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	var h float64
+	for _, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		p := w / total
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// Entropy2 is Entropy measured in bits.
+func Entropy2(weights []float64) float64 { return Entropy(weights) / math.Ln2 }
+
+// LabelEntropy returns the entropy (nats) of an integer labeling. Negative
+// labels (noise) are ignored.
+func LabelEntropy(labels []int) float64 {
+	counts := map[int]float64{}
+	for _, l := range labels {
+		if l < 0 {
+			continue
+		}
+		counts[l]++
+	}
+	w := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		w = append(w, c)
+	}
+	return Entropy(w)
+}
+
+// KLDiscrete returns the Kullback–Leibler divergence KL(p||q) in nats for
+// two distributions given as unnormalized weights of equal length. Bins
+// where p is zero contribute zero; bins where p>0 and q==0 contribute +Inf.
+func KLDiscrete(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: KLDiscrete length mismatch")
+	}
+	var sp, sq float64
+	for i := range p {
+		sp += p[i]
+		sq += q[i]
+	}
+	if sp <= 0 || sq <= 0 {
+		return 0
+	}
+	var kl float64
+	for i := range p {
+		if p[i] <= 0 {
+			continue
+		}
+		pi := p[i] / sp
+		if q[i] <= 0 {
+			return math.Inf(1)
+		}
+		qi := q[i] / sq
+		kl += pi * math.Log(pi/qi)
+	}
+	return kl
+}
+
+// JensenShannon returns the Jensen–Shannon divergence (nats) between two
+// distributions given as unnormalized weights. It is symmetric and bounded
+// by ln 2.
+func JensenShannon(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: JensenShannon length mismatch")
+	}
+	var sp, sq float64
+	for i := range p {
+		sp += p[i]
+		sq += q[i]
+	}
+	if sp <= 0 || sq <= 0 {
+		return 0
+	}
+	m := make([]float64, len(p))
+	pn := make([]float64, len(p))
+	qn := make([]float64, len(p))
+	for i := range p {
+		pn[i] = p[i] / sp
+		qn[i] = q[i] / sq
+		m[i] = 0.5 * (pn[i] + qn[i])
+	}
+	return 0.5*KLDiscrete(pn, m) + 0.5*KLDiscrete(qn, m)
+}

@@ -1,0 +1,140 @@
+package subspace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForceDenseUnits enumerates every cell of every subspace directly and
+// returns the dense ones — exponential, usable only for tiny d, but an
+// oracle for the apriori search.
+func bruteForceDenseUnits(points [][]float64, xi int, tau float64, maxDim int) map[string]int {
+	n := len(points)
+	d := len(points[0])
+	minCount := int(tau*float64(n) + 0.9999999)
+	if minCount < 1 {
+		minCount = 1
+	}
+	out := map[string]int{}
+	// Enumerate non-empty dimension subsets.
+	for mask := 1; mask < (1 << d); mask++ {
+		var dims []int
+		for j := 0; j < d; j++ {
+			if mask&(1<<j) != 0 {
+				dims = append(dims, j)
+			}
+		}
+		if len(dims) > maxDim {
+			continue
+		}
+		// Count objects per cell.
+		cells := map[string][]int{}
+		for i, p := range points {
+			key := make([]byte, len(dims))
+			for a, j := range dims {
+				key[a] = byte(interval(p[j], xi))
+			}
+			cells[string(key)] = append(cells[string(key)], i)
+		}
+		for key, objs := range cells {
+			if len(objs) >= minCount {
+				ivals := make([]int, len(dims))
+				for a := range dims {
+					ivals[a] = int(key[a])
+				}
+				out[unitKey(dims, ivals)] = len(objs)
+			}
+		}
+	}
+	return out
+}
+
+// TestCliqueMatchesBruteForce verifies the apriori lattice search returns
+// exactly the dense units a brute-force enumeration finds — the
+// "without loss of results" guarantee of slide 70 — on random small data.
+func TestCliqueMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		n := 30 + rng.Intn(40)
+		d := 2 + rng.Intn(3) // 2..4 dims
+		pts := make([][]float64, n)
+		for i := range pts {
+			row := make([]float64, d)
+			for j := range row {
+				// Mix of clumped and uniform mass so some units are dense.
+				if rng.Float64() < 0.5 {
+					row[j] = 0.2 + rng.Float64()*0.1
+				} else {
+					row[j] = rng.Float64()
+				}
+			}
+			pts[i] = row
+		}
+		xi := 3 + rng.Intn(3)
+		tau := 0.1 + rng.Float64()*0.15
+
+		res, err := Clique(pts, CliqueConfig{Xi: xi, Tau: tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := bruteForceDenseUnits(pts, xi, tau, d)
+		got := map[string]int{}
+		for _, u := range res.Units {
+			got[unitKey(u.Dims, u.Intervals)] = len(u.Objects)
+		}
+		if len(got) != len(oracle) {
+			t.Fatalf("trial %d (n=%d d=%d xi=%d tau=%.2f): apriori found %d dense units, brute force %d",
+				trial, n, d, xi, tau, len(got), len(oracle))
+		}
+		for k, cnt := range oracle {
+			if got[k] != cnt {
+				t.Fatalf("trial %d: unit %s support %d != oracle %d", trial, k, got[k], cnt)
+			}
+		}
+	}
+}
+
+// TestEnclusMatchesBruteForceEntropy cross-checks the lattice entropies
+// against direct recomputation.
+func TestEnclusMatchesBruteForceEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, d := 80, 3
+	pts := make([][]float64, n)
+	for i := range pts {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		pts[i] = row
+	}
+	scores, err := Enclus(pts, EnclusConfig{Xi: 4, MaxEntropy: 100, MaxDim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With an unbounded MaxEntropy every subspace must appear: 2^3-1 = 7.
+	if len(scores) != 7 {
+		t.Fatalf("scored %d subspaces, want 7", len(scores))
+	}
+	for _, s := range scores {
+		// Recompute the entropy directly.
+		cells := map[string]float64{}
+		for _, p := range pts {
+			key := make([]byte, len(s.Dims))
+			for a, j := range s.Dims {
+				key[a] = byte(interval(p[j], 4))
+			}
+			cells[string(key)]++
+		}
+		var h float64
+		for _, c := range cells {
+			pr := c / float64(n)
+			h -= pr * log2(pr)
+		}
+		if diff := h - s.Entropy; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("entropy of %v = %v, oracle %v", s.Dims, s.Entropy, h)
+		}
+	}
+}
+
+func log2(x float64) float64 { return math.Log2(x) }

@@ -1,0 +1,116 @@
+package subspace
+
+import (
+	"errors"
+
+	"multiclust/internal/core"
+	"multiclust/internal/stats"
+)
+
+// CliqueConfig controls a CLIQUE run (Agrawal et al. 1998, slides 69–71).
+type CliqueConfig struct {
+	Xi     int     // intervals per dimension, default 10
+	Tau    float64 // density threshold as a fraction of n, default 0.02
+	MaxDim int     // cap on subspace dimensionality (<=0: data dimensionality)
+}
+
+// CliqueResult carries the clusters, the dense units, and search statistics.
+type CliqueResult struct {
+	Clusters core.SubspaceClustering
+	Grid     []GridCluster
+	Units    []Unit
+	Stats    GridStats
+}
+
+// Clique finds all clusters as connected dense grid cells in every subspace,
+// pruning the 2^d lattice with the apriori monotonicity: a region dense in S
+// is dense in every subset of S, so candidates with a non-dense projection
+// are never counted. Points are expected in [0,1]^d (use Dataset.Normalize);
+// values outside are clamped into the border cells.
+func Clique(points [][]float64, cfg CliqueConfig) (*CliqueResult, error) {
+	if len(points) == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.Xi == 0 {
+		cfg.Xi = 10
+	}
+	if cfg.Xi < 1 {
+		return nil, errors.New("subspace: Xi must be positive")
+	}
+	if cfg.Tau == 0 {
+		cfg.Tau = 0.02
+	}
+	if cfg.Tau < 0 || cfg.Tau > 1 {
+		return nil, errors.New("subspace: Tau must be in (0,1]")
+	}
+	units, st, err := denseUnits(points, gridConfig{
+		Xi:        cfg.Xi,
+		Threshold: func(int) float64 { return cfg.Tau },
+		MaxDim:    cfg.MaxDim,
+	})
+	if err != nil {
+		return nil, err
+	}
+	grid := unitsToClusters(units, cfg.Xi)
+	return &CliqueResult{
+		Clusters: Clusters(grid),
+		Grid:     grid,
+		Units:    units,
+		Stats:    st,
+	}, nil
+}
+
+// SchismConfig controls a SCHISM run (Sequeira & Zaki 2004, slides 72–73).
+type SchismConfig struct {
+	Xi     int     // intervals per dimension, default 10
+	Tau    float64 // significance level of the Chernoff–Hoeffding bound, default 0.01
+	MaxDim int
+}
+
+// SchismResult mirrors CliqueResult; Threshold reports τ(s) per level so the
+// decreasing-threshold figure can be regenerated.
+type SchismResult struct {
+	Clusters  core.SubspaceClustering
+	Grid      []GridCluster
+	Units     []Unit
+	Stats     GridStats
+	Threshold func(dim int) float64
+}
+
+// Schism runs the grid search with the dimensionality-adaptive support
+// threshold τ(s) = (1/ξ)^s + sqrt(ln(1/τ)/(2n)): the expected density of an
+// s-dimensional cell under the uniform null plus a Hoeffding slack, so a
+// cell is kept only when its support is statistically surprising. Unlike
+// CLIQUE's fixed Tau, the threshold decreases with dimensionality, keeping
+// high-dimensional clusters that a fixed threshold starves.
+func Schism(points [][]float64, cfg SchismConfig) (*SchismResult, error) {
+	if len(points) == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.Xi == 0 {
+		cfg.Xi = 10
+	}
+	if cfg.Xi < 1 {
+		return nil, errors.New("subspace: Xi must be positive")
+	}
+	if cfg.Tau == 0 {
+		cfg.Tau = 0.01
+	}
+	if cfg.Tau <= 0 || cfg.Tau >= 1 {
+		return nil, errors.New("subspace: Tau must be in (0,1)")
+	}
+	n := len(points)
+	thr := func(s int) float64 { return stats.SchismThreshold(s, cfg.Xi, n, cfg.Tau) }
+	units, st, err := denseUnits(points, gridConfig{Xi: cfg.Xi, Threshold: thr, MaxDim: cfg.MaxDim})
+	if err != nil {
+		return nil, err
+	}
+	grid := unitsToClusters(units, cfg.Xi)
+	return &SchismResult{
+		Clusters:  Clusters(grid),
+		Grid:      grid,
+		Units:     units,
+		Stats:     st,
+		Threshold: thr,
+	}, nil
+}

@@ -1,0 +1,146 @@
+package subspace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"multiclust/internal/core"
+	"multiclust/internal/stats"
+)
+
+// EnclusConfig controls entropy-based subspace search (Cheng, Fu & Zhang
+// 1999, slides 88–89).
+type EnclusConfig struct {
+	Xi          int     // grid intervals per dimension, default 8
+	MaxEntropy  float64 // omega: subspaces with H(S) <= omega (bits) are interesting
+	MinInterest float64 // epsilon: minimum interest (total correlation, bits), default 0
+	MaxDim      int     // cap on subspace dimensionality
+}
+
+// SubspaceScore is one ranked subspace.
+type SubspaceScore struct {
+	Dims     []int
+	Entropy  float64 // H(S) in bits
+	Interest float64 // sum_d H({d}) - H(S) in bits (total correlation)
+}
+
+// Enclus ranks subspaces by grid entropy: a low-entropy subspace has most of
+// its mass in few cells — high coverage, high density, correlated
+// dimensions — exactly the tutorial's criteria for an interesting subspace.
+// Candidate generation is bottom-up with the monotonicity
+// H(S) <= H(S ∪ {d}): once a subspace exceeds MaxEntropy every superset
+// does too, so it is pruned. Subspace clustering proper is then run on the
+// surviving subspaces by the caller (the decoupled "subspace search"
+// pipeline of slide 88).
+func Enclus(points [][]float64, cfg EnclusConfig) ([]SubspaceScore, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.Xi == 0 {
+		cfg.Xi = 8
+	}
+	if cfg.Xi < 1 {
+		return nil, errors.New("subspace: Xi must be positive")
+	}
+	if cfg.MaxEntropy <= 0 {
+		return nil, errors.New("subspace: MaxEntropy must be positive")
+	}
+	d := len(points[0])
+	if cfg.MaxDim <= 0 || cfg.MaxDim > d {
+		cfg.MaxDim = d
+	}
+
+	entropyOf := func(dims []int) float64 {
+		cells := map[string]float64{}
+		var key []byte
+		for _, p := range points {
+			key = key[:0]
+			for _, j := range dims {
+				key = append(key, byte(interval(p[j], cfg.Xi)))
+			}
+			cells[string(key)]++
+		}
+		w := make([]float64, 0, len(cells))
+		for _, c := range cells {
+			w = append(w, c)
+		}
+		return stats.Entropy2(w)
+	}
+
+	singles := make([]float64, d)
+	var out []SubspaceScore
+	level := map[string][]int{}
+	for j := 0; j < d; j++ {
+		h := entropyOf([]int{j})
+		singles[j] = h
+		if h <= cfg.MaxEntropy {
+			level[fmt.Sprint([]int{j})] = []int{j}
+			out = append(out, SubspaceScore{Dims: []int{j}, Entropy: h, Interest: 0})
+		}
+	}
+
+	for s := 2; s <= cfg.MaxDim && len(level) > 1; s++ {
+		next := map[string][]int{}
+		keys := make([]string, 0, len(level))
+		for k := range level {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				dims, ok := joinDims(level[keys[i]], level[keys[j]])
+				if !ok {
+					continue
+				}
+				key := fmt.Sprint(dims)
+				if _, seen := next[key]; seen {
+					continue
+				}
+				// Monotonicity prune: all subsets must be interesting.
+				if !allDimSubsetsPresent(dims, level) {
+					continue
+				}
+				h := entropyOf(dims)
+				if h > cfg.MaxEntropy {
+					continue
+				}
+				var sumSingles float64
+				for _, dd := range dims {
+					sumSingles += singles[dd]
+				}
+				interest := sumSingles - h
+				if interest < cfg.MinInterest {
+					continue
+				}
+				next[key] = dims
+				out = append(out, SubspaceScore{Dims: dims, Entropy: h, Interest: interest})
+			}
+		}
+		level = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Entropy != out[j].Entropy {
+			return out[i].Entropy < out[j].Entropy
+		}
+		return fmt.Sprint(out[i].Dims) < fmt.Sprint(out[j].Dims)
+	})
+	return out, nil
+}
+
+func allDimSubsetsPresent(dims []int, level map[string][]int) bool {
+	sub := make([]int, 0, len(dims)-1)
+	for drop := range dims {
+		sub = sub[:0]
+		for i, d := range dims {
+			if i != drop {
+				sub = append(sub, d)
+			}
+		}
+		if _, ok := level[fmt.Sprint(sub)]; !ok {
+			return false
+		}
+	}
+	return true
+}

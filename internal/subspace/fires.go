@@ -1,0 +1,135 @@
+package subspace
+
+import (
+	"errors"
+	"sort"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dbscan"
+	"multiclust/internal/dist"
+)
+
+// FiresConfig controls the approximate subspace clustering.
+type FiresConfig struct {
+	Eps    float64 // 1D DBSCAN radius for the base clusters
+	MinPts int     // 1D DBSCAN core threshold
+	// MergeOverlap in (0,1]: two base clusters merge when their object-set
+	// Jaccard similarity reaches this value. Default 0.5.
+	MergeOverlap float64
+	// MinSize drops merged clusters smaller than this. Default MinPts.
+	MinSize int
+}
+
+// FiresResult carries the approximate subspace clusters and the 1D base
+// clusters they were assembled from.
+type FiresResult struct {
+	Clusters     core.SubspaceClustering
+	BaseClusters core.SubspaceClustering // the 1D building blocks
+}
+
+// Fires implements the FIRES framework (Kriegel et al. 2005, tutorial slide
+// 74) in its generic form: compute cheap one-dimensional base clusters
+// (DBSCAN per dimension), then approximate the maximal-dimensional subspace
+// clusters by merging base clusters whose OBJECT sets strongly overlap —
+// objects clustered together along several dimensions are, with high
+// probability, a subspace cluster in the union of those dimensions. The
+// result is approximate (no exhaustive lattice search), trading recall for
+// a runtime linear in the number of dimensions.
+func Fires(points [][]float64, cfg FiresConfig) (*FiresResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.Eps <= 0 || cfg.MinPts <= 0 {
+		return nil, errors.New("subspace: Eps and MinPts must be positive")
+	}
+	if cfg.MergeOverlap <= 0 || cfg.MergeOverlap > 1 {
+		cfg.MergeOverlap = 0.5
+	}
+	if cfg.MinSize <= 0 {
+		cfg.MinSize = cfg.MinPts
+	}
+	d := len(points[0])
+
+	res := &FiresResult{}
+	// Base clusters: DBSCAN in every single dimension.
+	for j := 0; j < d; j++ {
+		col := make([][]float64, n)
+		for i, p := range points {
+			col[i] = []float64{p[j]}
+		}
+		c, err := dbscan.Run(col, dist.Euclidean, dbscan.Config{Eps: cfg.Eps, MinPts: cfg.MinPts})
+		if err != nil {
+			return nil, err
+		}
+		for _, members := range c.Clusters() {
+			res.BaseClusters = append(res.BaseClusters, core.NewSubspaceCluster(members, []int{j}))
+		}
+	}
+
+	// Merge phase: union-find over base clusters with Jaccard >= threshold.
+	nb := len(res.BaseClusters)
+	parent := make([]int, nb)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for i := 0; i < nb; i++ {
+		for j := i + 1; j < nb; j++ {
+			a, b := res.BaseClusters[i], res.BaseClusters[j]
+			if a.Dims[0] == b.Dims[0] {
+				continue // same dimension: alternatives, never merged
+			}
+			inter := float64(a.SharedObjects(b))
+			union := float64(a.Size()+b.Size()) - inter
+			if union > 0 && inter/union >= cfg.MergeOverlap {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < nb; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		members := groups[r]
+		// Cluster objects: those present in the majority of the merged base
+		// clusters (robust intersection).
+		counts := map[int]int{}
+		dimSet := map[int]bool{}
+		for _, bi := range members {
+			for _, o := range res.BaseClusters[bi].Objects {
+				counts[o]++
+			}
+			dimSet[res.BaseClusters[bi].Dims[0]] = true
+		}
+		need := (len(members) + 1) / 2
+		var objs []int
+		for o, c := range counts {
+			if c >= need {
+				objs = append(objs, o)
+			}
+		}
+		if len(objs) < cfg.MinSize {
+			continue
+		}
+		var dims []int
+		for dim := range dimSet {
+			dims = append(dims, dim)
+		}
+		res.Clusters = append(res.Clusters, core.NewSubspaceCluster(objs, dims))
+	}
+	return res, nil
+}

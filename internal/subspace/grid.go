@@ -1,0 +1,336 @@
+// Package subspace implements the subspace-projection paradigm of the
+// tutorial's section 4: bottom-up grid methods (CLIQUE, SCHISM), the
+// density-based SUBCLU, the projected-clustering baselines PROCLUS and DOC,
+// entropy-based subspace search (ENCLUS), and the result-optimization layer
+// that turns the redundant set ALL into a meaningful set M (OSCLU, ASCLU,
+// STATPC-lite, RESCU-lite).
+package subspace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"multiclust/internal/core"
+)
+
+// Unit is one dense grid cell: an axis-parallel hyper-rectangle defined by
+// one interval per relevant dimension, with the objects it holds.
+type Unit struct {
+	Dims      []int // ascending dimension indices
+	Intervals []int // interval index per dimension (parallel to Dims)
+	Objects   []int // ascending object indices inside the cell
+}
+
+// GridStats reports the work done by the bottom-up lattice search; the
+// pruning effectiveness of the apriori monotonicity (slide 71) is
+// CandidatesPruned / (CandidatesGenerated + CandidatesPruned).
+type GridStats struct {
+	CandidatesGenerated int         // candidates whose support was counted
+	CandidatesPruned    int         // candidates rejected by the monotonicity check alone
+	DenseUnits          int         // total dense units found
+	UnitsPerDim         map[int]int // dense units by subspace dimensionality
+}
+
+// ThresholdFunc returns the minimum support (as a fraction of the database)
+// for a unit of the given dimensionality. CLIQUE uses a constant; SCHISM a
+// decreasing function.
+type ThresholdFunc func(dim int) float64
+
+// gridConfig is the shared configuration of the lattice search.
+type gridConfig struct {
+	Xi        int // intervals per dimension
+	Threshold ThresholdFunc
+	MaxDim    int // cap on subspace dimensionality (<=0: no cap)
+}
+
+// denseUnits runs the bottom-up apriori search for dense units over points
+// that must already be normalized to [0,1] per dimension.
+func denseUnits(points [][]float64, cfg gridConfig) ([]Unit, GridStats, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, GridStats{}, core.ErrEmptyDataset
+	}
+	d := len(points[0])
+	if cfg.Xi < 1 {
+		return nil, GridStats{}, errors.New("subspace: Xi must be at least 1")
+	}
+	if cfg.MaxDim <= 0 || cfg.MaxDim > d {
+		cfg.MaxDim = d
+	}
+	stats := GridStats{UnitsPerDim: map[int]int{}}
+	minCount := func(s int) int {
+		t := cfg.Threshold(s)
+		c := int(t*float64(n) + 0.9999999)
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+
+	// Level 1: one pass over the data per dimension.
+	var all []Unit
+	level := make(map[string]*Unit)
+	for j := 0; j < d; j++ {
+		buckets := make([][]int, cfg.Xi)
+		for i, p := range points {
+			b := interval(p[j], cfg.Xi)
+			buckets[b] = append(buckets[b], i)
+		}
+		for b, objs := range buckets {
+			stats.CandidatesGenerated++
+			if len(objs) >= minCount(1) {
+				u := &Unit{Dims: []int{j}, Intervals: []int{b}, Objects: objs}
+				level[unitKey(u.Dims, u.Intervals)] = u
+			}
+		}
+	}
+	appendLevel(&all, level, &stats)
+	prev := level
+
+	for s := 2; s <= cfg.MaxDim && len(prev) > 1; s++ {
+		cur := make(map[string]*Unit)
+		units := make([]*Unit, 0, len(prev))
+		for _, u := range prev {
+			units = append(units, u)
+		}
+		sort.Slice(units, func(i, j int) bool {
+			return unitKey(units[i].Dims, units[i].Intervals) < unitKey(units[j].Dims, units[j].Intervals)
+		})
+		mc := minCount(s)
+		for i := 0; i < len(units); i++ {
+			for j := i + 1; j < len(units); j++ {
+				a, b := units[i], units[j]
+				if !joinable(a, b) {
+					continue
+				}
+				dims, ivals := joinUnit(a, b)
+				key := unitKey(dims, ivals)
+				if _, seen := cur[key]; seen {
+					continue
+				}
+				// Apriori prune: every (s-1)-subunit must be dense.
+				if !allSubunitsDense(dims, ivals, prev) {
+					stats.CandidatesPruned++
+					continue
+				}
+				stats.CandidatesGenerated++
+				objs := intersectSorted(a.Objects, b.Objects)
+				if len(objs) >= mc {
+					cur[key] = &Unit{Dims: dims, Intervals: ivals, Objects: objs}
+				}
+			}
+		}
+		appendLevel(&all, cur, &stats)
+		prev = cur
+	}
+	return all, stats, nil
+}
+
+func appendLevel(all *[]Unit, level map[string]*Unit, stats *GridStats) {
+	keys := make([]string, 0, len(level))
+	for k := range level {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		u := level[k]
+		*all = append(*all, *u)
+		stats.DenseUnits++
+		stats.UnitsPerDim[len(u.Dims)]++
+	}
+}
+
+// interval maps a normalized coordinate to its grid interval.
+func interval(v float64, xi int) int {
+	b := int(v * float64(xi))
+	if b < 0 {
+		b = 0
+	}
+	if b >= xi {
+		b = xi - 1
+	}
+	return b
+}
+
+func unitKey(dims, ivals []int) string {
+	key := make([]byte, 0, 8*len(dims))
+	for i := range dims {
+		key = append(key, []byte(fmt.Sprintf("%d:%d;", dims[i], ivals[i]))...)
+	}
+	return string(key)
+}
+
+// joinable reports whether two s-1 units share their first s-2 (dim,
+// interval) pairs and end in different dimensions — the apriori join.
+func joinable(a, b *Unit) bool {
+	s := len(a.Dims)
+	for i := 0; i < s-1; i++ {
+		if a.Dims[i] != b.Dims[i] || a.Intervals[i] != b.Intervals[i] {
+			return false
+		}
+	}
+	return a.Dims[s-1] != b.Dims[s-1]
+}
+
+func joinUnit(a, b *Unit) (dims, ivals []int) {
+	s := len(a.Dims)
+	dims = append(append([]int(nil), a.Dims...), b.Dims[s-1])
+	ivals = append(append([]int(nil), a.Intervals...), b.Intervals[s-1])
+	// Keep dims ascending (the last two may be out of order).
+	if s >= 1 && dims[s] < dims[s-1] {
+		dims[s], dims[s-1] = dims[s-1], dims[s]
+		ivals[s], ivals[s-1] = ivals[s-1], ivals[s]
+	}
+	return dims, ivals
+}
+
+// allSubunitsDense checks the monotonicity condition: all (s-1)-dimensional
+// projections of the candidate must themselves be dense.
+func allSubunitsDense(dims, ivals []int, prev map[string]*Unit) bool {
+	s := len(dims)
+	subDims := make([]int, 0, s-1)
+	subIvals := make([]int, 0, s-1)
+	for drop := 0; drop < s; drop++ {
+		subDims = subDims[:0]
+		subIvals = subIvals[:0]
+		for i := 0; i < s; i++ {
+			if i == drop {
+				continue
+			}
+			subDims = append(subDims, dims[i])
+			subIvals = append(subIvals, ivals[i])
+		}
+		if _, ok := prev[unitKey(subDims, subIvals)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// GridCluster is a subspace cluster assembled from adjacent dense units; it
+// keeps the unit count and grid resolution so statistical selectors
+// (STATPC) can compute the region's volume under the uniform null.
+type GridCluster struct {
+	core.SubspaceCluster
+	Units int // dense units merged into this cluster
+	Xi    int // grid resolution the units were found at
+}
+
+// unitsToClusters merges adjacent dense units per subspace into clusters
+// (CLIQUE's cluster definition: connected dense units).
+func unitsToClusters(units []Unit, xi int) []GridCluster {
+	// Group units by subspace.
+	bySub := map[string][]int{}
+	subDims := map[string][]int{}
+	for i, u := range units {
+		k := fmt.Sprint(u.Dims)
+		bySub[k] = append(bySub[k], i)
+		subDims[k] = u.Dims
+	}
+	keys := make([]string, 0, len(bySub))
+	for k := range bySub {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var out []GridCluster
+	for _, k := range keys {
+		idxs := bySub[k]
+		// Union-find over adjacent units.
+		parent := make([]int, len(idxs))
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			if parent[x] != x {
+				parent[x] = find(parent[x])
+			}
+			return parent[x]
+		}
+		for i := 0; i < len(idxs); i++ {
+			for j := i + 1; j < len(idxs); j++ {
+				if adjacentUnits(&units[idxs[i]], &units[idxs[j]]) {
+					parent[find(i)] = find(j)
+				}
+			}
+		}
+		comps := map[int][]int{}
+		for i := range idxs {
+			r := find(i)
+			comps[r] = append(comps[r], idxs[i])
+		}
+		roots := make([]int, 0, len(comps))
+		for r := range comps {
+			roots = append(roots, r)
+		}
+		sort.Ints(roots)
+		for _, r := range roots {
+			objSet := map[int]bool{}
+			for _, ui := range comps[r] {
+				for _, o := range units[ui].Objects {
+					objSet[o] = true
+				}
+			}
+			objs := make([]int, 0, len(objSet))
+			for o := range objSet {
+				objs = append(objs, o)
+			}
+			out = append(out, GridCluster{
+				SubspaceCluster: core.NewSubspaceCluster(objs, subDims[k]),
+				Units:           len(comps[r]),
+				Xi:              xi,
+			})
+		}
+	}
+	return out
+}
+
+// adjacentUnits reports whether two units of the same subspace share a face:
+// intervals equal everywhere except one dimension where they differ by 1.
+func adjacentUnits(a, b *Unit) bool {
+	diff := 0
+	for i := range a.Dims {
+		d := a.Intervals[i] - b.Intervals[i]
+		if d == 0 {
+			continue
+		}
+		if d == 1 || d == -1 {
+			diff++
+			if diff > 1 {
+				return false
+			}
+			continue
+		}
+		return false
+	}
+	return diff == 1
+}
+
+// Clusters converts grid clusters to the shared result type.
+func Clusters(gcs []GridCluster) core.SubspaceClustering {
+	out := make(core.SubspaceClustering, len(gcs))
+	for i, g := range gcs {
+		out[i] = g.SubspaceCluster
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package subspace
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"multiclust/internal/core"
+	"multiclust/internal/linalg"
+)
+
+// OrclusConfig controls an ORCLUS run (Aggarwal & Yu 2000, slide 66).
+type OrclusConfig struct {
+	K       int // final number of clusters
+	L       int // final subspace dimensionality per cluster
+	K0      int // initial seed count, default 5*K
+	Seed    int64
+	Alpha   float64 // cluster-count decay per merge phase, default 0.5
+	MaxIter int     // assignment/recompute rounds per phase, default 5
+}
+
+// OrclusCluster is one arbitrarily oriented projected cluster: objects plus
+// the orthonormal basis (columns) of the low-variance subspace the cluster
+// lives in.
+type OrclusCluster struct {
+	Objects []int
+	Basis   *linalg.Matrix // d × l, columns = least-spread eigenvectors
+	Center  []float64
+}
+
+// OrclusResult is the fitted model.
+type OrclusResult struct {
+	Clusters   []OrclusCluster
+	Assignment *core.Clustering
+	Energy     float64 // mean squared projected distance to assigned centers
+}
+
+// Orclus finds arbitrarily ORiented projected CLUSters: unlike the
+// axis-parallel methods, each cluster's subspace is the span of the
+// lowest-variance eigenvectors of its own covariance, so correlation
+// structure (clusters spread along arbitrary directions) is captured.
+// The algorithm interleaves k-means-style assignment in each cluster's
+// current subspace with eigen-recomputation, while progressively merging
+// seeds (k0 -> K) and shrinking dimensionality (d -> L), as in the paper.
+func Orclus(points [][]float64, cfg OrclusConfig) (*OrclusResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, errors.New("subspace: invalid K")
+	}
+	d := len(points[0])
+	if cfg.L <= 0 || cfg.L > d {
+		return nil, errors.New("subspace: invalid L")
+	}
+	if cfg.K0 <= 0 {
+		cfg.K0 = 5 * cfg.K
+	}
+	if cfg.K0 > n {
+		cfg.K0 = n
+	}
+	if cfg.K0 < cfg.K {
+		cfg.K0 = cfg.K
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		cfg.Alpha = 0.5
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// State: current centers and per-cluster bases.
+	kc := cfg.K0
+	lc := d
+	perm := rng.Perm(n)
+	centers := make([][]float64, kc)
+	for c := 0; c < kc; c++ {
+		centers[c] = append([]float64(nil), points[perm[c]]...)
+	}
+	bases := make([]*linalg.Matrix, kc)
+	for c := range bases {
+		bases[c] = linalg.Identity(d) // full space initially
+	}
+
+	assign := func() [][]int {
+		groups := make([][]int, len(centers))
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if dd := projectedSqDist(p, centers[c], bases[c]); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			groups[best] = append(groups[best], i)
+		}
+		return groups
+	}
+	recompute := func(groups [][]int, l int) {
+		for c, members := range groups {
+			if len(members) == 0 {
+				centers[c] = append([]float64(nil), points[rng.Intn(n)]...)
+				bases[c] = linalg.Identity(d)
+				continue
+			}
+			centers[c] = meanOf(points, members)
+			bases[c] = lowVarianceBasis(points, members, l)
+		}
+	}
+
+	for {
+		// Iterate assignment + recomputation at the current (kc, lc).
+		var groups [][]int
+		for it := 0; it < cfg.MaxIter; it++ {
+			groups = assign()
+			recompute(groups, lc)
+		}
+		if kc == cfg.K && lc == cfg.L {
+			break
+		}
+		// Decay cluster count and dimensionality together, as in the paper:
+		// knew = max(K, alpha*kc); l moves halfway toward its target L.
+		knew := int(math.Max(float64(cfg.K), math.Floor(cfg.Alpha*float64(kc))))
+		lnew := (lc + cfg.L) / 2
+		if lnew < cfg.L {
+			lnew = cfg.L
+		}
+		// Merge the closest center pairs (by projected energy of the union)
+		// until knew remain.
+		groups = assign()
+		for len(centers) > knew {
+			bi, bj, bestE := -1, -1, math.Inf(1)
+			for i := 0; i < len(centers); i++ {
+				for j := i + 1; j < len(centers); j++ {
+					union := append(append([]int(nil), groups[i]...), groups[j]...)
+					if len(union) == 0 {
+						bi, bj, bestE = i, j, 0
+						continue
+					}
+					ctr := meanOf(points, union)
+					basis := lowVarianceBasis(points, union, lnew)
+					var e float64
+					for _, o := range union {
+						e += projectedSqDist(points[o], ctr, basis)
+					}
+					e /= float64(len(union))
+					if e < bestE {
+						bi, bj, bestE = i, j, e
+					}
+				}
+			}
+			merged := append(append([]int(nil), groups[bi]...), groups[bj]...)
+			groups[bi] = merged
+			if len(merged) > 0 {
+				centers[bi] = meanOf(points, merged)
+				bases[bi] = lowVarianceBasis(points, merged, lnew)
+			}
+			groups = append(groups[:bj], groups[bj+1:]...)
+			centers = append(centers[:bj], centers[bj+1:]...)
+			bases = append(bases[:bj], bases[bj+1:]...)
+		}
+		kc = len(centers)
+		lc = lnew
+	}
+
+	groups := assign()
+	labels := make([]int, n)
+	res := &OrclusResult{}
+	var energy float64
+	for c, members := range groups {
+		for _, o := range members {
+			labels[o] = c
+			energy += projectedSqDist(points[o], centers[c], bases[c])
+		}
+		res.Clusters = append(res.Clusters, OrclusCluster{
+			Objects: append([]int(nil), members...),
+			Basis:   bases[c],
+			Center:  centers[c],
+		})
+	}
+	res.Assignment = core.NewClustering(labels)
+	res.Energy = energy / float64(n)
+	return res, nil
+}
+
+// projectedSqDist is the squared distance between p and center measured in
+// the subspace spanned by the basis columns.
+func projectedSqDist(p, center []float64, basis *linalg.Matrix) float64 {
+	var s float64
+	for c := 0; c < basis.Cols; c++ {
+		var proj float64
+		for r := 0; r < basis.Rows; r++ {
+			proj += (p[r] - center[r]) * basis.At(r, c)
+		}
+		s += proj * proj
+	}
+	return s
+}
+
+func meanOf(points [][]float64, members []int) []float64 {
+	d := len(points[0])
+	mean := make([]float64, d)
+	for _, o := range members {
+		linalg.Axpy(1, points[o], mean)
+	}
+	linalg.ScaleVec(1/float64(len(members)), mean)
+	return mean
+}
+
+// lowVarianceBasis returns the l eigenvectors of the members' covariance
+// with the SMALLEST eigenvalues — the directions in which the cluster is
+// tight, which define its projected subspace.
+func lowVarianceBasis(points [][]float64, members []int, l int) *linalg.Matrix {
+	d := len(points[0])
+	if l >= d {
+		return linalg.Identity(d)
+	}
+	rows := make([][]float64, len(members))
+	for i, o := range members {
+		rows[i] = points[o]
+	}
+	m, err := linalg.FromRows(rows)
+	if err != nil {
+		return linalg.Identity(d)
+	}
+	cov, _ := linalg.Covariance(m)
+	eig, err := linalg.SymEigen(cov)
+	if err != nil {
+		return linalg.Identity(d)
+	}
+	// Eigenvalues are sorted descending; take the LAST l columns.
+	basis := linalg.NewMatrix(d, l)
+	for c := 0; c < l; c++ {
+		src := d - l + c
+		for r := 0; r < d; r++ {
+			basis.Set(r, c, eig.Vectors.At(r, src))
+		}
+	}
+	return basis
+}

@@ -1,0 +1,125 @@
+package subspace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"multiclust/internal/linalg"
+	"multiclust/internal/metrics"
+)
+
+// orientedClusters builds two clusters stretched along arbitrary (rotated)
+// directions in 4D — the case axis-parallel methods cannot describe.
+func orientedClusters(seed int64, nPer int) (pts [][]float64, labels []int) {
+	rng := rand.New(rand.NewSource(seed))
+	// Cluster 0: spread along (1,1,0,0)/sqrt2, centered at origin.
+	// Cluster 1: spread along (0,0,1,-1)/sqrt2, centered at (8,8,8,8).
+	dirs := [][]float64{
+		{1 / math.Sqrt2, 1 / math.Sqrt2, 0, 0},
+		{0, 0, 1 / math.Sqrt2, -1 / math.Sqrt2},
+	}
+	centers := [][]float64{{0, 0, 0, 0}, {8, 8, 8, 8}}
+	for c := 0; c < 2; c++ {
+		for i := 0; i < nPer; i++ {
+			t := rng.NormFloat64() * 4
+			row := make([]float64, 4)
+			for j := 0; j < 4; j++ {
+				row[j] = centers[c][j] + t*dirs[c][j] + rng.NormFloat64()*0.1
+			}
+			pts = append(pts, row)
+			labels = append(labels, c)
+		}
+	}
+	return pts, labels
+}
+
+func TestOrclusRecoversOrientedClusters(t *testing.T) {
+	pts, truth := orientedClusters(1, 60)
+	res, err := Orclus(pts, OrclusConfig{K: 2, L: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari := metrics.AdjustedRand(truth, res.Assignment.Labels); ari < 0.9 {
+		t.Errorf("ORCLUS ARI = %v", ari)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	// Each cluster's basis must be orthogonal to its spread direction: the
+	// basis spans the LOW-variance subspace, so projecting the spread
+	// direction onto it should be small.
+	dirs := [][]float64{
+		{1 / math.Sqrt2, 1 / math.Sqrt2, 0, 0},
+		{0, 0, 1 / math.Sqrt2, -1 / math.Sqrt2},
+	}
+	for _, cl := range res.Clusters {
+		// Find the matching truth cluster by majority.
+		counts := [2]int{}
+		for _, o := range cl.Objects {
+			counts[truth[o]]++
+		}
+		dir := dirs[0]
+		if counts[1] > counts[0] {
+			dir = dirs[1]
+		}
+		var proj float64
+		for c := 0; c < cl.Basis.Cols; c++ {
+			var ip float64
+			for r := 0; r < cl.Basis.Rows; r++ {
+				ip += dir[r] * cl.Basis.At(r, c)
+			}
+			proj += ip * ip
+		}
+		if proj > 0.1 {
+			t.Errorf("basis not orthogonal to the spread direction: |proj|^2 = %v", proj)
+		}
+	}
+	if res.Energy < 0 {
+		t.Errorf("energy = %v", res.Energy)
+	}
+}
+
+func TestOrclusBasisOrthonormal(t *testing.T) {
+	pts, _ := orientedClusters(2, 40)
+	res, err := Orclus(pts, OrclusConfig{K: 2, L: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range res.Clusters {
+		btb := cl.Basis.T().Mul(cl.Basis)
+		for i := 0; i < btb.Rows; i++ {
+			for j := 0; j < btb.Cols; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(btb.At(i, j)-want) > 1e-6 {
+					t.Fatalf("basis not orthonormal at (%d,%d): %v", i, j, btb.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestOrclusErrors(t *testing.T) {
+	if _, err := Orclus(nil, OrclusConfig{K: 2, L: 1}); err == nil {
+		t.Error("empty data should fail")
+	}
+	pts := [][]float64{{0, 0}, {1, 1}}
+	if _, err := Orclus(pts, OrclusConfig{K: 0, L: 1}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := Orclus(pts, OrclusConfig{K: 2, L: 5}); err == nil {
+		t.Error("L>d should fail")
+	}
+}
+
+func TestProjectedSqDist(t *testing.T) {
+	basis := linalg.NewMatrix(2, 1)
+	basis.Set(0, 0, 1) // project onto x only
+	got := projectedSqDist([]float64{3, 100}, []float64{0, 0}, basis)
+	if got != 9 {
+		t.Errorf("projected distance = %v, want 9", got)
+	}
+}

@@ -1,0 +1,142 @@
+package subspace
+
+import (
+	"errors"
+	"sort"
+
+	"multiclust/internal/core"
+)
+
+// Ilocal scores the standalone interestingness of a candidate cluster.
+// OSCLU leaves it application-defined (slide 84); the default rewards large,
+// high-dimensional clusters: |O| * |S|.
+type Ilocal func(c core.SubspaceCluster) float64
+
+// DefaultIlocal is size × dimensionality.
+func DefaultIlocal(c core.SubspaceCluster) float64 {
+	return float64(c.Size() * c.Dimensionality())
+}
+
+// OscluConfig controls the orthogonal-concept selection.
+type OscluConfig struct {
+	// Alpha in (0,1]: minimum fraction of objects of an admitted cluster not
+	// already covered by its concept group (global interestingness,
+	// slide 83). Default 0.5.
+	Alpha float64
+	// Beta in (0,1]: subspace coverage parameter (slide 82) — T is covered
+	// by S when |T ∩ S| >= Beta*|T|. Default 0.5.
+	Beta float64
+	// Local ranks candidates; default DefaultIlocal.
+	Local Ilocal
+}
+
+// Osclu selects an (approximately) optimal orthogonal clustering out of the
+// candidate set ALL: admit clusters greedily by descending local
+// interestingness, rejecting any whose objects are mostly already covered by
+// the selected clusters in similar subspaces (its concept group). The exact
+// optimum is NP-hard (reduction from SetPacking, slide 85), so the greedy
+// approximation is used, as in the paper.
+func Osclu(all core.SubspaceClustering, cfg OscluConfig) (core.SubspaceClustering, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.5
+	}
+	if cfg.Beta == 0 {
+		cfg.Beta = 0.5
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 || cfg.Beta < 0 || cfg.Beta > 1 {
+		return nil, errors.New("subspace: Alpha and Beta must be in (0,1]")
+	}
+	if cfg.Local == nil {
+		cfg.Local = DefaultIlocal
+	}
+	order := make([]int, len(all))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cfg.Local(all[order[a]]) > cfg.Local(all[order[b]])
+	})
+
+	var selected core.SubspaceClustering
+	for _, idx := range order {
+		c := all[idx]
+		if c.Size() == 0 {
+			continue
+		}
+		if globalInterestingness(c, selected, cfg.Beta) >= cfg.Alpha {
+			selected = append(selected, c)
+		}
+	}
+	return selected, nil
+}
+
+// SameConceptGroup reports whether the subspaces of a and b describe a
+// similar concept under the coverage rule: one dimension set covers the
+// other when they share at least beta of its dimensions.
+func SameConceptGroup(a, b core.SubspaceCluster, beta float64) bool {
+	shared := float64(a.SharedDims(b))
+	return shared >= beta*float64(len(a.Dims)) || shared >= beta*float64(len(b.Dims))
+}
+
+// globalInterestingness is the fraction of c's objects not yet covered by
+// selected clusters in c's concept group (slide 83).
+func globalInterestingness(c core.SubspaceCluster, selected core.SubspaceClustering, beta float64) float64 {
+	if c.Size() == 0 {
+		return 0
+	}
+	covered := map[int]bool{}
+	for _, k := range selected {
+		if !SameConceptGroup(c, k, beta) {
+			continue
+		}
+		for _, o := range k.Objects {
+			covered[o] = true
+		}
+	}
+	fresh := 0
+	for _, o := range c.Objects {
+		if !covered[o] {
+			fresh++
+		}
+	}
+	return float64(fresh) / float64(c.Size())
+}
+
+// AscluConfig controls alternative subspace clustering.
+type AscluConfig struct {
+	OscluConfig
+	// Known is the given clustering (slides 86–87); admitted clusters must
+	// be valid alternatives to it.
+	Known core.SubspaceClustering
+}
+
+// Asclu extends Osclu with given knowledge: a candidate is a valid
+// alternative iff at least Alpha of its objects are not already clustered by
+// the Known clusters in its concept group, and the selected result must be
+// orthogonal among itself as in OSCLU.
+func Asclu(all core.SubspaceClustering, cfg AscluConfig) (core.SubspaceClustering, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.5
+	}
+	if cfg.Beta == 0 {
+		cfg.Beta = 0.5
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 || cfg.Beta < 0 || cfg.Beta > 1 {
+		return nil, errors.New("subspace: Alpha and Beta must be in (0,1]")
+	}
+	if cfg.Local == nil {
+		cfg.Local = DefaultIlocal
+	}
+	// Filter to valid alternatives first, then run the orthogonal selection
+	// on the survivors.
+	var valid core.SubspaceClustering
+	for _, c := range all {
+		if c.Size() == 0 {
+			continue
+		}
+		if globalInterestingness(c, cfg.Known, cfg.Beta) >= cfg.Alpha {
+			valid = append(valid, c)
+		}
+	}
+	return Osclu(valid, cfg.OscluConfig)
+}

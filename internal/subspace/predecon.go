@@ -1,0 +1,156 @@
+package subspace
+
+import (
+	"errors"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dbscan"
+)
+
+// PredeconConfig controls a PreDeCon run (Böhm et al. 2004a, slide 66).
+type PredeconConfig struct {
+	Eps    float64 // neighbourhood radius (both for preferences and clustering)
+	MinPts int     // core threshold
+	Delta  float64 // variance threshold: a dimension is "preferred" when the neighbourhood variance along it is <= Delta
+	Lambda int     // maximum preference dimensionality of a core object
+	Kappa  float64 // weight boost for preferred dimensions, default 100
+}
+
+// PredeconResult carries the clustering plus the per-object subspace
+// preferences that defined it.
+type PredeconResult struct {
+	Assignment  *core.Clustering
+	Preferences [][]bool                // [object][dim] — true when the dimension is preferred (low local variance)
+	Clusters    core.SubspaceClustering // one entry per cluster, dims = preferences shared by most members
+}
+
+// Predecon implements density-connected clustering with local subspace
+// preferences: each object's epsilon-neighbourhood defines a preference
+// vector (dimensions with variance below Delta are "preferred" and weighted
+// by Kappa in the distance), and DBSCAN's core-object property is evaluated
+// under the preference-weighted distance with the additional constraint
+// that a core object has at most Lambda preferred dimensions.
+func Predecon(points [][]float64, cfg PredeconConfig) (*PredeconResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.Eps <= 0 || cfg.MinPts <= 0 || cfg.Delta <= 0 {
+		return nil, errors.New("subspace: Eps, MinPts and Delta must be positive")
+	}
+	d := len(points[0])
+	if cfg.Lambda <= 0 || cfg.Lambda > d {
+		cfg.Lambda = d
+	}
+	if cfg.Kappa <= 1 {
+		cfg.Kappa = 100
+	}
+
+	// Plain epsilon-neighbourhoods (unweighted) define the local variance.
+	neighbors := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if sqDist(points[i], points[j]) <= cfg.Eps*cfg.Eps {
+				neighbors[i] = append(neighbors[i], j)
+			}
+		}
+	}
+	prefs := make([][]bool, n)
+	prefDim := make([]int, n)
+	weights := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		prefs[i] = make([]bool, d)
+		weights[i] = make([]float64, d)
+		for j := 0; j < d; j++ {
+			// Variance along dim j within the neighbourhood of i, relative
+			// to point i (the paper's VAR definition).
+			var v float64
+			for _, o := range neighbors[i] {
+				diff := points[o][j] - points[i][j]
+				v += diff * diff
+			}
+			v /= float64(len(neighbors[i]))
+			if v <= cfg.Delta {
+				prefs[i][j] = true
+				prefDim[i]++
+				weights[i][j] = cfg.Kappa
+			} else {
+				weights[i][j] = 1
+			}
+		}
+	}
+
+	// Preference-weighted symmetric distance: the paper uses
+	// max(dist_p(i,j), dist_p(j,i)) with dist_p the weighted Euclidean.
+	wdist := func(i, j int) float64 {
+		var a, b float64
+		for dim := 0; dim < d; dim++ {
+			diff := points[i][dim] - points[j][dim]
+			a += weights[i][dim] * diff * diff
+			b += weights[j][dim] * diff * diff
+		}
+		if b > a {
+			a = b
+		}
+		return a // squared
+	}
+	// The radius stays Eps: the Kappa weighting shrinks the reach along
+	// preferred dimensions (neighbours must be within Eps/sqrt(Kappa)
+	// there), which is exactly what makes the clusters subspace-specific.
+	epsSq := cfg.Eps * cfg.Eps
+
+	nf := func(o int) []int {
+		// A core object must also satisfy the preference-dimensionality
+		// bound; objects violating it get an empty neighbourhood so they
+		// can only be border points.
+		if prefDim[o] > cfg.Lambda {
+			return []int{o}
+		}
+		var out []int
+		for j := 0; j < n; j++ {
+			if wdist(o, j) <= epsSq {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	c, err := dbscan.RunGeneric(n, nf, cfg.MinPts)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PredeconResult{Assignment: c, Preferences: prefs}
+	for _, members := range c.Clusters() {
+		// Cluster subspace: dimensions preferred by a majority of members.
+		counts := make([]int, d)
+		for _, o := range members {
+			for j := 0; j < d; j++ {
+				if prefs[o][j] {
+					counts[j]++
+				}
+			}
+		}
+		var dims []int
+		for j := 0; j < d; j++ {
+			if counts[j]*2 > len(members) {
+				dims = append(dims, j)
+			}
+		}
+		if dims == nil {
+			for j := 0; j < d; j++ {
+				dims = append(dims, j)
+			}
+		}
+		res.Clusters = append(res.Clusters, core.NewSubspaceCluster(members, dims))
+	}
+	return res, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

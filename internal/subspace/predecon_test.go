@@ -1,0 +1,113 @@
+package subspace
+
+import (
+	"math/rand"
+	"testing"
+
+	"multiclust/internal/metrics"
+)
+
+// preferenceData: two clusters, each tight in its own dimension pair and
+// spread out in the other pair — local subspace preferences differ per
+// cluster.
+func preferenceData(seed int64, nPer int) (pts [][]float64, labels []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < nPer; i++ {
+		// Cluster 0: tight in dims {0,1} at 0.5, spread in {2,3} over [0,1.5].
+		pts = append(pts, []float64{
+			0.5 + rng.NormFloat64()*0.02,
+			0.5 + rng.NormFloat64()*0.02,
+			rng.Float64() * 1.5,
+			rng.Float64() * 1.5,
+		})
+		labels = append(labels, 0)
+		// Cluster 1: tight in dims {2,3} at 3.5, spread in {0,1} over [2.5,4].
+		pts = append(pts, []float64{
+			2.5 + rng.Float64()*1.5,
+			2.5 + rng.Float64()*1.5,
+			3.5 + rng.NormFloat64()*0.02,
+			3.5 + rng.NormFloat64()*0.02,
+		})
+		labels = append(labels, 1)
+	}
+	return pts, labels
+}
+
+func TestPredeconFindsPreferenceClusters(t *testing.T) {
+	pts, truth := preferenceData(1, 60)
+	res, err := Predecon(pts, PredeconConfig{Eps: 2.0, MinPts: 5, Delta: 0.05, Lambda: 2, Kappa: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.K() < 2 {
+		t.Fatalf("K = %d", res.Assignment.K())
+	}
+	if p := metrics.Purity(truth, res.Assignment.Labels); p < 0.95 {
+		t.Errorf("purity = %v", p)
+	}
+	// Cluster subspaces: one cluster prefers {0,1}, the other {2,3}.
+	foundDims := map[string]bool{}
+	for _, c := range res.Clusters {
+		foundDims[dimsKey(c.Dims)] = true
+	}
+	if !foundDims["[0 1]"] && !foundDims["[2 3]"] {
+		t.Errorf("preference subspaces not recovered: %v", foundDims)
+	}
+}
+
+func TestPredeconPreferences(t *testing.T) {
+	pts, truth := preferenceData(2, 50)
+	res, err := Predecon(pts, PredeconConfig{Eps: 2.0, MinPts: 5, Delta: 0.05, Lambda: 2, Kappa: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Objects of cluster 0 should prefer dims 0 and 1.
+	agree := 0
+	total := 0
+	for i, l := range truth {
+		if l != 0 {
+			continue
+		}
+		total++
+		if res.Preferences[i][0] && res.Preferences[i][1] && !res.Preferences[i][2] && !res.Preferences[i][3] {
+			agree++
+		}
+	}
+	if float64(agree)/float64(total) < 0.9 {
+		t.Errorf("preference vectors wrong for %d/%d objects", total-agree, total)
+	}
+}
+
+func TestPredeconLambdaBound(t *testing.T) {
+	// With Lambda=0 (invalid, defaults to d) everything is permitted; with a
+	// very small Delta no dimension is preferred and the clustering falls
+	// back to plain DBSCAN behaviour in the full space.
+	pts, _ := preferenceData(3, 40)
+	res, err := Predecon(pts, PredeconConfig{Eps: 2.0, MinPts: 5, Delta: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		for j := 0; j < 4; j++ {
+			if res.Preferences[i][j] {
+				t.Fatal("no dimension should be preferred with tiny Delta")
+			}
+		}
+	}
+}
+
+func TestPredeconErrors(t *testing.T) {
+	if _, err := Predecon(nil, PredeconConfig{Eps: 1, MinPts: 1, Delta: 1}); err == nil {
+		t.Error("empty data should fail")
+	}
+	pts := [][]float64{{0}}
+	if _, err := Predecon(pts, PredeconConfig{Eps: 0, MinPts: 1, Delta: 1}); err == nil {
+		t.Error("eps=0 should fail")
+	}
+	if _, err := Predecon(pts, PredeconConfig{Eps: 1, MinPts: 0, Delta: 1}); err == nil {
+		t.Error("minpts=0 should fail")
+	}
+	if _, err := Predecon(pts, PredeconConfig{Eps: 1, MinPts: 1, Delta: 0}); err == nil {
+		t.Error("delta=0 should fail")
+	}
+}

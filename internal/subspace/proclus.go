@@ -1,0 +1,273 @@
+package subspace
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dist"
+)
+
+// ProclusConfig controls a PROCLUS run (Aggarwal et al. 1999, slide 66).
+type ProclusConfig struct {
+	K            int // number of projected clusters
+	L            int // average dimensionality per cluster
+	Seed         int64
+	MaxIter      int // refinement iterations, default 20
+	SampleFactor int // medoid candidate pool = SampleFactor*K, default 5
+}
+
+// ProclusResult is a disjoint projected clustering: one (objects, dims) pair
+// per cluster plus an outlier set. PROCLUS is the tutorial's example of the
+// projected-clustering paradigm: fast, but a single partition — each object
+// in at most one cluster — so it cannot express multiple clustering
+// solutions (slide 66).
+type ProclusResult struct {
+	Clusters   core.SubspaceClustering
+	Assignment *core.Clustering // label per object; Noise = outlier
+	Medoids    []int
+	Dims       [][]int // dims chosen per cluster
+}
+
+// Proclus runs the k-medoid projected clustering: pick well-scattered
+// medoids, select for each medoid the dimensions in which its locality is
+// tightest (z-score of per-dimension average distances, at least 2 per
+// medoid, K*L in total), assign every object to the medoid minimizing the
+// segmental (per-dimension-averaged) Manhattan distance, and iterate by
+// replacing the medoid of the worst cluster.
+func Proclus(points [][]float64, cfg ProclusConfig) (*ProclusResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, errors.New("subspace: invalid K")
+	}
+	d := len(points[0])
+	if cfg.L < 2 {
+		cfg.L = 2
+	}
+	if cfg.L > d {
+		cfg.L = d
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 20
+	}
+	if cfg.SampleFactor <= 0 {
+		cfg.SampleFactor = 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Candidate medoid pool: greedy farthest-point sampling.
+	poolSize := cfg.SampleFactor * cfg.K
+	if poolSize > n {
+		poolSize = n
+	}
+	pool := farthestPointSample(points, poolSize, rng)
+
+	medoids := append([]int(nil), pool[:cfg.K]...)
+	bestCost := math.Inf(1)
+	var best *ProclusResult
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		dims := chooseDimensions(points, medoids, cfg.L)
+		labels, cost := assignSegmental(points, medoids, dims)
+		if cost < bestCost {
+			bestCost = cost
+			best = buildProclusResult(points, medoids, dims, labels)
+		}
+		// Replace the medoid of the smallest cluster with a random pool
+		// candidate (the paper's bad-medoid replacement).
+		counts := make([]int, cfg.K)
+		for _, l := range labels {
+			if l >= 0 {
+				counts[l]++
+			}
+		}
+		worst := 0
+		for c := range counts {
+			if counts[c] < counts[worst] {
+				worst = c
+			}
+		}
+		replacement := pool[rng.Intn(len(pool))]
+		if containsIdx(medoids, replacement) {
+			continue
+		}
+		trial := append([]int(nil), medoids...)
+		trial[worst] = replacement
+		tDims := chooseDimensions(points, trial, cfg.L)
+		_, tCost := assignSegmental(points, trial, tDims)
+		if tCost < cost {
+			medoids = trial
+		}
+	}
+	if best == nil {
+		return nil, errors.New("subspace: PROCLUS found no assignment")
+	}
+	return best, nil
+}
+
+func farthestPointSample(points [][]float64, m int, rng *rand.Rand) []int {
+	n := len(points)
+	out := []int{rng.Intn(n)}
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = dist.Euclidean(points[i], points[out[0]])
+	}
+	for len(out) < m {
+		far, farD := 0, -1.0
+		for i, dd := range minD {
+			if dd > farD {
+				far, farD = i, dd
+			}
+		}
+		out = append(out, far)
+		for i := range minD {
+			if dd := dist.Euclidean(points[i], points[far]); dd < minD[i] {
+				minD[i] = dd
+			}
+		}
+	}
+	return out
+}
+
+// chooseDimensions implements the z-score dimension selection: for each
+// medoid, compute the average distance along each dimension within its
+// locality (points closer to it than to any other medoid half-way), then
+// greedily pick the K*L most negative z-scores with at least 2 per medoid.
+func chooseDimensions(points [][]float64, medoids []int, l int) [][]int {
+	k := len(medoids)
+	d := len(points[0])
+	// Locality: points nearest to each medoid.
+	x := make([][]float64, k) // average |coordinate difference| per dim
+	counts := make([]int, k)
+	for c := range x {
+		x[c] = make([]float64, d)
+	}
+	for i, p := range points {
+		bestC, bestD := 0, math.Inf(1)
+		for c, m := range medoids {
+			if dd := dist.Euclidean(p, points[m]); dd < bestD {
+				bestC, bestD = c, dd
+			}
+		}
+		counts[bestC]++
+		for j := 0; j < d; j++ {
+			x[bestC][j] += math.Abs(p[j] - points[medoids[bestC]][j])
+		}
+		_ = i
+	}
+	type scored struct {
+		c, j int
+		z    float64
+	}
+	var all []scored
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		var mean, sd float64
+		for j := 0; j < d; j++ {
+			x[c][j] /= float64(counts[c])
+			mean += x[c][j]
+		}
+		mean /= float64(d)
+		for j := 0; j < d; j++ {
+			sd += (x[c][j] - mean) * (x[c][j] - mean)
+		}
+		sd = math.Sqrt(sd / math.Max(1, float64(d-1)))
+		if sd == 0 {
+			sd = 1
+		}
+		for j := 0; j < d; j++ {
+			all = append(all, scored{c: c, j: j, z: (x[c][j] - mean) / sd})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].z < all[j].z })
+
+	dims := make([][]int, k)
+	total := k * l
+	// First guarantee 2 dims per medoid.
+	for c := 0; c < k; c++ {
+		taken := 0
+		for _, s := range all {
+			if s.c == c && taken < 2 {
+				dims[c] = append(dims[c], s.j)
+				taken++
+			}
+		}
+	}
+	used := 2 * k
+	for _, s := range all {
+		if used >= total {
+			break
+		}
+		if containsIdx(dims[s.c], s.j) {
+			continue
+		}
+		dims[s.c] = append(dims[s.c], s.j)
+		used++
+	}
+	for c := range dims {
+		sort.Ints(dims[c])
+	}
+	return dims
+}
+
+// assignSegmental assigns every object to the medoid with the smallest
+// segmental distance (Manhattan distance averaged over the medoid's dims).
+func assignSegmental(points [][]float64, medoids []int, dims [][]int) ([]int, float64) {
+	n := len(points)
+	labels := make([]int, n)
+	var cost float64
+	for i, p := range points {
+		bestC, bestD := 0, math.Inf(1)
+		for c, m := range medoids {
+			if len(dims[c]) == 0 {
+				continue
+			}
+			var s float64
+			for _, j := range dims[c] {
+				s += math.Abs(p[j] - points[m][j])
+			}
+			s /= float64(len(dims[c]))
+			if s < bestD {
+				bestC, bestD = c, s
+			}
+		}
+		labels[i] = bestC
+		cost += bestD
+	}
+	return labels, cost
+}
+
+func buildProclusResult(points [][]float64, medoids []int, dims [][]int, labels []int) *ProclusResult {
+	k := len(medoids)
+	clusters := make([][]int, k)
+	for i, l := range labels {
+		clusters[l] = append(clusters[l], i)
+	}
+	res := &ProclusResult{
+		Assignment: core.NewClustering(append([]int(nil), labels...)),
+		Medoids:    append([]int(nil), medoids...),
+		Dims:       dims,
+	}
+	for c := 0; c < k; c++ {
+		if len(clusters[c]) == 0 {
+			continue
+		}
+		res.Clusters = append(res.Clusters, core.NewSubspaceCluster(clusters[c], dims[c]))
+	}
+	return res
+}
+
+func containsIdx(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

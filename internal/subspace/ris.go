@@ -1,0 +1,145 @@
+package subspace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dist"
+)
+
+// RISConfig controls density-based subspace ranking (Kailing et al. 2003,
+// tutorial slide 88).
+type RISConfig struct {
+	Eps    float64 // neighbourhood radius (subspace-restricted)
+	MinPts int     // core-object threshold
+	MaxDim int     // cap on subspace dimensionality
+	// TopK truncates the ranking (<=0: return everything).
+	TopK int
+}
+
+// RISScore is one ranked subspace.
+type RISScore struct {
+	Dims        []int
+	CoreObjects int     // objects whose eps-neighbourhood in Dims holds >= MinPts objects
+	Quality     float64 // core count normalized by the count expected under uniform scaling
+}
+
+// RIS ranks interesting subspaces by a density criterion: a subspace is
+// interesting when many objects are core objects under the
+// subspace-restricted epsilon-neighbourhood, normalized by what the same
+// radius would collect in a uniform cube of that dimensionality (the volume
+// of the eps-ball shrinks with dimensionality, so raw counts are biased
+// toward low dimensions — the same bias SCHISM fights on the grid side).
+// Candidates are generated bottom-up with the monotonicity that a core
+// object in S stays core in every subset of S, mirroring the original RIS
+// pruning. Clustering proper runs afterwards on the returned subspaces
+// (the decoupled pipeline of slide 88).
+func RIS(points [][]float64, cfg RISConfig) ([]RISScore, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.Eps <= 0 || cfg.MinPts <= 0 {
+		return nil, errors.New("subspace: Eps and MinPts must be positive")
+	}
+	d := len(points[0])
+	if cfg.MaxDim <= 0 || cfg.MaxDim > d {
+		cfg.MaxDim = d
+	}
+
+	coreCount := func(dims []int) int {
+		count := 0
+		for i := 0; i < n; i++ {
+			neighbors := 0
+			for j := 0; j < n; j++ {
+				if dist.SqEuclideanSubspace(points[i], points[j], dims) <= cfg.Eps*cfg.Eps {
+					neighbors++
+				}
+			}
+			if neighbors >= cfg.MinPts {
+				count++
+			}
+		}
+		return count
+	}
+	// Expected neighbours under uniform [0,1]^s scale like the eps-ball
+	// volume; normalize by the fraction of objects a uniform model would
+	// make core, approximated via the ball-volume ratio.
+	expectedFrac := func(s int) float64 {
+		// Volume of an s-ball of radius eps relative to the unit cube,
+		// clamped to 1.
+		v := math.Pow(math.Pi, float64(s)/2) / math.Gamma(float64(s)/2+1)
+		v *= math.Pow(cfg.Eps, float64(s))
+		if v > 1 {
+			v = 1
+		}
+		return v
+	}
+
+	var out []RISScore
+	level := map[string][]int{}
+	for j := 0; j < d; j++ {
+		dims := []int{j}
+		c := coreCount(dims)
+		if c == 0 {
+			continue
+		}
+		level[fmt.Sprint(dims)] = dims
+		out = append(out, RISScore{Dims: dims, CoreObjects: c, Quality: quality(c, n, expectedFrac(1))})
+	}
+	for s := 2; s <= cfg.MaxDim && len(level) > 1; s++ {
+		next := map[string][]int{}
+		keys := make([]string, 0, len(level))
+		for k := range level {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				dims, ok := joinDims(level[keys[i]], level[keys[j]])
+				if !ok {
+					continue
+				}
+				key := fmt.Sprint(dims)
+				if _, seen := next[key]; seen {
+					continue
+				}
+				if !allDimSubsetsPresent(dims, level) {
+					continue
+				}
+				c := coreCount(dims)
+				if c == 0 {
+					continue
+				}
+				next[key] = dims
+				out = append(out, RISScore{Dims: dims, CoreObjects: c, Quality: quality(c, n, expectedFrac(s))})
+			}
+		}
+		level = next
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Quality != out[b].Quality {
+			return out[a].Quality > out[b].Quality
+		}
+		return fmt.Sprint(out[a].Dims) < fmt.Sprint(out[b].Dims)
+	})
+	if cfg.TopK > 0 && len(out) > cfg.TopK {
+		out = out[:cfg.TopK]
+	}
+	return out, nil
+}
+
+// quality normalizes the core count by the uniform-model expectation: the
+// expected neighbour count is n*vol, so the uniform model makes everything
+// core when n*vol >= minPts and nothing otherwise; using the smooth ratio
+// keeps the score comparable across dimensionalities.
+func quality(coreObjects, n int, vol float64) float64 {
+	expectedNeighbors := float64(n) * vol
+	if expectedNeighbors < 1 {
+		expectedNeighbors = 1
+	}
+	return float64(coreObjects) / expectedNeighbors
+}

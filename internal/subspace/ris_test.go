@@ -1,0 +1,90 @@
+package subspace
+
+import (
+	"testing"
+
+	"multiclust/internal/dataset"
+)
+
+func TestRISRanksClusteredSubspaceFirst(t *testing.T) {
+	ds, _, err := dataset.SubspaceData(1, 250, 5, []dataset.SubspaceSpec{
+		{Dims: []int{0, 1}, Size: 100, Width: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := RIS(ds.Points, RISConfig{Eps: 0.05, MinPts: 8, MaxDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) == 0 {
+		t.Fatal("no subspaces ranked")
+	}
+	// Subspaces touching the planted dims {0,1} are legitimately dense
+	// (stripe projections), so the sharp claim is: [0 1] outranks every
+	// subspace DISJOINT from the planted dims, and every 1D subspace.
+	rank := map[string]int{}
+	for i, s := range scores {
+		rank[dimsKey(s.Dims)] = i
+	}
+	r01, ok := rank["[0 1]"]
+	if !ok {
+		t.Fatal("[0 1] missing from ranking")
+	}
+	for _, other := range []string{"[2]", "[3]", "[4]", "[2 3]", "[2 4]", "[3 4]", "[0]", "[1]"} {
+		if rn, ok := rank[other]; ok && rn < r01 {
+			t.Errorf("subspace %s outranks the planted [0 1]", other)
+		}
+	}
+}
+
+func TestRISMonotonicity(t *testing.T) {
+	// Core objects in S stay core in subsets of S: every reported
+	// multi-dim subspace's CoreObjects is <= the min over its 1D parts.
+	ds, _, err := dataset.SubspaceData(2, 150, 4, []dataset.SubspaceSpec{
+		{Dims: []int{0, 1}, Size: 60, Width: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := RIS(ds.Points, RISConfig{Eps: 0.05, MinPts: 6, MaxDim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneD := map[int]int{}
+	for _, s := range scores {
+		if len(s.Dims) == 1 {
+			oneD[s.Dims[0]] = s.CoreObjects
+		}
+	}
+	for _, s := range scores {
+		if len(s.Dims) < 2 {
+			continue
+		}
+		for _, dim := range s.Dims {
+			if parent, ok := oneD[dim]; ok && s.CoreObjects > parent {
+				t.Fatalf("core count not monotone: %v has %d > 1D[%d]=%d", s.Dims, s.CoreObjects, dim, parent)
+			}
+		}
+	}
+}
+
+func TestRISTopK(t *testing.T) {
+	ds := dataset.UniformHypercube(3, 100, 4)
+	scores, err := RIS(ds.Points, RISConfig{Eps: 0.3, MinPts: 3, MaxDim: 2, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) > 3 {
+		t.Errorf("TopK not applied: %d", len(scores))
+	}
+}
+
+func TestRISErrors(t *testing.T) {
+	if _, err := RIS(nil, RISConfig{Eps: 1, MinPts: 1}); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := RIS([][]float64{{0}}, RISConfig{Eps: 0, MinPts: 1}); err == nil {
+		t.Error("eps=0 should fail")
+	}
+}

@@ -1,0 +1,294 @@
+package subspace
+
+import (
+	"testing"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dataset"
+	"multiclust/internal/metrics"
+)
+
+func TestEnclusRanksClusteredSubspacesFirst(t *testing.T) {
+	ds, _, err := dataset.SubspaceData(1, 300, 5, []dataset.SubspaceSpec{
+		{Dims: []int{0, 1}, Size: 150, Width: 0.08},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := Enclus(ds.Points, EnclusConfig{Xi: 4, MaxEntropy: 6, MaxDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) == 0 {
+		t.Fatal("no subspaces scored")
+	}
+	// Among 2D subspaces, {0,1} must have minimal entropy and maximal
+	// interest.
+	var best *SubspaceScore
+	for i := range scores {
+		s := &scores[i]
+		if len(s.Dims) != 2 {
+			continue
+		}
+		if best == nil || s.Entropy < best.Entropy {
+			best = s
+		}
+	}
+	if best == nil {
+		t.Fatal("no 2D subspaces")
+	}
+	if best.Dims[0] != 0 || best.Dims[1] != 1 {
+		t.Errorf("lowest-entropy 2D subspace = %v, want [0 1]", best.Dims)
+	}
+	if best.Interest <= 0 {
+		t.Errorf("clustered subspace interest = %v, want > 0", best.Interest)
+	}
+}
+
+func TestEnclusMonotonicityPruning(t *testing.T) {
+	// Entropy is monotone nondecreasing in the dimension set, so every
+	// reported subspace's entropy must be >= the max of its single dims...
+	// verify the weaker ordering property on the output directly.
+	ds := dataset.UniformHypercube(2, 200, 4)
+	scores, err := Enclus(ds.Points, EnclusConfig{Xi: 4, MaxEntropy: 100, MaxDim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, s := range scores {
+		byKey[dimsKey(s.Dims)] = s.Entropy
+	}
+	for _, s := range scores {
+		if len(s.Dims) < 2 {
+			continue
+		}
+		for drop := range s.Dims {
+			var sub []int
+			for i, d := range s.Dims {
+				if i != drop {
+					sub = append(sub, d)
+				}
+			}
+			if parent, ok := byKey[dimsKey(sub)]; ok && s.Entropy < parent-1e-9 {
+				t.Fatalf("entropy not monotone: H(%v)=%v < H(%v)=%v", s.Dims, s.Entropy, sub, parent)
+			}
+		}
+	}
+}
+
+func TestEnclusErrors(t *testing.T) {
+	if _, err := Enclus(nil, EnclusConfig{MaxEntropy: 1}); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := Enclus([][]float64{{0.5}}, EnclusConfig{MaxEntropy: 0}); err == nil {
+		t.Error("MaxEntropy=0 should fail")
+	}
+}
+
+// candidateSet builds a redundant candidate pool: two true concepts plus
+// many redundant projections of the first.
+func candidateSet() core.SubspaceClustering {
+	objsA := rangeInts(0, 50)
+	objsB := rangeInts(60, 110)
+	all := core.SubspaceClustering{
+		core.NewSubspaceCluster(objsA, []int{0, 1, 2}),   // concept A
+		core.NewSubspaceCluster(objsB, []int{5, 6}),      // concept B
+		core.NewSubspaceCluster(objsA[:48], []int{0, 1}), // redundant proj of A
+		core.NewSubspaceCluster(objsA[:45], []int{1, 2}), // redundant proj of A
+		core.NewSubspaceCluster(objsA[:40], []int{0, 2}), // redundant proj of A
+		core.NewSubspaceCluster(objsA[:30], []int{0}),    // redundant proj of A
+		core.NewSubspaceCluster(objsB[:40], []int{5}),    // redundant proj of B
+	}
+	return all
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestOscluRemovesRedundantConcepts(t *testing.T) {
+	all := candidateSet()
+	sel, err := Osclu(all, OscluConfig{Alpha: 0.5, Beta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("selected %d clusters, want the 2 concepts: %v", len(sel), sel)
+	}
+	if sel[0].Dimensionality() != 3 {
+		t.Errorf("first selected should be the 3D concept, got %v", sel[0])
+	}
+	// Redundancy of the selection must be far below the candidates'.
+	if r := metrics.Redundancy(sel, 0.5); r != 0 {
+		t.Errorf("selection still redundant: %v", r)
+	}
+	if r := metrics.Redundancy(all, 0.5); r < 0.5 {
+		t.Errorf("candidate pool should be redundant, got %v", r)
+	}
+}
+
+func TestOscluOrthogonalConceptsKept(t *testing.T) {
+	// Same objects clustered in two dissimilar subspaces: both are kept,
+	// because concept groups are keyed on subspace similarity (slide 82).
+	objs := rangeInts(0, 50)
+	all := core.SubspaceClustering{
+		core.NewSubspaceCluster(objs, []int{0, 1}),
+		core.NewSubspaceCluster(objs, []int{4, 5}),
+	}
+	sel, err := Osclu(all, OscluConfig{Alpha: 0.5, Beta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("orthogonal concepts should both survive, got %d", len(sel))
+	}
+}
+
+func TestOscluAlphaOne(t *testing.T) {
+	// Alpha=1 forbids any object overlap within a concept group (the
+	// SetPacking extreme of the NP-hardness proof, slide 85).
+	objs := rangeInts(0, 50)
+	all := core.SubspaceClustering{
+		core.NewSubspaceCluster(objs, []int{0, 1}),
+		core.NewSubspaceCluster(objs[:25], []int{0, 1}),
+		core.NewSubspaceCluster(rangeInts(50, 80), []int{0, 1}),
+	}
+	sel, err := Osclu(all, OscluConfig{Alpha: 1, Beta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("want the two disjoint clusters, got %d", len(sel))
+	}
+}
+
+func TestOscluErrors(t *testing.T) {
+	if _, err := Osclu(nil, OscluConfig{Alpha: 2}); err == nil {
+		t.Error("alpha>1 should fail")
+	}
+}
+
+func TestAscluFindsAlternativesToKnown(t *testing.T) {
+	objsA := rangeInts(0, 50)
+	objsB := rangeInts(60, 110)
+	known := core.SubspaceClustering{
+		core.NewSubspaceCluster(objsA, []int{0, 1}),
+	}
+	all := core.SubspaceClustering{
+		core.NewSubspaceCluster(objsA, []int{0, 1, 2}), // same concept as Known -> rejected
+		core.NewSubspaceCluster(objsA, []int{5, 6}),    // same objects, different view -> valid
+		core.NewSubspaceCluster(objsB, []int{0, 1}),    // same view, new objects -> valid
+	}
+	sel, err := Asclu(all, AscluConfig{OscluConfig: OscluConfig{Alpha: 0.5, Beta: 0.5}, Known: known})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("selected %d, want 2: %v", len(sel), sel)
+	}
+	for _, c := range sel {
+		if c.Dimensionality() == 3 {
+			t.Error("the Known-concept cluster must be rejected")
+		}
+	}
+}
+
+func TestAscluErrors(t *testing.T) {
+	if _, err := Asclu(nil, AscluConfig{OscluConfig: OscluConfig{Beta: -1}}); err == nil {
+		t.Error("beta<0 should fail")
+	}
+}
+
+func TestStatPCSelectsSignificantUnexplained(t *testing.T) {
+	// Build grid clusters: a large significant region, its redundant
+	// sub-projection, and an insignificant sliver.
+	objsA := rangeInts(0, 80)
+	objsB := rangeInts(100, 172)
+	gcs := []GridCluster{
+		{SubspaceCluster: core.NewSubspaceCluster(objsA, []int{0, 1}), Units: 2, Xi: 10},
+		{SubspaceCluster: core.NewSubspaceCluster(objsA[:70], []int{0}), Units: 1, Xi: 10},
+		{SubspaceCluster: core.NewSubspaceCluster(objsB, []int{3, 4}), Units: 3, Xi: 10},
+		{SubspaceCluster: core.NewSubspaceCluster(rangeInts(90, 96), []int{2}), Units: 2, Xi: 10},
+	}
+	res, err := StatPC(gcs, StatPCConfig{N: 400, AlphaSig: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("selected %d clusters: %v", len(res.Clusters), res.Clusters)
+	}
+	// Both selected clusters are the 2D concepts.
+	for _, c := range res.Clusters {
+		if c.Dimensionality() != 2 {
+			t.Errorf("selected cluster should be a 2D concept, got %v", c)
+		}
+	}
+	if len(res.PValues) != 2 || res.PValues[0] > res.PValues[1] {
+		t.Errorf("p-values not ascending: %v", res.PValues)
+	}
+	// The redundant projection is explained; the sliver is insignificant.
+	for _, c := range res.Clusters {
+		if c.Size() == 6 {
+			t.Error("insignificant sliver selected")
+		}
+		if c.Size() == 70 {
+			t.Error("explained projection selected")
+		}
+	}
+}
+
+func TestStatPCErrors(t *testing.T) {
+	if _, err := StatPC(nil, StatPCConfig{}); err == nil {
+		t.Error("missing N should fail")
+	}
+	if _, err := StatPC(nil, StatPCConfig{N: 10, AlphaSig: 2}); err == nil {
+		t.Error("invalid AlphaSig should fail")
+	}
+}
+
+func TestRescuCoverageSelection(t *testing.T) {
+	all := candidateSet()
+	sel, err := Rescu(all, RescuConfig{MinCoverageGain: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RESCU judges on object overlap only: the orthogonal-view duplicate of
+	// concept A would be dropped (the limitation the tutorial notes).
+	if len(sel) != 2 {
+		t.Fatalf("selected %d clusters, want 2", len(sel))
+	}
+	covered := map[int]bool{}
+	for _, c := range sel {
+		for _, o := range c.Objects {
+			covered[o] = true
+		}
+	}
+	if len(covered) != 100 {
+		t.Errorf("coverage = %d objects, want 100", len(covered))
+	}
+}
+
+func TestRescuIgnoresSubspaceOrthogonality(t *testing.T) {
+	objs := rangeInts(0, 50)
+	all := core.SubspaceClustering{
+		core.NewSubspaceCluster(objs, []int{0, 1}),
+		core.NewSubspaceCluster(objs, []int{4, 5}), // different view, same objects
+	}
+	sel, err := Rescu(all, RescuConfig{MinCoverageGain: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 {
+		t.Fatalf("RESCU should drop the same-object alternative view, got %d", len(sel))
+	}
+}
+
+func TestRescuErrors(t *testing.T) {
+	if _, err := Rescu(nil, RescuConfig{MinCoverageGain: 2}); err == nil {
+		t.Error("invalid gain should fail")
+	}
+}

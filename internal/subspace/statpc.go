@@ -1,0 +1,167 @@
+package subspace
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"multiclust/internal/core"
+	"multiclust/internal/stats"
+)
+
+// StatPCConfig controls the statistical cluster selection.
+type StatPCConfig struct {
+	// AlphaSig is the significance level: a candidate is significant when
+	// the Chernoff bound on observing its support under the uniform null is
+	// below AlphaSig. Default 1e-4.
+	AlphaSig float64
+	// ExplainOverlap: a candidate is explained by a selected cluster when at
+	// least this fraction of its objects is already covered by one selected
+	// cluster whose subspace overlaps. Default 0.5.
+	ExplainOverlap float64
+	// N is the database size (required, > 0).
+	N int
+}
+
+// StatPCResult pairs the selected clusters with their null-model p-value
+// bounds.
+type StatPCResult struct {
+	Clusters core.SubspaceClustering
+	PValues  []float64
+}
+
+// StatPC is a reduced-form STATPC (Moise & Sander 2008, slide 78): from the
+// redundant candidate set, keep clusters whose support is statistically
+// significant under a uniform-data null model and that are not explained by
+// the clusters already selected. Candidates are processed in ascending
+// p-value order, so the most surprising regions anchor the explanation set.
+//
+// Deviation from the original: the null model is pure uniform (the original
+// refits a mixture over the current selection), and "explained" is an
+// object/dimension overlap test rather than a second significance test;
+// both simplifications preserve the selection behaviour the tutorial
+// discusses — a small set of representative, non-redundant clusters that
+// explains all other clustered regions.
+func StatPC(candidates []GridCluster, cfg StatPCConfig) (*StatPCResult, error) {
+	if cfg.N <= 0 {
+		return nil, errors.New("subspace: StatPC needs the database size N")
+	}
+	if cfg.AlphaSig == 0 {
+		cfg.AlphaSig = 1e-4
+	}
+	if cfg.AlphaSig < 0 || cfg.AlphaSig >= 1 {
+		return nil, errors.New("subspace: AlphaSig must be in (0,1)")
+	}
+	if cfg.ExplainOverlap == 0 {
+		cfg.ExplainOverlap = 0.5
+	}
+
+	type scored struct {
+		idx int
+		p   float64
+	}
+	var scoredCands []scored
+	for i, c := range candidates {
+		if c.Xi <= 0 || c.Units <= 0 {
+			continue
+		}
+		// Volume of the region under the uniform null: Units cells of side
+		// 1/Xi in |Dims| dimensions.
+		vol := float64(c.Units) * math.Pow(1/float64(c.Xi), float64(c.Dimensionality()))
+		if vol > 1 {
+			vol = 1
+		}
+		p := stats.BinomialTailUpper(cfg.N, c.Size(), vol)
+		if p <= cfg.AlphaSig {
+			scoredCands = append(scoredCands, scored{idx: i, p: p})
+		}
+	}
+	sort.SliceStable(scoredCands, func(a, b int) bool {
+		if scoredCands[a].p != scoredCands[b].p {
+			return scoredCands[a].p < scoredCands[b].p
+		}
+		return candidates[scoredCands[a].idx].Size() > candidates[scoredCands[b].idx].Size()
+	})
+
+	res := &StatPCResult{}
+	for _, sc := range scoredCands {
+		c := candidates[sc.idx]
+		if explained(c.SubspaceCluster, res.Clusters, cfg.ExplainOverlap) {
+			continue
+		}
+		res.Clusters = append(res.Clusters, c.SubspaceCluster)
+		res.PValues = append(res.PValues, sc.p)
+	}
+	return res, nil
+}
+
+// explained reports whether at least overlap of c's objects are covered by a
+// single selected cluster sharing subspace dimensions with c.
+func explained(c core.SubspaceCluster, selected core.SubspaceClustering, overlap float64) bool {
+	for _, k := range selected {
+		if c.SharedDims(k) == 0 {
+			continue
+		}
+		if float64(c.SharedObjects(k)) >= overlap*float64(c.Size()) {
+			return true
+		}
+	}
+	return false
+}
+
+// RescuConfig controls the relevance-based selection.
+type RescuConfig struct {
+	// MinCoverageGain in (0,1]: a cluster joins the result only if at least
+	// this fraction of its objects is not covered by ANY selected cluster
+	// (regardless of subspace) — the global redundancy rule. Default 0.3.
+	MinCoverageGain float64
+	// Local ranks candidates; default DefaultIlocal.
+	Local Ilocal
+}
+
+// Rescu is a reduced-form RESCU (Müller et al. 2009c, slide 79): an
+// abstract relevance model that admits interesting clusters and excludes
+// globally redundant ones. It differs from OSCLU in ignoring subspace
+// similarity — redundancy is judged on object overlap alone — which is
+// exactly the limitation the tutorial points out ("does not include
+// similarity of subspaces").
+func Rescu(all core.SubspaceClustering, cfg RescuConfig) (core.SubspaceClustering, error) {
+	if cfg.MinCoverageGain == 0 {
+		cfg.MinCoverageGain = 0.3
+	}
+	if cfg.MinCoverageGain < 0 || cfg.MinCoverageGain > 1 {
+		return nil, errors.New("subspace: MinCoverageGain must be in (0,1]")
+	}
+	if cfg.Local == nil {
+		cfg.Local = DefaultIlocal
+	}
+	order := make([]int, len(all))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cfg.Local(all[order[a]]) > cfg.Local(all[order[b]])
+	})
+	covered := map[int]bool{}
+	var selected core.SubspaceClustering
+	for _, idx := range order {
+		c := all[idx]
+		if c.Size() == 0 {
+			continue
+		}
+		fresh := 0
+		for _, o := range c.Objects {
+			if !covered[o] {
+				fresh++
+			}
+		}
+		if float64(fresh) < cfg.MinCoverageGain*float64(c.Size()) {
+			continue
+		}
+		selected = append(selected, c)
+		for _, o := range c.Objects {
+			covered[o] = true
+		}
+	}
+	return selected, nil
+}

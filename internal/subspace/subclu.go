@@ -1,0 +1,223 @@
+package subspace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dbscan"
+	"multiclust/internal/dist"
+)
+
+// SubcluConfig controls a SUBCLU run (Kailing et al. 2004b, slide 74).
+type SubcluConfig struct {
+	Eps    float64 // DBSCAN radius (in the subspace distance)
+	MinPts int     // DBSCAN core threshold
+	MaxDim int     // cap on subspace dimensionality (<=0: data dimensionality)
+	// MinPtsAt optionally overrides MinPts per subspace dimensionality —
+	// the hook DUSC uses for its dimensionality-unbiased density threshold.
+	MinPtsAt func(dim int) int
+}
+
+// SubcluResult carries the density-connected subspace clusters and the
+// subspaces examined.
+type SubcluResult struct {
+	Clusters           core.SubspaceClustering
+	SubspacesExamined  int
+	SubspacesWithClust int
+}
+
+// Subclu finds density-connected clusters in all subspaces. It exploits the
+// anti-monotonicity of density-connected sets: a cluster in subspace S is
+// contained in clusters of every subset of S, so candidate subspaces are
+// generated apriori-style from subspaces that contained clusters, and each
+// DBSCAN run at level k is restricted to the objects clustered in the
+// best (smallest) (k-1)-dimensional parent — the paper's main efficiency
+// device. Unlike grid methods, arbitrarily shaped clusters survive.
+func Subclu(points [][]float64, cfg SubcluConfig) (*SubcluResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if cfg.Eps <= 0 || cfg.MinPts <= 0 {
+		return nil, errors.New("subspace: Eps and MinPts must be positive")
+	}
+	d := len(points[0])
+	if cfg.MaxDim <= 0 || cfg.MaxDim > d {
+		cfg.MaxDim = d
+	}
+	res := &SubcluResult{}
+
+	// level[subspaceKey] = clusters (object sets) found in that subspace.
+	level := map[string]*subInfo{}
+
+	minPtsAt := func(s int) int {
+		if cfg.MinPtsAt != nil {
+			if v := cfg.MinPtsAt(s); v > 0 {
+				return v
+			}
+		}
+		return cfg.MinPts
+	}
+
+	runDBSCAN := func(dims []int, candidates []int) [][]int {
+		// Cluster only the candidate objects, measuring distance in the
+		// subspace. Candidate indices are into `points`.
+		sub := make([][]float64, len(candidates))
+		for i, o := range candidates {
+			row := make([]float64, len(dims))
+			for j, dim := range dims {
+				row[j] = points[o][dim]
+			}
+			sub[i] = row
+		}
+		c, err := dbscan.Run(sub, dist.Euclidean, dbscan.Config{Eps: cfg.Eps, MinPts: minPtsAt(len(dims))})
+		if err != nil {
+			return nil
+		}
+		var out [][]int
+		for _, members := range c.Clusters() {
+			orig := make([]int, len(members))
+			for i, m := range members {
+				orig[i] = candidates[m]
+			}
+			out = append(out, orig)
+		}
+		return out
+	}
+
+	// Level 1: every single dimension over the full database.
+	allObjects := make([]int, n)
+	for i := range allObjects {
+		allObjects[i] = i
+	}
+	for j := 0; j < d; j++ {
+		res.SubspacesExamined++
+		clusters := runDBSCAN([]int{j}, allObjects)
+		if len(clusters) > 0 {
+			level[fmt.Sprint([]int{j})] = &subInfo{dims: []int{j}, clusters: clusters}
+			res.SubspacesWithClust++
+			for _, c := range clusters {
+				res.Clusters = append(res.Clusters, core.NewSubspaceCluster(c, []int{j}))
+			}
+		}
+	}
+
+	for s := 2; s <= cfg.MaxDim && len(level) > 1; s++ {
+		next := map[string]*subInfo{}
+		infos := make([]*subInfo, 0, len(level))
+		for _, si := range level {
+			infos = append(infos, si)
+		}
+		sort.Slice(infos, func(i, j int) bool { return fmt.Sprint(infos[i].dims) < fmt.Sprint(infos[j].dims) })
+		for i := 0; i < len(infos); i++ {
+			for j := i + 1; j < len(infos); j++ {
+				dims, ok := joinDims(infos[i].dims, infos[j].dims)
+				if !ok {
+					continue
+				}
+				key := fmt.Sprint(dims)
+				if _, seen := next[key]; seen {
+					continue
+				}
+				// Apriori prune: all (s-1)-subsets must contain clusters.
+				if !allSubspacesClustered(dims, level) {
+					continue
+				}
+				// Restrict to the objects of the parent subspace with the
+				// fewest clustered objects.
+				cand := smallestParentObjects(dims, level)
+				res.SubspacesExamined++
+				clusters := runDBSCAN(dims, cand)
+				if len(clusters) > 0 {
+					next[key] = &subInfo{dims: dims, clusters: clusters}
+					res.SubspacesWithClust++
+					for _, c := range clusters {
+						res.Clusters = append(res.Clusters, core.NewSubspaceCluster(c, dims))
+					}
+				}
+			}
+		}
+		level = next
+	}
+	return res, nil
+}
+
+// joinDims merges two ascending dim sets sharing all but their last element.
+func joinDims(a, b []int) ([]int, bool) {
+	s := len(a)
+	for i := 0; i < s-1; i++ {
+		if a[i] != b[i] {
+			return nil, false
+		}
+	}
+	if a[s-1] == b[s-1] {
+		return nil, false
+	}
+	lo, hi := a[s-1], b[s-1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	out := append(append([]int(nil), a[:s-1]...), lo, hi)
+	return out, true
+}
+
+// subInfo records the clusters found in one subspace.
+type subInfo struct {
+	dims     []int
+	clusters [][]int
+}
+
+// allSubspacesClustered checks that every (s-1)-subset of dims produced
+// clusters at the previous level — the anti-monotonicity prune.
+func allSubspacesClustered(dims []int, level map[string]*subInfo) bool {
+	sub := make([]int, 0, len(dims)-1)
+	for drop := range dims {
+		sub = sub[:0]
+		for i, d := range dims {
+			if i != drop {
+				sub = append(sub, d)
+			}
+		}
+		if _, ok := level[fmt.Sprint(sub)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// smallestParentObjects returns the union of clustered objects of the parent
+// subspace (an (s-1)-subset of dims) with the fewest clustered objects.
+func smallestParentObjects(dims []int, level map[string]*subInfo) []int {
+	bestSize := -1
+	var best []int
+	sub := make([]int, 0, len(dims)-1)
+	for drop := range dims {
+		sub = sub[:0]
+		for i, d := range dims {
+			if i != drop {
+				sub = append(sub, d)
+			}
+		}
+		si, ok := level[fmt.Sprint(sub)]
+		if !ok {
+			continue
+		}
+		set := map[int]bool{}
+		for _, c := range si.clusters {
+			for _, o := range c {
+				set[o] = true
+			}
+		}
+		if bestSize < 0 || len(set) < bestSize {
+			bestSize = len(set)
+			best = best[:0]
+			for o := range set {
+				best = append(best, o)
+			}
+		}
+	}
+	sort.Ints(best)
+	return best
+}

@@ -1,0 +1,607 @@
+// Package multiclust is a library for discovering multiple clustering
+// solutions: groupings of the same objects in different views of the data.
+//
+// It implements the full taxonomy of the tutorial "Discovering Multiple
+// Clustering Solutions" (Müller, Günnemann, Färber, Seidl; SDM 2011 / ICDE
+// 2012): alternative clustering in the original data space, orthogonal
+// space transformations, subspace projections, and clustering over multiple
+// given views/sources — plus the base learners (k-means, EM, DBSCAN,
+// hierarchical, spectral), the comparison measures used as quality Q and
+// dissimilarity Diss functions, and deterministic synthetic data generators
+// with known multi-view ground truth.
+//
+// This root package is a facade: every algorithm, metric and generator is
+// re-exported here under one import path, with the implementations living
+// in the internal packages. Names follow the surveyed papers; each aliased
+// symbol's documentation (on the internal type) cites its source.
+//
+// # Quick start
+//
+//	ds, horizontal, _ := multiclust.FourBlobToy(1, 25)
+//	given := multiclust.NewClustering(horizontal)
+//	alt, err := multiclust.Coala(ds.Points, given, multiclust.CoalaConfig{K: 2})
+//	if err != nil { ... }
+//	fmt.Println(multiclust.AdjustedRand(horizontal, alt.Clustering.Labels)) // ~0: a true alternative
+package multiclust
+
+import (
+	"io"
+
+	"multiclust/internal/alternative"
+	"multiclust/internal/core"
+	"multiclust/internal/dataset"
+	"multiclust/internal/dbscan"
+	"multiclust/internal/dist"
+	"multiclust/internal/em"
+	"multiclust/internal/hierarchical"
+	"multiclust/internal/kmeans"
+	"multiclust/internal/metaclust"
+	"multiclust/internal/metrics"
+	"multiclust/internal/multiview"
+	"multiclust/internal/orthogonal"
+	"multiclust/internal/simultaneous"
+	"multiclust/internal/spectral"
+	"multiclust/internal/subspace"
+	"multiclust/internal/taxonomy"
+)
+
+// ---------------------------------------------------------------------------
+// Core types
+// ---------------------------------------------------------------------------
+
+// Clustering is a flat (partial) partition of n objects; label Noise marks
+// unclustered objects.
+type Clustering = core.Clustering
+
+// SubspaceCluster is an (object set, dimension set) pair.
+type SubspaceCluster = core.SubspaceCluster
+
+// SubspaceClustering is a result set of subspace clusters.
+type SubspaceClustering = core.SubspaceClustering
+
+// MultiResult is a set of clustering solutions over one database.
+type MultiResult = core.MultiResult
+
+// Noise is the label of unclustered objects.
+const Noise = core.Noise
+
+// NewClustering wraps a label vector.
+func NewClustering(labels []int) *Clustering { return core.NewClustering(labels) }
+
+// NewMultiResult bundles clustering solutions for twin-objective evaluation.
+func NewMultiResult(clusterings ...*Clustering) *MultiResult {
+	return core.NewMultiResult(clusterings...)
+}
+
+// NewSubspaceCluster builds a subspace cluster from object and dimension
+// index sets.
+func NewSubspaceCluster(objects, dims []int) SubspaceCluster {
+	return core.NewSubspaceCluster(objects, dims)
+}
+
+// FromClusters builds a Clustering of n objects from explicit member lists.
+func FromClusters(n int, clusters [][]int) (*Clustering, error) {
+	return core.FromClusters(n, clusters)
+}
+
+// ---------------------------------------------------------------------------
+// Datasets and generators
+// ---------------------------------------------------------------------------
+
+// Dataset is a table of n points in d dimensions.
+type Dataset = dataset.Dataset
+
+// ViewSpec describes one hidden view for MultiViewGaussians.
+type ViewSpec = dataset.ViewSpec
+
+// SubspaceSpec describes one hidden subspace cluster for SubspaceData.
+type SubspaceSpec = dataset.SubspaceSpec
+
+// NewDataset wraps points.
+func NewDataset(points [][]float64) *Dataset { return dataset.New(points) }
+
+// ReadCSV parses a numeric CSV dataset.
+func ReadCSV(r io.Reader, hasHeader bool) (*Dataset, error) { return dataset.ReadCSV(r, hasHeader) }
+
+// GaussianBlobs, FourBlobToy, MultiViewGaussians, SubspaceData,
+// TwoSourceViews, UniformHypercube, RingAndBlob are the deterministic
+// generators used throughout the experiments.
+var (
+	GaussianBlobs      = dataset.GaussianBlobs
+	FourBlobToy        = dataset.FourBlobToy
+	MultiViewGaussians = dataset.MultiViewGaussians
+	SubspaceData       = dataset.SubspaceData
+	TwoSourceViews     = dataset.TwoSourceViews
+	UniformHypercube   = dataset.UniformHypercube
+	RingAndBlob        = dataset.RingAndBlob
+	CombineLabels      = dataset.CombineLabels
+	DistanceContrast   = dataset.DistanceContrast
+)
+
+// ---------------------------------------------------------------------------
+// Base learners (traditional single-solution clustering)
+// ---------------------------------------------------------------------------
+
+// KMeansConfig / KMeansResult configure and report Lloyd's k-means.
+type (
+	KMeansConfig = kmeans.Config
+	KMeansResult = kmeans.Result
+)
+
+// KMeans clusters points with k-means++.
+func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
+	return kmeans.Run(points, cfg)
+}
+
+// DBSCANConfig configures density-based clustering.
+type DBSCANConfig = dbscan.Config
+
+// DBSCAN clusters points with DBSCAN under the Euclidean distance.
+func DBSCAN(points [][]float64, cfg DBSCANConfig) (*Clustering, error) {
+	return dbscan.Run(points, dist.Euclidean, cfg)
+}
+
+// Linkage selects the agglomerative merge rule.
+type Linkage = hierarchical.Linkage
+
+// Linkage values.
+const (
+	SingleLink   = hierarchical.SingleLink
+	CompleteLink = hierarchical.CompleteLink
+	AverageLink  = hierarchical.AverageLink
+)
+
+// Dendrogram is an agglomerative merge history; Cut yields flat clusterings.
+type Dendrogram = hierarchical.Dendrogram
+
+// Hierarchical builds the dendrogram of points under the Euclidean distance.
+func Hierarchical(points [][]float64, linkage Linkage) (*Dendrogram, error) {
+	return hierarchical.Run(points, dist.Euclidean, linkage)
+}
+
+// EMConfig / EMResult / GMM configure and report Gaussian-mixture EM.
+type (
+	EMConfig = em.Config
+	EMResult = em.Result
+	GMM      = em.Model
+)
+
+// EM fits a diagonal-covariance Gaussian mixture.
+func EM(points [][]float64, cfg EMConfig) (*EMResult, error) { return em.Fit(points, cfg) }
+
+// SpectralConfig / SpectralResult configure and report normalized spectral
+// clustering.
+type (
+	SpectralConfig = spectral.Config
+	SpectralResult = spectral.Result
+)
+
+// Spectral runs normalized spectral clustering (Ng, Jordan & Weiss 2001).
+func Spectral(points [][]float64, cfg SpectralConfig) (*SpectralResult, error) {
+	return spectral.Run(points, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Section 2 — multiple clusterings in the original data space
+// ---------------------------------------------------------------------------
+
+// MetaClusteringConfig / MetaClusteringResult: Caruana et al. 2006.
+type (
+	MetaClusteringConfig = metaclust.Config
+	MetaClusteringResult = metaclust.Result
+)
+
+// MetaClustering generates many base clusterings and groups them at the
+// meta level, returning one representative per group.
+func MetaClustering(points [][]float64, cfg MetaClusteringConfig) (*MetaClusteringResult, error) {
+	return metaclust.Run(points, cfg)
+}
+
+// CoalaConfig / CoalaResult: Bae & Bailey 2006.
+type (
+	CoalaConfig = alternative.CoalaConfig
+	CoalaResult = alternative.CoalaResult
+)
+
+// Coala computes an alternative clustering via cannot-link constrained
+// agglomeration.
+func Coala(points [][]float64, given *Clustering, cfg CoalaConfig) (*CoalaResult, error) {
+	return alternative.Coala(points, given, cfg)
+}
+
+// CIBConfig / CIBResult: conditional information bottleneck (Gondek &
+// Hofmann 2003/2004).
+type (
+	CIBConfig = alternative.CIBConfig
+	CIBResult = alternative.CIBResult
+)
+
+// CIB computes an alternative clustering by minimizing
+// I(X;C) - Beta*I(Y;C|D).
+func CIB(points [][]float64, given *Clustering, cfg CIBConfig) (*CIBResult, error) {
+	return alternative.CIB(points, given, cfg)
+}
+
+// FlexibleConfig / FlexibleResult: the tutorial's abstract problem (slide
+// 27) as a runnable search with exchangeable Q and Diss definitions.
+type (
+	FlexibleConfig = alternative.FlexibleConfig
+	FlexibleResult = alternative.FlexibleResult
+)
+
+// Flexible maximizes Q(C) + Lambda * mean Diss(C, Given_i) with pluggable
+// quality and dissimilarity definitions — the "exchangeable definition"
+// flexibility axis of the taxonomy.
+func Flexible(points [][]float64, givens []*Clustering, q QualityFunc, diss DissimilarityFunc, cfg FlexibleConfig) (*FlexibleResult, error) {
+	return alternative.Flexible(points, givens, q, diss, cfg)
+}
+
+// CondEnsConfig / CondEnsResult: conditional ensembles (Gondek & Hofmann
+// 2005).
+type (
+	CondEnsConfig = alternative.CondEnsConfig
+	CondEnsResult = alternative.CondEnsResult
+)
+
+// CondEns selects an alternative clustering from a diverse ensemble by
+// quality minus information overlap with the given clustering.
+func CondEns(points [][]float64, given *Clustering, cfg CondEnsConfig) (*CondEnsResult, error) {
+	return alternative.CondEns(points, given, cfg)
+}
+
+// MinCEntropyConfig / MinCEntropyResult: Vinh & Epps 2010.
+type (
+	MinCEntropyConfig = alternative.MinCEntropyConfig
+	MinCEntropyResult = alternative.MinCEntropyResult
+)
+
+// MinCEntropy finds an alternative to a SET of given clusterings by
+// penalized kernel-quality search.
+func MinCEntropy(points [][]float64, givens []*Clustering, cfg MinCEntropyConfig) (*MinCEntropyResult, error) {
+	return alternative.MinCEntropy(points, givens, cfg)
+}
+
+// DecKMeansConfig / DecKMeansResult: Jain, Meka & Dhillon 2008.
+type (
+	DecKMeansConfig = simultaneous.DecKMeansConfig
+	DecKMeansResult = simultaneous.DecKMeansResult
+)
+
+// DecKMeans fits T decorrelated k-means clusterings simultaneously.
+func DecKMeans(points [][]float64, cfg DecKMeansConfig) (*DecKMeansResult, error) {
+	return simultaneous.DecKMeans(points, cfg)
+}
+
+// CAMIConfig / CAMIResult: Dang & Bailey 2010a.
+type (
+	CAMIConfig = simultaneous.CAMIConfig
+	CAMIResult = simultaneous.CAMIResult
+)
+
+// CAMI fits two mixture models maximizing likelihood minus mutual
+// information between the clusterings.
+func CAMI(points [][]float64, cfg CAMIConfig) (*CAMIResult, error) {
+	return simultaneous.CAMI(points, cfg)
+}
+
+// ContingencyConfig / ContingencyResult: Hossain et al. 2010.
+type (
+	ContingencyConfig = simultaneous.ContingencyConfig
+	ContingencyResult = simultaneous.ContingencyResult
+)
+
+// Contingency finds two prototype-based clusterings with a near-uniform
+// contingency table.
+func Contingency(points [][]float64, cfg ContingencyConfig) (*ContingencyResult, error) {
+	return simultaneous.Contingency(points, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Section 3 — orthogonal space transformations
+// ---------------------------------------------------------------------------
+
+// Base is the pluggable clustering step used inside transformation methods.
+type Base = orthogonal.Base
+
+// KMeansBase adapts k-means as the base learner for transformation methods.
+func KMeansBase(k int, seed int64) Base { return orthogonal.KMeansBase(k, seed) }
+
+// MetricFlipResult: Davidson & Qi 2008.
+type MetricFlipResult = orthogonal.MetricFlipResult
+
+// MetricFlip learns a metric from the given clustering, SVDs it and inverts
+// the stretch to reveal an alternative grouping.
+func MetricFlip(points [][]float64, given *Clustering, base Base) (*MetricFlipResult, error) {
+	return orthogonal.MetricFlip(points, given, base)
+}
+
+// AlternativeTransformResult: Qi & Davidson 2009.
+type AlternativeTransformResult = orthogonal.AlternativeTransformResult
+
+// AlternativeTransform applies the closed-form M = Sigma~^{-1/2} transform.
+func AlternativeTransform(points [][]float64, given *Clustering, base Base) (*AlternativeTransformResult, error) {
+	return orthogonal.AlternativeTransform(points, given, base)
+}
+
+// OrthogonalProjectionsConfig / ProjectionIteration: Cui, Fern & Dy 2007.
+type (
+	OrthogonalProjectionsConfig = orthogonal.OrthogonalProjectionsConfig
+	ProjectionIteration         = orthogonal.ProjectionIteration
+)
+
+// OrthogonalProjections iteratively clusters and projects the data onto the
+// orthogonal complement of each clustering's mean subspace.
+func OrthogonalProjections(points [][]float64, base Base, cfg OrthogonalProjectionsConfig) ([]ProjectionIteration, error) {
+	return orthogonal.OrthogonalProjections(points, base, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Section 4 — subspace projections
+// ---------------------------------------------------------------------------
+
+// Subspace clustering configs and results.
+type (
+	CliqueConfig   = subspace.CliqueConfig
+	CliqueResult   = subspace.CliqueResult
+	SchismConfig   = subspace.SchismConfig
+	SchismResult   = subspace.SchismResult
+	SubcluConfig   = subspace.SubcluConfig
+	DuscConfig     = subspace.DuscConfig
+	SubcluResult   = subspace.SubcluResult
+	ProclusConfig  = subspace.ProclusConfig
+	ProclusResult  = subspace.ProclusResult
+	DOCConfig      = subspace.DOCConfig
+	DOCResult      = subspace.DOCResult
+	EnclusConfig   = subspace.EnclusConfig
+	RISConfig      = subspace.RISConfig
+	RISScore       = subspace.RISScore
+	SubspaceScore  = subspace.SubspaceScore
+	OscluConfig    = subspace.OscluConfig
+	AscluConfig    = subspace.AscluConfig
+	StatPCConfig   = subspace.StatPCConfig
+	StatPCResult   = subspace.StatPCResult
+	RescuConfig    = subspace.RescuConfig
+	GridCluster    = subspace.GridCluster
+	GridStats      = subspace.GridStats
+	FiresConfig    = subspace.FiresConfig
+	FiresResult    = subspace.FiresResult
+	MineClusConfig = subspace.MineClusConfig
+	MineClusResult = subspace.MineClusResult
+	OrclusConfig   = subspace.OrclusConfig
+	OrclusResult   = subspace.OrclusResult
+	OrclusCluster  = subspace.OrclusCluster
+	PredeconConfig = subspace.PredeconConfig
+	PredeconResult = subspace.PredeconResult
+)
+
+// Clique finds all clusters as connected dense grid cells in every subspace
+// (Agrawal et al. 1998). Points must be normalized to [0,1]^d.
+func Clique(points [][]float64, cfg CliqueConfig) (*CliqueResult, error) {
+	return subspace.Clique(points, cfg)
+}
+
+// Schism runs the grid search with the dimensionality-adaptive
+// Chernoff–Hoeffding threshold (Sequeira & Zaki 2004).
+func Schism(points [][]float64, cfg SchismConfig) (*SchismResult, error) {
+	return subspace.Schism(points, cfg)
+}
+
+// Subclu finds density-connected clusters in all subspaces (Kailing et al.
+// 2004b).
+func Subclu(points [][]float64, cfg SubcluConfig) (*SubcluResult, error) {
+	return subspace.Subclu(points, cfg)
+}
+
+// Dusc runs SUBCLU with DUSC's dimensionality-unbiased density threshold
+// (Assent et al. 2007).
+func Dusc(points [][]float64, cfg DuscConfig) (*SubcluResult, error) {
+	return subspace.Dusc(points, cfg)
+}
+
+// Proclus runs projected k-medoid clustering (Aggarwal et al. 1999).
+func Proclus(points [][]float64, cfg ProclusConfig) (*ProclusResult, error) {
+	return subspace.Proclus(points, cfg)
+}
+
+// DOC finds projective clusters by Monte-Carlo sampling (Procopiuc et al.
+// 2002).
+func DOC(points [][]float64, cfg DOCConfig) (*DOCResult, error) {
+	return subspace.DOC(points, cfg)
+}
+
+// Enclus ranks subspaces by grid entropy (Cheng, Fu & Zhang 1999).
+func Enclus(points [][]float64, cfg EnclusConfig) ([]SubspaceScore, error) {
+	return subspace.Enclus(points, cfg)
+}
+
+// RIS ranks subspaces by density-based interestingness (Kailing et al.
+// 2003).
+func RIS(points [][]float64, cfg RISConfig) ([]RISScore, error) {
+	return subspace.RIS(points, cfg)
+}
+
+// Osclu selects an orthogonal-concept result set out of a redundant
+// candidate pool (Günnemann et al. 2009).
+func Osclu(all SubspaceClustering, cfg OscluConfig) (SubspaceClustering, error) {
+	return subspace.Osclu(all, cfg)
+}
+
+// Asclu selects alternative subspace clusters w.r.t. a Known clustering
+// (Günnemann et al. 2010).
+func Asclu(all SubspaceClustering, cfg AscluConfig) (SubspaceClustering, error) {
+	return subspace.Asclu(all, cfg)
+}
+
+// StatPC keeps statistically significant, unexplained clusters (reduced-form
+// Moise & Sander 2008).
+func StatPC(candidates []GridCluster, cfg StatPCConfig) (*StatPCResult, error) {
+	return subspace.StatPC(candidates, cfg)
+}
+
+// Rescu admits interesting clusters and excludes globally redundant ones
+// (reduced-form Müller et al. 2009c).
+func Rescu(all SubspaceClustering, cfg RescuConfig) (SubspaceClustering, error) {
+	return subspace.Rescu(all, cfg)
+}
+
+// Fires approximates maximal-dimensional subspace clusters by merging
+// one-dimensional base clusters (Kriegel et al. 2005).
+func Fires(points [][]float64, cfg FiresConfig) (*FiresResult, error) {
+	return subspace.Fires(points, cfg)
+}
+
+// MineClus finds projective clusters with the deterministic
+// frequent-pattern search (Yiu & Mamoulis 2003).
+func MineClus(points [][]float64, cfg MineClusConfig) (*MineClusResult, error) {
+	return subspace.MineClus(points, cfg)
+}
+
+// Orclus finds arbitrarily oriented projected clusters (Aggarwal & Yu 2000).
+func Orclus(points [][]float64, cfg OrclusConfig) (*OrclusResult, error) {
+	return subspace.Orclus(points, cfg)
+}
+
+// Predecon runs density-connected clustering with local subspace
+// preferences (Böhm et al. 2004a).
+func Predecon(points [][]float64, cfg PredeconConfig) (*PredeconResult, error) {
+	return subspace.Predecon(points, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Section 5 — multiple given views/sources
+// ---------------------------------------------------------------------------
+
+// Multi-view configs and results.
+type (
+	CoEMConfig                     = multiview.CoEMConfig
+	CoEMResult                     = multiview.CoEMResult
+	MVDBSCANConfig                 = multiview.MVDBSCANConfig
+	CombineMode                    = multiview.CombineMode
+	MSCConfig                      = multiview.MSCConfig
+	MSCView                        = multiview.MSCView
+	UniversesConfig                = multiview.UniversesConfig
+	UniversesResult                = multiview.UniversesResult
+	DistributedDBSCANConfig        = multiview.DistributedDBSCANConfig
+	DistributedDBSCANResult        = multiview.DistributedDBSCANResult
+	ConsensusConfig                = multiview.ConsensusConfig
+	RandomProjectionEnsembleConfig = multiview.RandomProjectionEnsembleConfig
+	RandomProjectionEnsembleResult = multiview.RandomProjectionEnsembleResult
+)
+
+// Neighbourhood combination modes for MVDBSCAN.
+const (
+	Union        = multiview.Union
+	Intersection = multiview.Intersection
+)
+
+// CoEM runs interleaved two-view EM (Bickel & Scheffer 2004).
+func CoEM(viewA, viewB [][]float64, cfg CoEMConfig) (*CoEMResult, error) {
+	return multiview.CoEM(viewA, viewB, cfg)
+}
+
+// MVDBSCAN runs multi-represented DBSCAN with union or intersection
+// neighbourhoods (Kailing et al. 2004a).
+func MVDBSCAN(views [][][]float64, cfg MVDBSCANConfig) (*Clustering, error) {
+	return multiview.MVDBSCAN(views, cfg)
+}
+
+// TwoViewSpectral clusters two views via their combined affinity (de Sa
+// 2005).
+func TwoViewSpectral(viewA, viewB [][]float64, k int, seed int64) (*Clustering, error) {
+	return multiview.TwoViewSpectral(viewA, viewB, k, seed)
+}
+
+// MSC extracts multiple non-redundant spectral views (Niu & Dy 2010 style).
+func MSC(points [][]float64, cfg MSCConfig) ([]MSCView, error) {
+	return multiview.MSC(points, cfg)
+}
+
+// HSIC measures statistical dependence between two feature groups (Gretton
+// et al. 2005).
+func HSIC(x, y [][]float64) (float64, error) { return multiview.HSIC(x, y) }
+
+// ParallelUniverses runs fuzzy clustering in parallel universes (Wiswedel,
+// Höppner & Berthold 2010): objects learn which universe (view) they belong
+// to while each universe clusters only its own objects.
+func ParallelUniverses(views [][][]float64, cfg UniversesConfig) (*UniversesResult, error) {
+	return multiview.ParallelUniverses(views, cfg)
+}
+
+// DistributedDBSCAN runs scalable density-based distributed clustering
+// (Januzaj, Kriegel & Pfeifle 2004): local DBSCAN per site, representative
+// exchange, central merge.
+func DistributedDBSCAN(points [][]float64, cfg DistributedDBSCANConfig) (*DistributedDBSCANResult, error) {
+	return multiview.DistributedDBSCAN(points, cfg)
+}
+
+// CSPA computes a consensus clustering from hard labelings (Strehl & Ghosh
+// 2002).
+func CSPA(labelings [][]int, cfg ConsensusConfig) (*Clustering, error) {
+	return multiview.CSPA(labelings, cfg)
+}
+
+// SharedNMI is the ensemble objective of Strehl & Ghosh.
+func SharedNMI(consensus []int, labelings [][]int) float64 {
+	return multiview.SharedNMI(consensus, labelings)
+}
+
+// RandomProjectionEnsemble runs the Fern & Brodley (2003) consensus
+// pipeline.
+func RandomProjectionEnsemble(points [][]float64, cfg RandomProjectionEnsembleConfig) (*RandomProjectionEnsembleResult, error) {
+	return multiview.RandomProjectionEnsemble(points, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Metrics — the Q and Diss functions
+// ---------------------------------------------------------------------------
+
+// Clustering comparison and quality measures.
+var (
+	RandIndex              = metrics.RandIndex
+	AdjustedRand           = metrics.AdjustedRand
+	JaccardIndex           = metrics.JaccardIndex
+	PairF1                 = metrics.PairF1
+	NMI                    = metrics.NMI
+	VariationOfInformation = metrics.VariationOfInformation
+	MutualInformation      = metrics.MutualInformation
+	ConditionalEntropy     = metrics.ConditionalEntropy
+	Purity                 = metrics.Purity
+	SSE                    = metrics.SSE
+	Silhouette             = metrics.Silhouette
+	SubspaceF1             = metrics.SubspaceF1
+	SubspaceDimPrecision   = metrics.SubspaceDimPrecision
+	Redundancy             = metrics.Redundancy
+	ADCO                   = metrics.ADCO
+)
+
+// QualityFunc / DissimilarityFunc are the tutorial's abstract Q and Diss
+// interfaces (slide 27); ready-made instances below.
+type (
+	QualityFunc       = core.QualityFunc
+	DissimilarityFunc = core.DissimilarityFunc
+)
+
+// Ready-made Q and Diss instances and the combined-objective evaluator of
+// slide 39.
+var (
+	NegSSEQuality       = metrics.NegSSEQuality
+	SilhouetteQuality   = metrics.SilhouetteQuality
+	RandDissimilarity   = metrics.RandDissimilarity
+	VIDissimilarity     = metrics.VIDissimilarity
+	NMIDissimilarity    = metrics.NMIDissimilarity
+	ADCODissimilarity   = metrics.ADCODissimilarity
+	EvaluateSolutionSet = metrics.EvaluateSolutionSet
+)
+
+// ---------------------------------------------------------------------------
+// Taxonomy
+// ---------------------------------------------------------------------------
+
+// TaxonomyEntry is one row of the tutorial's comparison table.
+type TaxonomyEntry = taxonomy.Entry
+
+// Taxonomy returns the classification of every implemented algorithm.
+func Taxonomy() []TaxonomyEntry { return taxonomy.Registry() }
+
+// WriteTaxonomyTable renders the comparison table (tutorial slide 116).
+func WriteTaxonomyTable(w io.Writer) error { return taxonomy.WriteTable(w) }

@@ -1,0 +1,162 @@
+package multiclust
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README's quick
+// start does: one dataset, three paradigms, consistent metrics.
+func TestFacadeEndToEnd(t *testing.T) {
+	ds, hor, ver := FourBlobToy(1, 20)
+	given := NewClustering(hor)
+
+	// Paradigm 1: original space (COALA).
+	coala, err := Coala(ds.Points, given, CoalaConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := AdjustedRand(ver, coala.Clustering.Labels); a < 0.9 {
+		t.Errorf("COALA ARI vs vertical = %v", a)
+	}
+
+	// Paradigm 2: orthogonal transformation (metric flip).
+	flip, err := MetricFlip(ds.Points, given, KMeansBase(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := AdjustedRand(ver, flip.Clustering.Labels); a < 0.9 {
+		t.Errorf("MetricFlip ARI vs vertical = %v", a)
+	}
+
+	// Paradigm 3: simultaneous (decorrelated k-means).
+	dec, err := DecKMeans(ds.Points, DecKMeansConfig{Ks: []int{2, 2}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi := NMI(dec.Clusterings[0].Labels, dec.Clusterings[1].Labels); nmi > 0.3 {
+		t.Errorf("DecKMeans solutions correlated: %v", nmi)
+	}
+}
+
+func TestFacadeBaseLearners(t *testing.T) {
+	ds, truth := GaussianBlobs(1, 90, [][]float64{{0, 0}, {8, 8}}, 0.5)
+	km, err := KMeans(ds.Points, KMeansConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := AdjustedRand(truth, km.Clustering.Labels); a < 0.95 {
+		t.Errorf("KMeans ARI = %v", a)
+	}
+	db, err := DBSCAN(ds.Points, DBSCANConfig{Eps: 1.0, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.K() != 2 {
+		t.Errorf("DBSCAN K = %d", db.K())
+	}
+	dg, err := Hierarchical(ds.Points, AverageLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := dg.Cut(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := AdjustedRand(truth, cut.Labels); a < 0.95 {
+		t.Errorf("Hierarchical ARI = %v", a)
+	}
+	gm, err := EM(ds.Points, EMConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := AdjustedRand(truth, gm.Clustering.Labels); a < 0.95 {
+		t.Errorf("EM ARI = %v", a)
+	}
+	sp, err := Spectral(ds.Points, SpectralConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := AdjustedRand(truth, sp.Clustering.Labels); a < 0.95 {
+		t.Errorf("Spectral ARI = %v", a)
+	}
+}
+
+func TestFacadeSubspacePipeline(t *testing.T) {
+	// CLIQUE candidates -> OSCLU selection, through the facade only.
+	ds, truth, err := SubspaceData(1, 200, 6, []SubspaceSpec{
+		{Dims: []int{0, 1}, Size: 60, Width: 0.08},
+		{Dims: []int{3, 4}, Size: 50, Width: 0.08},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Clique(ds.Points, CliqueConfig{Xi: 10, Tau: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Osclu(cl.Clusters, OscluConfig{Alpha: 0.5, Beta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) >= len(cl.Clusters) && len(cl.Clusters) > 2 {
+		t.Errorf("OSCLU should shrink the result: %d -> %d", len(cl.Clusters), len(sel))
+	}
+	if f1 := SubspaceF1(truth, sel); f1 < 0.7 {
+		t.Errorf("selected F1 = %v", f1)
+	}
+}
+
+func TestFacadeCSVAndTaxonomy(t *testing.T) {
+	var buf bytes.Buffer
+	ds := NewDataset([][]float64{{1, 2}, {3, 4}})
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 2 {
+		t.Error("csv round trip failed")
+	}
+
+	if len(Taxonomy()) < 20 {
+		t.Error("taxonomy incomplete")
+	}
+	var tb strings.Builder
+	if err := WriteTaxonomyTable(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "COALA") {
+		t.Error("taxonomy table missing entries")
+	}
+}
+
+func TestFacadeMultiView(t *testing.T) {
+	a, b, labels := TwoSourceViews(5, 150, 2, 2, 2, 0.4, 0)
+	co, err := CoEM(a.Points, b.Points, CoEMConfig{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari := AdjustedRand(labels, co.Clustering.Labels); ari < 0.9 {
+		t.Errorf("CoEM ARI = %v", ari)
+	}
+	mv, err := MVDBSCAN([][][]float64{a.Points, b.Points}, MVDBSCANConfig{
+		Eps: []float64{1.2, 1.2}, MinPts: 4, Mode: Intersection,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := Purity(labels, mv.Labels); p < 0.9 {
+		t.Errorf("MVDBSCAN purity = %v", p)
+	}
+	cons, err := CSPA([][]int{labels, labels}, ConsensusConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SharedNMI(cons.Labels, [][]int{labels}) < 0.99 {
+		t.Error("CSPA consensus of identical inputs should match them")
+	}
+}
