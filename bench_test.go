@@ -11,7 +11,9 @@ import (
 	"testing"
 
 	"multiclust"
+	"multiclust/internal/dist"
 	"multiclust/internal/experiments"
+	"multiclust/internal/kmeans"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -190,5 +192,61 @@ func BenchmarkMetricsNMI(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		multiclust.NMI(hor, ver)
+	}
+}
+
+// --- worker-scaling micro-benchmarks (serial vs parallel hot paths) ---
+
+func BenchmarkPairwiseMatrix(b *testing.B) {
+	pts := blobs(800, 16)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dist.PairwiseMatrixWorkers(pts, dist.Euclidean, w)
+			}
+		})
+	}
+}
+
+func BenchmarkKMeansRestarts(b *testing.B) {
+	pts := blobs(1000, 8)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := kmeans.Run(pts, kmeans.Config{K: 3, Seed: 1, Restarts: 8, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDBSCANWorkers(b *testing.B) {
+	pts := blobs(600, 4)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			multiclust.SetWorkers(w)
+			defer multiclust.SetWorkers(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := multiclust.DBSCAN(pts, multiclust.DBSCANConfig{Eps: 1.5, MinPts: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRandomProjectionEnsembleWorkers(b *testing.B) {
+	pts := blobs(300, 10)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := multiclust.RandomProjectionEnsembleConfig{K: 3, Runs: 8, Seed: 1}
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := multiclust.RandomProjectionEnsemble(pts, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -30,18 +30,20 @@ import (
 
 func main() {
 	var (
-		algo   = flag.String("algo", "taxonomy", "algorithm to run (see doc comment)")
-		in     = flag.String("in", "", "input CSV file (default: built-in toy dataset)")
-		header = flag.Bool("header", true, "input CSV has a header row")
-		givenF = flag.String("given", "", "file with one integer label per line (given clustering)")
-		k      = flag.Int("k", 2, "number of clusters (per solution)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		eps    = flag.Float64("eps", 0.1, "DBSCAN epsilon")
-		minPts = flag.Int("minpts", 4, "DBSCAN minPts")
-		xi     = flag.Int("xi", 10, "grid intervals per dimension")
-		tau    = flag.Float64("tau", 0.1, "grid density threshold / significance")
+		algo    = flag.String("algo", "taxonomy", "algorithm to run (see doc comment)")
+		in      = flag.String("in", "", "input CSV file (default: built-in toy dataset)")
+		header  = flag.Bool("header", true, "input CSV has a header row")
+		givenF  = flag.String("given", "", "file with one integer label per line (given clustering)")
+		k       = flag.Int("k", 2, "number of clusters (per solution)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		eps     = flag.Float64("eps", 0.1, "DBSCAN epsilon")
+		minPts  = flag.Int("minpts", 4, "DBSCAN minPts")
+		xi      = flag.Int("xi", 10, "grid intervals per dimension")
+		tau     = flag.Float64("tau", 0.1, "grid density threshold / significance")
+		workers = flag.Int("workers", 0, "worker goroutines for parallel hot paths (0 = MULTICLUST_WORKERS env, then GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
+	multiclust.SetWorkers(*workers)
 
 	if err := run(*algo, *in, *header, *givenF, *k, *seed, *eps, *minPts, *xi, *tau); err != nil {
 		fmt.Fprintln(os.Stderr, "multiclust:", err)

@@ -6,6 +6,7 @@ import (
 	"multiclust/internal/core"
 	"multiclust/internal/metaclust"
 	"multiclust/internal/metrics"
+	"multiclust/internal/parallel"
 )
 
 // CondEnsConfig controls the conditional-ensemble alternative search.
@@ -14,6 +15,7 @@ type CondEnsConfig struct {
 	NumSolutions int     // ensemble size, default 20
 	Lambda       float64 // weight of the dissimilarity-to-given term, default 1
 	Seed         int64
+	Workers      int // parallelism; <=0 resolves via internal/parallel
 }
 
 // CondEnsResult carries the chosen alternative and the scored ensemble.
@@ -65,19 +67,25 @@ func CondEns(points [][]float64, given *core.Clustering, cfg CondEnsConfig) (*Co
 		NumSolutions: cfg.NumSolutions,
 		MetaClusters: 1, // grouping not needed; we score members directly
 		Seed:         cfg.Seed,
+		Workers:      cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Scoring is O(n²) per member (silhouette); members are scored
+	// concurrently and the argmax scan stays serial in member order, so the
+	// selected alternative never depends on scheduling.
 	res := &CondEnsResult{BestIndex: -1}
-	best := 0.0
-	for i, c := range ens.Generated {
+	res.Scores = parallel.Map(len(ens.Generated), cfg.Workers, func(i int) CondEnsScore {
+		c := ens.Generated[i]
 		q := metrics.Silhouette(points, c)
 		nmi := metrics.NMI(c.Labels, given.Labels)
-		obj := q - cfg.Lambda*nmi
-		res.Scores = append(res.Scores, CondEnsScore{Quality: q, NMIToGiven: nmi, Objective: obj})
-		if res.BestIndex < 0 || obj > best {
-			best = obj
+		return CondEnsScore{Quality: q, NMIToGiven: nmi, Objective: q - cfg.Lambda*nmi}
+	})
+	best := 0.0
+	for i, s := range res.Scores {
+		if res.BestIndex < 0 || s.Objective > best {
+			best = s.Objective
 			res.BestIndex = i
 		}
 	}

@@ -11,6 +11,7 @@ import (
 
 	"multiclust/internal/core"
 	"multiclust/internal/dist"
+	"multiclust/internal/parallel"
 )
 
 // NeighborFunc returns the indices of all objects (including o itself) in
@@ -19,11 +20,16 @@ type NeighborFunc func(o int) []int
 
 // Config controls a run over points with a concrete distance.
 type Config struct {
-	Eps    float64
-	MinPts int
+	Eps     float64
+	MinPts  int
+	Workers int // parallelism of the region queries; <=0 resolves via internal/parallel
 }
 
-// Run clusters points with plain DBSCAN under distance d.
+// Run clusters points with plain DBSCAN under distance d. The ε-neighborhood
+// of every object is precomputed concurrently up front — the region queries
+// dominate the O(n²) cost and are independent per object — then the serial
+// expansion loop consumes the precomputed lists, so the labeling is
+// identical to a fully serial run.
 func Run(points [][]float64, d dist.Func, cfg Config) (*core.Clustering, error) {
 	if len(points) == 0 {
 		return nil, core.ErrEmptyDataset
@@ -31,8 +37,25 @@ func Run(points [][]float64, d dist.Func, cfg Config) (*core.Clustering, error) 
 	if cfg.Eps <= 0 || cfg.MinPts <= 0 {
 		return nil, errors.New("dbscan: Eps and MinPts must be positive")
 	}
-	nf := EpsNeighbors(points, d, cfg.Eps)
+	nf := PrecomputeNeighbors(points, d, cfg.Eps, cfg.Workers)
 	return RunGeneric(len(points), nf, cfg.MinPts)
+}
+
+// PrecomputeNeighbors materializes every object's ε-neighborhood with the
+// given worker count and returns a lookup into the precomputed lists.
+func PrecomputeNeighbors(points [][]float64, d dist.Func, eps float64, workers int) NeighborFunc {
+	n := len(points)
+	nbs := make([][]int, n)
+	parallel.Each(n, workers, func(o int) {
+		var out []int
+		for i, p := range points {
+			if d(points[o], p) <= eps {
+				out = append(out, i)
+			}
+		}
+		nbs[o] = out
+	})
+	return func(o int) []int { return nbs[o] }
 }
 
 // EpsNeighbors builds the standard epsilon-ball neighbourhood function.

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"multiclust/internal/linalg"
+	"multiclust/internal/parallel"
 )
 
 // Func is a distance between two equal-length vectors.
@@ -86,8 +87,9 @@ func EuclideanSubspace(a, b []float64, dims []int) float64 {
 	return math.Sqrt(SqEuclideanSubspace(a, b, dims))
 }
 
-// Weighted returns the weighted squared Euclidean distance with per-dimension
-// weights w.
+// Weighted returns the weighted Euclidean distance with per-dimension
+// weights w: sqrt(sum_i w_i (a_i - b_i)^2). It is a metric for non-negative
+// weights; square the result to recover the weighted squared form.
 func Weighted(w []float64) Func {
 	return func(a, b []float64) float64 {
 		var s float64
@@ -123,16 +125,27 @@ func Transformed(m *linalg.Matrix, base Func) Func {
 	}
 }
 
-// PairwiseMatrix materializes the n×n distance matrix of points under d.
+// PairwiseMatrix materializes the n×n distance matrix of points under d,
+// using the library-wide worker resolution (see internal/parallel).
 func PairwiseMatrix(points [][]float64, d Func) *linalg.Matrix {
+	return PairwiseMatrixWorkers(points, d, 0)
+}
+
+// PairwiseMatrixWorkers is PairwiseMatrix with an explicit worker count
+// (<= 0 resolves via the parallel package). Rows are distributed through an
+// atomic cursor because the upper-triangle loop is triangular: row i holds
+// n-1-i distance evaluations, so static blocks would leave the first worker
+// with most of the work. Each (i, j) cell is written exactly once, making
+// the output byte-identical for every worker count.
+func PairwiseMatrixWorkers(points [][]float64, d Func, workers int) *linalg.Matrix {
 	n := len(points)
 	out := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
+	parallel.Each(n, workers, func(i int) {
 		for j := i + 1; j < n; j++ {
 			v := d(points[i], points[j])
 			out.Set(i, j, v)
 			out.Set(j, i, v)
 		}
-	}
+	})
 	return out
 }

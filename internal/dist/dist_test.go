@@ -117,3 +117,46 @@ func TestQuickMetricAxioms(t *testing.T) {
 		}
 	}
 }
+
+// Weighted is the ROOTED weighted Euclidean metric: its square must equal
+// the weighted sum of squared coordinate differences.
+func TestWeightedSquaredPinsDefinition(t *testing.T) {
+	w := []float64{2, 0.5, 3}
+	a := []float64{1, -2, 0.25}
+	b := []float64{-1, 4, 2}
+	d := Weighted(w)(a, b)
+	var want float64
+	for i := range a {
+		diff := a[i] - b[i]
+		want += w[i] * diff * diff
+	}
+	if got := d * d; !approxEq(got, want, 1e-12) {
+		t.Errorf("Weighted(w)(a,b)^2 = %v, want sum w_i (a_i-b_i)^2 = %v", got, want)
+	}
+	// And the rooted form obeys symmetry + identity like the other metrics.
+	if got := Weighted(w)(a, a); got != 0 {
+		t.Errorf("Weighted(a,a) = %v", got)
+	}
+	if !approxEq(Weighted(w)(a, b), Weighted(w)(b, a), 1e-12) {
+		t.Error("Weighted not symmetric")
+	}
+}
+
+// The parallel pairwise matrix must be byte-identical to the serial one for
+// every worker count.
+func TestPairwiseMatrixWorkersDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	pts := make([][]float64, 61)
+	for i := range pts {
+		pts[i] = []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+	}
+	serial := PairwiseMatrixWorkers(pts, Euclidean, 1)
+	for _, w := range []int{2, 4, 7} {
+		par := PairwiseMatrixWorkers(pts, Euclidean, w)
+		for i := range serial.Data {
+			if serial.Data[i] != par.Data[i] {
+				t.Fatalf("workers=%d: cell %d differs: %v vs %v", w, i, serial.Data[i], par.Data[i])
+			}
+		}
+	}
+}

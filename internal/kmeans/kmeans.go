@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"multiclust/internal/core"
 	"multiclust/internal/dist"
+	"multiclust/internal/parallel"
 )
 
 // Config controls a k-means run.
@@ -20,7 +22,8 @@ type Config struct {
 	K        int
 	MaxIter  int   // default 100
 	Restarts int   // default 1; best-SSE run wins
-	Seed     int64 // RNG seed for seeding and restarts
+	Seed     int64 // RNG seed for seeding; restart r derives seed Seed+r
+	Workers  int   // parallelism; <=0 resolves via internal/parallel
 }
 
 // Result is a fitted k-means model.
@@ -49,75 +52,76 @@ func Run(points [][]float64, cfg Config) (*Result, error) {
 	if cfg.Restarts <= 0 {
 		cfg.Restarts = 1
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var best *Result
-	for r := 0; r < cfg.Restarts; r++ {
-		res := runOnce(points, cfg.K, cfg.MaxIter, rng)
-		if best == nil || res.SSE < best.SSE {
+	// Restarts are independent: each derives its own seed (cfg.Seed + r) up
+	// front and runs concurrently; the best-SSE selection scans in restart
+	// order with a strict <, so the winner is independent of completion
+	// order (ties go to the lowest restart index).
+	w := parallel.Workers(cfg.Workers)
+	innerW := w / cfg.Restarts
+	if innerW < 1 {
+		innerW = 1
+	}
+	results := parallel.Map(cfg.Restarts, w, func(r int) *Result {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)))
+		return runOnce(points, cfg.K, cfg.MaxIter, rng, innerW)
+	})
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.SSE < best.SSE {
 			best = res
 		}
 	}
 	return best, nil
 }
 
-func runOnce(points [][]float64, k, maxIter int, rng *rand.Rand) *Result {
+func runOnce(points [][]float64, k, maxIter int, rng *rand.Rand, workers int) *Result {
 	centers := PlusPlusSeeds(points, k, rng)
 	n, d := len(points), len(points[0])
 	labels := make([]int, n)
 	for i := range labels {
 		labels[i] = -1
 	}
-	var sse float64
+	nearest := make([]float64, n) // squared distance to the assigned center
+	var nChanged int64
 	iter := 0
 	for ; iter < maxIter; iter++ {
-		changed := false
-		sse = 0
-		for i, p := range points {
-			bestC, bestD := 0, math.Inf(1)
-			for c, ctr := range centers {
-				if dd := dist.SqEuclidean(p, ctr); dd < bestD {
-					bestC, bestD = c, dd
-				}
-			}
-			if labels[i] != bestC {
-				labels[i] = bestC
-				changed = true
-			}
-			sse += bestD
-		}
-		if !changed {
-			break
-		}
-		// Recompute centers; empty clusters get re-seeded to the point
-		// farthest from its center, the standard fix for dead centroids.
-		counts := make([]int, k)
-		next := make([][]float64, k)
-		for c := range next {
-			next[c] = make([]float64, d)
-		}
-		for i, p := range points {
-			c := labels[i]
-			counts[c]++
-			for j, v := range p {
-				next[c][j] += v
-			}
-		}
-		for c := range next {
-			if counts[c] == 0 {
-				far, farD := 0, -1.0
-				for i, p := range points {
-					if dd := dist.SqEuclidean(p, centers[labels[i]]); dd > farD {
-						far, farD = i, dd
+		// Assignment, sharded over points. Each shard writes disjoint
+		// labels[i]/nearest[i] entries; the SSE is NOT accumulated here but
+		// summed over nearest in index order below, so the total is
+		// byte-identical for every worker count.
+		nChanged = 0
+		parallel.For(n, workers, func(lo, hi int) {
+			var changed int64
+			for i := lo; i < hi; i++ {
+				p := points[i]
+				bestC, bestD := 0, math.Inf(1)
+				for c, ctr := range centers {
+					if dd := dist.SqEuclidean(p, ctr); dd < bestD {
+						bestC, bestD = c, dd
 					}
 				}
-				copy(next[c], points[far])
-				continue
+				if labels[i] != bestC {
+					labels[i] = bestC
+					changed++
+				}
+				nearest[i] = bestD
 			}
-			for j := range next[c] {
-				next[c][j] /= float64(counts[c])
+			if changed > 0 {
+				atomic.AddInt64(&nChanged, changed)
 			}
+		})
+		if nChanged == 0 {
+			break
 		}
-		centers = next
+		centers = recomputeCenters(points, labels, k, d, centers)
+	}
+	// Report the SSE of the returned (Clustering, Centers) pair: when the
+	// loop exhausts MaxIter the centers were recomputed after the last
+	// assignment, so the in-loop sum (measured against the previous centers)
+	// would overstate the cost of the model actually returned.
+	var sse float64
+	for i, p := range points {
+		sse += dist.SqEuclidean(p, centers[labels[i]])
 	}
 	return &Result{
 		Clustering: core.NewClustering(labels),
@@ -125,6 +129,53 @@ func runOnce(points [][]float64, k, maxIter int, rng *rand.Rand) *Result {
 		SSE:        sse,
 		Iterations: iter,
 	}
+}
+
+// recomputeCenters returns the mean of each cluster's members. Empty
+// clusters are re-seeded to the point farthest from its assigned center —
+// the standard dead-centroid fix — excluding points already claimed by
+// another reseed in the same pass, so two clusters that empty in the same
+// iteration land on distinct points instead of collapsing onto one.
+func recomputeCenters(points [][]float64, labels []int, k, d int, centers [][]float64) [][]float64 {
+	counts := make([]int, k)
+	next := make([][]float64, k)
+	for c := range next {
+		next[c] = make([]float64, d)
+	}
+	for i, p := range points {
+		c := labels[i]
+		counts[c]++
+		for j, v := range p {
+			next[c][j] += v
+		}
+	}
+	var used []bool
+	for c := range next {
+		if counts[c] == 0 {
+			if used == nil {
+				used = make([]bool, len(points))
+			}
+			far, farD := -1, -1.0
+			for i, p := range points {
+				if used[i] {
+					continue
+				}
+				if dd := dist.SqEuclidean(p, centers[labels[i]]); dd > farD {
+					far, farD = i, dd
+				}
+			}
+			if far < 0 {
+				far = 0 // more empty clusters than points; degenerate input
+			}
+			used[far] = true
+			copy(next[c], points[far])
+			continue
+		}
+		for j := range next[c] {
+			next[c][j] /= float64(counts[c])
+		}
+	}
+	return next
 }
 
 // PlusPlusSeeds picks k initial centers with the k-means++ D^2 weighting.

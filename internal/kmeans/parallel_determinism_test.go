@@ -1,0 +1,62 @@
+package kmeans
+
+import (
+	"testing"
+
+	"multiclust/internal/dataset"
+)
+
+// The worker count must never change the fitted model: labels, centers, SSE
+// and iteration count are compared exactly (not approximately) between the
+// serial and parallel paths. Run under -race this also exercises the sharded
+// assignment loop and the restart fan-out for data races.
+func TestKMeansWorkersDeterministic(t *testing.T) {
+	ds, _ := dataset.GaussianBlobs(11, 150, [][]float64{{0, 0, 0}, {6, 0, 3}, {0, 6, -3}}, 0.9)
+	serial, err := Run(ds.Points, Config{K: 3, Seed: 2, Restarts: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 16} {
+		par, err := Run(ds.Points, Config{K: 3, Seed: 2, Restarts: 8, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.SSE != serial.SSE {
+			t.Errorf("workers=%d: SSE %v != serial %v", w, par.SSE, serial.SSE)
+		}
+		if par.Iterations != serial.Iterations {
+			t.Errorf("workers=%d: iterations %d != serial %d", w, par.Iterations, serial.Iterations)
+		}
+		for i := range serial.Clustering.Labels {
+			if par.Clustering.Labels[i] != serial.Clustering.Labels[i] {
+				t.Fatalf("workers=%d: label %d differs", w, i)
+			}
+		}
+		for c := range serial.Centers {
+			for j := range serial.Centers[c] {
+				if par.Centers[c][j] != serial.Centers[c][j] {
+					t.Fatalf("workers=%d: center %d dim %d differs: %v vs %v",
+						w, c, j, par.Centers[c][j], serial.Centers[c][j])
+				}
+			}
+		}
+	}
+}
+
+// Restart r must behave as an independent run seeded with Seed+r: the best
+// of 8 restarts can never be worse than the single run with the same base
+// seed, because that single run IS restart 0.
+func TestRestartZeroIsBaseSeedRun(t *testing.T) {
+	ds, _ := dataset.GaussianBlobs(12, 90, [][]float64{{0, 0}, {4, 0}, {8, 0}}, 0.6)
+	single, err := Run(ds.Points, Config{K: 3, Seed: 5, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Run(ds.Points, Config{K: 3, Seed: 5, Restarts: 8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.SSE > single.SSE {
+		t.Errorf("best-of-8 SSE %v worse than restart 0 alone %v", many.SSE, single.SSE)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"multiclust/internal/hierarchical"
 	"multiclust/internal/kmeans"
 	"multiclust/internal/metrics"
+	"multiclust/internal/parallel"
 )
 
 // Config controls the meta clustering run.
@@ -30,6 +31,7 @@ type Config struct {
 	MetaClusters  int     // distinct solutions to return (default 3)
 	FeatureJitter float64 // stddev of the log-normal feature weights (default 1)
 	Seed          int64
+	Workers       int                    // parallelism; <=0 resolves via internal/parallel
 	Diss          core.DissimilarityFunc // default 1 - Rand index
 }
 
@@ -72,14 +74,35 @@ func Run(points [][]float64, cfg Config) (*Result, error) {
 	d := len(points[0])
 
 	res := &Result{}
-	weighted := make([][]float64, n)
-	for s := 0; s < cfg.NumSolutions; s++ {
+	// Base-solution generation is the hot path: every member reweights the
+	// features and runs a full k-means. The RNG draws (weights, then the
+	// member's k-means seed) happen serially up front in exactly the order
+	// the serial loop made them, so the generated ensemble is identical for
+	// any worker count; only the k-means runs fan out.
+	weights := make([][]float64, cfg.NumSolutions)
+	seeds := make([]int64, cfg.NumSolutions)
+	for s := range weights {
 		// Zipf-style random feature weighting, the diversity device of the
 		// original paper: w_j = exp(jitter * N(0,1)).
 		w := make([]float64, d)
 		for j := range w {
 			w[j] = expNorm(rng, cfg.FeatureJitter)
 		}
+		weights[s] = w
+		seeds[s] = rng.Int63()
+	}
+	workers := parallel.Workers(cfg.Workers)
+	innerW := workers / cfg.NumSolutions
+	if innerW < 1 {
+		innerW = 1
+	}
+	type genOut struct {
+		clustering *core.Clustering
+		err        error
+	}
+	outs := parallel.Map(cfg.NumSolutions, workers, func(s int) genOut {
+		w := weights[s]
+		weighted := make([][]float64, n)
 		for i, p := range points {
 			row := make([]float64, d)
 			for j, v := range p {
@@ -87,15 +110,22 @@ func Run(points [][]float64, cfg Config) (*Result, error) {
 			}
 			weighted[i] = row
 		}
-		km, err := kmeans.Run(weighted, kmeans.Config{K: cfg.K, Seed: rng.Int63()})
+		km, err := kmeans.Run(weighted, kmeans.Config{K: cfg.K, Seed: seeds[s], Workers: innerW})
 		if err != nil {
-			return nil, err
+			return genOut{err: err}
 		}
-		res.Generated = append(res.Generated, km.Clustering)
-		res.Weights = append(res.Weights, w)
+		return genOut{clustering: km.Clustering}
+	})
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.Generated = append(res.Generated, o.clustering)
 	}
+	res.Weights = weights
 
-	// Pairwise dissimilarity at the meta level.
+	// Pairwise dissimilarity at the meta level; the triangular loop is
+	// sharded by row and the mean accumulated in row order afterwards.
 	m := len(res.Generated)
 	diss := make([][]float64, m)
 	var sum float64
@@ -103,11 +133,15 @@ func Run(points [][]float64, cfg Config) (*Result, error) {
 	for i := range diss {
 		diss[i] = make([]float64, m)
 	}
-	for i := 0; i < m; i++ {
+	parallel.Each(m, workers, func(i int) {
 		for j := i + 1; j < m; j++ {
 			v := cfg.Diss(res.Generated[i], res.Generated[j])
 			diss[i][j], diss[j][i] = v, v
-			sum += v
+		}
+	})
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			sum += diss[i][j]
 			cnt++
 		}
 	}

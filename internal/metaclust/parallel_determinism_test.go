@@ -1,0 +1,42 @@
+package metaclust
+
+import (
+	"testing"
+
+	"multiclust/internal/dataset"
+)
+
+// Ensemble generation fans out over the worker pool while the RNG draws stay
+// serial, so every generated member, weight vector and representative must
+// be exactly identical for any worker count.
+func TestMetaClusteringWorkersDeterministic(t *testing.T) {
+	ds, _, _ := dataset.FourBlobToy(1, 20)
+	serial, err := Run(ds.Points, Config{K: 2, NumSolutions: 10, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(ds.Points, Config{K: 2, NumSolutions: 10, Seed: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.MeanPairwise != serial.MeanPairwise {
+		t.Errorf("MeanPairwise %v != %v", par.MeanPairwise, serial.MeanPairwise)
+	}
+	for s := range serial.Generated {
+		for i := range serial.Generated[s].Labels {
+			if par.Generated[s].Labels[i] != serial.Generated[s].Labels[i] {
+				t.Fatalf("solution %d label %d differs", s, i)
+			}
+		}
+		for j := range serial.Weights[s] {
+			if par.Weights[s][j] != serial.Weights[s][j] {
+				t.Fatalf("solution %d weight %d differs", s, j)
+			}
+		}
+	}
+	for i := range serial.MetaLabels {
+		if par.MetaLabels[i] != serial.MetaLabels[i] {
+			t.Fatalf("meta label %d differs", i)
+		}
+	}
+}

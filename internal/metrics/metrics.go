@@ -209,45 +209,44 @@ func Silhouette(points [][]float64, c *core.Clustering) float64 {
 	if len(clusters) < 2 {
 		return 0
 	}
-	memberOf := make(map[int]int) // object -> cluster index in clusters
-	for ci, members := range clusters {
-		for _, o := range members {
-			memberOf[o] = ci
-		}
-	}
+	// Iterate clusters and members in index order: summing in map-iteration
+	// order made the result depend on Go's randomized map ordering in the
+	// last floating-point bits, which flipped argmax decisions downstream
+	// (e.g. CondEns member selection) between identical runs.
 	var sum float64
 	var count int
-	for o, ci := range memberOf {
-		own := clusters[ci]
-		if len(own) <= 1 {
-			count++
-			continue
-		}
-		var a float64
-		for _, p := range own {
-			if p != o {
-				a += dist.Euclidean(points[o], points[p])
-			}
-		}
-		a /= float64(len(own) - 1)
-		b := math.Inf(1)
-		for cj, other := range clusters {
-			if cj == ci {
+	for ci, own := range clusters {
+		for _, o := range own {
+			if len(own) <= 1 {
+				count++
 				continue
 			}
-			var s float64
-			for _, p := range other {
-				s += dist.Euclidean(points[o], points[p])
+			var a float64
+			for _, p := range own {
+				if p != o {
+					a += dist.Euclidean(points[o], points[p])
+				}
 			}
-			if avg := s / float64(len(other)); avg < b {
-				b = avg
+			a /= float64(len(own) - 1)
+			b := math.Inf(1)
+			for cj, other := range clusters {
+				if cj == ci {
+					continue
+				}
+				var s float64
+				for _, p := range other {
+					s += dist.Euclidean(points[o], points[p])
+				}
+				if avg := s / float64(len(other)); avg < b {
+					b = avg
+				}
 			}
+			den := math.Max(a, b)
+			if den > 0 {
+				sum += (b - a) / den
+			}
+			count++
 		}
-		den := math.Max(a, b)
-		if den > 0 {
-			sum += (b - a) / den
-		}
-		count++
 	}
 	if count == 0 {
 		return 0

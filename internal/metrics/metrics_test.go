@@ -269,3 +269,25 @@ func TestRedundancy(t *testing.T) {
 		t.Error("single cluster cannot be redundant")
 	}
 }
+
+// Silhouette must be bit-for-bit reproducible across calls: the old
+// implementation summed contributions in Go map-iteration order, whose
+// randomization perturbed the last floating-point bits and flipped argmax
+// decisions downstream (e.g. CondEns member selection).
+func TestSilhouetteDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	n := 60
+	pts := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range pts {
+		labels[i] = i % 4
+		pts[i] = []float64{r.NormFloat64() + float64(labels[i]*3), r.NormFloat64()}
+	}
+	c := core.NewClustering(labels)
+	first := Silhouette(pts, c)
+	for i := 0; i < 10; i++ {
+		if got := Silhouette(pts, c); got != first {
+			t.Fatalf("call %d: Silhouette = %v, first call = %v", i, got, first)
+		}
+	}
+}

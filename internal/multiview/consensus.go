@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"multiclust/internal/core"
 	"multiclust/internal/dist"
@@ -12,6 +11,7 @@ import (
 	"multiclust/internal/hierarchical"
 	"multiclust/internal/linalg"
 	"multiclust/internal/metrics"
+	"multiclust/internal/parallel"
 )
 
 // ConsensusConfig controls the similarity-based consensus step.
@@ -114,6 +114,7 @@ type RandomProjectionEnsembleConfig struct {
 	Runs      int // ensemble size, default 10
 	TargetDim int // projected dimensionality, default 2
 	Seed      int64
+	Workers   int // parallelism; <=0 resolves via internal/parallel
 }
 
 // RandomProjectionEnsembleResult keeps the per-run clusterings alongside the
@@ -152,8 +153,9 @@ func RandomProjectionEnsemble(points [][]float64, cfg RandomProjectionEnsembleCo
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	// The runs are independent; execute them concurrently with seeds drawn
-	// up front and reduce in run order so the result stays deterministic.
+	// The runs are independent; execute them on the shared worker pool with
+	// seeds drawn up front and reduce in run order so the result stays
+	// deterministic for any worker count.
 	type runOut struct {
 		clustering *core.Clustering
 		posterior  [][]float64
@@ -163,31 +165,22 @@ func RandomProjectionEnsemble(points [][]float64, cfg RandomProjectionEnsembleCo
 	for t := range seeds {
 		seeds[t] = [2]int64{rng.Int63(), rng.Int63()} // projection seed, EM seed
 	}
-	outs := make([]runOut, cfg.Runs)
-	var wg sync.WaitGroup
-	for t := 0; t < cfg.Runs; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			prng := rand.New(rand.NewSource(seeds[t][0]))
-			proj := linalg.NewMatrix(cfg.TargetDim, d)
-			for i := range proj.Data {
-				proj.Data[i] = prng.NormFloat64()
-			}
-			projected := make([][]float64, n)
-			for i, p := range points {
-				projected[i] = proj.MulVec(p)
-			}
-			fit, err := em.Fit(projected, em.Config{K: cfg.K, Seed: seeds[t][1], MaxIter: 60})
-			if err != nil {
-				outs[t].err = err
-				return
-			}
-			outs[t].clustering = fit.Clustering
-			outs[t].posterior = fit.Posterior
-		}(t)
-	}
-	wg.Wait()
+	outs := parallel.Map(cfg.Runs, cfg.Workers, func(t int) runOut {
+		prng := rand.New(rand.NewSource(seeds[t][0]))
+		proj := linalg.NewMatrix(cfg.TargetDim, d)
+		for i := range proj.Data {
+			proj.Data[i] = prng.NormFloat64()
+		}
+		projected := make([][]float64, n)
+		for i, p := range points {
+			projected[i] = proj.MulVec(p)
+		}
+		fit, err := em.Fit(projected, em.Config{K: cfg.K, Seed: seeds[t][1], MaxIter: 60})
+		if err != nil {
+			return runOut{err: err}
+		}
+		return runOut{clustering: fit.Clustering, posterior: fit.Posterior}
+	})
 
 	sim := linalg.NewMatrix(n, n)
 	res := &RandomProjectionEnsembleResult{}

@@ -1,0 +1,46 @@
+package multiview
+
+import (
+	"testing"
+
+	"multiclust/internal/dataset"
+)
+
+// The ensemble runs fan out over the worker pool; consensus, similarity and
+// every per-run clustering must be exactly identical for any worker count.
+func TestRandomProjectionEnsembleWorkersDeterministic(t *testing.T) {
+	ds, _, _ := dataset.MultiViewGaussians(3, 90, []dataset.ViewSpec{
+		{Dims: 2, K: 3, Sep: 4, Sigma: 0.4},
+		{Dims: 2, K: 2, Sep: 4, Sigma: 0.4},
+	})
+	cfg := RandomProjectionEnsembleConfig{K: 3, Runs: 8, TargetDim: 2, Seed: 7}
+	cfg.Workers = 1
+	serial, err := RandomProjectionEnsemble(ds.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4} {
+		cfg.Workers = w
+		par, err := RandomProjectionEnsemble(ds.Points, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.Consensus.Labels {
+			if par.Consensus.Labels[i] != serial.Consensus.Labels[i] {
+				t.Fatalf("workers=%d: consensus label %d differs", w, i)
+			}
+		}
+		for i := range serial.Similarity.Data {
+			if par.Similarity.Data[i] != serial.Similarity.Data[i] {
+				t.Fatalf("workers=%d: similarity cell %d differs", w, i)
+			}
+		}
+		for r := range serial.Runs {
+			for i := range serial.Runs[r].Labels {
+				if par.Runs[r].Labels[i] != serial.Runs[r].Labels[i] {
+					t.Fatalf("workers=%d: run %d label %d differs", w, r, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package parallel is the shared worker-pool layer of multiclust. Every hot
+// path (pairwise distances, k-means assignment and restarts, DBSCAN region
+// queries, spectral affinities, ensemble generation) funnels its fan-out
+// through this package so one knob governs the whole library.
+//
+// Worker-count resolution, in priority order:
+//
+//  1. a positive per-call override (e.g. a Workers field on an algorithm
+//     config),
+//  2. the process-wide default installed with SetDefault (the facade's
+//     multiclust.SetWorkers),
+//  3. the MULTICLUST_WORKERS environment variable,
+//  4. runtime.GOMAXPROCS(0).
+//
+// Determinism contract: the helpers here only decide WHERE work runs, never
+// what it computes. Callers keep results independent of scheduling by
+// pre-deriving per-task seeds and reducing in index order; every wired hot
+// path in the library produces byte-identical output for any worker count.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar is the environment variable consulted when no explicit worker count
+// is set.
+const EnvVar = "MULTICLUST_WORKERS"
+
+var defaultWorkers atomic.Int64
+
+// SetDefault installs a process-wide default worker count, taking precedence
+// over the environment and GOMAXPROCS. n <= 0 clears the default.
+func SetDefault(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Default returns the process-wide default set by SetDefault (0 when unset).
+func Default() int { return int(defaultWorkers.Load()) }
+
+// Workers resolves the effective worker count for one call site; see the
+// package comment for the priority order. The result is always >= 1.
+func Workers(override int) int {
+	if override > 0 {
+		return override
+	}
+	if d := Default(); d > 0 {
+		return d
+	}
+	if s := os.Getenv(EnvVar); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For splits the index range [0, n) into at most `workers` contiguous blocks
+// and runs fn(lo, hi) on each block concurrently, returning when all blocks
+// are done. workers <= 0 resolves via Workers(0). Block boundaries depend
+// only on n and the resolved worker count, never on scheduling.
+func For(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := clampWorkers(workers, n)
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	chunk, rem := n/w, n%w
+	var wg sync.WaitGroup
+	lo := 0
+	for i := 0; i < w; i++ {
+		hi := lo + chunk
+		if i < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// Each runs fn(i) for every i in [0, n), handing indices to workers through
+// an atomic cursor. Use it instead of For when per-index cost is very uneven
+// (triangular loops, cluster expansions) so fast workers steal the tail.
+func Each(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := clampWorkers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map computes fn(i) for every i in [0, n) concurrently and returns the
+// results in index order, so the output is independent of scheduling.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	Each(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapReduce maps every index concurrently and folds the mapped values
+// serially in index order — the fold order (and therefore any floating-point
+// accumulation) is identical to a fully serial run.
+func MapReduce[T, R any](n, workers int, m func(i int) T, init R, fold func(acc R, i int, v T) R) R {
+	mapped := Map(n, workers, m)
+	acc := init
+	for i, v := range mapped {
+		acc = fold(acc, i, v)
+	}
+	return acc
+}
+
+func clampWorkers(workers, n int) int {
+	w := workers
+	if w <= 0 {
+		w = Workers(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

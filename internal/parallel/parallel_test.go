@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	t.Setenv(EnvVar, "")
+	SetDefault(0)
+	if got := Workers(3); got != 3 {
+		t.Errorf("override: Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("fallback: Workers(0) = %d, want GOMAXPROCS", got)
+	}
+
+	t.Setenv(EnvVar, "5")
+	if got := Workers(0); got != 5 {
+		t.Errorf("env: Workers(0) = %d, want 5", got)
+	}
+	if got := Workers(2); got != 2 {
+		t.Errorf("override beats env: Workers(2) = %d", got)
+	}
+
+	SetDefault(7)
+	defer SetDefault(0)
+	if got := Workers(0); got != 7 {
+		t.Errorf("SetDefault beats env: Workers(0) = %d, want 7", got)
+	}
+	if got := Default(); got != 7 {
+		t.Errorf("Default() = %d, want 7", got)
+	}
+
+	t.Setenv(EnvVar, "not-a-number")
+	SetDefault(0)
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("bad env ignored: Workers(0) = %d", got)
+	}
+}
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		for _, w := range []int{1, 2, 3, 16} {
+			hits := make([]int32, n)
+			For(n, w, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("bad block [%d,%d) for n=%d w=%d", lo, hi, n, w)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestEachCoversRangeOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64} {
+		for _, w := range []int{1, 4, 100} {
+			hits := make([]int32, n)
+			Each(n, w, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	got := Map(10, 4, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+	if Map(0, 4, func(i int) int { return i }) != nil {
+		t.Error("Map(0, ...) should be nil")
+	}
+}
+
+func TestMapReduceDeterministicFold(t *testing.T) {
+	// The fold must run in index order regardless of worker count: build a
+	// string so any reordering is visible.
+	for _, w := range []int{1, 3, 8} {
+		s := MapReduce(6, w, func(i int) byte { return byte('a' + i) }, "",
+			func(acc string, _ int, v byte) string { return acc + string(v) })
+		if s != "abcdef" {
+			t.Errorf("w=%d: fold order broken: %q", w, s)
+		}
+	}
+}

@@ -10,11 +10,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"multiclust/internal/core"
 	"multiclust/internal/dist"
 	"multiclust/internal/kmeans"
 	"multiclust/internal/linalg"
+	"multiclust/internal/parallel"
 )
 
 // Config controls a spectral clustering run.
@@ -51,15 +53,19 @@ func RBFAffinity(points [][]float64, sigma float64) (*linalg.Matrix, float64) {
 	}
 	w := linalg.NewMatrix(n, n)
 	inv := 1 / (2 * sigma * sigma)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
+	// Each row's kernel evaluations are independent; rows write disjoint
+	// slices of the matrix, so the result matches the serial loop exactly.
+	parallel.For(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				d := pd.At(i, j)
+				w.Set(i, j, math.Exp(-d*d*inv))
 			}
-			d := pd.At(i, j)
-			w.Set(i, j, math.Exp(-d*d*inv))
 		}
-	}
+	})
 	return w, sigma
 }
 
@@ -68,12 +74,7 @@ func median(v []float64) float64 {
 		return 0
 	}
 	s := append([]float64(nil), v...)
-	// insertion-free: simple selection via sort
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	sort.Float64s(s)
 	return s[len(s)/2]
 }
 

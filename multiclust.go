@@ -39,11 +39,29 @@ import (
 	"multiclust/internal/metrics"
 	"multiclust/internal/multiview"
 	"multiclust/internal/orthogonal"
+	"multiclust/internal/parallel"
 	"multiclust/internal/simultaneous"
 	"multiclust/internal/spectral"
 	"multiclust/internal/subspace"
 	"multiclust/internal/taxonomy"
 )
+
+// ---------------------------------------------------------------------------
+// Concurrency
+// ---------------------------------------------------------------------------
+
+// SetWorkers installs a process-wide default worker count for every parallel
+// hot path (pairwise distances, k-means restarts and assignment, DBSCAN
+// region queries, spectral affinities, ensemble generation). It takes
+// precedence over the MULTICLUST_WORKERS environment variable and the
+// GOMAXPROCS fallback but is overridden by a positive Workers field on an
+// algorithm's config. n <= 0 restores env/GOMAXPROCS resolution. Results
+// are byte-identical for every worker count.
+func SetWorkers(n int) { parallel.SetDefault(n) }
+
+// WorkersDefault reports the process-wide default installed with SetWorkers
+// (0 when unset).
+func WorkersDefault() int { return parallel.Default() }
 
 // ---------------------------------------------------------------------------
 // Core types

@@ -1,0 +1,68 @@
+package multiclust_test
+
+import (
+	"testing"
+
+	"multiclust"
+)
+
+// The facade knob must change only where work runs, never what it computes:
+// the same pipeline run under SetWorkers(1) and SetWorkers(4) must produce
+// exactly identical results. Exercised under -race via `make race`.
+func TestSetWorkersDoesNotChangeResults(t *testing.T) {
+	ds, hor, _ := multiclust.FourBlobToy(1, 30)
+	given := multiclust.NewClustering(hor)
+
+	type outcome struct {
+		kmeansLabels []int
+		kmeansSSE    float64
+		dbscanLabels []int
+		condensBest  int
+	}
+	runAll := func() outcome {
+		km, err := multiclust.KMeans(ds.Points, multiclust.KMeansConfig{K: 2, Seed: 1, Restarts: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := multiclust.DBSCAN(ds.Points, multiclust.DBSCANConfig{Eps: 1.5, MinPts: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ce, err := multiclust.CondEns(ds.Points, given, multiclust.CondEnsConfig{K: 2, NumSolutions: 8, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{
+			kmeansLabels: km.Clustering.Labels,
+			kmeansSSE:    km.SSE,
+			dbscanLabels: db.Labels,
+			condensBest:  ce.BestIndex,
+		}
+	}
+
+	multiclust.SetWorkers(1)
+	serial := runAll()
+	multiclust.SetWorkers(4)
+	parallel := runAll()
+	multiclust.SetWorkers(0)
+	if multiclust.WorkersDefault() != 0 {
+		t.Error("SetWorkers(0) should clear the default")
+	}
+
+	if serial.kmeansSSE != parallel.kmeansSSE {
+		t.Errorf("k-means SSE differs: %v vs %v", serial.kmeansSSE, parallel.kmeansSSE)
+	}
+	for i := range serial.kmeansLabels {
+		if serial.kmeansLabels[i] != parallel.kmeansLabels[i] {
+			t.Fatalf("k-means label %d differs", i)
+		}
+	}
+	for i := range serial.dbscanLabels {
+		if serial.dbscanLabels[i] != parallel.dbscanLabels[i] {
+			t.Fatalf("DBSCAN label %d differs", i)
+		}
+	}
+	if serial.condensBest != parallel.condensBest {
+		t.Errorf("CondEns best index differs: %d vs %d", serial.condensBest, parallel.condensBest)
+	}
+}
