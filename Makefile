@@ -2,15 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments examples fuzz clean
+.PHONY: all build vet lint test race cover bench experiments examples fuzz fuzz-smoke ci clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Determinism & parallel-safety static analysis (see internal/lint and
+# DESIGN.md "Determinism invariants"). Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/multiclust-lint ./...
 
 test:
 	$(GO) test ./...
@@ -40,6 +45,14 @@ examples:
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
 	$(GO) test -fuzz=FuzzComparisonMeasures -fuzztime=30s ./internal/metrics/
+
+# 10-second smoke fuzz, the same step CI runs on every push.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=10s ./internal/dataset/
+	$(GO) test -run='^$$' -fuzz=FuzzComparisonMeasures -fuzztime=10s ./internal/metrics/
+
+# Everything the GitHub Actions workflow runs, locally.
+ci: build vet test race lint fuzz-smoke
 
 clean:
 	$(GO) clean -testcache

@@ -1,0 +1,172 @@
+// multiclust-lint is the determinism and parallel-safety linter for this
+// repository (see internal/lint). It walks the requested packages, runs the
+// full analyzer suite, and reports findings as
+//
+//	file:line: [rule] message
+//
+// exiting 1 when anything is found and 2 on load errors, so it can gate CI
+// alongside go vet. Usage:
+//
+//	multiclust-lint [flags] [./... | dir ...]
+//
+// Suppress an individual finding with a comment on the offending line or the
+// line above it: //lint:ignore <rule> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"multiclust/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("multiclust-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list the available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *rules != "" {
+		selected, err := selectAnalyzers(analyzers, *rules)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		analyzers = selected
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	dirs, err := resolvePatterns(fs.Args(), cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	exit := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			exit = 2
+			continue
+		}
+		for _, f := range lint.Run(pkg, analyzers) {
+			fmt.Fprintln(stdout, relativize(f, cwd))
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+func selectAnalyzers(all []*lint.Analyzer, names string) ([]*lint.Analyzer, error) {
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (use -list)", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// resolvePatterns expands the argument list — "./..." or "dir/..." subtree
+// patterns and plain directories — into package directories. No arguments
+// means ./... from the current directory.
+func resolvePatterns(args []string, cwd string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	for _, arg := range args {
+		recursive := false
+		if arg == "..." || strings.HasSuffix(arg, "/...") {
+			recursive = true
+			arg = strings.TrimSuffix(strings.TrimSuffix(arg, "..."), "/")
+			if arg == "" {
+				arg = "."
+			}
+		}
+		base := arg
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(cwd, base)
+		}
+		if recursive {
+			sub, err := lint.PackageDirs(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range sub {
+				if !seen[d] {
+					seen[d] = true
+					dirs = append(dirs, d)
+				}
+			}
+			continue
+		}
+		if !seen[base] {
+			seen[base] = true
+			dirs = append(dirs, base)
+		}
+	}
+	return dirs, nil
+}
+
+func relativize(f lint.Finding, cwd string) string {
+	if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}

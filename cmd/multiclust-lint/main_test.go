@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// The linter must self-host: the whole repository, analyzers included, is
+// clean under its own rules. This is the acceptance gate every future PR
+// runs through make lint / CI.
+func TestSelfHostRepoClean(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, root)
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("multiclust-lint ./... exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Fatalf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+// Findings must surface as file:line: [rule] message with exit code 1.
+func TestFindingsReportAndExitCode(t *testing.T) {
+	fixture, err := filepath.Abs("../../internal/lint/testdata/maporder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	code := run([]string{fixture}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("expected exit 1 on findings, got %d (stderr: %s)", code, errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "[maporder]") {
+		t.Fatalf("output missing [maporder] tag:\n%s", text)
+	}
+	first := strings.SplitN(text, "\n", 2)[0]
+	if !strings.Contains(first, "maporder.go:") {
+		t.Fatalf("finding not in file:line form: %q", first)
+	}
+}
+
+func TestRuleSelection(t *testing.T) {
+	fixture, err := filepath.Abs("../../internal/lint/testdata/maporder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	// Only floatkey requested: the maporder fixture must come back clean.
+	if code := run([]string{"-rules", "floatkey", fixture}, &out, &errOut); code != 0 {
+		t.Fatalf("expected exit 0, got %d\n%s%s", code, out.String(), errOut.String())
+	}
+	if code := run([]string{"-rules", "nosuchrule", fixture}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown rule should exit 2, got %d", code)
+	}
+}
+
+func TestListRules(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, rule := range []string{"maporder", "globalrand", "sharedrng", "nakedgo", "floatkey"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing %s:\n%s", rule, out.String())
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package alternative
+
+import (
+	"reflect"
+	"testing"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dataset"
+)
+
+// Same-seed replay for the alternative-clustering paradigm: identical
+// config, identical labels. COALA has no RNG at all, so replay additionally
+// proves its agglomeration (including the sortedKeys iteration) is free of
+// map-order dependence.
+
+func TestCIBSameSeedReplay(t *testing.T) {
+	ds, hor, _ := dataset.FourBlobToy(1, 20)
+	given := core.NewClustering(hor)
+	cfg := CIBConfig{K: 2, Beta: 10, Bins: 4, Seed: 3}
+	a, err := CIB(ds.Points, given, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CIB(ds.Points, given, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("CIB: identical config produced different results across runs")
+	}
+}
+
+func TestCoalaReplay(t *testing.T) {
+	ds, hor, _ := dataset.FourBlobToy(1, 20)
+	given := core.NewClustering(hor)
+	cfg := CoalaConfig{K: 2, W: 1}
+	a, err := Coala(ds.Points, given, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Coala(ds.Points, given, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("COALA: identical config produced different results across runs")
+	}
+}
+
+func TestMinCEntropySameSeedReplay(t *testing.T) {
+	ds, hor, _ := dataset.FourBlobToy(1, 20)
+	given := core.NewClustering(hor)
+	cfg := MinCEntropyConfig{K: 2, Lambda: 0.5, Seed: 5}
+	a, err := MinCEntropy(ds.Points, []*core.Clustering{given}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MinCEntropy(ds.Points, []*core.Clustering{given}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("MinCEntropy: identical config produced different results across runs")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sort"
 	"strings"
 	"time"
 
@@ -159,7 +160,15 @@ func pickAlternativeGroup(sel core.SubspaceClustering, knownDims []int) core.Sub
 	}
 	var bestGroup core.SubspaceClustering
 	bestCover := -1
-	for _, group := range sel.GroupBySubspace() {
+	groups := sel.GroupBySubspace()
+	subspaces := make([]string, 0, len(groups))
+	for s := range groups {
+		subspaces = append(subspaces, s)
+	}
+	// Sorted so coverage ties pick the same group every run.
+	sort.Strings(subspaces)
+	for _, s := range subspaces {
+		group := groups[s]
 		overlap := false
 		for _, d := range group[0].Dims {
 			if knownSet[d] {

@@ -7,6 +7,7 @@ package hierarchical
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"multiclust/internal/core"
 	"multiclust/internal/dist"
@@ -99,7 +100,7 @@ func Run(points [][]float64, d dist.Func, linkage Linkage) (*Dendrogram, error) 
 			ids = append(ids, id)
 		}
 		// Deterministic order.
-		sortInts(ids)
+		sort.Ints(ids)
 		for x := 0; x < len(ids); x++ {
 			for y := x + 1; y < len(ids); y++ {
 				dd := linkDist(members[ids[x]], members[ids[y]])
@@ -157,10 +158,3 @@ func (d *Dendrogram) Cut(k int) (*core.Clustering, error) {
 	return core.NewClustering(labels), nil
 }
 
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatKey flags floating-point values used where exact bit equality decides
+// behavior:
+//
+//   - floats as map keys: two mathematically equal results of different
+//     evaluation orders hash to different keys (and NaN never finds itself),
+//     so lookups silently depend on rounding history;
+//   - ==/!= between two computed floats: almost always wants an epsilon
+//     comparison (math.Abs(a-b) <= tol).
+//
+// Comparisons against constants (x != 0 division guards, sentinel values)
+// and tie-breakers inside sort.Slice/sort.SliceStable closures or Less
+// methods are exempt: they are exact on purpose and deterministic. Anything
+// else that is genuinely intentional can carry
+// //lint:ignore floatkey <reason>.
+func FloatKey() *Analyzer {
+	return &Analyzer{
+		Name: "floatkey",
+		Doc:  "float map keys and exact float ==/!= comparisons outside epsilon helpers",
+		Run:  runFloatKey,
+	}
+}
+
+func runFloatKey(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.MapType:
+				if isFloat(p.Info.TypeOf(x.Key)) {
+					out = append(out, p.finding("floatkey", x.Pos(),
+						"float map key: equality is exact bit equality, so rounding history decides membership; key by int or string instead"))
+				}
+			case *ast.BinaryExpr:
+				if f := checkFloatEquality(p, x, stack); f != nil {
+					out = append(out, *f)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func checkFloatEquality(p *Package, be *ast.BinaryExpr, stack []ast.Node) *Finding {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return nil
+	}
+	if !isFloat(p.Info.TypeOf(be.X)) || !isFloat(p.Info.TypeOf(be.Y)) {
+		return nil
+	}
+	// Constants are exact: x == 0 and friends are deliberate guards.
+	if isConstExpr(p.Info, be.X) || isConstExpr(p.Info, be.Y) {
+		return nil
+	}
+	if inSortTieBreak(p, stack) {
+		return nil
+	}
+	f := p.finding("floatkey", be.Pos(),
+		"exact float %s comparison between computed values; use an epsilon (math.Abs(a-b) <= tol) or //lint:ignore floatkey <reason> if exact compare is intended", be.Op)
+	return &f
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// inSortTieBreak reports whether the expression sits inside a comparator: a
+// func literal passed to a sort/slices call, or a Less method/function.
+// Exact float comparison there is the standard deterministic tie-break
+// idiom (if a.Q != b.Q { return a.Q > b.Q }).
+func inSortTieBreak(p *Package, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			if i > 0 && funcLitPassedToSort(p, f, stack[i-1]) {
+				return true
+			}
+		case *ast.FuncDecl:
+			if f.Name.Name == "Less" || f.Name.Name == "less" {
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+func funcLitPassedToSort(p *Package, lit *ast.FuncLit, parent ast.Node) bool {
+	call, ok := parent.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name, ok := selectorCallAnyPath(p, call, "sort", "slices")
+	if !ok {
+		return false
+	}
+	switch name {
+	case "Slice", "SliceStable", "SliceIsSorted", "Search", "SortFunc", "SortStableFunc", "IsSortedFunc", "BinarySearchFunc":
+	default:
+		return false
+	}
+	for _, arg := range call.Args {
+		if arg == lit {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags use of math/rand's global generator and time-seeded RNG
+// construction. Replayability requires every random decision to flow from a
+// config Seed through an explicitly threaded *rand.Rand:
+//
+//   - rand.Intn(…), rand.Float64(), rand.Shuffle(…), rand.Perm(…), … use the
+//     package-level generator, whose state is shared process-wide and cannot
+//     be replayed per algorithm run;
+//   - rand.New(rand.NewSource(time.Now().UnixNano())) produces a different
+//     stream every invocation, so two "identical" runs diverge.
+//
+// Constructing generators with rand.New / rand.NewSource / rand.NewZipf from
+// a config Seed is the approved pattern.
+func GlobalRand() *Analyzer {
+	return &Analyzer{
+		Name: "globalrand",
+		Doc:  "global math/rand functions or time-seeded sources in library code",
+		Run:  runGlobalRand,
+	}
+}
+
+// Constructors are fine: they build an explicit generator instead of using
+// the package-level one.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+const (
+	mathRandPath   = "math/rand"
+	mathRandV2Path = "math/rand/v2"
+)
+
+func runGlobalRand(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path := pkgName(p.Info, base)
+			if path != mathRandPath && path != mathRandV2Path {
+				return true
+			}
+			// Referencing the rand.Rand / rand.Source types is fine — that is
+			// exactly how an explicitly threaded generator is declared.
+			if _, isType := p.Info.Uses[sel.Sel].(*types.TypeName); isType {
+				return true
+			}
+			name := sel.Sel.Name
+			if !randConstructors[name] {
+				out = append(out, p.finding("globalrand", sel.Pos(),
+					"global rand.%s uses process-wide RNG state; construct a *rand.Rand from a config Seed and thread it explicitly", name))
+				return true
+			}
+			return true
+		})
+		// Second pass: constructors seeded from the clock.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := selectorCallAnyPath(p, call, mathRandPath, mathRandV2Path)
+			if !ok || !randConstructors[name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if callsTimeNow(p, arg) {
+					out = append(out, p.finding("globalrand", call.Pos(),
+						"rand.%s seeded from time.Now: two identical runs diverge; seed from the algorithm config instead", name))
+					break
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func selectorCallAnyPath(p *Package, call *ast.CallExpr, paths ...string) (string, bool) {
+	for _, path := range paths {
+		if name, ok := selectorCall(p.Info, call, path); ok {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func callsTimeNow(p *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if name, ok := selectorCall(p.Info, call, "time"); ok && name == "Now" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

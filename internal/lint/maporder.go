@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags order-sensitive operations inside `for … range <map>`
+// bodies. Go randomizes map iteration order per run, so any construct whose
+// result depends on visit order breaks same-seed replay:
+//
+//   - floating-point accumulation (sum += v): float addition does not
+//     commute in the last bits, so the total differs between runs — the
+//     exact bug PR 1 fixed in metrics.Silhouette;
+//   - appending to a slice declared outside the loop: element order differs
+//     between runs;
+//   - argmax/argmin updates (if v > best { best, bestKey = v, k }): ties —
+//     and, for floats, order-dependent rounding upstream — make the winner
+//     depend on which key is visited first.
+//
+// The one blessed pattern is the sorted-keys idiom used throughout
+// internal/subspace/grid.go and internal/alternative/coala.go: collect keys
+// (or values) into a slice and sort it before use. An append whose
+// destination is sorted later in the same function is therefore not
+// reported.
+func MapOrder() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "order-sensitive float accumulation, appends, or argmax updates inside for-range over a map",
+		Run:  runMapOrder,
+	}
+}
+
+func runMapOrder(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := p.Info.TypeOf(rs.X); t == nil || !isMap(t) {
+				return true
+			}
+			out = append(out, checkMapRange(p, rs, enclosingFuncBody(stack))...)
+			return true
+		})
+	}
+	return out
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal on the stack, used to look for a later sort of an appended
+// slice.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f.Body
+		case *ast.FuncDecl:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+func checkMapRange(p *Package, rs *ast.RangeStmt, funcBody *ast.BlockStmt) []Finding {
+	var out []Finding
+	keyObj := rangeVarObject(p.Info, rs.Key)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			out = append(out, checkMapRangeAssign(p, rs, stmt, keyObj, funcBody)...)
+		case *ast.IfStmt:
+			out = append(out, checkMapRangeArgmax(p, rs, stmt)...)
+		}
+		return true
+	})
+	return out
+}
+
+func rangeVarObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return objectOf(info, id)
+}
+
+func checkMapRangeAssign(p *Package, rs *ast.RangeStmt, stmt *ast.AssignStmt, keyObj types.Object, funcBody *ast.BlockStmt) []Finding {
+	var out []Finding
+	switch stmt.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range stmt.Lhs {
+			if !isFloat(p.Info.TypeOf(lhs)) {
+				continue
+			}
+			root := rootIdent(lhs)
+			if root == nil || !declaredOutside(p.Info, root, rs) {
+				continue
+			}
+			// acc[k] op= v touches a distinct slot per key, so visit
+			// order cannot matter.
+			if ix, ok := lhs.(*ast.IndexExpr); ok && mentionsObject(p.Info, ix.Index, keyObj) {
+				continue
+			}
+			out = append(out, p.finding("maporder", stmt.Pos(),
+				"float accumulation into %q inside range over map: iteration order changes the rounding; iterate sorted keys instead", root.Name))
+		}
+	case token.ASSIGN, token.DEFINE:
+		// x = append(x, ...) with x declared outside the loop.
+		for i, rhs := range stmt.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(p.Info, call) || i >= len(stmt.Lhs) {
+				continue
+			}
+			root := rootIdent(stmt.Lhs[i])
+			if root == nil || !declaredOutside(p.Info, root, rs) {
+				continue
+			}
+			if destSortedAfter(p, funcBody, rs, objectOf(p.Info, root)) {
+				continue // the sorted-keys idiom: order restored before use
+			}
+			out = append(out, p.finding("maporder", stmt.Pos(),
+				"append to %q inside range over map: element order follows randomized map order; collect and sort keys first", root.Name))
+		}
+	}
+	return out
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := objectOf(info, id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// destSortedAfter reports whether funcBody contains, after the range loop, a
+// sort call whose argument is dest — sort.Strings(keys), sort.Ints(keys),
+// sort.Slice(keys, …), sort.Sort(byX(keys)), … This recognizes the blessed
+// collect-then-sort idiom.
+func destSortedAfter(p *Package, funcBody *ast.BlockStmt, rs *ast.RangeStmt, dest types.Object) bool {
+	if funcBody == nil || dest == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		if name, ok := selectorCall(p.Info, call, "sort"); !ok || !isSortFunc(name) {
+			return true
+		}
+		if root := rootIdent(call.Args[0]); root != nil && objectOf(p.Info, root) == dest {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isSortFunc(name string) bool {
+	switch name {
+	case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+		return true
+	}
+	return false
+}
+
+// checkMapRangeArgmax flags `if <cmp against outer best> { best = … }`
+// updates: ties between keys are broken by randomized visit order.
+func checkMapRangeArgmax(p *Package, rs *ast.RangeStmt, ifStmt *ast.IfStmt) []Finding {
+	cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch cond.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return nil
+	}
+	// Outer variables compared in the condition, each paired with the
+	// opposite operand of its comparison.
+	type comparedVar struct {
+		obj      types.Object
+		opposite ast.Expr
+	}
+	var compared []comparedVar
+	sides := [2]ast.Expr{cond.X, cond.Y}
+	for i, side := range sides {
+		if root := rootIdent(side); root != nil && declaredOutside(p.Info, root, rs) {
+			if obj := objectOf(p.Info, root); obj != nil && isVar(obj) {
+				compared = append(compared, comparedVar{obj, sides[1-i]})
+			}
+		}
+	}
+	if len(compared) == 0 {
+		return nil
+	}
+	// …that the then-branch reassigns: the classic argmax/argmin update.
+	// A pure running max/min — best = v guarded by v > best — is exempt:
+	// the extremum VALUE is order-independent; only the tie-broken payload
+	// assignments riding along (bestKey = k next to best = v) depend on
+	// which key is visited first.
+	type outerAssign struct {
+		pos  token.Pos
+		name string
+		pure bool
+	}
+	var assigns []outerAssign
+	argmaxShaped := false
+	ast.Inspect(ifStmt.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			root := rootIdent(lhs)
+			if root == nil || !declaredOutside(p.Info, root, rs) {
+				continue
+			}
+			obj := objectOf(p.Info, root)
+			if obj == nil || !isVar(obj) {
+				continue
+			}
+			a := outerAssign{pos: assign.Pos(), name: root.Name}
+			for _, cmp := range compared {
+				if obj != cmp.obj {
+					continue
+				}
+				argmaxShaped = true
+				if i < len(assign.Rhs) &&
+					types.ExprString(assign.Rhs[i]) == types.ExprString(cmp.opposite) {
+					a.pure = true
+				}
+			}
+			assigns = append(assigns, a)
+		}
+		return true
+	})
+	if !argmaxShaped {
+		return nil
+	}
+	var out []Finding
+	for _, a := range assigns {
+		if a.pure {
+			continue
+		}
+		out = append(out, p.finding("maporder", a.pos,
+			"argmax/argmin update of %q inside range over map: ties are broken by randomized iteration order; iterate sorted keys or break ties explicitly", a.name))
+	}
+	return out
+}
+
+func isVar(obj types.Object) bool {
+	_, ok := obj.(*types.Var)
+	return ok
+}

@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NakedGo flags go statements anywhere but internal/parallel. Funneling all
+// fan-out through one package is what lets a single knob (SetWorkers /
+// MULTICLUST_WORKERS) govern the whole library, keeps -race coverage focused,
+// and preserves the determinism contract: parallel's helpers decide only
+// WHERE work runs, never what it computes. A stray goroutine elsewhere
+// reintroduces scheduling-dependent behavior the suite cannot see.
+func NakedGo() *Analyzer {
+	return &Analyzer{
+		Name: "nakedgo",
+		Doc:  "go statements outside internal/parallel",
+		Run:  runNakedGo,
+	}
+}
+
+func runNakedGo(p *Package) []Finding {
+	if p.Path == "internal/parallel" || strings.HasSuffix(p.Path, "/internal/parallel") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				out = append(out, p.finding("nakedgo", g.Pos(),
+					"naked go statement outside internal/parallel; route fan-out through parallel.For/Each/Map so one knob governs worker counts and determinism"))
+			}
+			return true
+		})
+	}
+	return out
+}

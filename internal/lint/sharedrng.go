@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SharedRNG flags a *rand.Rand captured by a closure handed to the
+// internal/parallel helpers (For, Each, Map, MapReduce). Worker goroutines
+// would then share one generator, which is both a data race (*rand.Rand is
+// not safe for concurrent use) and nondeterministic (the interleaving decides
+// who draws which variate). The approved pattern — used by the k-means
+// restart fan-out — derives an independent generator per task from the
+// config seed: rand.New(rand.NewSource(cfg.Seed + int64(task))).
+func SharedRNG() *Analyzer {
+	return &Analyzer{
+		Name: "sharedrng",
+		Doc:  "*rand.Rand captured by a closure passed to parallel.For/Each/Map/MapReduce",
+		Run:  runSharedRNG,
+	}
+}
+
+var parallelEntryPoints = map[string]bool{
+	"For":       true,
+	"Each":      true,
+	"Map":       true,
+	"MapReduce": true,
+}
+
+func runSharedRNG(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := parallelCall(p, call)
+			if !ok || !parallelEntryPoints[name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				out = append(out, capturedRands(p, lit, name)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// parallelCall matches pkg.Fn(...) where pkg is an import whose path ends in
+// internal/parallel (suffix match so fixtures under a synthetic module path
+// exercise the real rule).
+func parallelCall(p *Package, call *ast.CallExpr) (string, bool) {
+	fun := call.Fun
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		fun = x.X
+	case *ast.IndexListExpr:
+		fun = x.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	path := pkgName(p.Info, base)
+	if path != "internal/parallel" && !strings.HasSuffix(path, "/internal/parallel") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// capturedRands reports each distinct *rand.Rand variable that lit uses but
+// does not declare.
+func capturedRands(p *Package, lit *ast.FuncLit, fnName string) []Finding {
+	var out []Finding
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := objectOf(p.Info, id)
+		if obj == nil || seen[obj] || !isVar(obj) || !isRandRand(obj.Type()) {
+			return true
+		}
+		if !declaredOutside(p.Info, id, lit) {
+			return true
+		}
+		seen[obj] = true
+		out = append(out, p.finding("sharedrng", id.Pos(),
+			"*rand.Rand %q is shared across parallel.%s workers: data race and nondeterministic draws; derive one generator per task from the config seed", id.Name, fnName))
+		return true
+	})
+	return out
+}
+
+func isRandRand(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return obj.Name() == "Rand" && (path == mathRandPath || path == mathRandV2Path)
+}

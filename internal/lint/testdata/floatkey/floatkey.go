@@ -1,0 +1,52 @@
+// Fixture for the floatkey analyzer: float map keys and exact float
+// equality between computed values.
+package fixture
+
+import (
+	"math"
+	"sort"
+)
+
+type histogram map[float64]int // want `float map key`
+
+func buildIndex(xs []float64) map[float64]int { // want `float map key`
+	idx := make(map[float64]int, len(xs)) // want `float map key`
+	for i, x := range xs {
+		idx[x] = i
+	}
+	return idx
+}
+
+func exactEqual(a, b float64) bool {
+	return a == b // want `exact float == comparison`
+}
+
+func exactNotEqual(a, b float64) bool {
+	return a != b // want `exact float != comparison`
+}
+
+// Epsilon comparison is the approved pattern.
+func approxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// Comparing against a constant is an exact guard on purpose.
+func zeroGuard(x float64) bool {
+	return x != 0
+}
+
+// Exact comparison as a deterministic tie-break inside a sort comparator is
+// the blessed idiom (ris.go, enclus.go, statpc.go).
+func tieBreak(qs []float64, ids []int) {
+	sort.Slice(ids, func(i, j int) bool {
+		if qs[ids[i]] != qs[ids[j]] {
+			return qs[ids[i]] > qs[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+}
+
+// Integer equality is exact by nature.
+func intEqual(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,96 @@
+// Fixture for the maporder analyzer: order-sensitive operations inside
+// for-range over a map. Lines carrying a `// want` comment are true
+// positives; everything else must stay clean (true negatives).
+package fixture
+
+import "sort"
+
+func sumInMapOrder(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into "sum"`
+	}
+	return sum
+}
+
+// The blessed sorted-keys idiom (grid.go, coala.go): collect, sort, iterate.
+func sumSorted(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+func appendValues(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append to "out"`
+	}
+	return out
+}
+
+// Sorting the collected slice after the loop restores determinism.
+func appendThenSort(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func argmaxPayload(m map[string]float64) string {
+	best, bestKey := -1.0, ""
+	for k, v := range m {
+		if v > best {
+			best = v
+			bestKey = k // want `argmax/argmin update of "bestKey"`
+		}
+	}
+	return bestKey
+}
+
+// A pure running maximum is order-independent: the extremum value does not
+// depend on which key delivers it first.
+func pureMax(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Integer accumulation commutes exactly; only floats round.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Indexing the accumulator by the range key touches one distinct slot per
+// iteration, so visit order cannot matter.
+func perSlot(m map[int]float64, out []float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// Suppression: a directive on the line above silences the finding.
+func suppressed(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//lint:ignore maporder fixture demonstrates the ignore directive
+		sum += v
+	}
+	return sum
+}

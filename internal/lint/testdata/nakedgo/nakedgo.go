@@ -1,0 +1,28 @@
+// Fixture for the nakedgo analyzer: go statements outside internal/parallel.
+package fixture
+
+import (
+	"sync"
+
+	"multiclust/internal/parallel"
+)
+
+func naked(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `naked go statement`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Fan-out through internal/parallel is the approved route.
+func routed(n int) []int {
+	return parallel.Map(n, 0, func(i int) int { return i * i })
+}
+
+// A func literal without a go statement is not concurrency.
+func closureOnly(f func()) {
+	g := func() { f() }
+	g()
+}

@@ -1,0 +1,48 @@
+// Fixture for the sharedrng analyzer: one *rand.Rand shared across
+// parallel worker closures.
+package fixture
+
+import (
+	"math/rand"
+
+	"multiclust/internal/parallel"
+)
+
+func shared(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	parallel.For(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = rng.Float64() // want `\*rand.Rand "rng" is shared across parallel.For workers`
+		}
+	})
+	return out
+}
+
+func sharedInMap(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return parallel.Map(n, 0, func(i int) float64 {
+		return rng.Float64() // want `\*rand.Rand "rng" is shared across parallel.Map workers`
+	})
+}
+
+// The approved pattern (k-means restart fan-out): derive an independent
+// generator per task from the config seed.
+func perTask(n int, seed int64) []float64 {
+	out := make([]float64, n)
+	parallel.Each(n, 0, func(i int) {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		out[i] = rng.Float64()
+	})
+	return out
+}
+
+// Serial use of a generator is fine — no workers involved.
+func serial(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}

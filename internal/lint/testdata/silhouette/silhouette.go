@@ -1,0 +1,60 @@
+// Fixture reproducing the PR 1 metrics.Silhouette bug: silhouette terms
+// summed while ranging over the label→members map directly. Go's randomized
+// map order changed the float accumulation order, which perturbed the last
+// bits of the mean silhouette and flipped argmax decisions downstream
+// (CondEns member selection) between identical runs. The maporder analyzer
+// must fail this pattern so it can never be reintroduced.
+package fixture
+
+import "math"
+
+func silhouetteMapOrder(points [][]float64, byLabel map[int][]int) float64 {
+	var sum float64
+	var count int
+	for ci, own := range byLabel {
+		for _, o := range own {
+			if len(own) <= 1 {
+				count++
+				continue
+			}
+			var a float64
+			for _, p := range own {
+				if p != o {
+					a += euclid(points[o], points[p])
+				}
+			}
+			a /= float64(len(own) - 1)
+			b := math.Inf(1)
+			for cj, other := range byLabel {
+				if cj == ci {
+					continue
+				}
+				var s float64
+				for _, p := range other {
+					s += euclid(points[o], points[p])
+				}
+				if avg := s / float64(len(other)); avg < b {
+					b = avg
+				}
+			}
+			den := math.Max(a, b)
+			if den > 0 {
+				sum += (b - a) / den // want `float accumulation into "sum"`
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -82,10 +82,11 @@ func AdjustedRand(x, y []int) float64 {
 	}
 	expected := sumRow * sumCol / total
 	maxIdx := 0.5 * (sumRow + sumCol)
-	if maxIdx == expected {
+	den := maxIdx - expected
+	if den == 0 {
 		return 1 // both partitions trivial
 	}
-	return (sumComb - expected) / (maxIdx - expected)
+	return (sumComb - expected) / den
 }
 
 func comb2(n float64) float64 { return n * (n - 1) / 2 }

@@ -3,6 +3,7 @@ package multiview
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"multiclust/internal/core"
 	"multiclust/internal/dbscan"
@@ -102,6 +103,9 @@ func MVDBSCAN(views [][][]float64, cfg MVDBSCANConfig) (*core.Clustering, error)
 					out = append(out, p)
 				}
 			}
+			// DBSCAN expands neighbours in list order; sort so cluster
+			// shapes do not follow randomized map order.
+			sort.Ints(out)
 			return out
 		}
 	default:

@@ -1,0 +1,61 @@
+package simultaneous
+
+import (
+	"reflect"
+	"testing"
+
+	"multiclust/internal/dataset"
+)
+
+// Same-seed replay for the simultaneous paradigm: two runs with an
+// identical config must produce byte-identical clusterings, objectives and
+// prototypes. Exact comparison is deliberate — this is the guarantee the
+// internal/lint analyzers protect.
+
+func TestDecKMeansSameSeedReplay(t *testing.T) {
+	ds, _, _ := dataset.FourBlobToy(1, 25)
+	cfg := DecKMeansConfig{Ks: []int{2, 2}, Seed: 2}
+	a, err := DecKMeans(ds.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecKMeans(ds.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("DecKMeans: identical config produced different results across runs")
+	}
+}
+
+func TestCAMISameSeedReplay(t *testing.T) {
+	ds, _, _ := dataset.FourBlobToy(2, 30)
+	cfg := CAMIConfig{K1: 2, K2: 2, Mu: 10, Seed: 1}
+	a, err := CAMI(ds.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CAMI(ds.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("CAMI: identical config produced different results across runs")
+	}
+}
+
+func TestContingencySameSeedReplay(t *testing.T) {
+	ds, _, _ := dataset.FourBlobToy(3, 25)
+	cfg := ContingencyConfig{K1: 2, K2: 2, Seed: 4}
+	a, err := Contingency(ds.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Contingency(ds.Points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Contingency: identical config produced different results across runs")
+	}
+}

@@ -4,7 +4,10 @@
 // estimation, Chernoff–Hoeffding tail bounds, and histograms.
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Entropy returns the Shannon entropy (in nats) of a discrete distribution
 // given as unnormalized non-negative weights. Zero weights contribute zero.
@@ -40,9 +43,16 @@ func LabelEntropy(labels []int) float64 {
 		}
 		counts[l]++
 	}
+	// Entropy sums floats, so feed it the counts in sorted-label order:
+	// map-iteration order would perturb the last bits between runs.
+	distinct := make([]int, 0, len(counts))
+	for l := range counts {
+		distinct = append(distinct, l)
+	}
+	sort.Ints(distinct)
 	w := make([]float64, 0, len(counts))
-	for _, c := range counts {
-		w = append(w, c)
+	for _, l := range distinct {
+		w = append(w, counts[l])
 	}
 	return Entropy(w)
 }

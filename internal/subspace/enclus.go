@@ -62,9 +62,16 @@ func Enclus(points [][]float64, cfg EnclusConfig) ([]SubspaceScore, error) {
 			}
 			cells[string(key)]++
 		}
+		// Entropy2 sums floats; visit cells in sorted-key order so the
+		// result does not wobble with map-iteration order between runs.
+		keys := make([]string, 0, len(cells))
+		for k := range cells {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
 		w := make([]float64, 0, len(cells))
-		for _, c := range cells {
-			w = append(w, c)
+		for _, k := range keys {
+			w = append(w, cells[k])
 		}
 		return stats.Entropy2(w)
 	}

@@ -122,6 +122,7 @@ func Fires(points [][]float64, cfg FiresConfig) (*FiresResult, error) {
 				objs = append(objs, o)
 			}
 		}
+		sort.Ints(objs)
 		if len(objs) < cfg.MinSize {
 			continue
 		}
@@ -129,6 +130,7 @@ func Fires(points [][]float64, cfg FiresConfig) (*FiresResult, error) {
 		for dim := range dimSet {
 			dims = append(dims, dim)
 		}
+		sort.Ints(dims)
 		res.Clusters = append(res.Clusters, core.NewSubspaceCluster(objs, dims))
 	}
 	return res, nil

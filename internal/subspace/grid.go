@@ -295,6 +295,7 @@ func unitsToClusters(units []Unit, xi int) []GridCluster {
 			for o := range objSet {
 				objs = append(objs, o)
 			}
+			sort.Ints(objs)
 			out = append(out, GridCluster{
 				SubspaceCluster: core.NewSubspaceCluster(objs, subDims[k]),
 				Units:           len(comps[r]),
