@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench experiments examples fuzz fuzz-smoke ci clean
+.PHONY: all build vet lint test race cover bench experiments examples fuzz fuzz-smoke chaos ci clean
 
 all: build vet lint test
 
@@ -51,8 +51,16 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=10s ./internal/dataset/
 	$(GO) test -run='^$$' -fuzz=FuzzComparisonMeasures -fuzztime=10s ./internal/metrics/
 
+# Fault-injection property suite under the race detector: seeded corrupters
+# (internal/robust/chaos) against every facade algorithm, plus the
+# cancellation and validation-gate contracts. The timeout bounds any single
+# hang so a wedged iteration fails fast instead of stalling CI.
+chaos:
+	$(GO) test -race -timeout 120s -run 'TestChaos|TestCancelled|TestValidationGates|TestRobustness' .
+	$(GO) test -race -timeout 120s ./internal/robust/...
+
 # Everything the GitHub Actions workflow runs, locally.
-ci: build vet test race lint fuzz-smoke
+ci: build vet test race lint fuzz-smoke chaos
 
 clean:
 	$(GO) clean -testcache

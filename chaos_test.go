@@ -1,0 +1,227 @@
+package multiclust
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"multiclust/internal/robust/chaos"
+)
+
+// chaosRunner adapts one facade algorithm for the fault-injection property
+// suite. clustering may be nil for algorithms whose result has no flat
+// labeling; the error/panic contract is still asserted.
+type chaosRunner struct {
+	name string
+	run  func(pts [][]float64) (*Clustering, error)
+}
+
+func chaosRunners() []chaosRunner {
+	given := func(n int) *Clustering {
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i % 2
+		}
+		return NewClustering(labels)
+	}
+	return []chaosRunner{
+		{"kmeans", func(p [][]float64) (*Clustering, error) {
+			r, err := KMeans(p, KMeansConfig{K: 3, Seed: 1})
+			if r == nil {
+				return nil, err
+			}
+			return r.Clustering, err
+		}},
+		{"dbscan", func(p [][]float64) (*Clustering, error) {
+			return DBSCAN(p, DBSCANConfig{Eps: 2, MinPts: 3})
+		}},
+		{"hierarchical", func(p [][]float64) (*Clustering, error) {
+			dg, err := Hierarchical(p, AverageLink)
+			if err != nil {
+				return nil, err
+			}
+			return dg.Cut(3)
+		}},
+		{"em", func(p [][]float64) (*Clustering, error) {
+			r, err := EM(p, EMConfig{K: 3, Seed: 1})
+			if r == nil {
+				return nil, err
+			}
+			return r.Clustering, err
+		}},
+		{"spectral", func(p [][]float64) (*Clustering, error) {
+			r, err := Spectral(p, SpectralConfig{K: 3, Seed: 1})
+			if r == nil {
+				return nil, err
+			}
+			return r.Clustering, err
+		}},
+		{"metaclustering", func(p [][]float64) (*Clustering, error) {
+			r, err := MetaClustering(p, MetaClusteringConfig{K: 3, NumSolutions: 4, Seed: 1})
+			if r == nil || len(r.Representatives) == 0 {
+				return nil, err
+			}
+			return r.Representatives[0], err
+		}},
+		{"coala", func(p [][]float64) (*Clustering, error) {
+			r, err := Coala(p, given(len(p)), CoalaConfig{K: 2})
+			if r == nil {
+				return nil, err
+			}
+			return r.Clustering, err
+		}},
+		{"condens", func(p [][]float64) (*Clustering, error) {
+			r, err := CondEns(p, given(len(p)), CondEnsConfig{K: 2, NumSolutions: 4, Seed: 1})
+			if r == nil {
+				return nil, err
+			}
+			return r.Clustering, err
+		}},
+		{"deckmeans", func(p [][]float64) (*Clustering, error) {
+			r, err := DecKMeans(p, DecKMeansConfig{Ks: []int{2, 2}, Seed: 1, MaxIter: 20})
+			if r == nil || len(r.Clusterings) == 0 {
+				return nil, err
+			}
+			return r.Clusterings[0], err
+		}},
+		{"cami", func(p [][]float64) (*Clustering, error) {
+			r, err := CAMI(p, CAMIConfig{K1: 2, K2: 2, Mu: 2, Seed: 1, MaxIter: 20})
+			if r == nil {
+				return nil, err
+			}
+			return r.Clustering1, err
+		}},
+		{"proclus", func(p [][]float64) (*Clustering, error) {
+			r, err := Proclus(p, ProclusConfig{K: 2, L: 2, Seed: 1})
+			if r == nil {
+				return nil, err
+			}
+			return r.Assignment, err
+		}},
+		{"orclus", func(p [][]float64) (*Clustering, error) {
+			r, err := Orclus(p, OrclusConfig{K: 2, L: 2, Seed: 1})
+			if r == nil {
+				return nil, err
+			}
+			return r.Assignment, err
+		}},
+		{"doc", func(p [][]float64) (*Clustering, error) {
+			_, err := DOC(p, DOCConfig{W: 2, Seed: 1, MaxClusters: 2})
+			return nil, err
+		}},
+		{"mineclus", func(p [][]float64) (*Clustering, error) {
+			_, err := MineClus(p, MineClusConfig{W: 2, Seed: 1, MaxClusters: 2})
+			return nil, err
+		}},
+		{"predecon", func(p [][]float64) (*Clustering, error) {
+			r, err := Predecon(p, PredeconConfig{Eps: 2, MinPts: 3, Delta: 0.5})
+			if r == nil {
+				return nil, err
+			}
+			return r.Assignment, err
+		}},
+		{"coem", func(p [][]float64) (*Clustering, error) {
+			r, err := CoEM(p, p, CoEMConfig{K: 2, Seed: 1, MaxIter: 10})
+			if r == nil {
+				return nil, err
+			}
+			return r.Clustering, err
+		}},
+		{"mvdbscan", func(p [][]float64) (*Clustering, error) {
+			return MVDBSCAN([][][]float64{p, p}, MVDBSCANConfig{Eps: []float64{2, 2}, MinPts: 3, Mode: Union})
+		}},
+		{"rpensemble", func(p [][]float64) (*Clustering, error) {
+			r, err := RandomProjectionEnsemble(p, RandomProjectionEnsembleConfig{K: 2, Runs: 3, Seed: 1})
+			if r == nil {
+				return nil, err
+			}
+			return r.Consensus, err
+		}},
+	}
+}
+
+// typedInputError reports whether err carries one of the input-rejection
+// sentinels the validation gate is contracted to produce.
+func typedInputError(err error) bool {
+	return errors.Is(err, ErrInvalidInput) || errors.Is(err, ErrShape) || errors.Is(err, ErrEmptyDataset)
+}
+
+// TestChaosSuite is the fault-injection property: for every corrupter in
+// the battery and every facade algorithm, the call must (a) never panic,
+// (b) reject invalid damage with a typed input error, and (c) on valid
+// damage either succeed with a Validate-clean, NaN-free clustering or fail
+// with a typed, non-panic error.
+func TestChaosSuite(t *testing.T) {
+	centers := [][]float64{{0, 0, 0, 0}, {8, 8, 0, 0}, {0, 8, 8, 0}}
+	ds, _ := GaussianBlobs(11, 42, centers, 0.7)
+	base := ds.Points
+
+	for _, c := range chaos.Suite() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			for _, seed := range []int64{1, 2, 3} {
+				damaged := c.Apply(base, seed)
+				for _, r := range chaosRunners() {
+					clust, err := func() (cl *Clustering, e error) {
+						defer func() {
+							if rec := recover(); rec != nil {
+								t.Errorf("%s/seed=%d: panic escaped the facade: %v", r.name, seed, rec)
+							}
+						}()
+						return r.run(damaged)
+					}()
+					if !c.Valid {
+						if err == nil {
+							t.Errorf("%s/seed=%d: accepted invalid damage", r.name, seed)
+						} else if !typedInputError(err) {
+							t.Errorf("%s/seed=%d: untyped rejection %v", r.name, seed, err)
+						}
+						continue
+					}
+					if err != nil {
+						if errors.Is(err, ErrPanic) {
+							t.Errorf("%s/seed=%d: internal panic on valid damage: %v", r.name, seed, err)
+						}
+						continue
+					}
+					if clust != nil {
+						checkClustering(t, r.name, clust, len(damaged))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChaosSanitizeRecovers: invalid damage becomes clusterable after a
+// Sanitize pass, closing the loop between the corrupters and the repair
+// policies.
+func TestChaosSanitizeRecovers(t *testing.T) {
+	centers := [][]float64{{0, 0, 0}, {8, 8, 8}}
+	ds, _ := GaussianBlobs(13, 30, centers, 0.5)
+	for _, c := range []chaos.Corrupter{chaos.NaNRows(3), chaos.InfSpikes(4), chaos.RaggedRows(2)} {
+		t.Run(c.Name, func(t *testing.T) {
+			damaged := c.Apply(ds.Points, 5)
+			if _, err := KMeans(damaged, KMeansConfig{K: 2, Seed: 1}); err == nil {
+				t.Fatal("damage was accepted without repair")
+			}
+			for _, policy := range []Policy{DropRows, ImputeMean} {
+				clean, rep, err := Sanitize(damaged, policy)
+				if err != nil {
+					t.Fatalf("%v: %v", policy, err)
+				}
+				if rep.Clean() {
+					t.Errorf("%v: report claims nothing changed", policy)
+				}
+				res, err := KMeans(clean, KMeansConfig{K: 2, Seed: 1})
+				if err != nil {
+					t.Fatalf("%v: clustering after repair: %v", policy, err)
+				}
+				checkClustering(t, c.Name+"/"+policy.String(), res.Clustering, len(clean))
+				if math.IsNaN(res.SSE) {
+					t.Errorf("%v: SSE is NaN after repair", policy)
+				}
+			}
+		})
+	}
+}

@@ -260,3 +260,34 @@ func (m *MultiResult) TotalQuality(points [][]float64, q QualityFunc) float64 {
 
 // ErrEmptyDataset is returned by algorithms invoked on no data.
 var ErrEmptyDataset = errors.New("core: empty dataset")
+
+// Typed error taxonomy of the fault-tolerant execution layer (see
+// internal/robust and DESIGN.md "Failure semantics & cancellation"). The
+// sentinels live here, at the bottom of the import graph, so every layer —
+// stats, metrics, the algorithm packages, the facade — can wrap them without
+// import cycles. Callers match with errors.Is.
+var (
+	// ErrInvalidInput marks data an algorithm cannot meaningfully process:
+	// NaN or Inf coordinates, zero-dimensional points, nil required inputs.
+	ErrInvalidInput = errors.New("core: invalid input")
+
+	// ErrShape marks structurally inconsistent inputs: ragged rows,
+	// label vectors whose length disagrees with the dataset, distribution
+	// vectors of unequal length.
+	ErrShape = errors.New("core: shape mismatch")
+
+	// ErrInterrupted marks a run cut short by context cancellation or
+	// deadline expiry. Algorithms wrap it around their best-so-far result:
+	// the returned value (when non-nil) is structurally valid but reflects
+	// fewer iterations than requested.
+	ErrInterrupted = errors.New("core: interrupted")
+
+	// ErrDegenerate marks a run that completed but produced an unusable
+	// result (singular covariance, non-converged eigensolve). robust.Retry
+	// re-runs such outcomes on a deterministic seed schedule.
+	ErrDegenerate = errors.New("core: degenerate result")
+
+	// ErrPanic marks a panic captured at the facade boundary and converted
+	// into an error; no exported multiclust call panics.
+	ErrPanic = errors.New("core: recovered panic")
+)

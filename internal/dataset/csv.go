@@ -4,15 +4,24 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
+
+	"multiclust/internal/core"
 )
 
 // ReadCSV parses numeric CSV into a dataset. When hasHeader is true, the
-// first record supplies column names.
+// first record supplies column names. Ragged rows are rejected with a
+// positional error wrapping core.ErrShape, and non-finite values (NaN,
+// ±Inf) with one wrapping core.ErrInvalidInput, so malformed files fail at
+// ingestion rather than deep inside an algorithm.
 func ReadCSV(r io.Reader, hasHeader bool) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
+	// Accept variable field counts here so ragged rows reach our own check
+	// below, which reports the row position instead of csv's generic error.
+	cr.FieldsPerRecord = -1
 	records, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading csv: %w", err)
@@ -28,13 +37,22 @@ func ReadCSV(r io.Reader, hasHeader bool) (*Dataset, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("dataset: csv has a header but no data rows")
 	}
+	width := len(records[0])
 	pts := make([][]float64, len(records))
 	for i, rec := range records {
+		if len(rec) != width {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, row 1 has %d: %w",
+				i+1, len(rec), width, core.ErrShape)
+		}
 		row := make([]float64, len(rec))
 		for j, field := range rec {
 			v, err := strconv.ParseFloat(field, 64)
 			if err != nil {
 				return nil, fmt.Errorf("dataset: row %d col %d: %w", i+1, j+1, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: non-finite value %q at row %d col %d: %w",
+					field, i+1, j+1, core.ErrInvalidInput)
 			}
 			row[j] = v
 		}

@@ -2,10 +2,12 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
 
+	"multiclust/internal/core"
 	"multiclust/internal/linalg"
 )
 
@@ -158,5 +160,53 @@ func TestReadCSVErrors(t *testing.T) {
 	}
 	if _, err := ReadCSV(strings.NewReader("a\n1,2\n"), true); err == nil {
 		t.Error("header/data width mismatch should fail")
+	}
+}
+
+func TestReadCSVRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		in     string
+		posMsg string
+	}{
+		{"NaN,1\n2,3\n", "row 1 col 1"},
+		{"1,2\n3,Inf\n", "row 2 col 2"},
+		{"1,2\n-Inf,4\n", "row 2 col 1"},
+		{"1,2\n3,nan\n", "row 2 col 2"},
+		{"1,+Inf\n", "row 1 col 2"},
+	}
+	for _, c := range cases {
+		_, err := ReadCSV(strings.NewReader(c.in), false)
+		if err == nil {
+			t.Errorf("ReadCSV(%q) accepted non-finite input", c.in)
+			continue
+		}
+		if !errors.Is(err, core.ErrInvalidInput) {
+			t.Errorf("ReadCSV(%q) error %v, want wrap of core.ErrInvalidInput", c.in, err)
+		}
+		if !strings.Contains(err.Error(), c.posMsg) {
+			t.Errorf("ReadCSV(%q) error %q missing position %q", c.in, err, c.posMsg)
+		}
+	}
+}
+
+func TestReadCSVRejectsRaggedRows(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("1,2\n3\n4,5\n"), false)
+	if err == nil {
+		t.Fatal("ragged csv accepted")
+	}
+	if !errors.Is(err, core.ErrShape) {
+		t.Errorf("error %v, want wrap of core.ErrShape", err)
+	}
+	if !strings.Contains(err.Error(), "row 2 has 1 fields, row 1 has 2") {
+		t.Errorf("error %q missing positional detail", err)
+	}
+
+	// With a header, data-row numbering still starts at 1.
+	_, err = ReadCSV(strings.NewReader("a,b\n1,2\n3,4,5\n"), true)
+	if err == nil {
+		t.Fatal("ragged csv with header accepted")
+	}
+	if !strings.Contains(err.Error(), "row 2 has 3 fields, row 1 has 2") {
+		t.Errorf("error %q missing positional detail", err)
 	}
 }

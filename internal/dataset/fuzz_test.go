@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -15,10 +16,22 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("x\n", true)
 	f.Add("1,2\n3\n", false)
 	f.Add("NaN,Inf\n-Inf,1e308\n", false)
+	f.Add("NaN,1\n", false)
+	f.Add("1,Inf\n2,3\n", false)
+	f.Add("nan,+Inf\n", true)
+	f.Add("1,2\n3\n4,5\n", false)
+	f.Add("a,b,c\n1,2\n", true)
 	f.Fuzz(func(t *testing.T, input string, header bool) {
 		ds, err := ReadCSV(strings.NewReader(input), header)
 		if err != nil {
 			return
+		}
+		for i, p := range ds.Points {
+			for j, v := range p {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted non-finite value %v at row %d col %d", v, i, j)
+				}
+			}
 		}
 		if err := ds.Validate(); err != nil {
 			t.Fatalf("accepted invalid dataset: %v", err)

@@ -7,7 +7,9 @@
 package dbscan
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"multiclust/internal/core"
 	"multiclust/internal/dist"
@@ -31,6 +33,15 @@ type Config struct {
 // expansion loop consumes the precomputed lists, so the labeling is
 // identical to a fully serial run.
 func Run(points [][]float64, d dist.Func, cfg Config) (*core.Clustering, error) {
+	return RunContext(context.Background(), points, d, cfg)
+}
+
+// RunContext is Run with cancellation: the expansion loop polls ctx at each
+// outer-object boundary and, when the context is done, labels every
+// still-unvisited object Noise and returns the partial clustering wrapped
+// in core.ErrInterrupted. With a background context the output is
+// byte-identical to Run.
+func RunContext(ctx context.Context, points [][]float64, d dist.Func, cfg Config) (*core.Clustering, error) {
 	if len(points) == 0 {
 		return nil, core.ErrEmptyDataset
 	}
@@ -38,7 +49,7 @@ func Run(points [][]float64, d dist.Func, cfg Config) (*core.Clustering, error) 
 		return nil, errors.New("dbscan: Eps and MinPts must be positive")
 	}
 	nf := PrecomputeNeighbors(points, d, cfg.Eps, cfg.Workers)
-	return RunGeneric(len(points), nf, cfg.MinPts)
+	return RunGenericContext(ctx, len(points), nf, cfg.MinPts)
 }
 
 // PrecomputeNeighbors materializes every object's ε-neighborhood with the
@@ -75,6 +86,12 @@ func EpsNeighbors(points [][]float64, d dist.Func, eps float64) NeighborFunc {
 // An object is a core object when its neighbourhood holds at least minPts
 // objects; clusters are the transitive closure of core-object reachability.
 func RunGeneric(n int, neighbors NeighborFunc, minPts int) (*core.Clustering, error) {
+	return RunGenericContext(context.Background(), n, neighbors, minPts)
+}
+
+// RunGenericContext is RunGeneric with cancellation at each outer-object
+// boundary; see RunContext for the interruption semantics.
+func RunGenericContext(ctx context.Context, n int, neighbors NeighborFunc, minPts int) (*core.Clustering, error) {
 	if n == 0 {
 		return nil, core.ErrEmptyDataset
 	}
@@ -86,8 +103,15 @@ func RunGeneric(n int, neighbors NeighborFunc, minPts int) (*core.Clustering, er
 	for i := range labels {
 		labels[i] = unvisited
 	}
+	var interrupted error
 	clusterID := 0
 	for i := 0; i < n; i++ {
+		// Outer-boundary cancellation: a cluster expansion never stops
+		// halfway, so every discovered cluster is complete.
+		if err := ctx.Err(); err != nil {
+			interrupted = err
+			break
+		}
 		if labels[i] != unvisited {
 			continue
 		}
@@ -114,6 +138,15 @@ func RunGeneric(n int, neighbors NeighborFunc, minPts int) (*core.Clustering, er
 			}
 		}
 		clusterID++
+	}
+	if interrupted != nil {
+		for i := range labels {
+			if labels[i] == unvisited {
+				labels[i] = core.Noise
+			}
+		}
+		return core.NewClustering(labels),
+			fmt.Errorf("dbscan: interrupted: %v: %w", interrupted, core.ErrInterrupted)
 	}
 	return core.NewClustering(labels), nil
 }

@@ -5,6 +5,7 @@
 package em
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -54,21 +55,35 @@ func (cfg *Config) defaults() {
 
 // Fit runs EM from a k-means initialization.
 func Fit(points [][]float64, cfg Config) (*Result, error) {
+	return FitContext(context.Background(), points, cfg)
+}
+
+// FitContext is Fit with cancellation: the EM loop polls ctx after every
+// E+M iteration and, when the context is done, returns the current (valid)
+// model and posteriors wrapped in core.ErrInterrupted. With a background
+// context the output is byte-identical to Fit.
+func FitContext(ctx context.Context, points [][]float64, cfg Config) (*Result, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, core.ErrEmptyDataset
 	}
 	if cfg.K <= 0 || cfg.K > n {
-		return nil, fmt.Errorf("em: invalid K=%d for n=%d", cfg.K, n)
+		return nil, fmt.Errorf("em: invalid K=%d for n=%d: %w", cfg.K, n, core.ErrInvalidInput)
 	}
 	cfg.defaults()
 	m := initFromKMeans(points, cfg)
-	return FitFrom(points, m, cfg)
+	return FitFromContext(ctx, points, m, cfg)
 }
 
 // FitFrom runs EM from an explicit starting model; co-EM uses this to hand
 // one view's parameters to the other view.
 func FitFrom(points [][]float64, m *Model, cfg Config) (*Result, error) {
+	return FitFromContext(context.Background(), points, m, cfg)
+}
+
+// FitFromContext is FitFrom with iteration-boundary cancellation; see
+// FitContext.
+func FitFromContext(ctx context.Context, points [][]float64, m *Model, cfg Config) (*Result, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, core.ErrEmptyDataset
@@ -81,6 +96,7 @@ func FitFrom(points [][]float64, m *Model, cfg Config) (*Result, error) {
 	}
 	prev := math.Inf(-1)
 	var ll float64
+	var interrupted error
 	iter := 0
 	for ; iter < cfg.MaxIter; iter++ {
 		ll = EStep(points, m, post, cfg.MinVar)
@@ -89,14 +105,25 @@ func FitFrom(points [][]float64, m *Model, cfg Config) (*Result, error) {
 			break
 		}
 		prev = ll
+		// Iteration-boundary cancellation: post was filled by the E-step, so
+		// the partial result below is structurally valid.
+		if err := ctx.Err(); err != nil {
+			interrupted = err
+			iter++
+			break
+		}
 	}
-	return &Result{
+	res := &Result{
 		Model:      m,
 		Posterior:  post,
 		LogLik:     ll,
 		Iterations: iter,
 		Clustering: Harden(post),
-	}, nil
+	}
+	if interrupted != nil {
+		return res, fmt.Errorf("em: interrupted: %v: %w", interrupted, core.ErrInterrupted)
+	}
+	return res, nil
 }
 
 // EStep fills post with responsibilities and returns the log-likelihood.

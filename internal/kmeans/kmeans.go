@@ -6,6 +6,7 @@
 package kmeans
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -36,15 +37,24 @@ type Result struct {
 
 // Run clusters points with Lloyd's algorithm.
 func Run(points [][]float64, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), points, cfg)
+}
+
+// RunContext is Run with cancellation: each restart polls ctx at its
+// iteration boundary (after a full assignment pass, so labels are always
+// valid) and stops early when the context is done. The best-so-far result
+// across restarts is still returned, wrapped in core.ErrInterrupted. With a
+// background context the output is byte-identical to Run.
+func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, core.ErrEmptyDataset
 	}
 	if cfg.K <= 0 {
-		return nil, fmt.Errorf("kmeans: K must be positive, got %d", cfg.K)
+		return nil, fmt.Errorf("kmeans: K must be positive, got %d: %w", cfg.K, core.ErrInvalidInput)
 	}
 	if cfg.K > n {
-		return nil, fmt.Errorf("kmeans: K=%d exceeds n=%d", cfg.K, n)
+		return nil, fmt.Errorf("kmeans: K=%d exceeds n=%d: %w", cfg.K, n, core.ErrInvalidInput)
 	}
 	if cfg.MaxIter <= 0 {
 		cfg.MaxIter = 100
@@ -61,20 +71,30 @@ func Run(points [][]float64, cfg Config) (*Result, error) {
 	if innerW < 1 {
 		innerW = 1
 	}
-	results := parallel.Map(cfg.Restarts, w, func(r int) *Result {
+	type restartOut struct {
+		res *Result
+		err error
+	}
+	outs := parallel.Map(cfg.Restarts, w, func(r int) restartOut {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)))
-		return runOnce(points, cfg.K, cfg.MaxIter, rng, innerW)
+		res, err := runOnce(ctx, points, cfg.K, cfg.MaxIter, rng, innerW)
+		return restartOut{res, err}
 	})
-	best := results[0]
-	for _, res := range results[1:] {
-		if res.SSE < best.SSE {
-			best = res
+	best := outs[0]
+	for _, o := range outs[1:] {
+		if o.res.SSE < best.res.SSE {
+			best = o
 		}
 	}
-	return best, nil
+	for _, o := range outs {
+		if o.err != nil {
+			return best.res, fmt.Errorf("kmeans: interrupted: %v: %w", o.err, core.ErrInterrupted)
+		}
+	}
+	return best.res, nil
 }
 
-func runOnce(points [][]float64, k, maxIter int, rng *rand.Rand, workers int) *Result {
+func runOnce(ctx context.Context, points [][]float64, k, maxIter int, rng *rand.Rand, workers int) (*Result, error) {
 	centers := PlusPlusSeeds(points, k, rng)
 	n, d := len(points), len(points[0])
 	labels := make([]int, n)
@@ -83,6 +103,7 @@ func runOnce(points [][]float64, k, maxIter int, rng *rand.Rand, workers int) *R
 	}
 	nearest := make([]float64, n) // squared distance to the assigned center
 	var nChanged int64
+	var interrupted error
 	iter := 0
 	for ; iter < maxIter; iter++ {
 		// Assignment, sharded over points. Each shard writes disjoint
@@ -114,6 +135,13 @@ func runOnce(points [][]float64, k, maxIter int, rng *rand.Rand, workers int) *R
 			break
 		}
 		centers = recomputeCenters(points, labels, k, d, centers)
+		// Iteration-boundary cancellation: labels are fully assigned here, so
+		// the partial model below is structurally valid.
+		if err := ctx.Err(); err != nil {
+			interrupted = err
+			iter++
+			break
+		}
 	}
 	// Report the SSE of the returned (Clustering, Centers) pair: when the
 	// loop exhausts MaxIter the centers were recomputed after the last
@@ -128,7 +156,7 @@ func runOnce(points [][]float64, k, maxIter int, rng *rand.Rand, workers int) *R
 		Centers:    centers,
 		SSE:        sse,
 		Iterations: iter,
-	}
+	}, interrupted
 }
 
 // recomputeCenters returns the mean of each cluster's members. Empty

@@ -1,9 +1,13 @@
 package linalg
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sort"
+
+	"multiclust/internal/core"
 )
 
 // Eigen holds a symmetric eigendecomposition A = V * diag(Values) * V^T with
@@ -18,6 +22,14 @@ type Eigen struct {
 // the cyclic Jacobi rotation method. It returns an error when a is not
 // square or not symmetric. The input is not modified.
 func SymEigen(a *Matrix) (*Eigen, error) {
+	return SymEigenContext(context.Background(), a)
+}
+
+// SymEigenContext is SymEigen with cancellation: the Jacobi loop polls ctx
+// at each sweep boundary and, when the context is done, returns the
+// partially-converged decomposition wrapped in core.ErrInterrupted. With a
+// background context the output is byte-identical to SymEigen.
+func SymEigenContext(ctx context.Context, a *Matrix) (*Eigen, error) {
 	if a.Rows != a.Cols {
 		return nil, errors.New("linalg: SymEigen requires a square matrix")
 	}
@@ -28,8 +40,15 @@ func SymEigen(a *Matrix) (*Eigen, error) {
 	w := a.Clone()
 	v := Identity(n)
 
+	var interrupted error
 	const maxSweeps = 100
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Sweep-boundary cancellation: w and v always hold a consistent
+		// (if not fully converged) rotation product.
+		if err := ctx.Err(); err != nil {
+			interrupted = err
+			break
+		}
 		// Sum of off-diagonal magnitudes; convergence criterion.
 		var off float64
 		for i := 0; i < n; i++ {
@@ -96,7 +115,11 @@ func SymEigen(a *Matrix) (*Eigen, error) {
 			sortedVecs.Set(r, newCol, v.At(r, oldCol))
 		}
 	}
-	return &Eigen{Values: sortedVals, Vectors: sortedVecs}, nil
+	e := &Eigen{Values: sortedVals, Vectors: sortedVecs}
+	if interrupted != nil {
+		return e, fmt.Errorf("linalg: eigensolve interrupted: %v: %w", interrupted, core.ErrInterrupted)
+	}
+	return e, nil
 }
 
 // InvSqrt returns A^{-1/2} for a symmetric positive-definite matrix, computed

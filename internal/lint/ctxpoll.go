@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPoll flags functions that accept a context.Context, contain at least
+// one loop, and never mention the context in their body. Such a function
+// advertises cancellation in its signature but can never observe it — the
+// exact bug the ...Context variants exist to prevent. The finding is
+// reported at the first loop, where the ctx.Err() poll belongs. A context
+// parameter named _ is an explicit opt-out and is not flagged.
+func CtxPoll() *Analyzer {
+	return &Analyzer{
+		Name: "ctxpoll",
+		Doc:  "context.Context parameter never consulted in a looping function",
+		Run:  runCtxPoll,
+	}
+}
+
+func runCtxPoll(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Type.Params == nil {
+				continue
+			}
+			// Named, non-underscore parameters of type context.Context.
+			var ctxObjs []types.Object
+			for _, field := range fn.Type.Params.List {
+				if !isContextType(p, field.Type) {
+					continue
+				}
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if obj := p.Info.Defs[name]; obj != nil {
+						ctxObjs = append(ctxObjs, obj)
+					}
+				}
+			}
+			if len(ctxObjs) == 0 {
+				continue
+			}
+			var firstLoop ast.Node
+			used := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					if firstLoop == nil {
+						firstLoop = v
+					}
+				case *ast.Ident:
+					use := p.Info.Uses[v]
+					for _, obj := range ctxObjs {
+						if use == obj {
+							used = true
+						}
+					}
+				}
+				return !used
+			})
+			if firstLoop != nil && !used {
+				out = append(out, p.finding("ctxpoll", firstLoop.Pos(),
+					"function %s takes a context.Context but never consults it; poll ctx.Err() at this loop's iteration boundary or rename the parameter to _",
+					fn.Name.Name))
+			}
+		}
+	}
+	return out
+}
+
+// isContextType reports whether the parameter type is context.Context.
+func isContextType(p *Package, expr ast.Expr) bool {
+	t := p.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -10,6 +10,8 @@
 //   - sharedrng:  no *rand.Rand shared across parallel worker closures
 //   - nakedgo:    no go statements outside internal/parallel
 //   - floatkey:   no float map keys, no exact float ==/!= comparisons
+//   - ctxpoll:    no looping function that takes a context.Context yet
+//     never consults it (cancellation it can't observe)
 //
 // A finding can be suppressed with a directive comment on the offending
 // line or the line directly above it:
@@ -66,6 +68,7 @@ func All() []*Analyzer {
 		SharedRNG(),
 		NakedGo(),
 		FloatKey(),
+		CtxPoll(),
 	}
 }
 

@@ -113,6 +113,7 @@ func TestGlobalRandFixture(t *testing.T) { checkFixture(t, "globalrand", GlobalR
 func TestSharedRNGFixture(t *testing.T)  { checkFixture(t, "sharedrng", SharedRNG()) }
 func TestNakedGoFixture(t *testing.T)    { checkFixture(t, "nakedgo", NakedGo()) }
 func TestFloatKeyFixture(t *testing.T)   { checkFixture(t, "floatkey", FloatKey()) }
+func TestCtxPollFixture(t *testing.T)    { checkFixture(t, "ctxpoll", CtxPoll()) }
 
 // Reintroducing the PR 1 metrics.Silhouette map-order bug — float silhouette
 // terms summed while ranging over the label→members map — must fail the

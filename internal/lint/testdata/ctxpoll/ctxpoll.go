@@ -1,0 +1,63 @@
+// Fixture for the ctxpoll analyzer: looping functions that take a
+// context.Context must consult it.
+package fixture
+
+import "context"
+
+// A loop that never looks at ctx is exactly the bug.
+func ignoresContext(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want `never consults it`
+		total += i
+	}
+	return total
+}
+
+// Range loops count too.
+func ignoresContextRange(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs { // want `never consults it`
+		total += x
+	}
+	return total
+}
+
+// Polling ctx.Err() at the iteration boundary is the approved shape.
+func pollsContext(ctx context.Context, n int) (int, error) {
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		total += i
+	}
+	return total, nil
+}
+
+// Forwarding ctx to a callee inside the loop also consults it.
+func forwardsContext(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += step(ctx, i)
+	}
+	return total
+}
+
+func step(ctx context.Context, i int) int {
+	_ = ctx.Err()
+	return i
+}
+
+// No loop: nothing to poll, not flagged.
+func noLoop(ctx context.Context, a, b int) int {
+	return a + b
+}
+
+// An underscore parameter is an explicit opt-out.
+func optedOut(_ context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

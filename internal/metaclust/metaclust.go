@@ -11,6 +11,7 @@
 package metaclust
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -46,6 +47,17 @@ type Result struct {
 
 // Run generates and groups base clusterings of points.
 func Run(points [][]float64, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), points, cfg)
+}
+
+// RunContext is Run with cancellation: ctx is threaded into every base
+// k-means run (each polls at its own iteration boundary) and checked again
+// between the pipeline stages. On interruption the generated solutions are
+// still valid clusterings — k-means returns best-so-far — so the meta-level
+// grouping completes on them and the result is wrapped in
+// core.ErrInterrupted. With a background context the output is
+// byte-identical to Run.
+func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, core.ErrEmptyDataset
@@ -110,15 +122,19 @@ func Run(points [][]float64, cfg Config) (*Result, error) {
 			}
 			weighted[i] = row
 		}
-		km, err := kmeans.Run(weighted, kmeans.Config{K: cfg.K, Seed: seeds[s], Workers: innerW})
-		if err != nil {
+		km, err := kmeans.RunContext(ctx, weighted, kmeans.Config{K: cfg.K, Seed: seeds[s], Workers: innerW})
+		if km == nil {
 			return genOut{err: err}
 		}
-		return genOut{clustering: km.Clustering}
+		return genOut{clustering: km.Clustering, err: err}
 	})
+	var interrupted error
 	for _, o := range outs {
-		if o.err != nil {
+		if o.clustering == nil {
 			return nil, o.err
+		}
+		if o.err != nil {
+			interrupted = o.err
 		}
 		res.Generated = append(res.Generated, o.clustering)
 	}
@@ -181,6 +197,9 @@ func Run(points [][]float64, cfg Config) (*Result, error) {
 			}
 		}
 		res.Representatives = append(res.Representatives, res.Generated[best])
+	}
+	if interrupted != nil {
+		return res, fmt.Errorf("metaclust: interrupted: %v: %w", interrupted, core.ErrInterrupted)
 	}
 	return res, nil
 }

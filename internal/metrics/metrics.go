@@ -8,6 +8,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 
 	"multiclust/internal/core"
@@ -15,14 +16,31 @@ import (
 	"multiclust/internal/stats"
 )
 
+// ValidatePair checks that two labelings cover the same objects; the typed
+// error (wrapping core.ErrShape) is the precondition every comparison
+// measure in this package assumes. The float64-returning metrics keep the
+// core.DissimilarityFunc-compatible signature and instead return NaN — a
+// detectable sentinel, never a panic — when the precondition is violated.
+func ValidatePair(x, y []int) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("metrics: labelings of length %d and %d: %w", len(x), len(y), core.ErrShape)
+	}
+	return nil
+}
+
 // PairCounts holds the four pair-counting cells for two labelings:
 // a = pairs together in both, b = together in A only, c = together in B
 // only, d = separated in both. Pairs involving noise objects are skipped.
 type PairCounts struct{ A, B, C, D float64 }
 
 // CountPairs tallies object pairs for two labelings of equal length.
+// Mismatched lengths yield the zero PairCounts; the exported indices built
+// on it return NaN in that case.
 func CountPairs(x, y []int) PairCounts {
 	var pc PairCounts
+	if len(x) != len(y) {
+		return pc
+	}
 	n := len(x)
 	for i := 0; i < n; i++ {
 		if x[i] < 0 || y[i] < 0 {
@@ -51,7 +69,11 @@ func CountPairs(x, y []int) PairCounts {
 
 // RandIndex returns (a+d)/(a+b+c+d) in [0,1]; 1 means identical partitions.
 // This is the dissimilarity base used by meta clustering (slide 29).
+// Mismatched labeling lengths return NaN.
 func RandIndex(x, y []int) float64 {
+	if ValidatePair(x, y) != nil {
+		return math.NaN()
+	}
 	pc := CountPairs(x, y)
 	tot := pc.A + pc.B + pc.C + pc.D
 	if tot == 0 {
@@ -62,8 +84,12 @@ func RandIndex(x, y []int) float64 {
 
 // AdjustedRand returns the Hubert–Arabie adjusted Rand index, which is 0 in
 // expectation for independent partitions and 1 for identical ones.
+// Mismatched labeling lengths return NaN.
 func AdjustedRand(x, y []int) float64 {
-	ct := stats.NewContingencyTable(x, y)
+	ct, err := stats.NewContingencyTable(x, y)
+	if err != nil {
+		return math.NaN()
+	}
 	var sumComb, sumRow, sumCol float64
 	for _, row := range ct.Counts {
 		for _, nij := range row {
@@ -92,7 +118,11 @@ func AdjustedRand(x, y []int) float64 {
 func comb2(n float64) float64 { return n * (n - 1) / 2 }
 
 // JaccardIndex returns a/(a+b+c), ignoring jointly-separated pairs.
+// Mismatched labeling lengths return NaN.
 func JaccardIndex(x, y []int) float64 {
+	if ValidatePair(x, y) != nil {
+		return math.NaN()
+	}
 	pc := CountPairs(x, y)
 	den := pc.A + pc.B + pc.C
 	if den == 0 {
@@ -104,6 +134,9 @@ func JaccardIndex(x, y []int) float64 {
 // PairF1 treats "pair clustered together" as a retrieval task with x as
 // truth: precision a/(a+c), recall a/(a+b), and returns their harmonic mean.
 func PairF1(truth, found []int) float64 {
+	if ValidatePair(truth, found) != nil {
+		return math.NaN()
+	}
 	pc := CountPairs(truth, found)
 	if pc.A == 0 {
 		return 0
@@ -114,15 +147,24 @@ func PairF1(truth, found []int) float64 {
 }
 
 // NMI returns the normalized mutual information of two labelings, in [0,1].
+// Mismatched labeling lengths return NaN.
 func NMI(x, y []int) float64 {
-	return stats.NMI(stats.NewContingencyTable(x, y))
+	ct, err := stats.NewContingencyTable(x, y)
+	if err != nil {
+		return math.NaN()
+	}
+	return stats.NMI(ct)
 }
 
 // VariationOfInformation returns VI(x,y) = H(x|y) + H(y|x) in nats; 0 means
 // identical partitions and larger means more different. VI is a true metric
-// on partitions, making it a principled Diss function.
+// on partitions, making it a principled Diss function. Mismatched labeling
+// lengths return NaN.
 func VariationOfInformation(x, y []int) float64 {
-	ct := stats.NewContingencyTable(x, y)
+	ct, err := stats.NewContingencyTable(x, y)
+	if err != nil {
+		return math.NaN()
+	}
 	hxy := ct.JointEntropy()
 	v := 2*hxy - ct.EntropyRow() - ct.EntropyCol()
 	if v < 0 {
@@ -131,20 +173,33 @@ func VariationOfInformation(x, y []int) float64 {
 	return v
 }
 
-// ConditionalEntropy returns H(x|y) in nats.
+// ConditionalEntropy returns H(x|y) in nats. Mismatched labeling lengths
+// return NaN.
 func ConditionalEntropy(x, y []int) float64 {
-	return stats.NewContingencyTable(x, y).ConditionalEntropyRowGivenCol()
+	ct, err := stats.NewContingencyTable(x, y)
+	if err != nil {
+		return math.NaN()
+	}
+	return ct.ConditionalEntropyRowGivenCol()
 }
 
-// MutualInformation returns I(x;y) in nats.
+// MutualInformation returns I(x;y) in nats. Mismatched labeling lengths
+// return NaN.
 func MutualInformation(x, y []int) float64 {
-	return stats.NewContingencyTable(x, y).MutualInformation()
+	ct, err := stats.NewContingencyTable(x, y)
+	if err != nil {
+		return math.NaN()
+	}
+	return ct.MutualInformation()
 }
 
 // Purity returns the weighted fraction of objects in each found cluster that
 // belong to that cluster's majority truth class. Noise objects in found are
-// excluded.
+// excluded. Mismatched labeling lengths return NaN.
 func Purity(truth, found []int) float64 {
+	if ValidatePair(truth, found) != nil {
+		return math.NaN()
+	}
 	byCluster := map[int]map[int]int{}
 	total := 0
 	for i, f := range found {
@@ -179,6 +234,9 @@ func Purity(truth, found []int) float64 {
 // to its cluster mean — the canonical Q for centroid methods. Noise points
 // are ignored.
 func SSE(points [][]float64, c *core.Clustering) float64 {
+	if c.N() != len(points) {
+		return math.NaN()
+	}
 	clusters := c.Clusters()
 	var sse float64
 	for _, members := range clusters {
@@ -206,6 +264,9 @@ func SSE(points [][]float64, c *core.Clustering) float64 {
 // in [-1, 1]; higher means tighter, better-separated clusters. Points in
 // singleton clusters contribute 0; noise points are skipped.
 func Silhouette(points [][]float64, c *core.Clustering) float64 {
+	if c.N() != len(points) {
+		return math.NaN()
+	}
 	clusters := c.Clusters()
 	if len(clusters) < 2 {
 		return 0
@@ -259,6 +320,9 @@ func Silhouette(points [][]float64, c *core.Clustering) float64 {
 // COALA's dissimilarity-vs-quality experiments report this as cluster
 // quality (lower is tighter).
 func AverageWithinDistance(points [][]float64, c *core.Clustering, d dist.Func) float64 {
+	if c.N() != len(points) {
+		return math.NaN()
+	}
 	var sum float64
 	var count int
 	for _, members := range c.Clusters() {

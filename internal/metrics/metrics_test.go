@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -289,5 +290,55 @@ func TestSilhouetteDeterministic(t *testing.T) {
 		if got := Silhouette(pts, c); got != first {
 			t.Fatalf("call %d: Silhouette = %v, first call = %v", i, got, first)
 		}
+	}
+}
+
+func TestValidatePair(t *testing.T) {
+	if err := ValidatePair([]int{0, 1}, []int{1, 0}); err != nil {
+		t.Fatalf("equal lengths rejected: %v", err)
+	}
+	err := ValidatePair([]int{0, 1}, []int{0})
+	if !errors.Is(err, core.ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+// Regression: mismatched labeling lengths used to panic inside the stats
+// contingency table (or index out of range in CountPairs); every comparison
+// measure must now return NaN instead.
+func TestComparisonMeasuresMismatchedLengthsNaN(t *testing.T) {
+	x := []int{0, 0, 1, 1}
+	y := []int{0, 1}
+	for name, f := range map[string]func(a, b []int) float64{
+		"RandIndex":              RandIndex,
+		"AdjustedRand":           AdjustedRand,
+		"JaccardIndex":           JaccardIndex,
+		"PairF1":                 PairF1,
+		"NMI":                    NMI,
+		"VariationOfInformation": VariationOfInformation,
+		"ConditionalEntropy":     ConditionalEntropy,
+		"MutualInformation":      MutualInformation,
+		"Purity":                 Purity,
+	} {
+		if got := f(x, y); !math.IsNaN(got) {
+			t.Errorf("%s on mismatched lengths = %v, want NaN", name, got)
+		}
+	}
+}
+
+// Regression: quality measures indexed points[o] for every clustered object,
+// so a labeling longer than the dataset read out of range.
+func TestQualityMeasuresMismatchedLengthsNaN(t *testing.T) {
+	points := [][]float64{{0, 0}, {1, 1}}
+	c := core.NewClustering([]int{0, 0, 1})
+	if got := SSE(points, c); !math.IsNaN(got) {
+		t.Errorf("SSE on mismatched lengths = %v, want NaN", got)
+	}
+	if got := Silhouette(points, c); !math.IsNaN(got) {
+		t.Errorf("Silhouette on mismatched lengths = %v, want NaN", got)
+	}
+	d := func(a, b []float64) float64 { return 0 }
+	if got := AverageWithinDistance(points, c, d); !math.IsNaN(got) {
+		t.Errorf("AverageWithinDistance on mismatched lengths = %v, want NaN", got)
 	}
 }

@@ -16,11 +16,21 @@
 // what it computes. Callers keep results independent of scheduling by
 // pre-deriving per-task seeds and reducing in index order; every wired hot
 // path in the library produces byte-identical output for any worker count.
+//
+// Panic containment: a panic inside a worker is captured — never allowed to
+// crash the process from a pool goroutine — and re-raised on the calling
+// goroutine as a *PanicError carrying the task index and worker stack. In
+// Each/Map every index is still evaluated after a panic, so the re-raised
+// panic is the one from the LOWEST panicking index regardless of worker
+// count or scheduling. TryEach/TryMap give the same guarantee for ordinary
+// errors.
 package parallel
 
 import (
+	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -61,17 +71,71 @@ func Workers(override int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// PanicError is how a worker panic surfaces on the calling goroutine: the
+// pool captures the panic, and after all tasks finish the caller re-panics
+// with this wrapper carrying the task index and the worker's stack trace.
+// Recover it at an API boundary (the facade's robust.RecoverTo) to turn it
+// into an error.
+type PanicError struct {
+	Index int    // task index (block start for For) that panicked
+	Value any    // original panic value
+	Stack []byte // worker goroutine stack at the point of the panic
+}
+
+// Error formats the panic with its task context.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", e.Index, e.Value)
+}
+
+// Unwrap exposes an underlying error panic value to errors.Is/As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// panicCapture keeps the panic from the lowest task index seen so far.
+type panicCapture struct {
+	mu  sync.Mutex
+	err *PanicError
+}
+
+func (c *panicCapture) protect(idx int, f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			c.mu.Lock()
+			if c.err == nil || idx < c.err.Index {
+				c.err = &PanicError{Index: idx, Value: r, Stack: stack}
+			}
+			c.mu.Unlock()
+		}
+	}()
+	f()
+}
+
+func (c *panicCapture) rethrow() {
+	if c.err != nil {
+		panic(c.err)
+	}
+}
+
 // For splits the index range [0, n) into at most `workers` contiguous blocks
 // and runs fn(lo, hi) on each block concurrently, returning when all blocks
 // are done. workers <= 0 resolves via Workers(0). Block boundaries depend
-// only on n and the resolved worker count, never on scheduling.
+// only on n and the resolved worker count, never on scheduling. A panic in
+// one block aborts that block only; once every block finishes, the panic
+// from the lowest block start is re-raised on the caller as *PanicError.
 func For(n, workers int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	w := clampWorkers(workers, n)
+	var pc panicCapture
 	if w == 1 {
-		fn(0, n)
+		pc.protect(0, func() { fn(0, n) })
+		pc.rethrow()
 		return
 	}
 	chunk, rem := n/w, n%w
@@ -85,25 +149,32 @@ func For(n, workers int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
+			pc.protect(lo, func() { fn(lo, hi) })
 		}(lo, hi)
 		lo = hi
 	}
 	wg.Wait()
+	pc.rethrow()
 }
 
 // Each runs fn(i) for every i in [0, n), handing indices to workers through
 // an atomic cursor. Use it instead of For when per-index cost is very uneven
 // (triangular loops, cluster expansions) so fast workers steal the tail.
+// Panic containment is per index: a panicking index does not stop the rest,
+// every index is still evaluated, and the panic from the lowest index is
+// re-raised on the caller as *PanicError — identical for any worker count.
 func Each(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
 	w := clampWorkers(workers, n)
+	var pc panicCapture
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			i := i
+			pc.protect(i, func() { fn(i) })
 		}
+		pc.rethrow()
 		return
 	}
 	var next atomic.Int64
@@ -117,11 +188,12 @@ func Each(n, workers int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				pc.protect(i, func() { fn(i) })
 			}
 		}()
 	}
 	wg.Wait()
+	pc.rethrow()
 }
 
 // Map computes fn(i) for every i in [0, n) concurrently and returns the
@@ -145,6 +217,43 @@ func MapReduce[T, R any](n, workers int, m func(i int) T, init R, fold func(acc 
 		acc = fold(acc, i, v)
 	}
 	return acc
+}
+
+// TryEach runs fn(i) for every i in [0, n) concurrently and returns the
+// error from the lowest failing index (nil when all succeed). Every index is
+// evaluated even after a failure — no early abort — so the returned error is
+// independent of worker count and scheduling. Panics are contained exactly
+// as in Each.
+func TryEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	Each(n, workers, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TryMap computes fn(i) for every i in [0, n) concurrently, returning the
+// results in index order plus the error from the lowest failing index. On
+// error the full result slice is still returned (failed slots hold whatever
+// fn returned alongside its error), mirroring TryEach's evaluate-everything
+// determinism.
+func TryMap[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := TryEach(n, workers, func(i int) error {
+		v, e := fn(i)
+		out[i] = v
+		return e
+	})
+	return out, err
 }
 
 func clampWorkers(workers, n int) int {

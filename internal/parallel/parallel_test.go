@@ -1,7 +1,10 @@
 package parallel
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -84,6 +87,125 @@ func TestMapOrdered(t *testing.T) {
 	}
 	if Map(0, 4, func(i int) int { return i }) != nil {
 		t.Error("Map(0, ...) should be nil")
+	}
+}
+
+func TestEachPanicContained(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		var visited atomic.Int32
+		func() {
+			defer func() {
+				r := recover()
+				pe, ok := r.(*PanicError)
+				if !ok {
+					t.Fatalf("w=%d: recovered %T (%v), want *PanicError", w, r, r)
+				}
+				// Indices 3 and 11 both panic; the lowest must win for
+				// every worker count.
+				if pe.Index != 3 {
+					t.Errorf("w=%d: panic index %d, want 3", w, pe.Index)
+				}
+				if fmt.Sprint(pe.Value) != "boom 3" {
+					t.Errorf("w=%d: panic value %v", w, pe.Value)
+				}
+				if len(pe.Stack) == 0 {
+					t.Errorf("w=%d: missing worker stack", w)
+				}
+				if !strings.Contains(pe.Error(), "task 3") {
+					t.Errorf("w=%d: Error() = %q", w, pe.Error())
+				}
+			}()
+			Each(16, w, func(i int) {
+				visited.Add(1)
+				if i == 3 || i == 11 {
+					panic(fmt.Sprintf("boom %d", i))
+				}
+			})
+			t.Fatalf("w=%d: Each should have re-panicked", w)
+		}()
+		if visited.Load() != 16 {
+			t.Errorf("w=%d: visited %d indices, want all 16 despite panics", w, visited.Load())
+		}
+	}
+}
+
+func TestForPanicContained(t *testing.T) {
+	for _, w := range []int{1, 3} {
+		func() {
+			defer func() {
+				pe, ok := recover().(*PanicError)
+				if !ok || fmt.Sprint(pe.Value) != "block boom" {
+					t.Fatalf("w=%d: unexpected recover %v", w, pe)
+				}
+			}()
+			For(12, w, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if i == 5 {
+						panic("block boom")
+					}
+				}
+			})
+			t.Fatalf("w=%d: For should have re-panicked", w)
+		}()
+	}
+}
+
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("inner")
+	pe := &PanicError{Index: 0, Value: sentinel}
+	if !errors.Is(pe, sentinel) {
+		t.Error("PanicError should unwrap an error panic value")
+	}
+	if (&PanicError{Value: "text"}).Unwrap() != nil {
+		t.Error("non-error panic value should unwrap to nil")
+	}
+}
+
+func TestTryEachLowestError(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		var visited atomic.Int32
+		err := TryEach(20, w, func(i int) error {
+			visited.Add(1)
+			if i == 7 || i == 13 {
+				return fmt.Errorf("fail %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail 7" {
+			t.Errorf("w=%d: err = %v, want fail 7", w, err)
+		}
+		if visited.Load() != 20 {
+			t.Errorf("w=%d: visited %d, want 20 (no early abort)", w, visited.Load())
+		}
+	}
+	if err := TryEach(5, 2, func(int) error { return nil }); err != nil {
+		t.Errorf("all-success TryEach: %v", err)
+	}
+	if err := TryEach(0, 2, func(int) error { return errors.New("x") }); err != nil {
+		t.Errorf("empty TryEach: %v", err)
+	}
+}
+
+func TestTryMap(t *testing.T) {
+	out, err := TryMap(6, 3, func(i int) (int, error) {
+		if i == 4 {
+			return -1, errors.New("bad 4")
+		}
+		return i * 2, nil
+	})
+	if err == nil || err.Error() != "bad 4" {
+		t.Fatalf("err = %v", err)
+	}
+	if len(out) != 6 || out[2] != 4 || out[4] != -1 {
+		t.Fatalf("out = %v", out)
+	}
+	ok, err := TryMap(4, 2, func(i int) (int, error) { return i, nil })
+	if err != nil || fmt.Sprint(ok) != "[0 1 2 3]" {
+		t.Fatalf("ok = %v err = %v", ok, err)
+	}
+	nilOut, err := TryMap(0, 2, func(int) (int, error) { return 0, nil })
+	if nilOut != nil || err != nil {
+		t.Fatalf("empty TryMap = %v, %v", nilOut, err)
 	}
 }
 

@@ -1,0 +1,186 @@
+// Package chaos is the deterministic fault-injection harness of the
+// robustness suite: seeded corrupters that damage a clean dataset in the
+// ways real ingestion pipelines do — NaN rows, Inf spikes, duplicated
+// points, constant dimensions, permuted columns — so the property tests can
+// assert every facade algorithm either rejects the damage with a typed
+// error or returns a valid clustering, and never panics.
+//
+// Every corrupter is a pure function of (input, seed): it deep-copies the
+// data, applies the fault, and returns the same damage for the same seed on
+// every run and platform. That makes chaos failures replayable from the
+// (corrupter, seed) pair alone.
+package chaos
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Corrupter deterministically damages a copy of points using the seed.
+// The input is never mutated.
+type Corrupter struct {
+	// Name identifies the fault in test output, e.g. "nan-rows".
+	Name string
+	// Valid reports whether the corrupted data is still a valid dataset
+	// (finite, rectangular): validation-gated algorithms must succeed on
+	// valid damage and return a typed error on invalid damage.
+	Valid bool
+	// Apply returns the damaged deep copy.
+	Apply func(points [][]float64, seed int64) [][]float64
+}
+
+// clone deep-copies a point table.
+func clone(points [][]float64) [][]float64 {
+	out := make([][]float64, len(points))
+	for i, p := range points {
+		out[i] = append([]float64(nil), p...)
+	}
+	return out
+}
+
+// NaNRows overwrites every coordinate of up to k randomly chosen rows with
+// NaN. Invalid damage: the validation gate must reject it.
+func NaNRows(k int) Corrupter {
+	return Corrupter{
+		Name:  "nan-rows",
+		Valid: false,
+		Apply: func(points [][]float64, seed int64) [][]float64 {
+			out := clone(points)
+			rng := rand.New(rand.NewSource(seed))
+			for t := 0; t < k && len(out) > 0; t++ {
+				row := out[rng.Intn(len(out))]
+				for j := range row {
+					row[j] = math.NaN()
+				}
+			}
+			return out
+		},
+	}
+}
+
+// InfSpikes replaces up to k randomly chosen single cells with ±Inf.
+// Invalid damage.
+func InfSpikes(k int) Corrupter {
+	return Corrupter{
+		Name:  "inf-spikes",
+		Valid: false,
+		Apply: func(points [][]float64, seed int64) [][]float64 {
+			out := clone(points)
+			rng := rand.New(rand.NewSource(seed))
+			for t := 0; t < k && len(out) > 0; t++ {
+				row := out[rng.Intn(len(out))]
+				if len(row) == 0 {
+					continue
+				}
+				sign := 1
+				if rng.Intn(2) == 1 {
+					sign = -1
+				}
+				row[rng.Intn(len(row))] = math.Inf(sign)
+			}
+			return out
+		},
+	}
+}
+
+// DuplicatePoints appends up to k exact copies of randomly chosen rows.
+// Valid damage: algorithms must cluster it without error.
+func DuplicatePoints(k int) Corrupter {
+	return Corrupter{
+		Name:  "duplicate-points",
+		Valid: true,
+		Apply: func(points [][]float64, seed int64) [][]float64 {
+			out := clone(points)
+			rng := rand.New(rand.NewSource(seed))
+			n := len(out)
+			for t := 0; t < k && n > 0; t++ {
+				src := out[rng.Intn(n)]
+				out = append(out, append([]float64(nil), src...))
+			}
+			return out
+		},
+	}
+}
+
+// ConstantDimension flattens one randomly chosen column to a single value.
+// Valid damage: a zero-variance dimension must not break any algorithm.
+func ConstantDimension() Corrupter {
+	return Corrupter{
+		Name:  "constant-dimension",
+		Valid: true,
+		Apply: func(points [][]float64, seed int64) [][]float64 {
+			out := clone(points)
+			if len(out) == 0 || len(out[0]) == 0 {
+				return out
+			}
+			rng := rand.New(rand.NewSource(seed))
+			j := rng.Intn(len(out[0]))
+			v := float64(rng.Intn(7))
+			for _, p := range out {
+				if j < len(p) {
+					p[j] = v
+				}
+			}
+			return out
+		},
+	}
+}
+
+// PermuteColumns applies one random column permutation to every row. Valid
+// damage: clustering structure is invariant under a global reordering of
+// dimensions, so algorithms must still succeed.
+func PermuteColumns() Corrupter {
+	return Corrupter{
+		Name:  "permute-columns",
+		Valid: true,
+		Apply: func(points [][]float64, seed int64) [][]float64 {
+			out := clone(points)
+			if len(out) == 0 || len(out[0]) == 0 {
+				return out
+			}
+			rng := rand.New(rand.NewSource(seed))
+			perm := rng.Perm(len(out[0]))
+			for i, p := range out {
+				np := make([]float64, len(p))
+				for j := range p {
+					np[j] = p[perm[j]]
+				}
+				out[i] = np
+			}
+			return out
+		},
+	}
+}
+
+// RaggedRows truncates up to k randomly chosen rows by one coordinate.
+// Invalid damage: the shape gate must reject it.
+func RaggedRows(k int) Corrupter {
+	return Corrupter{
+		Name:  "ragged-rows",
+		Valid: false,
+		Apply: func(points [][]float64, seed int64) [][]float64 {
+			out := clone(points)
+			rng := rand.New(rand.NewSource(seed))
+			for t := 0; t < k && len(out) > 0; t++ {
+				i := rng.Intn(len(out))
+				if len(out[i]) > 0 {
+					out[i] = out[i][:len(out[i])-1]
+				}
+			}
+			return out
+		},
+	}
+}
+
+// Suite returns the standard corrupter battery used by the fault-injection
+// property tests.
+func Suite() []Corrupter {
+	return []Corrupter{
+		NaNRows(2),
+		InfSpikes(3),
+		DuplicatePoints(5),
+		ConstantDimension(),
+		PermuteColumns(),
+		RaggedRows(2),
+	}
+}

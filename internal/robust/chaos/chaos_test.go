@@ -1,0 +1,143 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+
+	"multiclust/internal/robust"
+)
+
+func grid(n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for j := range pts[i] {
+			pts[i][j] = float64(i*d + j)
+		}
+	}
+	return pts
+}
+
+// TestCorruptersDeterministic: same input and seed, identical damage; the
+// input itself is never mutated.
+func TestCorruptersDeterministic(t *testing.T) {
+	for _, c := range Suite() {
+		t.Run(c.Name, func(t *testing.T) {
+			orig := grid(20, 4)
+			snapshot := grid(20, 4)
+			a := c.Apply(orig, 42)
+			b := c.Apply(orig, 42)
+			if len(a) != len(b) {
+				t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if len(a[i]) != len(b[i]) {
+					t.Fatalf("row %d widths differ", i)
+				}
+				for j := range a[i] {
+					av, bv := a[i][j], b[i][j]
+					if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+						t.Fatalf("cell %d,%d differs: %v vs %v", i, j, av, bv)
+					}
+				}
+			}
+			for i := range orig {
+				if len(orig[i]) != len(snapshot[i]) {
+					t.Fatalf("corrupter mutated input row %d", i)
+				}
+				for j := range orig[i] {
+					if orig[i][j] != snapshot[i][j] {
+						t.Fatalf("corrupter mutated input cell %d,%d", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorruptersSeedsDiffer: different seeds damage different places for
+// the randomized corrupters.
+func TestCorruptersSeedsDiffer(t *testing.T) {
+	c := InfSpikes(1)
+	orig := grid(30, 6)
+	a := c.Apply(orig, 1)
+	b := c.Apply(orig, 2)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if math.IsInf(a[i][j], 0) != math.IsInf(b[i][j], 0) {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 spiked the identical cell")
+	}
+}
+
+// TestCorruptersValidityFlag: the Valid flag matches what the validation
+// gate actually says about the damage.
+func TestCorruptersValidityFlag(t *testing.T) {
+	for _, c := range Suite() {
+		t.Run(c.Name, func(t *testing.T) {
+			damaged := c.Apply(grid(20, 4), 7)
+			err := robust.ValidateDataset(damaged)
+			if c.Valid && err != nil {
+				t.Errorf("%s marked valid but gate rejects: %v", c.Name, err)
+			}
+			if !c.Valid && err == nil {
+				t.Errorf("%s marked invalid but gate accepts", c.Name)
+			}
+		})
+	}
+}
+
+// TestPermuteColumnsIsPermutation: every row keeps the same multiset of
+// values under the column permutation.
+func TestPermuteColumnsIsPermutation(t *testing.T) {
+	orig := grid(5, 6)
+	out := PermuteColumns().Apply(orig, 9)
+	for i := range orig {
+		seen := map[float64]int{}
+		for _, v := range orig[i] {
+			seen[v]++
+		}
+		for _, v := range out[i] {
+			seen[v]--
+		}
+		for v, cnt := range seen {
+			if cnt != 0 {
+				t.Fatalf("row %d: value %v count off by %d", i, v, cnt)
+			}
+		}
+	}
+}
+
+// TestDuplicatePointsAppends: the first n rows are untouched and the
+// appended rows are copies of originals.
+func TestDuplicatePointsAppends(t *testing.T) {
+	orig := grid(10, 3)
+	out := DuplicatePoints(4).Apply(orig, 3)
+	if len(out) != 14 {
+		t.Fatalf("len = %d, want 14", len(out))
+	}
+	for _, dup := range out[10:] {
+		found := false
+		for _, p := range orig {
+			match := true
+			for j := range p {
+				if p[j] != dup[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("appended row %v is not a copy of any original", dup)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package robust
+
+import (
+	"errors"
+	"fmt"
+
+	"multiclust/internal/core"
+)
+
+// Retry runs fn up to budget times with the deterministic seed schedule
+// seed, seed+1, ..., seed+budget-1, returning on the first attempt whose
+// error is nil or is not a degenerate outcome (errors.Is ErrDegenerate).
+// Attempt 0 uses the caller's original seed, so a run that succeeds first
+// try is byte-identical with or without Retry. The last attempt's error is
+// returned if every attempt degenerates.
+//
+// The schedule is part of the determinism contract: identical inputs and
+// seed produce the identical attempt sequence regardless of worker count.
+func Retry(seed int64, budget int, fn func(seed int64) error) error {
+	if budget < 1 {
+		budget = 1
+	}
+	var err error
+	for attempt := 0; attempt < budget; attempt++ {
+		err = fn(seed + int64(attempt))
+		if err == nil || !errors.Is(err, core.ErrDegenerate) {
+			return err
+		}
+	}
+	return fmt.Errorf("robust: %d attempts with seeds %d..%d all degenerate: %w",
+		budget, seed, seed+int64(budget-1), err)
+}
+
+// RetryValue is Retry for functions that produce a value alongside the
+// error. On total failure it returns the zero value and the wrapped last
+// error.
+func RetryValue[T any](seed int64, budget int, fn func(seed int64) (T, error)) (T, error) {
+	var out T
+	err := Retry(seed, budget, func(s int64) error {
+		var e error
+		out, e = fn(s)
+		return e
+	})
+	if err != nil && errors.Is(err, core.ErrDegenerate) {
+		var zero T
+		return zero, err
+	}
+	return out, err
+}

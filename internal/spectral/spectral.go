@@ -7,6 +7,7 @@
 package spectral
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -104,8 +105,16 @@ func NormalizedAffinity(w *linalg.Matrix) *linalg.Matrix {
 // Embed computes the row-normalized top-k eigenvector embedding of the
 // normalized affinity.
 func Embed(w *linalg.Matrix, k int) (*linalg.Matrix, error) {
+	return EmbedContext(context.Background(), w, k)
+}
+
+// EmbedContext is Embed with cancellation: the eigensolve polls ctx at each
+// Jacobi sweep. On interruption the partially-converged embedding is still
+// returned (row-normalized, finite) alongside an error wrapping
+// core.ErrInterrupted.
+func EmbedContext(ctx context.Context, w *linalg.Matrix, k int) (*linalg.Matrix, error) {
 	if k <= 0 || k > w.Rows {
-		return nil, fmt.Errorf("spectral: invalid embedding dimension %d", k)
+		return nil, fmt.Errorf("spectral: invalid embedding dimension %d: %w", k, core.ErrInvalidInput)
 	}
 	na := NormalizedAffinity(w)
 	// Symmetrize against numerical asymmetry before eigensolving.
@@ -116,8 +125,8 @@ func Embed(w *linalg.Matrix, k int) (*linalg.Matrix, error) {
 			na.Set(j, i, avg)
 		}
 	}
-	e, err := linalg.SymEigen(na)
-	if err != nil {
+	e, err := linalg.SymEigenContext(ctx, na)
+	if e == nil {
 		return nil, err
 	}
 	n := w.Rows
@@ -130,11 +139,19 @@ func Embed(w *linalg.Matrix, k int) (*linalg.Matrix, error) {
 	for i := 0; i < n; i++ {
 		linalg.Normalize(emb.Row(i))
 	}
-	return emb, nil
+	return emb, err
 }
 
 // Run performs the full spectral clustering pipeline on points.
 func Run(points [][]float64, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), points, cfg)
+}
+
+// RunContext is Run with cancellation, threaded through the eigensolve and
+// the k-means stage. On interruption it returns a structurally valid
+// best-so-far result wrapped in core.ErrInterrupted; with a background
+// context the output is byte-identical to Run.
+func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, error) {
 	if len(points) == 0 {
 		return nil, core.ErrEmptyDataset
 	}
@@ -142,23 +159,34 @@ func Run(points [][]float64, cfg Config) (*Result, error) {
 		return nil, errors.New("spectral: invalid K")
 	}
 	w, sigma := RBFAffinity(points, cfg.Sigma)
-	return RunAffinity(w, cfg.K, cfg.Seed, sigma)
+	return RunAffinityContext(ctx, w, cfg.K, cfg.Seed, sigma)
 }
 
 // RunAffinity performs spectral clustering on a precomputed affinity matrix.
 // mSC calls this with penalized affinities.
 func RunAffinity(w *linalg.Matrix, k int, seed int64, sigma float64) (*Result, error) {
-	emb, err := Embed(w, k)
-	if err != nil {
-		return nil, err
+	return RunAffinityContext(context.Background(), w, k, seed, sigma)
+}
+
+// RunAffinityContext is RunAffinity with cancellation; see RunContext.
+func RunAffinityContext(ctx context.Context, w *linalg.Matrix, k int, seed int64, sigma float64) (*Result, error) {
+	emb, eerr := EmbedContext(ctx, w, k)
+	if emb == nil {
+		return nil, eerr
 	}
 	rows := make([][]float64, emb.Rows)
 	for i := range rows {
 		rows[i] = emb.Row(i)
 	}
-	km, err := kmeans.Run(rows, kmeans.Config{K: k, Seed: seed, Restarts: 5})
-	if err != nil {
-		return nil, err
+	// An already-cancelled context still completes one full k-means
+	// assignment pass, so the labels below are always valid.
+	km, kerr := kmeans.RunContext(ctx, rows, kmeans.Config{K: k, Seed: seed, Restarts: 5})
+	if km == nil {
+		return nil, kerr
 	}
-	return &Result{Clustering: km.Clustering, Embedding: emb, Sigma: sigma}, nil
+	res := &Result{Clustering: km.Clustering, Embedding: emb, Sigma: sigma}
+	if eerr != nil || kerr != nil {
+		return res, fmt.Errorf("spectral: interrupted: %w", core.ErrInterrupted)
+	}
+	return res, nil
 }

@@ -1,6 +1,11 @@
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+
+	"multiclust/internal/core"
+)
 
 // ContingencyTable is the joint count table of two labelings over the same
 // objects. Rows index the clusters of the first labeling, columns the
@@ -18,10 +23,11 @@ type ContingencyTable struct {
 }
 
 // NewContingencyTable builds the table for labelings a and b, which must have
-// equal length.
-func NewContingencyTable(a, b []int) *ContingencyTable {
+// equal length; unequal lengths return an error wrapping core.ErrShape.
+func NewContingencyTable(a, b []int) (*ContingencyTable, error) {
 	if len(a) != len(b) {
-		panic("stats: contingency table label length mismatch")
+		return nil, fmt.Errorf("stats: contingency table labelings of length %d and %d: %w",
+			len(a), len(b), core.ErrShape)
 	}
 	t := &ContingencyTable{rowIndex: map[int]int{}, colIndex: map[int]int{}}
 	for i := range a {
@@ -58,7 +64,7 @@ func NewContingencyTable(a, b []int) *ContingencyTable {
 		t.ColSums[ci]++
 		t.Total++
 	}
-	return t
+	return t, nil
 }
 
 // MutualInformation returns I(A;B) in nats.

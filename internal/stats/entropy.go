@@ -5,8 +5,11 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
+
+	"multiclust/internal/core"
 )
 
 // Entropy returns the Shannon entropy (in nats) of a discrete distribution
@@ -60,9 +63,10 @@ func LabelEntropy(labels []int) float64 {
 // KLDiscrete returns the Kullback–Leibler divergence KL(p||q) in nats for
 // two distributions given as unnormalized weights of equal length. Bins
 // where p is zero contribute zero; bins where p>0 and q==0 contribute +Inf.
-func KLDiscrete(p, q []float64) float64 {
+// Unequal lengths return an error wrapping core.ErrShape.
+func KLDiscrete(p, q []float64) (float64, error) {
 	if len(p) != len(q) {
-		panic("stats: KLDiscrete length mismatch")
+		return 0, fmt.Errorf("stats: KLDiscrete lengths %d and %d: %w", len(p), len(q), core.ErrShape)
 	}
 	var sp, sq float64
 	for i := range p {
@@ -70,7 +74,7 @@ func KLDiscrete(p, q []float64) float64 {
 		sq += q[i]
 	}
 	if sp <= 0 || sq <= 0 {
-		return 0
+		return 0, nil
 	}
 	var kl float64
 	for i := range p {
@@ -79,20 +83,20 @@ func KLDiscrete(p, q []float64) float64 {
 		}
 		pi := p[i] / sp
 		if q[i] <= 0 {
-			return math.Inf(1)
+			return math.Inf(1), nil
 		}
 		qi := q[i] / sq
 		kl += pi * math.Log(pi/qi)
 	}
-	return kl
+	return kl, nil
 }
 
 // JensenShannon returns the Jensen–Shannon divergence (nats) between two
 // distributions given as unnormalized weights. It is symmetric and bounded
-// by ln 2.
-func JensenShannon(p, q []float64) float64 {
+// by ln 2. Unequal lengths return an error wrapping core.ErrShape.
+func JensenShannon(p, q []float64) (float64, error) {
 	if len(p) != len(q) {
-		panic("stats: JensenShannon length mismatch")
+		return 0, fmt.Errorf("stats: JensenShannon lengths %d and %d: %w", len(p), len(q), core.ErrShape)
 	}
 	var sp, sq float64
 	for i := range p {
@@ -100,7 +104,7 @@ func JensenShannon(p, q []float64) float64 {
 		sq += q[i]
 	}
 	if sp <= 0 || sq <= 0 {
-		return 0
+		return 0, nil
 	}
 	m := make([]float64, len(p))
 	pn := make([]float64, len(p))
@@ -110,5 +114,9 @@ func JensenShannon(p, q []float64) float64 {
 		qn[i] = q[i] / sq
 		m[i] = 0.5 * (pn[i] + qn[i])
 	}
-	return 0.5*KLDiscrete(pn, m) + 0.5*KLDiscrete(qn, m)
+	// The three slices are built above with equal lengths, so the inner
+	// calls cannot fail.
+	kp, _ := KLDiscrete(pn, m)
+	kq, _ := KLDiscrete(qn, m)
+	return 0.5*kp + 0.5*kq, nil
 }

@@ -1,11 +1,13 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"multiclust/internal/core"
 	"multiclust/internal/linalg"
 )
 
@@ -58,11 +60,40 @@ func TestLabelEntropy(t *testing.T) {
 	}
 }
 
+// mustKL/mustJS/mustCT unwrap the error-returning constructors for the
+// equal-length inputs these tests use.
+func mustKL(t *testing.T, p, q []float64) float64 {
+	t.Helper()
+	v, err := KLDiscrete(p, q)
+	if err != nil {
+		t.Fatalf("KLDiscrete: %v", err)
+	}
+	return v
+}
+
+func mustJS(t *testing.T, p, q []float64) float64 {
+	t.Helper()
+	v, err := JensenShannon(p, q)
+	if err != nil {
+		t.Fatalf("JensenShannon: %v", err)
+	}
+	return v
+}
+
+func mustCT(t *testing.T, a, b []int) *ContingencyTable {
+	t.Helper()
+	ct, err := NewContingencyTable(a, b)
+	if err != nil {
+		t.Fatalf("NewContingencyTable: %v", err)
+	}
+	return ct
+}
+
 func TestKLDiscrete(t *testing.T) {
-	if got := KLDiscrete([]float64{1, 1}, []float64{1, 1}); !approxEq(got, 0, 1e-12) {
+	if got := mustKL(t, []float64{1, 1}, []float64{1, 1}); !approxEq(got, 0, 1e-12) {
 		t.Errorf("KL(p||p) = %v", got)
 	}
-	if got := KLDiscrete([]float64{1, 0}, []float64{0, 1}); !math.IsInf(got, 1) {
+	if got := mustKL(t, []float64{1, 0}, []float64{0, 1}); !math.IsInf(got, 1) {
 		t.Errorf("KL with missing support = %v, want +Inf", got)
 	}
 	// KL is non-negative.
@@ -75,33 +106,46 @@ func TestKLDiscrete(t *testing.T) {
 			p[i] = r.Float64() + 0.01
 			q[i] = r.Float64() + 0.01
 		}
-		return KLDiscrete(p, q) >= -1e-12
+		kl, err := KLDiscrete(p, q)
+		return err == nil && kl >= -1e-12
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
 	}
 }
 
+func TestKLDiscreteShapeMismatch(t *testing.T) {
+	if _, err := KLDiscrete([]float64{1}, []float64{1, 2}); !errors.Is(err, core.ErrShape) {
+		t.Errorf("KLDiscrete mismatch: err = %v, want ErrShape", err)
+	}
+}
+
 func TestJensenShannon(t *testing.T) {
 	p := []float64{1, 0}
 	q := []float64{0, 1}
-	if got := JensenShannon(p, q); !approxEq(got, math.Ln2, 1e-12) {
+	if got := mustJS(t, p, q); !approxEq(got, math.Ln2, 1e-12) {
 		t.Errorf("JS(disjoint) = %v, want ln2", got)
 	}
-	if got := JensenShannon(p, p); !approxEq(got, 0, 1e-12) {
+	if got := mustJS(t, p, p); !approxEq(got, 0, 1e-12) {
 		t.Errorf("JS(p,p) = %v, want 0", got)
 	}
 	// Symmetry.
 	a := []float64{0.2, 0.5, 0.3}
 	b := []float64{0.6, 0.1, 0.3}
-	if !approxEq(JensenShannon(a, b), JensenShannon(b, a), 1e-12) {
+	if !approxEq(mustJS(t, a, b), mustJS(t, b, a), 1e-12) {
 		t.Error("JS not symmetric")
+	}
+}
+
+func TestJensenShannonShapeMismatch(t *testing.T) {
+	if _, err := JensenShannon([]float64{1}, []float64{1, 2}); !errors.Is(err, core.ErrShape) {
+		t.Errorf("JensenShannon mismatch: err = %v, want ErrShape", err)
 	}
 }
 
 func TestContingencyIdenticalLabelings(t *testing.T) {
 	a := []int{0, 0, 1, 1, 2, 2}
-	ct := NewContingencyTable(a, a)
+	ct := mustCT(t, a, a)
 	if ct.Total != 6 {
 		t.Fatalf("Total = %v", ct.Total)
 	}
@@ -120,7 +164,7 @@ func TestContingencyIndependentLabelings(t *testing.T) {
 	// Perfectly independent 2x2: each combination appears once.
 	a := []int{0, 0, 1, 1}
 	b := []int{0, 1, 0, 1}
-	ct := NewContingencyTable(a, b)
+	ct := mustCT(t, a, b)
 	if got := ct.MutualInformation(); !approxEq(got, 0, 1e-12) {
 		t.Errorf("I(indep) = %v, want 0", got)
 	}
@@ -135,7 +179,7 @@ func TestContingencyIndependentLabelings(t *testing.T) {
 func TestContingencyNoiseExcluded(t *testing.T) {
 	a := []int{0, 0, -1, 1}
 	b := []int{0, 0, 0, -1}
-	ct := NewContingencyTable(a, b)
+	ct := mustCT(t, a, b)
 	if ct.Total != 2 {
 		t.Errorf("Total = %v, want 2 (noise excluded)", ct.Total)
 	}
@@ -145,13 +189,13 @@ func TestConditionalEntropy(t *testing.T) {
 	// H(A|B) = H(A,B) - H(B); when A is a function of B, H(A|B)=0.
 	a := []int{0, 0, 1, 1}
 	b := []int{0, 0, 1, 1}
-	ct := NewContingencyTable(a, b)
+	ct := mustCT(t, a, b)
 	if got := ct.ConditionalEntropyRowGivenCol(); !approxEq(got, 0, 1e-12) {
 		t.Errorf("H(A|A) = %v, want 0", got)
 	}
 	// Independent: H(A|B) = H(A).
 	b2 := []int{0, 1, 0, 1}
-	ct2 := NewContingencyTable(a, b2)
+	ct2 := mustCT(t, a, b2)
 	if got := ct2.ConditionalEntropyRowGivenCol(); !approxEq(got, ct2.EntropyRow(), 1e-12) {
 		t.Errorf("H(A|B_indep) = %v, want H(A)=%v", got, ct2.EntropyRow())
 	}
@@ -168,7 +212,7 @@ func TestQuickMIBound(t *testing.T) {
 			a[i] = r.Intn(4)
 			b[i] = r.Intn(3)
 		}
-		ct := NewContingencyTable(a, b)
+		ct := mustCT(t, a, b)
 		mi := ct.MutualInformation()
 		return mi <= ct.EntropyRow()+1e-9 && mi <= ct.EntropyCol()+1e-9 && mi >= -1e-12
 	}
@@ -379,8 +423,8 @@ func TestQuickJSBounds(t *testing.T) {
 			p[i] = r.Float64()
 			q[i] = r.Float64()
 		}
-		js := JensenShannon(p, q)
-		return js >= -1e-12 && js <= math.Ln2+1e-12
+		js, err := JensenShannon(p, q)
+		return err == nil && js >= -1e-12 && js <= math.Ln2+1e-12
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)

@@ -1,7 +1,9 @@
 package subspace
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -36,6 +38,14 @@ type DOCResult struct {
 // accepted if it holds at least Alpha*n points; its points are removed and
 // the hunt repeats (the greedy "find one, remove, repeat" of the paper).
 func DOC(points [][]float64, cfg DOCConfig) (*DOCResult, error) {
+	return DOCContext(context.Background(), points, cfg)
+}
+
+// DOCContext is DOC with cancellation: ctx is polled at each cluster-hunt
+// boundary (every discovered cluster is complete), returning the clusters
+// found so far wrapped in core.ErrInterrupted. With a background context
+// the output is byte-identical to DOC.
+func DOCContext(ctx context.Context, points [][]float64, cfg DOCConfig) (*DOCResult, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, core.ErrEmptyDataset
@@ -83,6 +93,9 @@ func DOC(points [][]float64, cfg DOCConfig) (*DOCResult, error) {
 	rSize := int(math.Log(2*float64(d))/math.Log(1/(2*cfg.Beta))) + 1
 
 	for len(res.Clusters) < cfg.MaxClusters && len(active) >= minSize {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("subspace: doc interrupted: %v: %w", err, core.ErrInterrupted)
+		}
 		var bestObjs []int
 		var bestDims []int
 		bestQ := -1.0

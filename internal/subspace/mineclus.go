@@ -1,7 +1,9 @@
 package subspace
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -34,6 +36,14 @@ type MineClusResult struct {
 // above Alpha*n — the deterministic replacement for DOC's random
 // discriminating sets. Found clusters are removed and the hunt repeats.
 func MineClus(points [][]float64, cfg MineClusConfig) (*MineClusResult, error) {
+	return MineClusContext(context.Background(), points, cfg)
+}
+
+// MineClusContext is MineClus with cancellation: ctx is polled at each
+// cluster-hunt boundary (every discovered cluster is complete), returning
+// the clusters found so far wrapped in core.ErrInterrupted. With a
+// background context the output is byte-identical to MineClus.
+func MineClusContext(ctx context.Context, points [][]float64, cfg MineClusConfig) (*MineClusResult, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, core.ErrEmptyDataset
@@ -66,6 +76,9 @@ func MineClus(points [][]float64, cfg MineClusConfig) (*MineClusResult, error) {
 	res := &MineClusResult{}
 
 	for len(res.Clusters) < cfg.MaxClusters && len(active) >= minSize {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("subspace: mineclus interrupted: %v: %w", err, core.ErrInterrupted)
+		}
 		var bestObjs, bestDims []int
 		bestQ := -1.0
 		for m := 0; m < cfg.Medoids; m++ {

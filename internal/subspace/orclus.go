@@ -1,7 +1,9 @@
 package subspace
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -43,6 +45,16 @@ type OrclusResult struct {
 // current subspace with eigen-recomputation, while progressively merging
 // seeds (k0 -> K) and shrinking dimensionality (d -> L), as in the paper.
 func Orclus(points [][]float64, cfg OrclusConfig) (*OrclusResult, error) {
+	return OrclusContext(context.Background(), points, cfg)
+}
+
+// OrclusContext is Orclus with cancellation: ctx is polled at each phase
+// boundary (after the assignment/recompute rounds, before the merge work).
+// On interruption the current centers and bases — valid from the very first
+// phase — are finalized into a complete assignment and returned wrapped in
+// core.ErrInterrupted. With a background context the output is
+// byte-identical to Orclus.
+func OrclusContext(ctx context.Context, points [][]float64, cfg OrclusConfig) (*OrclusResult, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, core.ErrEmptyDataset
@@ -109,14 +121,24 @@ func Orclus(points [][]float64, cfg OrclusConfig) (*OrclusResult, error) {
 		}
 	}
 
+	var interrupted error
 	for {
 		// Iterate assignment + recomputation at the current (kc, lc).
 		var groups [][]int
 		for it := 0; it < cfg.MaxIter; it++ {
 			groups = assign()
 			recompute(groups, lc)
+			if err := ctx.Err(); err != nil {
+				interrupted = err
+				break
+			}
 		}
 		if kc == cfg.K && lc == cfg.L {
+			break
+		}
+		// Phase-boundary cancellation: skip the remaining merge phases and
+		// finalize at the current cluster count.
+		if interrupted != nil {
 			break
 		}
 		// Decay cluster count and dimensionality together, as in the paper:
@@ -181,6 +203,9 @@ func Orclus(points [][]float64, cfg OrclusConfig) (*OrclusResult, error) {
 	}
 	res.Assignment = core.NewClustering(labels)
 	res.Energy = energy / float64(n)
+	if interrupted != nil {
+		return res, fmt.Errorf("subspace: orclus interrupted: %v: %w", interrupted, core.ErrInterrupted)
+	}
 	return res, nil
 }
 

