@@ -23,8 +23,10 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Per-package coverage plus an aggregate per-function summary line.
 cover:
-	$(GO) test -cover ./...
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 # One benchmark per regenerated figure/table plus scalability micro-benches.
 bench:
@@ -60,7 +62,8 @@ chaos:
 	$(GO) test -race -timeout 120s ./internal/robust/...
 
 # Everything the GitHub Actions workflow runs, locally.
-ci: build vet test race lint fuzz-smoke chaos
+ci: build vet test race lint fuzz-smoke chaos cover
 
 clean:
 	$(GO) clean -testcache
+	rm -f coverage.out

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// An unknown experiment id must fail the invocation (main turns the error
+// into exit status 1) and must do so BEFORE any experiment runs, naming
+// every bad id.
+func TestRunUnknownIDFailsUpFront(t *testing.T) {
+	var stdout, stderr strings.Builder
+	err := run([]string{"E01", "E99", "bogus", "E99"}, false, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("run with unknown ids returned nil; main would exit 0")
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("E01 ran despite unknown ids in the same invocation:\n%s", stdout.String())
+	}
+	for _, want := range []string{`unknown experiment id "E99"`, `unknown experiment id "bogus"`} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+	if n := strings.Count(stderr.String(), `"E99"`); n != 1 {
+		t.Errorf("duplicate unknown id reported %d times, want once", n)
+	}
+	if !strings.Contains(err.Error(), "2 unknown experiment id(s)") {
+		t.Errorf("error does not count the bad ids: %v", err)
+	}
+}
+
+// A lowercase id is not a registered id; the old behaviour of running the
+// prefix of valid ids before dying must not come back.
+func TestRunRejectsCaseMismatch(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if err := run([]string{"e01"}, false, &stdout, &stderr); err == nil {
+		t.Fatal("lowercase id accepted")
+	}
+	if stdout.Len() != 0 {
+		t.Error("output produced for a rejected invocation")
+	}
+}
+
+// A valid single id runs, renders a table, and with metrics enabled emits
+// a per-experiment Prometheus block.
+func TestRunSingleExperimentWithMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	var stdout, stderr strings.Builder
+	if err := run([]string{"E01"}, true, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "E01") {
+		t.Errorf("table output missing experiment id:\n%s", out)
+	}
+	if !strings.Contains(out, "--- E01 metrics ---") {
+		t.Errorf("metrics block missing:\n%s", out)
+	}
+	if !strings.Contains(out, "multiclust_parallel_tasks_total") {
+		t.Errorf("metrics block missing parallel counters:\n%s", out)
+	}
+}

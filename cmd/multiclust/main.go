@@ -41,14 +41,69 @@ func main() {
 		xi      = flag.Int("xi", 10, "grid intervals per dimension")
 		tau     = flag.Float64("tau", 0.1, "grid density threshold / significance")
 		workers = flag.Int("workers", 0, "worker goroutines for parallel hot paths (0 = MULTICLUST_WORKERS env, then GOMAXPROCS); results are identical for any value")
+		traceF  = flag.String("trace", "", "write a JSONL instrumentation trace of the run to this file (one JSON event per line)")
+		metrics = flag.Bool("metrics", false, "after the run, dump recorded counters/series in Prometheus text format to stdout")
 	)
 	flag.Parse()
 	multiclust.SetWorkers(*workers)
 
-	if err := run(*algo, *in, *header, *givenF, *k, *seed, *eps, *minPts, *xi, *tau); err != nil {
+	cleanup, collector, err := setupObservability(*traceF, *metrics)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "multiclust:", err)
 		os.Exit(1)
 	}
+
+	err = run(*algo, *in, *header, *givenF, *k, *seed, *eps, *minPts, *xi, *tau)
+	if cerr := cleanup(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "multiclust:", err)
+		os.Exit(1)
+	}
+	if collector != nil {
+		fmt.Println("--- metrics ---")
+		if err := collector.WriteProm(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "multiclust:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// setupObservability installs the recorders requested by -trace/-metrics
+// and returns a cleanup that flushes the trace file and reports any sink
+// error. The returned Collector is non-nil only when -metrics was asked
+// for; with neither flag the recorder stays nil and the instrumented hot
+// paths pay only their nil checks.
+func setupObservability(traceF string, metrics bool) (cleanup func() error, collector *multiclust.Collector, err error) {
+	cleanup = func() error { return nil }
+	var recs []multiclust.Recorder
+	if metrics {
+		collector = multiclust.NewCollector()
+		recs = append(recs, collector)
+	}
+	if traceF != "" {
+		f, err := os.Create(traceF)
+		if err != nil {
+			return cleanup, nil, err
+		}
+		bw := bufio.NewWriter(f)
+		tw := multiclust.NewTraceWriter(bw)
+		recs = append(recs, tw)
+		cleanup = func() error {
+			if err := tw.Err(); err != nil {
+				f.Close()
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+	multiclust.SetRecorder(multiclust.TeeRecorders(recs...))
+	return cleanup, collector, nil
 }
 
 func run(algo, in string, header bool, givenF string, k int, seed int64, eps float64, minPts, xi int, tau float64) error {

@@ -13,6 +13,7 @@ import (
 
 	"multiclust/internal/core"
 	"multiclust/internal/dist"
+	"multiclust/internal/obs"
 	"multiclust/internal/parallel"
 )
 
@@ -66,12 +67,18 @@ func PrecomputeNeighbors(points [][]float64, d dist.Func, eps float64, workers i
 		}
 		nbs[o] = out
 	})
+	// One O(n)-cost region query ran per object; count them as a batch so
+	// the per-object fast path stays untouched.
+	obs.Count(obs.Default(), "dbscan.region_queries", int64(n))
 	return func(o int) []int { return nbs[o] }
 }
 
 // EpsNeighbors builds the standard epsilon-ball neighbourhood function.
+// Unlike PrecomputeNeighbors it scans on every call, so each invocation
+// counts as one region query.
 func EpsNeighbors(points [][]float64, d dist.Func, eps float64) NeighborFunc {
 	return func(o int) []int {
+		obs.Count(obs.Default(), "dbscan.region_queries", 1)
 		var out []int
 		for i, p := range points {
 			if d(points[o], p) <= eps {
@@ -103,6 +110,8 @@ func RunGenericContext(ctx context.Context, n int, neighbors NeighborFunc, minPt
 	for i := range labels {
 		labels[i] = unvisited
 	}
+	rec := obs.From(ctx)
+	var coreObjects, lookups int64
 	var interrupted error
 	clusterID := 0
 	for i := 0; i < n; i++ {
@@ -116,10 +125,12 @@ func RunGenericContext(ctx context.Context, n int, neighbors NeighborFunc, minPt
 			continue
 		}
 		nb := neighbors(i)
+		lookups++
 		if len(nb) < minPts {
 			labels[i] = core.Noise
 			continue
 		}
+		coreObjects++
 		// Start a new cluster and expand it breadth-first.
 		labels[i] = clusterID
 		queue := append([]int(nil), nb...)
@@ -133,11 +144,18 @@ func RunGenericContext(ctx context.Context, n int, neighbors NeighborFunc, minPt
 			}
 			labels[o] = clusterID
 			onb := neighbors(o)
+			lookups++
 			if len(onb) >= minPts {
+				coreObjects++
 				queue = append(queue, onb...)
 			}
 		}
 		clusterID++
+	}
+	if rec != nil {
+		obs.Count(rec, "dbscan.neighborhood_lookups", lookups)
+		obs.Count(rec, "dbscan.core_objects", coreObjects)
+		obs.Count(rec, "dbscan.clusters", int64(clusterID))
 	}
 	if interrupted != nil {
 		for i := range labels {

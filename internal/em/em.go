@@ -13,6 +13,7 @@ import (
 
 	"multiclust/internal/core"
 	"multiclust/internal/kmeans"
+	"multiclust/internal/obs"
 	"multiclust/internal/stats"
 )
 
@@ -94,6 +95,8 @@ func FitFromContext(ctx context.Context, points [][]float64, m *Model, cfg Confi
 	for i := range post {
 		post[i] = make([]float64, k)
 	}
+	rec := obs.From(ctx)
+	defer obs.Span(rec, "em.fit")()
 	prev := math.Inf(-1)
 	var ll float64
 	var interrupted error
@@ -101,6 +104,10 @@ func FitFromContext(ctx context.Context, points [][]float64, m *Model, cfg Confi
 	for ; iter < cfg.MaxIter; iter++ {
 		ll = EStep(points, m, post, cfg.MinVar)
 		MStep(points, post, m, cfg.MinVar)
+		if rec != nil {
+			obs.Count(rec, "em.iterations", 1)
+			obs.Observe(rec, "em.loglik", iter, ll)
+		}
 		if math.Abs(ll-prev) <= cfg.Tol*(1+math.Abs(ll)) {
 			break
 		}

@@ -1,0 +1,581 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"multiclust/internal/obs"
+)
+
+// Golden-shape regression harness. Every experiment E01-E21 gets one
+// subtest asserting the "shape holds" claim recorded in EXPERIMENTS.md --
+// who wins, in which direction the trade-off moves -- from the rendered
+// table rows AND, where the algorithm traverses instrumented hot paths,
+// from the observation counters and per-iteration series recorded by a
+// fresh obs.Collector installed for the duration of the run. The
+// counter assertions pin trajectories (iteration counts, candidate
+// totals, agreement series), not just final scores, so a refactor that
+// silently changes how an algorithm reaches its answer fails here even
+// when the answer itself survives.
+
+// goldenCheck ties an experiment id to its shape assertions.
+type goldenCheck struct {
+	id    string
+	check func(t *testing.T, tbl *Table, c *obs.Collector)
+}
+
+func TestGoldenShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are integration-sized")
+	}
+	for _, g := range goldenChecks {
+		g := g
+		t.Run(g.id, func(t *testing.T) {
+			c := obs.NewCollector()
+			prev := obs.Default()
+			obs.SetDefault(c)
+			defer obs.SetDefault(prev)
+			tbl, err := Run(g.id)
+			if err != nil {
+				t.Fatalf("%s: %v", g.id, err)
+			}
+			g.check(t, tbl, c)
+		})
+	}
+}
+
+// TestGoldenCoversAllExperiments pins that the harness does not silently
+// drop an experiment: every E-id in the registry has a golden check.
+func TestGoldenCoversAllExperiments(t *testing.T) {
+	covered := map[string]bool{}
+	for _, g := range goldenChecks {
+		if covered[g.id] {
+			t.Errorf("duplicate golden check for %s", g.id)
+		}
+		covered[g.id] = true
+	}
+	for _, id := range IDs() {
+		if strings.HasPrefix(id, "E") && !covered[id] {
+			t.Errorf("experiment %s has no golden-shape check", id)
+		}
+	}
+}
+
+// gf parses a table cell as a float, failing the test on garbage.
+func gf(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+// gi parses a table cell as an int.
+func gi(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("cell %q is not an integer: %v", s, err)
+	}
+	return v
+}
+
+// grow returns the first row whose leading cell starts with prefix.
+func grow(t *testing.T, tbl *Table, prefix string) []string {
+	t.Helper()
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[0], prefix) {
+			return row
+		}
+	}
+	t.Fatalf("%s: no row starting with %q in %v", tbl.ID, prefix, tbl.Rows)
+	return nil
+}
+
+// sumSeries adds up the values of a recorded observation series.
+func sumSeries(samples []obs.Sample) float64 {
+	var s float64
+	for _, smp := range samples {
+		s += smp.Value
+	}
+	return s
+}
+
+var goldenChecks = []goldenCheck{
+	{"E01", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// Alternative/simultaneous methods recover the vertical view a
+		// single run cannot express; DecKMeans returns both at once.
+		for _, prefix := range []string{"COALA", "CIB", "DecKMeans solution 1"} {
+			row := grow(t, tbl, prefix)
+			if giv, alt := gf(t, row[1]), gf(t, row[2]); alt < 0.9 || giv > 0.1 {
+				t.Errorf("%s: alternative %v / given %v, want >=0.9 / <=0.1", prefix, alt, giv)
+			}
+		}
+		row := grow(t, tbl, "DecKMeans solution 2")
+		if giv, alt := gf(t, row[1]), gf(t, row[2]); giv < 0.9 || alt > 0.1 {
+			t.Errorf("DecKMeans solution 2 should cover the given view: %v", row)
+		}
+		if c.Counter("parallel.tasks") == 0 {
+			t.Error("no parallel tasks recorded; distance matrices should run through internal/parallel")
+		}
+	}},
+	{"E02", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// Small w buys dissimilarity merges and distance from the given
+		// clustering; large w collapses onto it.
+		first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+		if dFirst, dLast := gi(t, first[2]), gi(t, last[2]); dFirst <= dLast || dLast != 0 {
+			t.Errorf("dissimilarity merges should fall from %d to 0, got %d -> %d", dFirst, dFirst, dLast)
+		}
+		if rFirst, rLast := gf(t, first[4]), gf(t, last[4]); rFirst < 0.3 || rLast > 0.05 {
+			t.Errorf("1-Rand vs given should fall from >=0.3 to ~0, got %v -> %v", rFirst, rLast)
+		}
+		if wFirst, wLast := gf(t, first[3]), gf(t, last[3]); wLast >= wFirst {
+			t.Errorf("within-distance should shrink as quality merges take over: %v -> %v", wFirst, wLast)
+		}
+	}},
+	{"E03", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// With sufficient lambda both views are covered with independent
+		// labels (restart selection keeps even tiny lambda honest).
+		for _, row := range tbl.Rows {
+			if lam := gf(t, row[0]); lam >= 0.1 {
+				if nmi, cov := gf(t, row[1]), gf(t, row[2]); nmi > 0.05 || cov < 0.9 {
+					t.Errorf("lambda/n=%v: NMI %v coverage %v, want <=0.05 / >=0.9", lam, nmi, cov)
+				}
+			}
+		}
+	}},
+	{"E04", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// mu=0 leaves the mixtures correlated; mu>=1 drives soft MI to
+		// zero and covers both views at modest likelihood cost.
+		base := grow(t, tbl, "0")
+		if mi := gf(t, base[2]); mi < 0.3 {
+			t.Errorf("mu=0 soft MI %v, want correlated (>=0.3)", mi)
+		}
+		var llBase, llPen float64
+		llBase = gf(t, base[1])
+		for _, row := range tbl.Rows[1:] {
+			if mi, cov := gf(t, row[2]), gf(t, row[3]); mi > 0.01 || cov < 0.9 {
+				t.Errorf("mu=%s: MI %v coverage %v, want decorrelated and covered", row[0], mi, cov)
+			}
+			llPen = gf(t, row[1])
+		}
+		if cost := (llBase - llPen) / -llBase; cost < 0 || cost > 0.15 {
+			t.Errorf("likelihood cost %.3f, want a modest 0..15%% sacrifice", cost)
+		}
+		// CAMI's restarts initialise via k-means: the recorded trajectory
+		// must show the restarts and one SSE observation per iteration.
+		iters := c.Counter("kmeans.iterations")
+		if iters == 0 || c.Counter("kmeans.restarts") == 0 {
+			t.Error("no k-means activity recorded for CAMI initialisation")
+		}
+		if got := len(c.Series("kmeans.sse")); int64(got) != iters {
+			t.Errorf("kmeans.sse series has %d points, want one per iteration (%d)", got, iters)
+		}
+	}},
+	{"E05", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// Uniform contingency table with independent labels at every gamma.
+		for _, row := range tbl.Rows {
+			if u, nmi, cov := gf(t, row[1]), gf(t, row[2]), gf(t, row[3]); u < 0.99 || nmi > 0.01 || cov < 0.99 {
+				t.Errorf("gamma=%s: uniformity %v NMI %v coverage %v", row[0], u, nmi, cov)
+			}
+		}
+	}},
+	{"E06", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// Any algorithm after the flip finds the alternative, not the given.
+		for _, prefix := range []string{"re-cluster", "cluster flipped"} {
+			row := grow(t, tbl, prefix)
+			if giv, alt := gf(t, row[1]), gf(t, row[2]); alt < 0.9 || giv > 0.1 {
+				t.Errorf("%s: ARI given %v / alternative %v", prefix, giv, alt)
+			}
+		}
+		if ratio := gf(t, grow(t, tbl, "learned-metric")[1]); ratio <= 1 {
+			t.Errorf("learned-metric stretch ratio %v, want > 1", ratio)
+		}
+		// The SVD stretch runs through the Jacobi eigensolver.
+		if c.Counter("linalg.eigen_sweeps") == 0 {
+			t.Error("no eigen sweeps recorded; the metric stretch should use linalg.SymEigen")
+		}
+		if c.Counter("kmeans.iterations") == 0 {
+			t.Error("no k-means iterations recorded")
+		}
+	}},
+	{"E07", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// The transform loosens the old clusters and reveals the hidden view.
+		before := gf(t, grow(t, tbl, "old clustering rel. tightness before")[1])
+		after := gf(t, grow(t, tbl, "old clustering rel. tightness after")[1])
+		if after <= before {
+			t.Errorf("relative tightness should rise after the transform: %v -> %v", before, after)
+		}
+		if ari := gf(t, grow(t, tbl, "alternative ARI vs hidden")[1]); ari < 0.9 {
+			t.Errorf("alternative ARI vs hidden view %v, want >=0.9", ari)
+		}
+		if ari := gf(t, grow(t, tbl, "alternative ARI vs given")[1]); ari > 0.1 {
+			t.Errorf("alternative ARI vs given %v, want ~0", ari)
+		}
+		if c.Counter("linalg.eigen_sweeps") == 0 {
+			t.Error("no eigen sweeps recorded; Sigma^(-1/2) needs the eigensolver")
+		}
+	}},
+	{"E08", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// Round 1 captures the dominant view, round 2 the weak one, and
+		// the residual-variance stop fires after exactly two rounds.
+		if len(tbl.Rows) != 2 {
+			t.Fatalf("orthogonal projection should stop itself after 2 rounds, got %d", len(tbl.Rows))
+		}
+		r1, r2 := tbl.Rows[0], tbl.Rows[1]
+		if a, b := gf(t, r1[1]), gf(t, r1[2]); a < 0.9 || b > 0.1 {
+			t.Errorf("round 1 should cover view 1 only: %v", r1)
+		}
+		if a, b := gf(t, r2[1]), gf(t, r2[2]); b < 0.9 || a > 0.1 {
+			t.Errorf("round 2 should cover view 2 only: %v", r2)
+		}
+		if v1, v2 := gf(t, r1[3]), gf(t, r2[3]); v2 >= v1/2 {
+			t.Errorf("residual variance should collapse between rounds: %v -> %v", v1, v2)
+		}
+		// One k-means run per round, eigensolver used for each projection.
+		if spans := c.Snapshot().Spans["kmeans.run"]; spans.Count != 2 {
+			t.Errorf("recorded %d kmeans.run spans, want one per round (2)", spans.Count)
+		}
+		if c.Counter("linalg.eigen_sweeps") < 2 {
+			t.Error("each round should run at least one eigen sweep")
+		}
+	}},
+	{"E09", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// Distance contrast decreases strictly with dimensionality.
+		prev := 1e18
+		for _, row := range tbl.Rows {
+			v := gf(t, row[1])
+			if v >= prev {
+				t.Fatalf("contrast not strictly decreasing: %v", tbl.Rows)
+			}
+			prev = v
+		}
+		if prev > 0.5 {
+			t.Errorf("contrast at the largest d is %v, want near zero", prev)
+		}
+	}},
+	{"E10", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// Apriori explores a vanishing fraction of the naive lattice and
+		// still recovers the planted clusters.
+		var tableCandidates int64
+		for _, row := range tbl.Rows {
+			naive, cand := gf(t, row[1]), gf(t, row[2])
+			if cand/naive > 1e-2 {
+				t.Errorf("d=%s: %v candidates vs %v naive cells; pruning ineffective", row[0], cand, naive)
+			}
+			if f1 := gf(t, row[5]); f1 < 0.8 {
+				t.Errorf("d=%s: F1 %v, want planted clusters recovered (>=0.8)", row[0], f1)
+			}
+			tableCandidates += int64(cand)
+		}
+		// The table and the recorder must agree on the work done: one
+		// lattice search per d, candidate totals matching exactly, and a
+		// per-level candidate series that ends exhausted (0 candidates).
+		if got := c.Counter("subspace.grid.searches"); got != int64(len(tbl.Rows)) {
+			t.Errorf("%d lattice searches recorded, want %d", got, len(tbl.Rows))
+		}
+		if got := c.Counter("subspace.grid.candidates"); got != tableCandidates {
+			t.Errorf("recorder counted %d candidates, table reports %d", got, tableCandidates)
+		}
+		levels := c.Series("subspace.grid.level_candidates")
+		if len(levels) < 2 {
+			t.Fatalf("level_candidates series has %d points, want a multi-level trajectory", len(levels))
+		}
+		if last := levels[len(levels)-1].Value; last != 0 {
+			t.Errorf("deepest level still generated %v candidates; search should run to exhaustion", last)
+		}
+		if c.Counter("subspace.grid.dense_units") == 0 {
+			t.Error("no dense units recorded")
+		}
+	}},
+	{"E11", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// SCHISM's threshold decreases with dimensionality and reaches the
+		// 5D cluster; fixed-threshold CLIQUE starves above 1D.
+		prev := 2.0
+		for _, row := range tbl.Rows {
+			if _, err := strconv.Atoi(row[0]); err != nil {
+				continue // summary rows
+			}
+			tau := gf(t, row[1])
+			if tau >= prev {
+				t.Errorf("tau(s) not decreasing at s=%s: %v >= %v", row[0], tau, prev)
+			}
+			prev = tau
+		}
+		if dim := gi(t, grow(t, tbl, "SCHISM best")[1]); dim < 5 {
+			t.Errorf("SCHISM best matching dimensionality %d, want >=5", dim)
+		}
+		if dim := gi(t, grow(t, tbl, "fixed-threshold")[1]); dim != 1 {
+			t.Errorf("fixed-threshold CLIQUE best dimensionality %d, want starved at 1", dim)
+		}
+		if got := c.Counter("subspace.grid.searches"); got != 2 {
+			t.Errorf("%d lattice searches recorded, want 2 (SCHISM + CLIQUE)", got)
+		}
+	}},
+	{"E12", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// SUBCLU keeps the ring whole where grid cells fragment it; the
+		// cost shows up as per-object neighborhood lookups.
+		sub, clq := grow(t, tbl, "SUBCLU"), grow(t, tbl, "CLIQUE")
+		if s, q := gi(t, sub[1]), gi(t, clq[1]); s <= q {
+			t.Errorf("SUBCLU largest {0,1} cluster %d should beat CLIQUE's %d", s, q)
+		}
+		if c.Counter("subspace.subclu.runs") != 1 {
+			t.Error("want exactly one SUBCLU run recorded")
+		}
+		examined := c.Counter("subspace.subclu.subspaces_examined")
+		clustered := c.Counter("subspace.subclu.subspaces_clustered")
+		if examined == 0 || clustered > examined {
+			t.Errorf("subspaces examined %d / clustered %d: impossible trajectory", examined, clustered)
+		}
+		// Density costs distance work: every object queried at least once
+		// per subspace DBSCAN pass.
+		if lookups := c.Counter("dbscan.neighborhood_lookups"); lookups == 0 {
+			t.Error("no DBSCAN neighborhood lookups recorded; SUBCLU's cost is invisible")
+		}
+		if levels := c.Series("subspace.subclu.level_examined"); len(levels) < 2 {
+			t.Errorf("SUBCLU examined only %d lattice levels, want a multi-level climb", len(levels))
+		}
+	}},
+	{"E13", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// Selection shrinks the redundant raw result while keeping F1;
+		// RESCU (object overlap only) prunes hardest.
+		byD := map[string]map[string][]string{}
+		for _, row := range tbl.Rows {
+			if byD[row[0]] == nil {
+				byD[row[0]] = map[string][]string{}
+			}
+			byD[row[0]][row[1]] = row
+		}
+		for d, methods := range byD {
+			all, ok := methods["CLIQUE (ALL)"]
+			if !ok {
+				t.Fatalf("d=%s: no CLIQUE (ALL) baseline row", d)
+			}
+			allClusters, allF1 := gi(t, all[2]), gf(t, all[4])
+			for name, row := range methods {
+				if name == "CLIQUE (ALL)" {
+					continue
+				}
+				if n := gi(t, row[2]); n > allClusters {
+					t.Errorf("d=%s %s: %d clusters exceeds the raw result's %d", d, name, n, allClusters)
+				}
+				if f1 := gf(t, row[4]); allF1-f1 > 0.1 {
+					t.Errorf("d=%s %s: F1 %v lost more than 0.1 vs ALL's %v", d, name, f1, allF1)
+				}
+			}
+			rescuRow, ok := methods["RESCU-lite"]
+			if !ok {
+				t.Fatalf("d=%s: no RESCU-lite row", d)
+			}
+			if rescu := gi(t, rescuRow[2]); rescu >= allClusters {
+				t.Errorf("d=%s: RESCU should prune aggressively, got %d vs ALL %d", d, rescu, allClusters)
+			}
+		}
+	}},
+	{"E14", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// OSCLU selection returns fewer, less redundant clusters than the
+		// unfiltered pool at comparable F1.
+		all := tbl.Rows[len(tbl.Rows)-1]
+		if all[0] != "-" {
+			t.Fatalf("last row should be the unfiltered pool, got %v", all)
+		}
+		allSel, allRed, allF1 := gi(t, all[2]), gf(t, all[3]), gf(t, all[4])
+		for _, row := range tbl.Rows[:len(tbl.Rows)-1] {
+			if n := gi(t, row[2]); n >= allSel {
+				t.Errorf("alpha=%s beta=%s: selected %d not below pool size %d", row[0], row[1], n, allSel)
+			}
+			if r := gf(t, row[3]); r > allRed {
+				t.Errorf("alpha=%s beta=%s: redundancy %v above the pool's %v", row[0], row[1], r, allRed)
+			}
+			if f1 := gf(t, row[4]); allF1-f1 > 0.1 {
+				t.Errorf("alpha=%s beta=%s: F1 %v lost more than 0.1 vs pool %v", row[0], row[1], f1, allF1)
+			}
+		}
+	}},
+	{"E15", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// ASCLU rejects re-descriptions of the Known concept and returns
+		// the hidden alternative.
+		cand := gi(t, grow(t, tbl, "candidates")[1])
+		sel := gi(t, grow(t, tbl, "valid alternatives")[1])
+		if sel < 1 || sel >= cand {
+			t.Errorf("selected %d of %d candidates; selection should filter but not empty", sel, cand)
+		}
+		if f1 := gf(t, grow(t, tbl, "best F1 vs KNOWN")[1]); f1 > 0.05 {
+			t.Errorf("best F1 vs Known %v, want re-descriptions rejected (~0)", f1)
+		}
+		if f1 := gf(t, grow(t, tbl, "best F1 vs hidden")[1]); f1 < 0.5 {
+			t.Errorf("best F1 vs hidden alternative %v, want the hidden concept found", f1)
+		}
+	}},
+	{"E16", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// The planted subspace [0 1] has the lowest entropy of the 2D level.
+		if tbl.Rows[0][0] != "[0 1]" {
+			t.Fatalf("planted subspace should rank first by entropy, got %v", tbl.Rows[0])
+		}
+		planted := gf(t, tbl.Rows[0][1])
+		for _, row := range tbl.Rows[1:] {
+			if strings.HasPrefix(row[0], "RIS") {
+				continue
+			}
+			if e := gf(t, row[1]); e <= planted {
+				t.Errorf("noise subspace %s entropy %v not above planted %v", row[0], e, planted)
+			}
+		}
+		grow(t, tbl, "RIS top") // the redundancy-motif row must be present
+	}},
+	{"E17", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// Two spectral views, each matching its own truth and independent
+		// of the other; the HSIC penalty stays small.
+		v1, v2 := tbl.Rows[0], tbl.Rows[1]
+		if a, b := gf(t, v1[2]), gf(t, v1[3]); a < 0.9 || b > 0.1 {
+			t.Errorf("view 1 should match truth-view1 only: %v", v1)
+		}
+		if a, b := gf(t, v2[2]), gf(t, v2[3]); b < 0.9 || a > 0.1 {
+			t.Errorf("view 2 should match truth-view2 only: %v", v2)
+		}
+		if h := gf(t, v2[4]); h > 0.1 {
+			t.Errorf("cross-view HSIC %v, want near-independent views (<=0.1)", h)
+		}
+		if got := c.Counter("spectral.embeddings"); got != 2 {
+			t.Errorf("%d spectral embeddings recorded, want one per view (2)", got)
+		}
+		if c.Counter("linalg.eigen_sweeps") == 0 {
+			t.Error("no eigen sweeps recorded for the spectral embeddings")
+		}
+	}},
+	{"E18", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// co-EM keeps the views agreeing round over round and its final
+		// parameters warm-start a single view exactly as well as cold EM.
+		for _, row := range tbl.Rows {
+			if _, err := strconv.Atoi(row[0]); err != nil {
+				continue // summary rows
+			}
+			if a := gf(t, row[3]); a < 0.9 {
+				t.Errorf("round %s agreement %v, want >=0.9 throughout", row[0], a)
+			}
+		}
+		warm := gf(t, grow(t, tbl, "single-view warm-started")[1])
+		cold := gf(t, grow(t, tbl, "single-view cold EM")[1])
+		if warm < cold-1e-6 {
+			t.Errorf("warm-started logL %v worse than cold EM %v", warm, cold)
+		}
+		if ari := gf(t, grow(t, tbl, "consensus ARI")[1]); ari < 0.99 {
+			t.Errorf("consensus ARI %v, want 1.00", ari)
+		}
+		// The recorded trajectory must cover every round: one agreement
+		// and one per-view likelihood observation per co-EM round, and
+		// the cap must never be exceeded.
+		rounds := c.Counter("coem.rounds")
+		if rounds == 0 || rounds > 30 {
+			t.Fatalf("coem.rounds %d, want 1..30 (iteration cap)", rounds)
+		}
+		agree := c.Series("coem.agreement")
+		if int64(len(agree)) != rounds {
+			t.Errorf("agreement series has %d points for %d rounds", len(agree), rounds)
+		}
+		for _, s := range agree {
+			if s.Value < 0.9 {
+				t.Errorf("round %d recorded agreement %v, want >=0.9", s.Iter, s.Value)
+			}
+		}
+		if la, lb := c.Series("coem.loglik_a"), c.Series("coem.loglik_b"); int64(len(la)) != rounds || int64(len(lb)) != rounds {
+			t.Errorf("per-view likelihood series %d/%d points for %d rounds", len(la), len(lb), rounds)
+		}
+		// Three single-view EM fits: warm, cold, and the consensus check.
+		if fits := c.Snapshot().Spans["em.fit"]; fits.Count != 3 {
+			t.Errorf("%d em.fit spans recorded, want 3 (warm + cold + consensus)", fits.Count)
+		}
+	}},
+	{"E19", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// Union suits sparse views (full recall, no noise); intersection
+		// suits unreliable views (purity over coverage).
+		rows := map[string][]string{}
+		for _, row := range tbl.Rows {
+			rows[row[0]+"/"+row[1]] = row
+		}
+		su, si := rows["sparse views/union"], rows["sparse views/intersection"]
+		if ari, noise := gf(t, su[3]), gi(t, su[4]); ari < 0.99 || noise != 0 {
+			t.Errorf("sparse union ARI %v noise %d, want 1.00 / 0", ari, noise)
+		}
+		if nu, ni := gi(t, su[4]), gi(t, si[4]); ni <= nu+50 {
+			t.Errorf("sparse intersection should drown in noise: %d vs union's %d", ni, nu)
+		}
+		uu, ui := rows["unreliable view/union"], rows["unreliable view/intersection"]
+		if pu, pi := gf(t, uu[2]), gf(t, ui[2]); pi <= pu {
+			t.Errorf("unreliable: intersection purity %v must beat union %v", pi, pu)
+		}
+		// Four DBSCAN passes over 400 objects each: the recorder sees the
+		// region queries the multi-represented runs issue.
+		if q := c.Counter("dbscan.region_queries"); q == 0 {
+			t.Error("no DBSCAN region queries recorded")
+		}
+		if c.Counter("dbscan.clusters") == 0 {
+			t.Error("no DBSCAN clusters recorded")
+		}
+	}},
+	{"E20", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// Consensus over the random-projection ensemble is at least as
+		// good as the best single run and beats the mean.
+		worst := gf(t, grow(t, tbl, "worst individual")[1])
+		mean := gf(t, grow(t, tbl, "mean individual")[1])
+		best := gf(t, grow(t, tbl, "best individual")[1])
+		cons := gf(t, grow(t, tbl, "consensus over")[1])
+		if !(worst <= mean && mean <= best) {
+			t.Errorf("individual run summary not ordered: %v <= %v <= %v", worst, mean, best)
+		}
+		if cons < best || cons < 0.99 {
+			t.Errorf("consensus ARI %v, want >= best individual %v and ~1.00", cons, best)
+		}
+		if worst >= cons {
+			t.Errorf("single projections should be unstable: worst %v not below consensus %v", worst, cons)
+		}
+		// One EM fit and one k-means run per ensemble member, and the EM
+		// likelihood trajectory must be recorded per iteration.
+		spans := c.Snapshot().Spans
+		if spans["em.fit"].Count == 0 || spans["em.fit"].Count != spans["kmeans.run"].Count {
+			t.Errorf("ensemble spans em.fit=%d kmeans.run=%d, want equal and positive",
+				spans["em.fit"].Count, spans["kmeans.run"].Count)
+		}
+		ll := c.Series("em.loglik")
+		if int64(len(ll)) != c.Counter("em.iterations") {
+			t.Errorf("em.loglik series %d points vs %d iterations", len(ll), c.Counter("em.iterations"))
+		}
+	}},
+	{"E21", func(t *testing.T, tbl *Table, c *obs.Collector) {
+		// Blind generation yields near-duplicates; meta grouping extracts
+		// few representatives covering both views. Table and recorder must
+		// agree on the ensemble size and representative count.
+		base := gi(t, grow(t, tbl, "base solutions")[1])
+		reps := gi(t, grow(t, tbl, "meta clusters")[1])
+		if dup := gi(t, grow(t, tbl, "near-duplicate")[1]); dup == 0 {
+			t.Error("blind generation produced no near-duplicate pairs; the motivation collapses")
+		}
+		if reps >= base/2 {
+			t.Errorf("%d representatives from %d solutions; grouping barely compressed", reps, base)
+		}
+		if h := gf(t, grow(t, tbl, "best representative ARI vs horizontal")[1]); h < 0.9 {
+			t.Errorf("horizontal view not covered by any representative: %v", h)
+		}
+		if v := gf(t, grow(t, tbl, "best representative ARI vs vertical")[1]); v < 0.9 {
+			t.Errorf("vertical view not covered by any representative: %v", v)
+		}
+		if got := c.Counter("metaclust.base_solutions"); got != int64(base) {
+			t.Errorf("recorder saw %d base solutions, table reports %d", got, base)
+		}
+		if got := c.Counter("metaclust.representatives"); got != int64(reps) {
+			t.Errorf("recorder saw %d representatives, table reports %d", got, reps)
+		}
+		mp, ok := c.GaugeValue("metaclust.mean_pairwise")
+		if !ok {
+			t.Fatal("mean pairwise dissimilarity gauge missing")
+		}
+		if tableMP := gf(t, grow(t, tbl, "mean pairwise")[1]); mp < tableMP-0.01 || mp > tableMP+0.01 {
+			t.Errorf("gauge mean_pairwise %v disagrees with table %v", mp, tableMP)
+		}
+		if restarts := c.Counter("kmeans.restarts"); restarts < int64(base) {
+			t.Errorf("only %d k-means restarts recorded for %d base solutions", restarts, base)
+		}
+	}},
+}

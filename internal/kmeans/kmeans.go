@@ -15,6 +15,7 @@ import (
 
 	"multiclust/internal/core"
 	"multiclust/internal/dist"
+	"multiclust/internal/obs"
 	"multiclust/internal/parallel"
 )
 
@@ -71,13 +72,16 @@ func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, e
 	if innerW < 1 {
 		innerW = 1
 	}
+	rec := obs.From(ctx)
+	defer obs.Span(rec, "kmeans.run")()
+	obs.Count(rec, "kmeans.restarts", int64(cfg.Restarts))
 	type restartOut struct {
 		res *Result
 		err error
 	}
 	outs := parallel.Map(cfg.Restarts, w, func(r int) restartOut {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)))
-		res, err := runOnce(ctx, points, cfg.K, cfg.MaxIter, rng, innerW)
+		res, err := runOnce(ctx, points, cfg.K, cfg.MaxIter, rng, innerW, rec)
 		return restartOut{res, err}
 	})
 	best := outs[0]
@@ -94,7 +98,7 @@ func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, e
 	return best.res, nil
 }
 
-func runOnce(ctx context.Context, points [][]float64, k, maxIter int, rng *rand.Rand, workers int) (*Result, error) {
+func runOnce(ctx context.Context, points [][]float64, k, maxIter int, rng *rand.Rand, workers int, rec obs.Recorder) (*Result, error) {
 	centers := PlusPlusSeeds(points, k, rng)
 	n, d := len(points), len(points[0])
 	labels := make([]int, n)
@@ -131,10 +135,24 @@ func runOnce(ctx context.Context, points [][]float64, k, maxIter int, rng *rand.
 				atomic.AddInt64(&nChanged, changed)
 			}
 		})
+		// Trajectory instrumentation, gated so the disabled path pays only
+		// this nil check per iteration. The per-iteration SSE is the sum of
+		// the freshly written nearest[] slots in index order (deterministic
+		// for any worker count); it measures the assignment against the
+		// centers that produced it.
+		if rec != nil {
+			var iterSSE float64
+			for _, dd := range nearest {
+				iterSSE += dd
+			}
+			obs.Count(rec, "kmeans.iterations", 1)
+			obs.Count(rec, "kmeans.reassignments", nChanged)
+			obs.Observe(rec, "kmeans.sse", iter, iterSSE)
+		}
 		if nChanged == 0 {
 			break
 		}
-		centers = recomputeCenters(points, labels, k, d, centers)
+		centers = recomputeCenters(points, labels, k, d, centers, rec)
 		// Iteration-boundary cancellation: labels are fully assigned here, so
 		// the partial model below is structurally valid.
 		if err := ctx.Err(); err != nil {
@@ -164,7 +182,7 @@ func runOnce(ctx context.Context, points [][]float64, k, maxIter int, rng *rand.
 // the standard dead-centroid fix — excluding points already claimed by
 // another reseed in the same pass, so two clusters that empty in the same
 // iteration land on distinct points instead of collapsing onto one.
-func recomputeCenters(points [][]float64, labels []int, k, d int, centers [][]float64) [][]float64 {
+func recomputeCenters(points [][]float64, labels []int, k, d int, centers [][]float64, rec obs.Recorder) [][]float64 {
 	counts := make([]int, k)
 	next := make([][]float64, k)
 	for c := range next {
@@ -180,6 +198,7 @@ func recomputeCenters(points [][]float64, labels []int, k, d int, centers [][]fl
 	var used []bool
 	for c := range next {
 		if counts[c] == 0 {
+			obs.Count(rec, "kmeans.reseeds", 1)
 			if used == nil {
 				used = make([]bool, len(points))
 			}

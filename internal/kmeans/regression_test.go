@@ -14,7 +14,7 @@ func TestRecomputeCentersReseedsDistinctPoints(t *testing.T) {
 	points := [][]float64{{0, 0}, {1, 0}, {10, 0}, {-7, 0}}
 	centers := [][]float64{{0.5, 0}, {100, 100}, {-100, -100}}
 	labels := []int{0, 0, 0, 0} // clusters 1 and 2 are empty simultaneously
-	next := recomputeCenters(points, labels, 3, 2, centers)
+	next := recomputeCenters(points, labels, 3, 2, centers, nil)
 
 	if len(next) != 3 {
 		t.Fatalf("got %d centers", len(next))
@@ -39,7 +39,7 @@ func TestRecomputeCentersDegenerateAllUsed(t *testing.T) {
 	points := [][]float64{{1, 1}}
 	centers := [][]float64{{1, 1}, {2, 2}, {3, 3}}
 	labels := []int{0}
-	next := recomputeCenters(points, labels, 3, 2, centers)
+	next := recomputeCenters(points, labels, 3, 2, centers, nil)
 	for c, ctr := range next {
 		if ctr[0] != 1 || ctr[1] != 1 {
 			t.Errorf("center %d = %v, want (1,1)", c, ctr)

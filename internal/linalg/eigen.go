@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"multiclust/internal/core"
+	"multiclust/internal/obs"
 )
 
 // Eigen holds a symmetric eigendecomposition A = V * diag(Values) * V^T with
@@ -40,6 +41,7 @@ func SymEigenContext(ctx context.Context, a *Matrix) (*Eigen, error) {
 	w := a.Clone()
 	v := Identity(n)
 
+	rec := obs.From(ctx)
 	var interrupted error
 	const maxSweeps = 100
 	for sweep := 0; sweep < maxSweeps; sweep++ {
@@ -49,6 +51,7 @@ func SymEigenContext(ctx context.Context, a *Matrix) (*Eigen, error) {
 			interrupted = err
 			break
 		}
+		obs.Count(rec, "linalg.eigen_sweeps", 1)
 		// Sum of off-diagonal magnitudes; convergence criterion.
 		var off float64
 		for i := 0; i < n; i++ {

@@ -12,6 +12,8 @@
 //   - floatkey:   no float map keys, no exact float ==/!= comparisons
 //   - ctxpoll:    no looping function that takes a context.Context yet
 //     never consults it (cancellation it can't observe)
+//   - obsnil:     no direct obs.Recorder method calls outside internal/obs
+//     (the nil-guarded helpers are what keep disabled instrumentation free)
 //
 // A finding can be suppressed with a directive comment on the offending
 // line or the line directly above it:
@@ -69,6 +71,7 @@ func All() []*Analyzer {
 		NakedGo(),
 		FloatKey(),
 		CtxPoll(),
+		ObsNil(),
 	}
 }
 

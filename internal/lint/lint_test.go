@@ -114,6 +114,20 @@ func TestSharedRNGFixture(t *testing.T)  { checkFixture(t, "sharedrng", SharedRN
 func TestNakedGoFixture(t *testing.T)    { checkFixture(t, "nakedgo", NakedGo()) }
 func TestFloatKeyFixture(t *testing.T)   { checkFixture(t, "floatkey", FloatKey()) }
 func TestCtxPollFixture(t *testing.T)    { checkFixture(t, "ctxpoll", CtxPoll()) }
+func TestObsNilFixture(t *testing.T)     { checkFixture(t, "obsnil", ObsNil()) }
+
+// internal/obs is the one package allowed to call Recorder methods
+// directly: its helpers and sinks ARE the guard. The real package must
+// load clean under the rule's exemption.
+func TestObsNilExemptsObsPackage(t *testing.T) {
+	pkg, err := loaderForTest(t).Load("internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings := Run(pkg, []*Analyzer{ObsNil()}); len(findings) != 0 {
+		t.Errorf("obsnil flagged the exempt internal/obs package: %v", findings)
+	}
+}
 
 // Reintroducing the PR 1 metrics.Silhouette map-order bug — float silhouette
 // terms summed while ranging over the label→members map — must fail the

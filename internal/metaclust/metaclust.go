@@ -22,6 +22,7 @@ import (
 	"multiclust/internal/hierarchical"
 	"multiclust/internal/kmeans"
 	"multiclust/internal/metrics"
+	"multiclust/internal/obs"
 	"multiclust/internal/parallel"
 )
 
@@ -84,6 +85,10 @@ func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, e
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	d := len(points[0])
+
+	rec := obs.From(ctx)
+	defer obs.Span(rec, "metaclust.run")()
+	obs.Count(rec, "metaclust.base_solutions", int64(cfg.NumSolutions))
 
 	res := &Result{}
 	// Base-solution generation is the hot path: every member reweights the
@@ -197,6 +202,10 @@ func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, e
 			}
 		}
 		res.Representatives = append(res.Representatives, res.Generated[best])
+	}
+	if rec != nil {
+		obs.Count(rec, "metaclust.representatives", int64(len(res.Representatives)))
+		obs.Gauge(rec, "metaclust.mean_pairwise", res.MeanPairwise)
 	}
 	if interrupted != nil {
 		return res, fmt.Errorf("metaclust: interrupted: %v: %w", interrupted, core.ErrInterrupted)

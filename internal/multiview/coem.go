@@ -16,6 +16,7 @@ import (
 
 	"multiclust/internal/core"
 	"multiclust/internal/em"
+	"multiclust/internal/obs"
 )
 
 // CoEMConfig controls a co-EM run.
@@ -82,6 +83,8 @@ func CoEM(viewA, viewB [][]float64, cfg CoEMConfig) (*CoEMResult, error) {
 	}
 	modelB := em.RandomModel(viewB, cfg.K, cfg.Seed+1)
 
+	rec := obs.Default()
+	defer obs.Span(rec, "coem.run")()
 	res := &CoEMResult{}
 	prevLL := math.Inf(-1)
 	for iter := 0; iter < cfg.MaxIter; iter++ {
@@ -97,6 +100,12 @@ func CoEM(viewA, viewB [][]float64, cfg CoEMConfig) (*CoEMResult, error) {
 			LogLikB:   llB,
 			Agreement: agreement(postA, postB),
 		})
+		if rec != nil {
+			obs.Count(rec, "coem.rounds", 1)
+			obs.Observe(rec, "coem.agreement", iter, res.History[iter].Agreement)
+			obs.Observe(rec, "coem.loglik_a", iter, llA)
+			obs.Observe(rec, "coem.loglik_b", iter, llB)
+		}
 		combined := llA + llB
 		if math.Abs(combined-prevLL) <= cfg.Tol*(1+math.Abs(combined)) {
 			res.Converged = true

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sample is one per-iteration observation in a series.
+type Sample struct {
+	Iter  int
+	Value float64
+}
+
+// SpanStat aggregates one named span: how many times it ran and the total
+// wall-clock time spent inside it. Total is the only wall-clock-dependent
+// quantity the Collector records; deterministic comparisons zero it via
+// Snapshot.StripTimings.
+type SpanStat struct {
+	Count int64
+	Total time.Duration
+}
+
+// Collector is the in-memory Recorder. All methods are safe for
+// concurrent use from internal/parallel workers; the recorded state is
+// scheduling-independent because counters are additive, gauges are
+// last-write-wins on deterministic values, and series are sorted by
+// (iter, value) at snapshot time.
+type Collector struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	series   map[string][]Sample
+	spans    map[string]SpanStat
+}
+
+// NewCollector returns an empty Collector ready for use.
+func NewCollector() *Collector {
+	return &Collector{
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		series:   map[string][]Sample{},
+		spans:    map[string]SpanStat{},
+	}
+}
+
+// Count implements Recorder.
+func (c *Collector) Count(name string, delta int64) {
+	c.mu.Lock()
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+// Gauge implements Recorder.
+func (c *Collector) Gauge(name string, v float64) {
+	c.mu.Lock()
+	c.gauges[name] = v
+	c.mu.Unlock()
+}
+
+// Observe implements Recorder.
+func (c *Collector) Observe(name string, iter int, v float64) {
+	c.mu.Lock()
+	c.series[name] = append(c.series[name], Sample{Iter: iter, Value: v})
+	c.mu.Unlock()
+}
+
+// StartSpan implements Recorder.
+func (c *Collector) StartSpan(name string) func() {
+	start := time.Now()
+	return func() {
+		elapsed := time.Since(start)
+		c.mu.Lock()
+		s := c.spans[name]
+		s.Count++
+		s.Total += elapsed
+		c.spans[name] = s
+		c.mu.Unlock()
+	}
+}
+
+// Reset discards everything recorded so far.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.counters = map[string]int64{}
+	c.gauges = map[string]float64{}
+	c.series = map[string][]Sample{}
+	c.spans = map[string]SpanStat{}
+	c.mu.Unlock()
+}
+
+// Counter returns the named counter's current value (0 when never
+// touched).
+func (c *Collector) Counter(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// GaugeValue returns the named gauge's current value and whether it was
+// ever set.
+func (c *Collector) GaugeValue(name string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.gauges[name]
+	return v, ok
+}
+
+// Series returns a copy of the named series, sorted by (iter, value) so
+// concurrent producers (e.g. parallel k-means restarts) yield a
+// deterministic order.
+func (c *Collector) Series(name string) []Sample {
+	c.mu.Lock()
+	src := c.series[name]
+	out := make([]Sample, len(src))
+	copy(out, src)
+	c.mu.Unlock()
+	sortSamples(out)
+	return out
+}
+
+// Snapshot is a deep, deterministic copy of a Collector's state.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]float64
+	Series   map[string][]Sample
+	Spans    map[string]SpanStat
+}
+
+// Snapshot copies the recorded state. Series are sorted by (iter, value);
+// map iteration order is irrelevant because every consumer below sorts
+// keys before rendering.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := Snapshot{
+		Counters: make(map[string]int64, len(c.counters)),
+		Gauges:   make(map[string]float64, len(c.gauges)),
+		Series:   make(map[string][]Sample, len(c.series)),
+		Spans:    make(map[string]SpanStat, len(c.spans)),
+	}
+	for k, v := range c.counters {
+		snap.Counters[k] = v
+	}
+	for k, v := range c.gauges {
+		snap.Gauges[k] = v
+	}
+	for k, v := range c.series {
+		dup := make([]Sample, len(v))
+		copy(dup, v)
+		sortSamples(dup)
+		snap.Series[k] = dup
+	}
+	for k, v := range c.spans {
+		snap.Spans[k] = v
+	}
+	return snap
+}
+
+// StripTimings returns a copy of the snapshot with every span Total
+// zeroed, leaving only deterministic quantities. Two runs of the same
+// seeded workload must then render byte-identically regardless of worker
+// count — the property the obs_test concurrency suite pins.
+func (s Snapshot) StripTimings() Snapshot {
+	spans := make(map[string]SpanStat, len(s.Spans))
+	for k, v := range s.Spans {
+		spans[k] = SpanStat{Count: v.Count}
+	}
+	out := s
+	out.Spans = spans
+	return out
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition style:
+// one `name value` line per sample, names sanitised to [a-z0-9_] with a
+// multiclust_ prefix, keys sorted so the dump is reproducible. Spans emit
+// _count and _seconds, series emit _points plus _first/_last values.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	var b strings.Builder
+	for _, k := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "%s_total %d\n", promName(k), s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "%s %g\n", promName(k), s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.Series) {
+		ser := s.Series[k]
+		fmt.Fprintf(&b, "%s_points %d\n", promName(k), len(ser))
+		if len(ser) > 0 {
+			fmt.Fprintf(&b, "%s_first %g\n", promName(k), ser[0].Value)
+			fmt.Fprintf(&b, "%s_last %g\n", promName(k), ser[len(ser)-1].Value)
+		}
+	}
+	for _, k := range sortedKeys(s.Spans) {
+		sp := s.Spans[k]
+		fmt.Fprintf(&b, "%s_count %d\n", promName(k), sp.Count)
+		fmt.Fprintf(&b, "%s_seconds %g\n", promName(k), sp.Total.Seconds())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteProm renders the Collector's current state; see Snapshot.WriteProm.
+func (c *Collector) WriteProm(w io.Writer) error {
+	return c.Snapshot().WriteProm(w)
+}
+
+func sortSamples(s []Sample) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Iter != s[j].Iter {
+			return s[i].Iter < s[j].Iter
+		}
+		return s[i].Value < s[j].Value
+	})
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promName maps a dotted event name to a Prometheus-safe metric name:
+// "kmeans.sse" -> "multiclust_kmeans_sse".
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("multiclust_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r - 'A' + 'a')
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,184 @@
+// Package obs is multiclust's observability layer: counters, gauges,
+// per-iteration observations and timed spans, recorded through a single
+// Recorder interface.
+//
+// The design contract is zero cost when disabled. Algorithms never call
+// Recorder methods directly; they go through the package-level helpers
+// (Count, Gauge, Observe, Span), which compile to a nil check and return
+// when no recorder is installed. The helpers take only concrete argument
+// types, so the disabled path performs no interface boxing and no
+// allocation — pinned by TestNilRecorderPathDoesNotAllocate and the
+// obs_bench_test.go benchmarks at the repository root. The obsnil lint
+// rule (internal/lint) flags any direct method call on a Recorder-typed
+// value outside this package, so the guarantee cannot erode silently.
+//
+// Determinism: counters are additive and series entries carry their own
+// iteration index, so the recorded totals are scheduling-independent even
+// when hot paths run under internal/parallel with any worker count. Only
+// span durations are wall-clock-dependent; the Collector's Snapshot
+// exposes them separately so deterministic comparisons can zero them out.
+//
+// Resolution order mirrors internal/parallel's worker-count idiom: an
+// explicit recorder in the context (NewContext / facade WithRecorder)
+// wins, else the process-wide default (SetDefault / facade SetRecorder),
+// else nil (disabled).
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Recorder receives instrumentation events. Implementations must be safe
+// for concurrent use: hot paths invoke them from internal/parallel
+// workers. Call sites outside this package must use the nil-guarded
+// package helpers instead of invoking these methods directly (enforced by
+// the obsnil lint rule).
+type Recorder interface {
+	// Count adds delta to the named monotonic counter.
+	Count(name string, delta int64)
+	// Gauge sets the named gauge to v (last write wins).
+	Gauge(name string, v float64)
+	// Observe appends one (iter, v) sample to the named series, e.g. SSE
+	// per k-means iteration or log-likelihood per EM iteration.
+	Observe(name string, iter int, v float64)
+	// StartSpan opens a named timed region and returns the function that
+	// closes it. Implementations record count and total duration.
+	StartSpan(name string) func()
+}
+
+// noopEnd is the shared span terminator for the disabled path, so
+// Span(nil, ...) never allocates a closure.
+var noopEnd = func() {}
+
+// Count adds delta to rec's named counter; no-op when rec is nil.
+func Count(rec Recorder, name string, delta int64) {
+	if rec != nil {
+		rec.Count(name, delta)
+	}
+}
+
+// Gauge sets rec's named gauge; no-op when rec is nil.
+func Gauge(rec Recorder, name string, v float64) {
+	if rec != nil {
+		rec.Gauge(name, v)
+	}
+}
+
+// Observe appends one sample to rec's named series; no-op when rec is nil.
+func Observe(rec Recorder, name string, iter int, v float64) {
+	if rec != nil {
+		rec.Observe(name, iter, v)
+	}
+}
+
+// Span opens a timed region on rec and returns its end function. When rec
+// is nil it returns a shared no-op, so the disabled path allocates
+// nothing.
+func Span(rec Recorder, name string) func() {
+	if rec == nil {
+		return noopEnd
+	}
+	return rec.StartSpan(name)
+}
+
+// holder wraps the default recorder so atomic.Value tolerates differing
+// concrete types (and nil) across stores.
+type holder struct{ rec Recorder }
+
+var defaultRecorder atomic.Value // holder
+
+// SetDefault installs rec as the process-wide recorder consulted by hot
+// paths that have no context. Pass nil to disable. Safe for concurrent
+// use, but the deterministic-dump guarantee assumes the recorder is not
+// swapped mid-run.
+func SetDefault(rec Recorder) { defaultRecorder.Store(holder{rec: rec}) }
+
+// Default returns the process-wide recorder, or nil when none is set.
+func Default() Recorder {
+	if h, ok := defaultRecorder.Load().(holder); ok {
+		return h.rec
+	}
+	return nil
+}
+
+// ctxKey is the context key for a request-scoped recorder.
+type ctxKey struct{}
+
+// NewContext returns a copy of ctx carrying rec. The facade exposes this
+// as WithRecorder.
+func NewContext(ctx context.Context, rec Recorder) context.Context {
+	return context.WithValue(ctx, ctxKey{}, rec)
+}
+
+// FromContext returns the recorder stored in ctx, or nil.
+func FromContext(ctx context.Context) Recorder {
+	if ctx == nil {
+		return nil
+	}
+	rec, _ := ctx.Value(ctxKey{}).(Recorder)
+	return rec
+}
+
+// From resolves the recorder for a context-carrying entry point: the
+// context's recorder if present, else the process default, else nil.
+// Hot paths call this once on entry and thread the result through their
+// loops.
+func From(ctx context.Context) Recorder {
+	if rec := FromContext(ctx); rec != nil {
+		return rec
+	}
+	return Default()
+}
+
+// Tee fans every event out to each non-nil recorder. It returns nil when
+// no recorder remains (keeping the disabled fast path), and the recorder
+// itself when exactly one remains (no fan-out indirection).
+func Tee(recs ...Recorder) Recorder {
+	var live multiRecorder
+	for _, r := range recs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type multiRecorder []Recorder
+
+func (m multiRecorder) Count(name string, delta int64) {
+	for _, r := range m {
+		r.Count(name, delta)
+	}
+}
+
+func (m multiRecorder) Gauge(name string, v float64) {
+	for _, r := range m {
+		r.Gauge(name, v)
+	}
+}
+
+func (m multiRecorder) Observe(name string, iter int, v float64) {
+	for _, r := range m {
+		r.Observe(name, iter, v)
+	}
+}
+
+func (m multiRecorder) StartSpan(name string) func() {
+	ends := make([]func(), len(m))
+	for i, r := range m {
+		ends[i] = r.StartSpan(name)
+	}
+	return func() {
+		// Close in reverse order so nesting semantics match defer.
+		for i := len(ends) - 1; i >= 0; i-- {
+			ends[i]()
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceWriter is a Recorder that streams every event to w as one JSON
+// object per line (JSONL), suitable for `cmd/multiclust -trace out.jsonl`
+// and offline analysis. Events are written in arrival order under a
+// mutex; span events carry their wall-clock duration in dur_ns. The first
+// write error is retained (and all later events dropped) — check Err()
+// after the run.
+type TraceWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewTraceWriter wraps w. The caller owns buffering and closing of w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: w}
+}
+
+// Count implements Recorder.
+func (t *TraceWriter) Count(name string, delta int64) {
+	t.emit(`{"type":"count","name":` + strconv.Quote(name) + `,"delta":` + strconv.FormatInt(delta, 10) + "}\n")
+}
+
+// Gauge implements Recorder.
+func (t *TraceWriter) Gauge(name string, v float64) {
+	t.emit(`{"type":"gauge","name":` + strconv.Quote(name) + `,"value":` + jsonFloat(v) + "}\n")
+}
+
+// Observe implements Recorder.
+func (t *TraceWriter) Observe(name string, iter int, v float64) {
+	t.emit(`{"type":"observe","name":` + strconv.Quote(name) +
+		`,"iter":` + strconv.Itoa(iter) + `,"value":` + jsonFloat(v) + "}\n")
+}
+
+// StartSpan implements Recorder.
+func (t *TraceWriter) StartSpan(name string) func() {
+	start := time.Now()
+	return func() {
+		t.emit(`{"type":"span","name":` + strconv.Quote(name) +
+			`,"dur_ns":` + strconv.FormatInt(time.Since(start).Nanoseconds(), 10) + "}\n")
+	}
+}
+
+// Err returns the first write error encountered, or nil.
+func (t *TraceWriter) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *TraceWriter) emit(line string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if _, err := io.WriteString(t.w, line); err != nil {
+		t.err = fmt.Errorf("obs: trace write: %w", err)
+	}
+}
+
+// jsonFloat renders v as a JSON number. JSON has no NaN/Inf literals, so
+// non-finite values are quoted strings ("NaN", "+Inf", "-Inf") — lossy
+// for generic JSON tooling but unambiguous for humans, and far better
+// than emitting invalid JSON mid-trace.
+func jsonFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return `"NaN"`
+	case math.IsInf(v, 1):
+		return `"+Inf"`
+	case math.IsInf(v, -1):
+		return `"-Inf"`
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -34,6 +34,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"multiclust/internal/obs"
 )
 
 // EnvVar is the environment variable consulted when no explicit worker count
@@ -104,6 +106,7 @@ type panicCapture struct {
 func (c *panicCapture) protect(idx int, f func()) {
 	defer func() {
 		if r := recover(); r != nil {
+			obs.Count(obs.Default(), "parallel.panics_contained", 1)
 			stack := debug.Stack()
 			c.mu.Lock()
 			if c.err == nil || idx < c.err.Index {
@@ -132,6 +135,7 @@ func For(n, workers int, fn func(lo, hi int)) {
 		return
 	}
 	w := clampWorkers(workers, n)
+	noteDispatch(n, w)
 	var pc panicCapture
 	if w == 1 {
 		pc.protect(0, func() { fn(0, n) })
@@ -168,6 +172,7 @@ func Each(n, workers int, fn func(i int)) {
 		return
 	}
 	w := clampWorkers(workers, n)
+	noteDispatch(n, w)
 	var pc panicCapture
 	if w == 1 {
 		for i := 0; i < n; i++ {
@@ -254,6 +259,22 @@ func TryMap[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		return e
 	})
 	return out, err
+}
+
+// noteDispatch records one fan-out into the process-wide recorder: how
+// many tasks were dispatched and how many workers served them. Both are
+// additive, so the totals are identical for any scheduling; their ratio
+// is the mean tasks-per-worker utilization. The single atomic load behind
+// obs.Default dominates the disabled cost — one nil check per For/Each
+// call, never per task.
+func noteDispatch(n, w int) {
+	rec := obs.Default()
+	if rec == nil {
+		return
+	}
+	obs.Count(rec, "parallel.dispatches", 1)
+	obs.Count(rec, "parallel.tasks", int64(n))
+	obs.Count(rec, "parallel.workers", int64(w))
 }
 
 func clampWorkers(workers, n int) int {

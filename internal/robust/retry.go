@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"multiclust/internal/core"
+	"multiclust/internal/obs"
 )
 
 // Retry runs fn up to budget times with the deterministic seed schedule
@@ -26,6 +27,9 @@ func Retry(seed int64, budget int, fn func(seed int64) error) error {
 		if err == nil || !errors.Is(err, core.ErrDegenerate) {
 			return err
 		}
+		// Cold path: only degenerate outcomes reach here, so the recorder
+		// lookup costs nothing on the success path.
+		obs.Count(obs.Default(), "robust.degenerate_retries", 1)
 	}
 	return fmt.Errorf("robust: %d attempts with seeds %d..%d all degenerate: %w",
 		budget, seed, seed+int64(budget-1), err)

@@ -17,6 +17,7 @@ import (
 	"multiclust/internal/dist"
 	"multiclust/internal/kmeans"
 	"multiclust/internal/linalg"
+	"multiclust/internal/obs"
 	"multiclust/internal/parallel"
 )
 
@@ -170,6 +171,9 @@ func RunAffinity(w *linalg.Matrix, k int, seed int64, sigma float64) (*Result, e
 
 // RunAffinityContext is RunAffinity with cancellation; see RunContext.
 func RunAffinityContext(ctx context.Context, w *linalg.Matrix, k int, seed int64, sigma float64) (*Result, error) {
+	rec := obs.From(ctx)
+	defer obs.Span(rec, "spectral.run")()
+	obs.Count(rec, "spectral.embeddings", 1)
 	emb, eerr := EmbedContext(ctx, w, k)
 	if emb == nil {
 		return nil, eerr

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"multiclust/internal/core"
+	"multiclust/internal/obs"
 )
 
 // Unit is one dense grid cell: an axis-parallel hyper-rectangle defined by
@@ -85,10 +86,16 @@ func denseUnits(points [][]float64, cfg gridConfig) ([]Unit, GridStats, error) {
 			}
 		}
 	}
+	// The lattice search is serial, so per-level observations land in
+	// deterministic order; obs.Default is resolved once because the miners
+	// have no context parameter.
+	rec := obs.Default()
 	appendLevel(&all, level, &stats)
+	observeLevel(rec, 1, stats, GridStats{})
 	prev := level
 
 	for s := 2; s <= cfg.MaxDim && len(prev) > 1; s++ {
+		before := stats
 		cur := make(map[string]*Unit)
 		units := make([]*Unit, 0, len(prev))
 		for _, u := range prev {
@@ -122,9 +129,31 @@ func denseUnits(points [][]float64, cfg gridConfig) ([]Unit, GridStats, error) {
 			}
 		}
 		appendLevel(&all, cur, &stats)
+		observeLevel(rec, s, stats, before)
 		prev = cur
 	}
+	if rec != nil {
+		obs.Count(rec, "subspace.grid.searches", 1)
+		obs.Count(rec, "subspace.grid.candidates", int64(stats.CandidatesGenerated))
+		obs.Count(rec, "subspace.grid.pruned", int64(stats.CandidatesPruned))
+		obs.Count(rec, "subspace.grid.dense_units", int64(stats.DenseUnits))
+	}
 	return all, stats, nil
+}
+
+// observeLevel emits the per-level trajectory of the apriori search — the
+// slide-71 pruning curve — as (level, delta) samples. before holds the
+// cumulative stats when the level started; UnitsPerDim is keyed by
+// dimensionality, so the level's dense-unit count needs no delta.
+func observeLevel(rec obs.Recorder, level int, after, before GridStats) {
+	if rec == nil {
+		return
+	}
+	obs.Observe(rec, "subspace.grid.level_candidates", level,
+		float64(after.CandidatesGenerated-before.CandidatesGenerated))
+	obs.Observe(rec, "subspace.grid.level_pruned", level,
+		float64(after.CandidatesPruned-before.CandidatesPruned))
+	obs.Observe(rec, "subspace.grid.level_dense", level, float64(after.UnitsPerDim[level]))
 }
 
 func appendLevel(all *[]Unit, level map[string]*Unit, stats *GridStats) {

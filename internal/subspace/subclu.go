@@ -8,6 +8,7 @@ import (
 	"multiclust/internal/core"
 	"multiclust/internal/dbscan"
 	"multiclust/internal/dist"
+	"multiclust/internal/obs"
 )
 
 // SubcluConfig controls a SUBCLU run (Kailing et al. 2004b, slide 74).
@@ -103,8 +104,13 @@ func Subclu(points [][]float64, cfg SubcluConfig) (*SubcluResult, error) {
 			}
 		}
 	}
+	// The apriori walk over subspaces is serial; the per-level examined
+	// counts trace how hard the anti-monotonicity prune is working.
+	rec := obs.Default()
+	obs.Observe(rec, "subspace.subclu.level_examined", 1, float64(res.SubspacesExamined))
 
 	for s := 2; s <= cfg.MaxDim && len(level) > 1; s++ {
+		examinedBefore := res.SubspacesExamined
 		next := map[string]*subInfo{}
 		infos := make([]*subInfo, 0, len(level))
 		for _, si := range level {
@@ -139,7 +145,13 @@ func Subclu(points [][]float64, cfg SubcluConfig) (*SubcluResult, error) {
 				}
 			}
 		}
+		obs.Observe(rec, "subspace.subclu.level_examined", s, float64(res.SubspacesExamined-examinedBefore))
 		level = next
+	}
+	if rec != nil {
+		obs.Count(rec, "subspace.subclu.runs", 1)
+		obs.Count(rec, "subspace.subclu.subspaces_examined", int64(res.SubspacesExamined))
+		obs.Count(rec, "subspace.subclu.subspaces_clustered", int64(res.SubspacesWithClust))
 	}
 	return res, nil
 }

@@ -53,6 +53,7 @@ import (
 	"multiclust/internal/metaclust"
 	"multiclust/internal/metrics"
 	"multiclust/internal/multiview"
+	"multiclust/internal/obs"
 	"multiclust/internal/orthogonal"
 	"multiclust/internal/parallel"
 	"multiclust/internal/robust"
@@ -78,6 +79,59 @@ func SetWorkers(n int) { parallel.SetDefault(n) }
 // WorkersDefault reports the process-wide default installed with SetWorkers
 // (0 when unset).
 func WorkersDefault() int { return parallel.Default() }
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+// Recorder receives instrumentation events from the hot paths: counters
+// (k-means reassignments, apriori candidates pruned, DBSCAN region
+// queries, tasks dispatched by the worker pool), gauges, per-iteration
+// observations (SSE per k-means iteration, log-likelihood per EM
+// iteration, co-EM agreement per round) and timed spans. When no recorder
+// is installed the instrumentation costs one nil check per event — zero
+// allocations, pinned by obs_bench_test.go.
+type Recorder = obs.Recorder
+
+// Collector is the in-memory Recorder: thread-safe under any worker
+// count, with deterministic exports (Snapshot, WriteProm) for a fixed
+// seed.
+type Collector = obs.Collector
+
+// TraceWriter is the streaming Recorder: one JSON object per event
+// (JSONL), for `cmd/multiclust -trace out.jsonl` style capture.
+type TraceWriter = obs.TraceWriter
+
+// NewCollector returns an empty in-memory recorder.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// NewTraceWriter returns a recorder streaming JSONL events to w. The
+// caller owns buffering and closing of w; check Err() after the run.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewTraceWriter(w) }
+
+// SetRecorder installs a process-wide recorder consulted by every
+// instrumented hot path (the observability analogue of SetWorkers). Pass
+// nil to disable. A recorder carried by a context (WithRecorder) takes
+// precedence for the call it is passed to.
+func SetRecorder(r Recorder) { obs.SetDefault(r) }
+
+// RecorderDefault returns the process-wide recorder installed with
+// SetRecorder, or nil.
+func RecorderDefault() Recorder { return obs.Default() }
+
+// WithRecorder returns a context carrying r; the ...Context algorithm
+// variants report into it instead of the process-wide recorder. Hot paths
+// without a context parameter (the subspace miners, co-EM) see only the
+// process-wide recorder.
+func WithRecorder(ctx context.Context, r Recorder) context.Context {
+	return obs.NewContext(ctx, r)
+}
+
+// TeeRecorders fans events out to every non-nil argument — e.g. a
+// Collector for a metrics dump plus a TraceWriter for the event stream.
+// It returns nil when no live recorder remains, preserving the disabled
+// fast path.
+func TeeRecorders(rs ...Recorder) Recorder { return obs.Tee(rs...) }
 
 // ---------------------------------------------------------------------------
 // Robustness — typed errors, validation, sanitization
