@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench experiments examples fuzz fuzz-smoke chaos ci clean
+.PHONY: all build vet lint test race cover bench bench-json bench-baseline experiments examples fuzz fuzz-smoke chaos ci clean
 
 all: build vet lint test
 
@@ -29,8 +29,19 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
 # One benchmark per regenerated figure/table plus scalability micro-benches.
+# -run='^$$' skips the unit tests so only benchmarks execute.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# Canonical paradigm workload suite -> BENCH_<stamp>.json, gated against
+# the committed baseline. Timings get a loose gate (they are noisy on
+# shared runners); the deterministic work counters get the strict one.
+bench-json:
+	$(GO) run ./cmd/multiclust-bench -quick -baseline BENCH_baseline.json -threshold 200 -counter-threshold 10
+
+# Refresh the committed baseline after an intentional performance change.
+bench-baseline:
+	$(GO) run ./cmd/multiclust-bench -quick -stamp baseline -out BENCH_baseline.json
 
 # Regenerate every experiment table (see DESIGN.md / EXPERIMENTS.md).
 experiments:
@@ -62,7 +73,7 @@ chaos:
 	$(GO) test -race -timeout 120s ./internal/robust/...
 
 # Everything the GitHub Actions workflow runs, locally.
-ci: build vet test race lint fuzz-smoke chaos cover
+ci: build vet test race lint fuzz-smoke chaos cover bench-json
 
 clean:
 	$(GO) clean -testcache

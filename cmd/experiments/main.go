@@ -2,17 +2,21 @@
 // (see DESIGN.md for the per-experiment index). With no arguments it runs
 // everything; pass experiment ids (e.g. E01 T2) to run a subset.
 //
-//	go run ./cmd/experiments [-metrics] [ids...]
+//	go run ./cmd/experiments [-metrics] [-serve addr] [ids...]
 //
 // Every id is validated against the registry before anything runs: one or
 // more unknown ids abort the whole invocation with exit status 1 and a
 // line per bad id naming the valid range, instead of failing halfway
 // through a partial run. With -metrics each experiment is followed by a
 // dump of the instrumentation counters it produced (Prometheus text
-// format, deterministic for a fixed seed).
+// format, deterministic for a fixed seed). With -serve the live ops
+// endpoints (/metrics, /spans, /healthz, /debug/pprof/) are served on the
+// given host:port for the duration of the sweep, so a long regeneration
+// can be watched and profiled while it runs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,12 +26,14 @@ import (
 
 	"multiclust/internal/experiments"
 	"multiclust/internal/obs"
+	"multiclust/internal/ops"
 )
 
 func main() {
 	metrics := flag.Bool("metrics", false, "after each experiment, dump its recorded obs counters (Prometheus text format)")
+	serveAddr := flag.String("serve", "", "serve live ops endpoints (/metrics, /spans, /healthz, /debug/pprof/) on this host:port during the sweep")
 	flag.Parse()
-	if err := run(flag.Args(), *metrics, os.Stdout, os.Stderr); err != nil {
+	if err := run(flag.Args(), *metrics, *serveAddr, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
@@ -36,7 +42,7 @@ func main() {
 // run validates ids up front, then executes each experiment in order.
 // Unknown ids are all reported before anything runs, so a typo never
 // costs a partial sweep.
-func run(ids []string, metrics bool, stdout, stderr io.Writer) error {
+func run(ids []string, metrics bool, serveAddr string, stdout, stderr io.Writer) error {
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
@@ -49,14 +55,29 @@ func run(ids []string, metrics bool, stdout, stderr io.Writer) error {
 	}
 
 	var collector *obs.Collector
-	if metrics {
+	if metrics || serveAddr != "" {
 		collector = obs.NewCollector()
 		prev := obs.Default()
 		obs.SetDefault(collector)
 		defer obs.SetDefault(prev)
 	}
+	if serveAddr != "" {
+		h, err := ops.Serve(serveAddr, collector)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "experiments: ops endpoints at %s\n", h.URL)
+		defer func() {
+			if err := h.Shutdown(context.Background()); err != nil {
+				fmt.Fprintf(stderr, "experiments: %v\n", err)
+			}
+		}()
+	}
 	for _, id := range ids {
-		if collector != nil {
+		// Per-experiment dumps reset between runs so each block is
+		// deterministic; a serve-only collector instead accumulates
+		// across the sweep for the live endpoint.
+		if metrics {
 			collector.Reset()
 		}
 		t, err := experiments.Run(id)
@@ -66,7 +87,7 @@ func run(ids []string, metrics bool, stdout, stderr io.Writer) error {
 		if err := t.Render(stdout); err != nil {
 			return fmt.Errorf("writing %s: %w", id, err)
 		}
-		if collector != nil {
+		if metrics {
 			fmt.Fprintf(stdout, "--- %s metrics ---\n", id)
 			if err := collector.WriteProm(stdout); err != nil {
 				return fmt.Errorf("writing %s metrics: %w", id, err)

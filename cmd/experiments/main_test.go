@@ -10,7 +10,7 @@ import (
 // every bad id.
 func TestRunUnknownIDFailsUpFront(t *testing.T) {
 	var stdout, stderr strings.Builder
-	err := run([]string{"E01", "E99", "bogus", "E99"}, false, &stdout, &stderr)
+	err := run([]string{"E01", "E99", "bogus", "E99"}, false, "", &stdout, &stderr)
 	if err == nil {
 		t.Fatal("run with unknown ids returned nil; main would exit 0")
 	}
@@ -34,7 +34,7 @@ func TestRunUnknownIDFailsUpFront(t *testing.T) {
 // prefix of valid ids before dying must not come back.
 func TestRunRejectsCaseMismatch(t *testing.T) {
 	var stdout, stderr strings.Builder
-	if err := run([]string{"e01"}, false, &stdout, &stderr); err == nil {
+	if err := run([]string{"e01"}, false, "", &stdout, &stderr); err == nil {
 		t.Fatal("lowercase id accepted")
 	}
 	if stdout.Len() != 0 {
@@ -49,7 +49,7 @@ func TestRunSingleExperimentWithMetrics(t *testing.T) {
 		t.Skip("runs a real experiment")
 	}
 	var stdout, stderr strings.Builder
-	if err := run([]string{"E01"}, true, &stdout, &stderr); err != nil {
+	if err := run([]string{"E01"}, true, "", &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
 	out := stdout.String()
@@ -61,5 +61,28 @@ func TestRunSingleExperimentWithMetrics(t *testing.T) {
 	}
 	if !strings.Contains(out, "multiclust_parallel_tasks_total") {
 		t.Errorf("metrics block missing parallel counters:\n%s", out)
+	}
+}
+
+// -serve without -metrics stands up the ops endpoints for the sweep and
+// serves accumulated metrics live, without adding per-experiment dumps
+// to stdout.
+func TestRunWithServeEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	var stdout, stderr strings.Builder
+	if err := run([]string{"E01"}, false, "127.0.0.1:0", &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stdout.String(), "--- E01 metrics ---") {
+		t.Errorf("serve-only run must not dump metrics to stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "experiments: ops endpoints at http://127.0.0.1:") {
+		t.Errorf("stderr missing ops endpoint announcement:\n%s", stderr.String())
+	}
+	// A bad address must fail the run rather than silently skip serving.
+	if err := run([]string{"E01"}, false, "256.256.256.256:99999", &stdout, &stderr); err == nil {
+		t.Error("invalid -serve address accepted")
 	}
 }

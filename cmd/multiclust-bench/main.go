@@ -1,0 +1,355 @@
+// Command multiclust-bench runs the canonical workload suite — one
+// workload per clustering paradigm — and writes a machine-readable
+// benchmark report for regression tracking.
+//
+//	go run ./cmd/multiclust-bench [-quick] [-out file] [-baseline old.json -threshold 10]
+//
+// Each workload runs at 1 and 4 workers through testing.Benchmark with
+// the recorder disabled (so timings measure the algorithms, not the
+// telemetry), then once more instrumented with an obs.Collector to
+// capture the deterministic per-run work counters (iterations, distance
+// evaluations, subspaces examined, ...). The report is JSON with schema
+// "multiclust-bench/v1":
+//
+//	{
+//	  "schema": "multiclust-bench/v1",
+//	  "stamp": "20260805T120000Z",
+//	  "go": "go1.24.0",
+//	  "quick": false,
+//	  "workloads": [
+//	    {"name": "kmeans/w1", "paradigm": "partitional", "workers": 1,
+//	     "ns_op": 1234567, "allocs_op": 890, "bytes_op": 45678,
+//	     "counters": {"kmeans.iterations": 11, ...}},
+//	    ...
+//	  ]
+//	}
+//
+// With -baseline the current run is compared against an earlier report:
+// ns/op may grow at most -threshold percent (timings are noisy; CI uses
+// a loose gate) and the work counters may drift at most
+// -counter-threshold percent (they are deterministic for a fixed seed,
+// so the strict default of 10 catches real algorithmic regressions).
+// Any regression, a workload missing from the current run, or a
+// quick/full mode mismatch with the baseline exits non-zero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"multiclust"
+)
+
+// Schema identifies the report format for downstream consumers.
+const Schema = "multiclust-bench/v1"
+
+// workerCounts are the parallelism levels every workload runs at.
+var workerCounts = []int{1, 4}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Schema    string     `json:"schema"`
+	Stamp     string     `json:"stamp"`
+	Go        string     `json:"go"`
+	Quick     bool       `json:"quick"`
+	Workloads []Workload `json:"workloads"`
+}
+
+// Workload is one (paradigm, workers) measurement.
+type Workload struct {
+	Name     string           `json:"name"` // "<workload>/w<workers>"
+	Paradigm string           `json:"paradigm"`
+	Workers  int              `json:"workers"`
+	NsOp     int64            `json:"ns_op"`
+	AllocsOp int64            `json:"allocs_op"`
+	BytesOp  int64            `json:"bytes_op"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// benchCase couples a workload name with the closure that runs it once.
+// The dataset is built by the constructor, outside the timed loop, so
+// ns/op covers only the clustering work.
+type benchCase struct {
+	name     string
+	paradigm string
+	run      func() error
+}
+
+// workloads builds the canonical suite: one representative per paradigm
+// of the taxonomy (partitional baseline, grid and density subspace
+// search, alternative-given, ensemble meta clustering, multi-view).
+// All seeds are fixed; every workload is deterministic.
+func workloads() ([]benchCase, error) {
+	blobs, _ := multiclust.GaussianBlobs(1, 600, [][]float64{
+		{0, 0, 0, 0}, {4, 4, 0, 0}, {0, 4, 4, 0}, {4, 0, 0, 4},
+	}, 0.6)
+	subDS, _, err := multiclust.SubspaceData(1, 400, 6, []multiclust.SubspaceSpec{
+		{Dims: []int{0, 1}, Size: 120, Width: 0.08},
+		{Dims: []int{3, 4}, Size: 100, Width: 0.08},
+	})
+	if err != nil {
+		return nil, err
+	}
+	toy, _, _ := multiclust.FourBlobToy(1, 60)
+	given, err := multiclust.KMeans(toy.Points, multiclust.KMeansConfig{K: 2, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	meta, _, _ := multiclust.FourBlobToy(1, 40)
+	viewA, viewB, _ := multiclust.TwoSourceViews(1, 300, 3, 4, 4, 0.5, 0)
+
+	return []benchCase{
+		{"kmeans", "partitional", func() error {
+			_, err := multiclust.KMeans(blobs.Points, multiclust.KMeansConfig{K: 4, Restarts: 4, Seed: 1})
+			return err
+		}},
+		{"clique", "subspace-grid", func() error {
+			_, err := multiclust.Clique(subDS.Points, multiclust.CliqueConfig{Xi: 10, Tau: 0.08})
+			return err
+		}},
+		{"subclu", "subspace-density", func() error {
+			_, err := multiclust.Subclu(subDS.Points, multiclust.SubcluConfig{Eps: 0.06, MinPts: 4, MaxDim: 2})
+			return err
+		}},
+		{"coala", "alternative", func() error {
+			_, err := multiclust.Coala(toy.Points, given.Clustering, multiclust.CoalaConfig{K: 2})
+			return err
+		}},
+		{"metaclust", "ensemble", func() error {
+			_, err := multiclust.MetaClustering(meta.Points, multiclust.MetaClusteringConfig{
+				K: 2, NumSolutions: 12, MetaClusters: 3, Seed: 1,
+			})
+			return err
+		}},
+		{"coem", "multiview", func() error {
+			_, err := multiclust.CoEM(viewA.Points, viewB.Points, multiclust.CoEMConfig{K: 3, Seed: 2})
+			return err
+		}},
+	}, nil
+}
+
+// measure times one case with the recorder disabled, then replays it once
+// under a Collector for the deterministic work counters.
+func measure(bc benchCase, workers int) (Workload, error) {
+	multiclust.SetWorkers(workers)
+	defer multiclust.SetWorkers(0)
+
+	multiclust.SetRecorder(nil)
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := bc.run(); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return Workload{}, fmt.Errorf("%s (workers=%d): %w", bc.name, workers, runErr)
+	}
+
+	col := multiclust.NewCollector()
+	multiclust.SetRecorder(col)
+	err := bc.run()
+	multiclust.SetRecorder(nil)
+	if err != nil {
+		return Workload{}, fmt.Errorf("%s (workers=%d, instrumented): %w", bc.name, workers, err)
+	}
+	return Workload{
+		Name:     fmt.Sprintf("%s/w%d", bc.name, workers),
+		Paradigm: bc.paradigm,
+		Workers:  workers,
+		NsOp:     res.NsPerOp(),
+		AllocsOp: res.AllocsPerOp(),
+		BytesOp:  res.AllocedBytesPerOp(),
+		Counters: col.Snapshot().Counters,
+	}, nil
+}
+
+// compare reports every regression of cur against base. Timings (ns/op)
+// may grow at most threshold percent; counters may drift — in either
+// direction, a drop in work done is as suspicious as growth — at most
+// counterThreshold percent. Workloads present only in cur are fine (new
+// benchmarks); workloads missing from cur are regressions.
+func compare(base, cur Report, threshold, counterThreshold float64) []string {
+	var regressions []string
+	if base.Schema != cur.Schema {
+		return []string{fmt.Sprintf("schema mismatch: baseline %q vs current %q", base.Schema, cur.Schema)}
+	}
+	if base.Quick != cur.Quick {
+		return []string{fmt.Sprintf("mode mismatch: baseline quick=%v vs current quick=%v — timings are not comparable", base.Quick, cur.Quick)}
+	}
+	curBy := make(map[string]Workload, len(cur.Workloads))
+	for _, w := range cur.Workloads {
+		curBy[w.Name] = w
+	}
+	for _, b := range base.Workloads {
+		c, ok := curBy[b.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: workload missing from current run", b.Name))
+			continue
+		}
+		if b.NsOp > 0 {
+			pct := 100 * float64(c.NsOp-b.NsOp) / float64(b.NsOp)
+			if pct > threshold {
+				regressions = append(regressions, fmt.Sprintf("%s: ns/op %d -> %d (%+.1f%% > %.0f%%)", b.Name, b.NsOp, c.NsOp, pct, threshold))
+			}
+		}
+		for _, k := range sortedKeys(b.Counters) {
+			bv := b.Counters[k]
+			cv, ok := c.Counters[k]
+			if !ok {
+				regressions = append(regressions, fmt.Sprintf("%s: counter %s disappeared (baseline %d)", b.Name, k, bv))
+				continue
+			}
+			if bv == 0 {
+				if cv != 0 {
+					regressions = append(regressions, fmt.Sprintf("%s: counter %s %d -> %d (baseline zero)", b.Name, k, bv, cv))
+				}
+				continue
+			}
+			pct := 100 * float64(cv-bv) / float64(bv)
+			if pct > counterThreshold || pct < -counterThreshold {
+				regressions = append(regressions, fmt.Sprintf("%s: counter %s %d -> %d (%+.1f%% beyond ±%.0f%%)", b.Name, k, bv, cv, pct, counterThreshold))
+			}
+		}
+	}
+	return regressions
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// runSuite measures every case matching filter at every worker count.
+func runSuite(filter string, quick bool, stamp string, progress func(string)) (Report, error) {
+	cases, err := workloads()
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Schema: Schema, Stamp: stamp, Go: runtime.Version(), Quick: quick}
+	for _, workers := range workerCounts {
+		for _, bc := range cases {
+			if filter != "" && !strings.Contains(bc.name, filter) {
+				continue
+			}
+			w, err := measure(bc, workers)
+			if err != nil {
+				return Report{}, err
+			}
+			progress(fmt.Sprintf("%-14s %10d ns/op %8d allocs/op %10d B/op", w.Name, w.NsOp, w.AllocsOp, w.BytesOp))
+			rep.Workloads = append(rep.Workloads, w)
+		}
+	}
+	if len(rep.Workloads) == 0 {
+		return Report{}, fmt.Errorf("no workloads match filter %q", filter)
+	}
+	return rep, nil
+}
+
+func writeReport(rep Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != Schema {
+		return Report{}, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, Schema)
+	}
+	return rep, nil
+}
+
+func main() {
+	testing.Init() // registers -test.* flags so benchtime is settable below
+	var (
+		out              = flag.String("out", "", "report file (default BENCH_<stamp>.json)")
+		stamp            = flag.String("stamp", "", "report stamp (default UTC timestamp)")
+		baseline         = flag.String("baseline", "", "earlier report to compare against; regressions exit non-zero")
+		threshold        = flag.Float64("threshold", 10, "max ns/op growth vs baseline, percent")
+		counterThreshold = flag.Float64("counter-threshold", 10, "max work-counter drift vs baseline, percent (either direction)")
+		quick            = flag.Bool("quick", false, "3 iterations per workload instead of 1s each (CI mode)")
+		filter           = flag.String("filter", "", "run only workloads whose name contains this substring")
+		list             = flag.Bool("list", false, "list workload names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		cases, err := workloads()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "multiclust-bench:", err)
+			os.Exit(1)
+		}
+		for _, bc := range cases {
+			fmt.Printf("%-12s %s\n", bc.name, bc.paradigm)
+		}
+		return
+	}
+	if *quick {
+		if err := flag.Set("test.benchtime", "3x"); err != nil {
+			fmt.Fprintln(os.Stderr, "multiclust-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *stamp == "" {
+		*stamp = time.Now().UTC().Format("20060102T150405Z")
+	}
+	if *out == "" {
+		*out = "BENCH_" + *stamp + ".json"
+	}
+
+	rep, err := runSuite(*filter, *quick, *stamp, func(line string) { fmt.Fprintln(os.Stderr, line) })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "multiclust-bench:", err)
+		os.Exit(1)
+	}
+	if err := writeReport(rep, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "multiclust-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "multiclust-bench: wrote %s (%d workloads)\n", *out, len(rep.Workloads))
+
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "multiclust-bench:", err)
+			os.Exit(1)
+		}
+		if regressions := compare(base, rep, *threshold, *counterThreshold); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "multiclust-bench: REGRESSION:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "multiclust-bench: no regressions vs %s\n", *baseline)
+	}
+}

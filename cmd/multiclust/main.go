@@ -18,56 +18,132 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"multiclust"
+	"multiclust/internal/ops"
 )
 
 func main() {
 	var (
-		algo    = flag.String("algo", "taxonomy", "algorithm to run (see doc comment)")
-		in      = flag.String("in", "", "input CSV file (default: built-in toy dataset)")
-		header  = flag.Bool("header", true, "input CSV has a header row")
-		givenF  = flag.String("given", "", "file with one integer label per line (given clustering)")
-		k       = flag.Int("k", 2, "number of clusters (per solution)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		eps     = flag.Float64("eps", 0.1, "DBSCAN epsilon")
-		minPts  = flag.Int("minpts", 4, "DBSCAN minPts")
-		xi      = flag.Int("xi", 10, "grid intervals per dimension")
-		tau     = flag.Float64("tau", 0.1, "grid density threshold / significance")
-		workers = flag.Int("workers", 0, "worker goroutines for parallel hot paths (0 = MULTICLUST_WORKERS env, then GOMAXPROCS); results are identical for any value")
-		traceF  = flag.String("trace", "", "write a JSONL instrumentation trace of the run to this file (one JSON event per line)")
-		metrics = flag.Bool("metrics", false, "after the run, dump recorded counters/series in Prometheus text format to stdout")
+		algo       = flag.String("algo", "taxonomy", "algorithm to run (see doc comment)")
+		in         = flag.String("in", "", "input CSV file (default: built-in toy dataset)")
+		header     = flag.Bool("header", true, "input CSV has a header row")
+		givenF     = flag.String("given", "", "file with one integer label per line (given clustering)")
+		k          = flag.Int("k", 2, "number of clusters (per solution)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		eps        = flag.Float64("eps", 0.1, "DBSCAN epsilon")
+		minPts     = flag.Int("minpts", 4, "DBSCAN minPts")
+		xi         = flag.Int("xi", 10, "grid intervals per dimension")
+		tau        = flag.Float64("tau", 0.1, "grid density threshold / significance")
+		workers    = flag.Int("workers", 0, "worker goroutines for parallel hot paths (0 = MULTICLUST_WORKERS env, then GOMAXPROCS); results are identical for any value")
+		traceF     = flag.String("trace", "", "write a JSONL instrumentation trace of the run to this file (one JSON event per line)")
+		metrics    = flag.Bool("metrics", false, "after the run, dump recorded counters/series in Prometheus text format to stdout")
+		metricsOut = flag.String("metrics-out", "", "write the Prometheus dump to this file instead of stdout, keeping clustering output clean (implies -metrics)")
+		chromeF    = flag.String("chrome", "", "additionally convert the -trace JSONL into a Chrome trace-event file at this path (open in chrome://tracing); requires -trace")
+		serveAddr  = flag.String("serve", "", "serve live ops endpoints (/metrics, /spans, /healthz, /debug/pprof/) on this host:port during the run, then block until interrupted")
 	)
 	flag.Parse()
 	multiclust.SetWorkers(*workers)
 
-	cleanup, collector, err := setupObservability(*traceF, *metrics)
+	if *chromeF != "" && *traceF == "" {
+		fmt.Fprintln(os.Stderr, "multiclust: -chrome requires -trace")
+		os.Exit(1)
+	}
+	wantCollector := *metrics || *metricsOut != "" || *serveAddr != ""
+	cleanup, collector, err := setupObservability(*traceF, wantCollector)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "multiclust:", err)
 		os.Exit(1)
+	}
+
+	var handle *ops.Handle
+	if *serveAddr != "" {
+		handle, err = ops.Serve(*serveAddr, collector)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "multiclust:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "multiclust: ops endpoints at %s\n", handle.URL)
 	}
 
 	err = run(*algo, *in, *header, *givenF, *k, *seed, *eps, *minPts, *xi, *tau)
 	if cerr := cleanup(); err == nil {
 		err = cerr
 	}
+	if err == nil && *chromeF != "" {
+		err = writeChrome(*traceF, *chromeF)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "multiclust:", err)
 		os.Exit(1)
 	}
-	if collector != nil {
-		fmt.Println("--- metrics ---")
-		if err := collector.WriteProm(os.Stdout); err != nil {
+	if err := dumpMetrics(collector, *metrics, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "multiclust:", err)
+		os.Exit(1)
+	}
+	if handle != nil {
+		fmt.Fprintln(os.Stderr, "multiclust: run finished; ops endpoints stay up — interrupt (Ctrl-C) to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		if err := handle.Shutdown(context.Background()); err != nil {
 			fmt.Fprintln(os.Stderr, "multiclust:", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// dumpMetrics renders the collector after the run: to the -metrics-out
+// file when given, else to stdout when -metrics was passed (the historic
+// behaviour). A collector created only for -serve dumps nowhere.
+func dumpMetrics(collector *multiclust.Collector, toStdout bool, outFile string) error {
+	if collector == nil {
+		return nil
+	}
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		if err := collector.WriteProm(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if !toStdout {
+		return nil
+	}
+	fmt.Println("--- metrics ---")
+	return collector.WriteProm(os.Stdout)
+}
+
+// writeChrome converts the finished JSONL trace into the Chrome
+// trace-event format.
+func writeChrome(traceFile, chromeFile string) error {
+	in, err := os.Open(traceFile)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(chromeFile)
+	if err != nil {
+		return err
+	}
+	if err := multiclust.WriteChromeTrace(in, out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // setupObservability installs the recorders requested by -trace/-metrics

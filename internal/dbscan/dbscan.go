@@ -111,6 +111,8 @@ func RunGenericContext(ctx context.Context, n int, neighbors NeighborFunc, minPt
 		labels[i] = unvisited
 	}
 	rec := obs.From(ctx)
+	ctx, endSpan := obs.SpanCtx(ctx, rec, "dbscan.run")
+	defer endSpan()
 	var coreObjects, lookups int64
 	var interrupted error
 	clusterID := 0

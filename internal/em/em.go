@@ -96,7 +96,8 @@ func FitFromContext(ctx context.Context, points [][]float64, m *Model, cfg Confi
 		post[i] = make([]float64, k)
 	}
 	rec := obs.From(ctx)
-	defer obs.Span(rec, "em.fit")()
+	ctx, endSpan := obs.SpanCtx(ctx, rec, "em.fit")
+	defer endSpan()
 	prev := math.Inf(-1)
 	var ll float64
 	var interrupted error

@@ -73,7 +73,8 @@ func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, e
 		innerW = 1
 	}
 	rec := obs.From(ctx)
-	defer obs.Span(rec, "kmeans.run")()
+	ctx, endSpan := obs.SpanCtx(ctx, rec, "kmeans.run")
+	defer endSpan()
 	obs.Count(rec, "kmeans.restarts", int64(cfg.Restarts))
 	type restartOut struct {
 		res *Result

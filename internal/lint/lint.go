@@ -14,6 +14,8 @@
 //     never consults it (cancellation it can't observe)
 //   - obsnil:     no direct obs.Recorder method calls outside internal/obs
 //     (the nil-guarded helpers are what keep disabled instrumentation free)
+//   - spanend:    no span-open (obs.Span/obs.SpanCtx/StartSpan) whose end
+//     function is neither deferred nor called on every return path
 //
 // A finding can be suppressed with a directive comment on the offending
 // line or the line directly above it:
@@ -72,6 +74,7 @@ func All() []*Analyzer {
 		FloatKey(),
 		CtxPoll(),
 		ObsNil(),
+		SpanEnd(),
 	}
 }
 

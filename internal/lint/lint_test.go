@@ -115,6 +115,7 @@ func TestNakedGoFixture(t *testing.T)    { checkFixture(t, "nakedgo", NakedGo())
 func TestFloatKeyFixture(t *testing.T)   { checkFixture(t, "floatkey", FloatKey()) }
 func TestCtxPollFixture(t *testing.T)    { checkFixture(t, "ctxpoll", CtxPoll()) }
 func TestObsNilFixture(t *testing.T)     { checkFixture(t, "obsnil", ObsNil()) }
+func TestSpanEndFixture(t *testing.T)    { checkFixture(t, "spanend", SpanEnd()) }
 
 // internal/obs is the one package allowed to call Recorder methods
 // directly: its helpers and sinks ARE the guard. The real package must

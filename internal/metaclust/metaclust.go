@@ -87,7 +87,8 @@ func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, e
 	d := len(points[0])
 
 	rec := obs.From(ctx)
-	defer obs.Span(rec, "metaclust.run")()
+	ctx, endSpan := obs.SpanCtx(ctx, rec, "metaclust.run")
+	defer endSpan()
 	obs.Count(rec, "metaclust.base_solutions", int64(cfg.NumSolutions))
 
 	res := &Result{}
@@ -117,22 +118,29 @@ func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, e
 		clustering *core.Clustering
 		err        error
 	}
-	outs := parallel.Map(cfg.NumSolutions, workers, func(s int) genOut {
-		w := weights[s]
-		weighted := make([][]float64, n)
-		for i, p := range points {
-			row := make([]float64, d)
-			for j, v := range p {
-				row[j] = v * w[j]
+	// Phase span: the base-run fan-out. Each k-means run receives the
+	// generate-phase context, so its own span nests under
+	// metaclust.run/metaclust.generate in the trace tree.
+	outs := func() []genOut {
+		gctx, end := obs.SpanCtx(ctx, rec, "metaclust.generate")
+		defer end()
+		return parallel.Map(cfg.NumSolutions, workers, func(s int) genOut {
+			w := weights[s]
+			weighted := make([][]float64, n)
+			for i, p := range points {
+				row := make([]float64, d)
+				for j, v := range p {
+					row[j] = v * w[j]
+				}
+				weighted[i] = row
 			}
-			weighted[i] = row
-		}
-		km, err := kmeans.RunContext(ctx, weighted, kmeans.Config{K: cfg.K, Seed: seeds[s], Workers: innerW})
-		if km == nil {
-			return genOut{err: err}
-		}
-		return genOut{clustering: km.Clustering, err: err}
-	})
+			km, err := kmeans.RunContext(gctx, weighted, kmeans.Config{K: cfg.K, Seed: seeds[s], Workers: innerW})
+			if km == nil {
+				return genOut{err: err}
+			}
+			return genOut{clustering: km.Clustering, err: err}
+		})
+	}()
 	var interrupted error
 	for _, o := range outs {
 		if o.clustering == nil {
@@ -145,63 +153,73 @@ func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, e
 	}
 	res.Weights = weights
 
-	// Pairwise dissimilarity at the meta level; the triangular loop is
-	// sharded by row and the mean accumulated in row order afterwards.
-	m := len(res.Generated)
-	diss := make([][]float64, m)
-	var sum float64
-	var cnt int
-	for i := range diss {
-		diss[i] = make([]float64, m)
-	}
-	parallel.Each(m, workers, func(i int) {
-		for j := i + 1; j < m; j++ {
-			v := cfg.Diss(res.Generated[i], res.Generated[j])
-			diss[i][j], diss[j][i] = v, v
+	// Phase span: meta-level grouping — pairwise dissimilarities,
+	// agglomerative meta clustering, and representative (medoid)
+	// selection.
+	if err := func() error {
+		_, end := obs.SpanCtx(ctx, rec, "metaclust.group")
+		defer end()
+		// Pairwise dissimilarity at the meta level; the triangular loop is
+		// sharded by row and the mean accumulated in row order afterwards.
+		m := len(res.Generated)
+		diss := make([][]float64, m)
+		var sum float64
+		var cnt int
+		for i := range diss {
+			diss[i] = make([]float64, m)
 		}
-	})
-	for i := 0; i < m; i++ {
-		for j := i + 1; j < m; j++ {
-			sum += diss[i][j]
-			cnt++
-		}
-	}
-	if cnt > 0 {
-		res.MeanPairwise = sum / float64(cnt)
-	}
-
-	// Group solutions: average-link agglomerative over the meta distance.
-	// Each "point" is a solution index; the distance function looks up the
-	// precomputed matrix.
-	ids := make([][]float64, m)
-	for i := range ids {
-		ids[i] = []float64{float64(i)}
-	}
-	metaDist := dist.Func(func(a, b []float64) float64 { return diss[int(a[0])][int(b[0])] })
-	dg, err := hierarchical.Run(ids, metaDist, hierarchical.AverageLink)
-	if err != nil {
-		return nil, err
-	}
-	metaC, err := dg.Cut(cfg.MetaClusters)
-	if err != nil {
-		return nil, err
-	}
-	res.MetaLabels = metaC.Labels
-
-	// Representative of each meta cluster: the medoid (min summed Diss to
-	// the rest of its group).
-	for _, group := range metaC.Clusters() {
-		best, bestCost := group[0], -1.0
-		for _, i := range group {
-			var cost float64
-			for _, j := range group {
-				cost += diss[i][j]
+		parallel.Each(m, workers, func(i int) {
+			for j := i + 1; j < m; j++ {
+				v := cfg.Diss(res.Generated[i], res.Generated[j])
+				diss[i][j], diss[j][i] = v, v
 			}
-			if bestCost < 0 || cost < bestCost {
-				best, bestCost = i, cost
+		})
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				sum += diss[i][j]
+				cnt++
 			}
 		}
-		res.Representatives = append(res.Representatives, res.Generated[best])
+		if cnt > 0 {
+			res.MeanPairwise = sum / float64(cnt)
+		}
+
+		// Group solutions: average-link agglomerative over the meta distance.
+		// Each "point" is a solution index; the distance function looks up the
+		// precomputed matrix.
+		ids := make([][]float64, m)
+		for i := range ids {
+			ids[i] = []float64{float64(i)}
+		}
+		metaDist := dist.Func(func(a, b []float64) float64 { return diss[int(a[0])][int(b[0])] })
+		dg, err := hierarchical.Run(ids, metaDist, hierarchical.AverageLink)
+		if err != nil {
+			return err
+		}
+		metaC, err := dg.Cut(cfg.MetaClusters)
+		if err != nil {
+			return err
+		}
+		res.MetaLabels = metaC.Labels
+
+		// Representative of each meta cluster: the medoid (min summed Diss to
+		// the rest of its group).
+		for _, group := range metaC.Clusters() {
+			best, bestCost := group[0], -1.0
+			for _, i := range group {
+				var cost float64
+				for _, j := range group {
+					cost += diss[i][j]
+				}
+				if bestCost < 0 || cost < bestCost {
+					best, bestCost = i, cost
+				}
+			}
+			res.Representatives = append(res.Representatives, res.Generated[best])
+		}
+		return nil
+	}(); err != nil {
+		return nil, err
 	}
 	if rec != nil {
 		obs.Count(rec, "metaclust.representatives", int64(len(res.Representatives)))

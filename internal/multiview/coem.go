@@ -9,6 +9,7 @@
 package multiview
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -69,9 +70,14 @@ func CoEM(viewA, viewB [][]float64, cfg CoEMConfig) (*CoEMResult, error) {
 		cfg.Tol = 1e-6
 	}
 
+	rec := obs.Default()
+	ctx, endSpan := obs.SpanCtx(context.Background(), rec, "coem.run")
+	defer endSpan()
+
 	// Initialize view A with a short plain EM fit; view B starts from A's
-	// posteriors (the bootstrap step).
-	initA, err := em.Fit(viewA, em.Config{K: cfg.K, Seed: cfg.Seed, MaxIter: 10, MinVar: cfg.MinVar})
+	// posteriors (the bootstrap step). The span context nests the
+	// bootstrap's em.fit under coem.run.
+	initA, err := em.FitContext(ctx, viewA, em.Config{K: cfg.K, Seed: cfg.Seed, MaxIter: 10, MinVar: cfg.MinVar})
 	if err != nil {
 		return nil, err
 	}
@@ -83,30 +89,34 @@ func CoEM(viewA, viewB [][]float64, cfg CoEMConfig) (*CoEMResult, error) {
 	}
 	modelB := em.RandomModel(viewB, cfg.K, cfg.Seed+1)
 
-	rec := obs.Default()
-	defer obs.Span(rec, "coem.run")()
 	res := &CoEMResult{}
 	prevLL := math.Inf(-1)
 	for iter := 0; iter < cfg.MaxIter; iter++ {
-		// View B: maximize with A's posteriors, then expectation in B.
-		em.MStep(viewB, postA, modelB, cfg.MinVar)
-		llB := em.EStep(viewB, modelB, postB, cfg.MinVar)
-		// View A: maximize with B's posteriors, then expectation in A.
-		em.MStep(viewA, postB, modelA, cfg.MinVar)
-		llA := em.EStep(viewA, modelA, postA, cfg.MinVar)
+		// Phase span: one interleaved round, nested under coem.run so the
+		// trace tree exposes the per-round cost.
+		combined := func() float64 {
+			_, end := obs.SpanCtx(ctx, rec, "coem.round")
+			defer end()
+			// View B: maximize with A's posteriors, then expectation in B.
+			em.MStep(viewB, postA, modelB, cfg.MinVar)
+			llB := em.EStep(viewB, modelB, postB, cfg.MinVar)
+			// View A: maximize with B's posteriors, then expectation in A.
+			em.MStep(viewA, postB, modelA, cfg.MinVar)
+			llA := em.EStep(viewA, modelA, postA, cfg.MinVar)
 
-		res.History = append(res.History, CoEMIteration{
-			LogLikA:   llA,
-			LogLikB:   llB,
-			Agreement: agreement(postA, postB),
-		})
-		if rec != nil {
-			obs.Count(rec, "coem.rounds", 1)
-			obs.Observe(rec, "coem.agreement", iter, res.History[iter].Agreement)
-			obs.Observe(rec, "coem.loglik_a", iter, llA)
-			obs.Observe(rec, "coem.loglik_b", iter, llB)
-		}
-		combined := llA + llB
+			res.History = append(res.History, CoEMIteration{
+				LogLikA:   llA,
+				LogLikB:   llB,
+				Agreement: agreement(postA, postB),
+			})
+			if rec != nil {
+				obs.Count(rec, "coem.rounds", 1)
+				obs.Observe(rec, "coem.agreement", iter, res.History[iter].Agreement)
+				obs.Observe(rec, "coem.loglik_a", iter, llA)
+				obs.Observe(rec, "coem.loglik_b", iter, llB)
+			}
+			return llA + llB
+		}()
 		if math.Abs(combined-prevLL) <= cfg.Tol*(1+math.Abs(combined)) {
 			res.Converged = true
 			break

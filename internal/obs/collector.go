@@ -35,6 +35,8 @@ type Collector struct {
 	gauges   map[string]float64
 	series   map[string][]Sample
 	spans    map[string]SpanStat
+	tree     map[string]SpanStat // keyed by slash-joined root→leaf name path
+	active   map[SpanID]string   // live span id → its full path
 }
 
 // NewCollector returns an empty Collector ready for use.
@@ -44,6 +46,8 @@ func NewCollector() *Collector {
 		gauges:   map[string]float64{},
 		series:   map[string][]Sample{},
 		spans:    map[string]SpanStat{},
+		tree:     map[string]SpanStat{},
+		active:   map[SpanID]string{},
 	}
 }
 
@@ -68,16 +72,39 @@ func (c *Collector) Observe(name string, iter int, v float64) {
 	c.mu.Unlock()
 }
 
-// StartSpan implements Recorder.
-func (c *Collector) StartSpan(name string) func() {
+// StartSpan implements Recorder. The span is aggregated twice: under its
+// bare name (back-compatible flat view, Snapshot.Spans) and under its
+// slash-joined root→leaf path (hierarchical view, Snapshot.Tree). The
+// path is resolved at open time from the live parent, so a child whose
+// parent has already ended — or whose parent id is 0/unknown — roots a
+// fresh subtree. Counts are additive and paths depend only on the
+// open-time ancestry, so the tree is scheduling-independent for any
+// worker count once Totals are stripped.
+func (c *Collector) StartSpan(name string, id, parent SpanID) func() {
+	c.mu.Lock()
+	path := name
+	if pp, ok := c.active[parent]; parent != 0 && ok {
+		path = pp + "/" + name
+	}
+	if id != 0 {
+		c.active[id] = path
+	}
+	c.mu.Unlock()
 	start := time.Now()
 	return func() {
 		elapsed := time.Since(start)
 		c.mu.Lock()
+		if id != 0 {
+			delete(c.active, id)
+		}
 		s := c.spans[name]
 		s.Count++
 		s.Total += elapsed
 		c.spans[name] = s
+		ts := c.tree[path]
+		ts.Count++
+		ts.Total += elapsed
+		c.tree[path] = ts
 		c.mu.Unlock()
 	}
 }
@@ -89,6 +116,8 @@ func (c *Collector) Reset() {
 	c.gauges = map[string]float64{}
 	c.series = map[string][]Sample{}
 	c.spans = map[string]SpanStat{}
+	c.tree = map[string]SpanStat{}
+	c.active = map[SpanID]string{}
 	c.mu.Unlock()
 }
 
@@ -122,12 +151,17 @@ func (c *Collector) Series(name string) []Sample {
 	return out
 }
 
-// Snapshot is a deep, deterministic copy of a Collector's state.
+// Snapshot is a deep, deterministic copy of a Collector's state. Spans
+// holds the flat per-name aggregation; Tree holds the same spans keyed
+// by their slash-joined root→leaf name path (e.g.
+// "metaclust.run/metaclust.generate/kmeans.run"), reconstructing the
+// call hierarchy.
 type Snapshot struct {
 	Counters map[string]int64
 	Gauges   map[string]float64
 	Series   map[string][]Sample
 	Spans    map[string]SpanStat
+	Tree     map[string]SpanStat
 }
 
 // Snapshot copies the recorded state. Series are sorted by (iter, value);
@@ -141,6 +175,7 @@ func (c *Collector) Snapshot() Snapshot {
 		Gauges:   make(map[string]float64, len(c.gauges)),
 		Series:   make(map[string][]Sample, len(c.series)),
 		Spans:    make(map[string]SpanStat, len(c.spans)),
+		Tree:     make(map[string]SpanStat, len(c.tree)),
 	}
 	for k, v := range c.counters {
 		snap.Counters[k] = v
@@ -157,6 +192,9 @@ func (c *Collector) Snapshot() Snapshot {
 	for k, v := range c.spans {
 		snap.Spans[k] = v
 	}
+	for k, v := range c.tree {
+		snap.Tree[k] = v
+	}
 	return snap
 }
 
@@ -169,9 +207,32 @@ func (s Snapshot) StripTimings() Snapshot {
 	for k, v := range s.Spans {
 		spans[k] = SpanStat{Count: v.Count}
 	}
+	tree := make(map[string]SpanStat, len(s.Tree))
+	for k, v := range s.Tree {
+		tree[k] = SpanStat{Count: v.Count}
+	}
 	out := s
 	out.Spans = spans
+	out.Tree = tree
 	return out
+}
+
+// WriteSpanTree renders the hierarchical span aggregation as an indented
+// text tree, two spaces per depth level, one `name count=N total=D` line
+// per path. Paths are sorted lexicographically; '/' sorts before every
+// identifier character, so a parent's whole subtree renders contiguously
+// beneath it. The output is deterministic for a StripTimings snapshot.
+func (s Snapshot) WriteSpanTree(w io.Writer) error {
+	var b strings.Builder
+	for _, path := range sortedKeys(s.Tree) {
+		st := s.Tree[path]
+		depth := strings.Count(path, "/")
+		name := path[strings.LastIndex(path, "/")+1:]
+		fmt.Fprintf(&b, "%s%s count=%d total=%s\n",
+			strings.Repeat("  ", depth), name, st.Count, st.Total)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // WriteProm renders the snapshot in the Prometheus text exposition style:

@@ -22,10 +22,22 @@
 // explicit recorder in the context (NewContext / facade WithRecorder)
 // wins, else the process-wide default (SetDefault / facade SetRecorder),
 // else nil (disabled).
+//
+// Spans form a tree. Every span instance carries a process-unique SpanID
+// and its parent's id; SpanCtx threads the current id through a
+// context.Context so multi-stage algorithms (meta-clustering base runs,
+// co-EM rounds, subspace lattice levels) nest their phases under the
+// enclosing operation. SpanCtx also applies runtime/pprof goroutine
+// labels ("algo", "phase") derived from the span name, so CPU profiles
+// taken while a span is open attribute their samples to the algorithm
+// phase; internal/parallel workers inherit the labels of the goroutine
+// that spawned them, so fanned-out shards are attributed to the phase
+// that dispatched them.
 package obs
 
 import (
 	"context"
+	"runtime/pprof"
 	"sync/atomic"
 )
 
@@ -43,9 +55,25 @@ type Recorder interface {
 	// per k-means iteration or log-likelihood per EM iteration.
 	Observe(name string, iter int, v float64)
 	// StartSpan opens a named timed region and returns the function that
-	// closes it. Implementations record count and total duration.
-	StartSpan(name string) func()
+	// closes it. Implementations record count and total duration. id
+	// identifies this span instance (0 when the caller does not track
+	// identity) and parent is the id of the enclosing span (0 for a
+	// root), letting implementations reconstruct the span tree. Callers
+	// outside this package use the Span/SpanCtx helpers, which allocate
+	// ids from NewSpanID.
+	StartSpan(name string, id, parent SpanID) func()
 }
+
+// SpanID identifies one live span instance for parent/child attribution.
+// Ids are process-unique (drawn from NewSpanID) so a Tee'd recorder set
+// sees one consistent id per span; 0 means "no span" and is never
+// returned by NewSpanID.
+type SpanID uint64
+
+var spanIDs atomic.Uint64
+
+// NewSpanID returns the next process-unique span instance id (never 0).
+func NewSpanID() SpanID { return SpanID(spanIDs.Add(1)) }
 
 // noopEnd is the shared span terminator for the disabled path, so
 // Span(nil, ...) never allocates a closure.
@@ -72,14 +100,73 @@ func Observe(rec Recorder, name string, iter int, v float64) {
 	}
 }
 
-// Span opens a timed region on rec and returns its end function. When rec
-// is nil it returns a shared no-op, so the disabled path allocates
-// nothing.
+// Span opens a timed root region on rec and returns its end function.
+// When rec is nil it returns a shared no-op, so the disabled path
+// allocates nothing. Use SpanCtx instead when the span should nest under
+// an enclosing one or when pprof attribution is wanted.
 func Span(rec Recorder, name string) func() {
 	if rec == nil {
 		return noopEnd
 	}
-	return rec.StartSpan(name)
+	return rec.StartSpan(name, NewSpanID(), 0)
+}
+
+// spanKey is the context key carrying the current span's id.
+type spanKey struct{}
+
+// SpanFromContext returns the span id carried by ctx (0 when no span is
+// open on this call path).
+func SpanFromContext(ctx context.Context) SpanID {
+	if ctx == nil {
+		return 0
+	}
+	id, _ := ctx.Value(spanKey{}).(SpanID)
+	return id
+}
+
+// SpanCtx opens a named span as a child of the span carried by ctx and
+// returns a derived context (carrying the new span id, for deeper
+// nesting) plus the end function. It also applies runtime/pprof
+// goroutine labels — algo is the span name up to its last dot, phase the
+// part after it — so CPU profile samples taken inside the span are
+// attributable to the algorithm phase; the end function restores the
+// caller's labels. Goroutines spawned inside the span (internal/parallel
+// workers) inherit the labels automatically. When rec is nil it returns
+// ctx unchanged and a shared no-op end — zero allocations, preserving
+// the disabled-path contract.
+func SpanCtx(ctx context.Context, rec Recorder, name string) (context.Context, func()) {
+	if rec == nil {
+		return ctx, noopEnd
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	id := NewSpanID()
+	end := rec.StartSpan(name, id, SpanFromContext(ctx))
+	algo, phase := splitSpanName(name)
+	lctx := pprof.WithLabels(context.WithValue(ctx, spanKey{}, id),
+		pprof.Labels("algo", algo, "phase", phase))
+	pprof.SetGoroutineLabels(lctx)
+	return lctx, func() {
+		end()
+		// Restore the labels the caller's goroutine had before the span
+		// opened. Spans end on the goroutine that started them (the end
+		// function is deferred in the opening frame — enforced by the
+		// spanend lint rule), so this resets exactly the right goroutine.
+		pprof.SetGoroutineLabels(ctx)
+	}
+}
+
+// splitSpanName maps "kmeans.run" to ("kmeans", "run") and
+// "subspace.grid.level" to ("subspace.grid", "level"); a name without a
+// dot is both algo and phase.
+func splitSpanName(name string) (algo, phase string) {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[:i], name[i+1:]
+		}
+	}
+	return name, name
 }
 
 // holder wraps the default recorder so atomic.Value tolerates differing
@@ -170,10 +257,10 @@ func (m multiRecorder) Observe(name string, iter int, v float64) {
 	}
 }
 
-func (m multiRecorder) StartSpan(name string) func() {
+func (m multiRecorder) StartSpan(name string, id, parent SpanID) func() {
 	ends := make([]func(), len(m))
 	for i, r := range m {
-		ends[i] = r.StartSpan(name)
+		ends[i] = r.StartSpan(name, id, parent)
 	}
 	return func() {
 		// Close in reverse order so nesting semantics match defer.

@@ -29,6 +29,10 @@ func TestNilRecorderPathDoesNotAllocate(t *testing.T) {
 		"gauge":   func() { Gauge(nil, "metaclust.mean_pairwise", 0.5) },
 		"observe": func() { Observe(nil, "kmeans.sse", 3, 12.5) },
 		"span":    func() { Span(nil, "kmeans.run")() },
+		"spanctx": func() {
+			_, end := SpanCtx(ctx, nil, "kmeans.run")
+			end()
+		},
 		"from":    func() { From(ctx) },
 		"default": func() { Default() },
 	}
@@ -46,7 +50,7 @@ func TestCollectorRecordsAndSnapshots(t *testing.T) {
 	c.Gauge("g", 1.25)
 	c.Observe("s", 1, 10)
 	c.Observe("s", 0, 20)
-	end := c.StartSpan("sp")
+	end := c.StartSpan("sp", NewSpanID(), 0)
 	end()
 
 	if got := c.Counter("a.b"); got != 5 {
@@ -91,7 +95,7 @@ func TestWritePromDeterministicAndSanitised(t *testing.T) {
 	c.Gauge("EM.LogLik", -12.5)
 	c.Observe("kmeans.sse", 0, 100)
 	c.Observe("kmeans.sse", 1, 60)
-	c.StartSpan("kmeans.run")()
+	c.StartSpan("kmeans.run", NewSpanID(), 0)()
 
 	var a, b strings.Builder
 	if err := c.WriteProm(&a); err != nil {
@@ -121,13 +125,16 @@ func TestWritePromDeterministicAndSanitised(t *testing.T) {
 func TestStripTimingsZeroesOnlySpanDurations(t *testing.T) {
 	c := NewCollector()
 	c.Count("n", 1)
-	c.StartSpan("sp")()
+	c.StartSpan("sp", NewSpanID(), 0)()
 	s := c.Snapshot().StripTimings()
 	if s.Spans["sp"].Total != 0 {
 		t.Error("StripTimings left a nonzero span total")
 	}
 	if s.Spans["sp"].Count != 1 || s.Counters["n"] != 1 {
 		t.Error("StripTimings touched deterministic fields")
+	}
+	if s.Tree["sp"].Total != 0 || s.Tree["sp"].Count != 1 {
+		t.Error("StripTimings mishandled the span tree")
 	}
 }
 
@@ -172,7 +179,7 @@ func TestTee(t *testing.T) {
 	m.Count("n", 4)
 	m.Gauge("g", 1)
 	m.Observe("s", 0, 2)
-	m.StartSpan("sp")()
+	m.StartSpan("sp", NewSpanID(), 0)()
 	for i, cc := range []*Collector{c, c2} {
 		if cc.Counter("n") != 4 || len(cc.Series("s")) != 1 {
 			t.Errorf("recorder %d missed teed events", i)
@@ -189,7 +196,7 @@ func TestTraceWriterEmitsJSONL(t *testing.T) {
 	tw.Count("a", 2)
 	tw.Gauge("g", 0.5)
 	tw.Observe("s", 3, 1.5)
-	tw.StartSpan("sp")()
+	tw.StartSpan("sp", 7, 3)()
 	if err := tw.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +208,7 @@ func TestTraceWriterEmitsJSONL(t *testing.T) {
 		`{"type":"count","name":"a","delta":2}`,
 		`{"type":"gauge","name":"g","value":0.5}`,
 		`{"type":"observe","name":"s","iter":3,"value":1.5}`,
-		`{"type":"span","name":"sp","dur_ns":`,
+		`{"type":"span","name":"sp","id":7,"parent":3,"t_us":`,
 	}
 	for i, w := range wants {
 		if !strings.HasPrefix(lines[i], strings.TrimSuffix(w, "}")) {

@@ -5,6 +5,8 @@
 package obs_test
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -22,7 +24,7 @@ func hammer(c *obs.Collector, workers int) {
 		c.Count("hammer.tasks", 1)
 		c.Count("hammer.weighted", int64(i%7))
 		c.Observe("hammer.series", i, float64(i*i%101))
-		end := c.StartSpan("hammer.span")
+		end := c.StartSpan("hammer.span", obs.NewSpanID(), 0)
 		c.Gauge("hammer.fixed", 42)
 		end()
 	})
@@ -73,7 +75,7 @@ func TestCollectorConcurrentSnapshot(t *testing.T) {
 			var sb strings.Builder
 			_ = c.WriteProm(&sb)
 		}
-		c.StartSpan(fmt.Sprintf("span.%d", i%3))()
+		c.StartSpan(fmt.Sprintf("span.%d", i%3), obs.NewSpanID(), 0)()
 	})
 	if c.Counter("n") != 200 {
 		t.Fatalf("n = %d, want 200", c.Counter("n"))
@@ -107,6 +109,66 @@ func TestTraceWriterConcurrent(t *testing.T) {
 	for _, l := range lines {
 		if !strings.HasPrefix(l, `{"type":`) || !strings.HasSuffix(l, "}") {
 			t.Fatalf("torn trace line: %q", l)
+		}
+	}
+}
+
+// Concurrent span emission through the TraceWriter: lines may land in
+// any order (a parent's line follows its children's), but every line
+// must be intact JSON, span ids must be unique, and every child's parent
+// field must resolve to the shared root — the invariants offline
+// consumers (WriteChromeTrace) rebuild the tree from.
+func TestTraceWriterConcurrentSpanOrdering(t *testing.T) {
+	var sb syncBuilder
+	tw := obs.NewTraceWriter(&sb)
+	ctx, endRoot := obs.SpanCtx(context.Background(), tw, "root.run")
+	parallel.Each(64, 8, func(i int) {
+		_, end := obs.SpanCtx(ctx, tw, "child.work")
+		end()
+	})
+	endRoot()
+	if err := tw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	type line struct {
+		Type   string `json:"type"`
+		Name   string `json:"name"`
+		ID     uint64 `json:"id"`
+		Parent uint64 `json:"parent"`
+	}
+	var rootID uint64
+	ids := map[uint64]bool{}
+	var children []line
+	for _, raw := range strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n") {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("torn or invalid trace line %q: %v", raw, err)
+		}
+		if l.Type != "span" {
+			t.Fatalf("unexpected event type %q", l.Type)
+		}
+		if ids[l.ID] {
+			t.Fatalf("duplicate span id %d", l.ID)
+		}
+		ids[l.ID] = true
+		switch l.Name {
+		case "root.run":
+			rootID = l.ID
+		case "child.work":
+			children = append(children, l)
+		default:
+			t.Fatalf("unexpected span name %q", l.Name)
+		}
+	}
+	if rootID == 0 {
+		t.Fatal("root span line missing")
+	}
+	if len(children) != 64 {
+		t.Fatalf("got %d child spans, want 64", len(children))
+	}
+	for _, c := range children {
+		if c.Parent != rootID {
+			t.Fatalf("child span parent = %d, want root id %d", c.Parent, rootID)
 		}
 	}
 }

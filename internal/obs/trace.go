@@ -12,18 +12,21 @@ import (
 // TraceWriter is a Recorder that streams every event to w as one JSON
 // object per line (JSONL), suitable for `cmd/multiclust -trace out.jsonl`
 // and offline analysis. Events are written in arrival order under a
-// mutex; span events carry their wall-clock duration in dur_ns. The first
-// write error is retained (and all later events dropped) — check Err()
-// after the run.
+// mutex; span events carry their instance id, parent id, start offset
+// from writer creation (t_us, microseconds) and wall-clock duration
+// (dur_ns), enough to reconstruct the span tree offline or convert it
+// with WriteChromeTrace. The first write error is retained (and all
+// later events dropped) — check Err() after the run.
 type TraceWriter struct {
-	mu  sync.Mutex
-	w   io.Writer
-	err error
+	mu    sync.Mutex
+	w     io.Writer
+	err   error
+	start time.Time
 }
 
 // NewTraceWriter wraps w. The caller owns buffering and closing of w.
 func NewTraceWriter(w io.Writer) *TraceWriter {
-	return &TraceWriter{w: w}
+	return &TraceWriter{w: w, start: time.Now()}
 }
 
 // Count implements Recorder.
@@ -42,12 +45,17 @@ func (t *TraceWriter) Observe(name string, iter int, v float64) {
 		`,"iter":` + strconv.Itoa(iter) + `,"value":` + jsonFloat(v) + "}\n")
 }
 
-// StartSpan implements Recorder.
-func (t *TraceWriter) StartSpan(name string) func() {
-	start := time.Now()
+// StartSpan implements Recorder. The event line is emitted when the span
+// ends, so a parent's line follows its children's; consumers rebuild the
+// tree from the id/parent fields, not from line order.
+func (t *TraceWriter) StartSpan(name string, id, parent SpanID) func() {
+	spanStart := time.Now()
 	return func() {
 		t.emit(`{"type":"span","name":` + strconv.Quote(name) +
-			`,"dur_ns":` + strconv.FormatInt(time.Since(start).Nanoseconds(), 10) + "}\n")
+			`,"id":` + strconv.FormatUint(uint64(id), 10) +
+			`,"parent":` + strconv.FormatUint(uint64(parent), 10) +
+			`,"t_us":` + strconv.FormatInt(spanStart.Sub(t.start).Microseconds(), 10) +
+			`,"dur_ns":` + strconv.FormatInt(time.Since(spanStart).Nanoseconds(), 10) + "}\n")
 	}
 }
 

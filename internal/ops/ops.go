@@ -1,0 +1,116 @@
+// Package ops serves multiclust's live operational surface over a stdlib
+// http.Server: Prometheus metrics from an obs.Collector, the span tree,
+// the standard pprof debug endpoints, and a health probe. Both CLIs
+// expose it behind a `-serve addr` flag so a long sweep can be profiled
+// and watched while it runs.
+//
+// Endpoints:
+//
+//	/metrics        Collector.WriteProm output (text exposition format),
+//	                byte-identical to the CLI's -metrics dump of the
+//	                same state
+//	/spans          the hierarchical span tree (Snapshot.WriteSpanTree)
+//	/healthz        "ok" with process uptime
+//	/debug/pprof/   index, profile, heap, goroutine, cmdline, symbol,
+//	                trace — the net/http/pprof handler set
+package ops
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"multiclust/internal/obs"
+)
+
+// NewMux routes the ops endpoints. col may be nil, in which case
+// /metrics and /spans report 503 Service Unavailable (the pprof and
+// health endpoints still work).
+func NewMux(col *obs.Collector) *http.ServeMux {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok uptime_s=%.0f\n", time.Since(start).Seconds())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if col == nil {
+			http.Error(w, "no collector installed", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := col.WriteProm(w); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		if col == nil {
+			http.Error(w, "no collector installed", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = col.Snapshot().WriteSpanTree(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// NewServer wraps the ops mux in an http.Server with conservative
+// timeouts. WriteTimeout stays 0 because /debug/pprof/profile streams
+// for its `seconds` parameter (30s default) and a write deadline would
+// truncate the profile; slow-loris exposure is bounded by
+// ReadHeaderTimeout and IdleTimeout instead.
+func NewServer(addr string, col *obs.Collector) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           NewMux(col),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// Handle is a running ops server; Shutdown stops it gracefully.
+type Handle struct {
+	URL string // http://host:port with the bound (possibly ephemeral) port
+	srv *http.Server
+	err chan error
+}
+
+// Serve binds addr (host:port; port 0 picks an ephemeral port) and
+// serves the ops endpoints in a background goroutine until Shutdown.
+func Serve(addr string, col *obs.Collector) (*Handle, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops: listen %s: %w", addr, err)
+	}
+	h := &Handle{
+		URL: "http://" + ln.Addr().String(),
+		srv: NewServer(ln.Addr().String(), col),
+		err: make(chan error, 1),
+	}
+	//lint:ignore nakedgo HTTP accept loop is I/O lifecycle, not compute; it never touches algorithm state, so the determinism contract is unaffected
+	go func() { h.err <- h.srv.Serve(ln) }()
+	return h, nil
+}
+
+// Shutdown stops accepting connections and waits (bounded by ctx) for
+// in-flight requests, then reports any serve-loop error other than the
+// expected http.ErrServerClosed.
+func (h *Handle) Shutdown(ctx context.Context) error {
+	if err := h.srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("ops: shutdown: %w", err)
+	}
+	if err := <-h.err; err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("ops: serve: %w", err)
+	}
+	return nil
+}

@@ -24,6 +24,13 @@
 // panic is the one from the LOWEST panicking index regardless of worker
 // count or scheduling. TryEach/TryMap give the same guarantee for ordinary
 // errors.
+//
+// Profiling attribution: worker goroutines inherit the runtime/pprof
+// labels of the goroutine that called For/Each/Map (the Go runtime copies
+// labels to spawned goroutines), so when a caller opens an obs.SpanCtx
+// span — which applies algo/phase labels — CPU samples taken inside the
+// fanned-out shards are attributed to the phase that dispatched them. No
+// code here touches labels; the guarantee is inheritance.
 package parallel
 
 import (

@@ -172,7 +172,8 @@ func RunAffinity(w *linalg.Matrix, k int, seed int64, sigma float64) (*Result, e
 // RunAffinityContext is RunAffinity with cancellation; see RunContext.
 func RunAffinityContext(ctx context.Context, w *linalg.Matrix, k int, seed int64, sigma float64) (*Result, error) {
 	rec := obs.From(ctx)
-	defer obs.Span(rec, "spectral.run")()
+	ctx, endSpan := obs.SpanCtx(ctx, rec, "spectral.run")
+	defer endSpan()
 	obs.Count(rec, "spectral.embeddings", 1)
 	emb, eerr := EmbedContext(ctx, w, k)
 	if emb == nil {

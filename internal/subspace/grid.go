@@ -7,6 +7,7 @@
 package subspace
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -69,27 +70,36 @@ func denseUnits(points [][]float64, cfg gridConfig) ([]Unit, GridStats, error) {
 		return c
 	}
 
+	// The lattice search is serial, so per-level observations land in
+	// deterministic order; obs.Default is resolved once because the miners
+	// have no context parameter. The root span wraps the whole bottom-up
+	// search, with one child span per lattice level — the level count is a
+	// pure function of the data, so the span tree is deterministic.
+	rec := obs.Default()
+	ctx, endSpan := obs.SpanCtx(context.Background(), rec, "subspace.grid.search")
+	defer endSpan()
+
 	// Level 1: one pass over the data per dimension.
 	var all []Unit
 	level := make(map[string]*Unit)
-	for j := 0; j < d; j++ {
-		buckets := make([][]int, cfg.Xi)
-		for i, p := range points {
-			b := interval(p[j], cfg.Xi)
-			buckets[b] = append(buckets[b], i)
-		}
-		for b, objs := range buckets {
-			stats.CandidatesGenerated++
-			if len(objs) >= minCount(1) {
-				u := &Unit{Dims: []int{j}, Intervals: []int{b}, Objects: objs}
-				level[unitKey(u.Dims, u.Intervals)] = u
+	func() {
+		_, end := obs.SpanCtx(ctx, rec, "subspace.grid.level")
+		defer end()
+		for j := 0; j < d; j++ {
+			buckets := make([][]int, cfg.Xi)
+			for i, p := range points {
+				b := interval(p[j], cfg.Xi)
+				buckets[b] = append(buckets[b], i)
+			}
+			for b, objs := range buckets {
+				stats.CandidatesGenerated++
+				if len(objs) >= minCount(1) {
+					u := &Unit{Dims: []int{j}, Intervals: []int{b}, Objects: objs}
+					level[unitKey(u.Dims, u.Intervals)] = u
+				}
 			}
 		}
-	}
-	// The lattice search is serial, so per-level observations land in
-	// deterministic order; obs.Default is resolved once because the miners
-	// have no context parameter.
-	rec := obs.Default()
+	}()
 	appendLevel(&all, level, &stats)
 	observeLevel(rec, 1, stats, GridStats{})
 	prev := level
@@ -97,37 +107,41 @@ func denseUnits(points [][]float64, cfg gridConfig) ([]Unit, GridStats, error) {
 	for s := 2; s <= cfg.MaxDim && len(prev) > 1; s++ {
 		before := stats
 		cur := make(map[string]*Unit)
-		units := make([]*Unit, 0, len(prev))
-		for _, u := range prev {
-			units = append(units, u)
-		}
-		sort.Slice(units, func(i, j int) bool {
-			return unitKey(units[i].Dims, units[i].Intervals) < unitKey(units[j].Dims, units[j].Intervals)
-		})
-		mc := minCount(s)
-		for i := 0; i < len(units); i++ {
-			for j := i + 1; j < len(units); j++ {
-				a, b := units[i], units[j]
-				if !joinable(a, b) {
-					continue
-				}
-				dims, ivals := joinUnit(a, b)
-				key := unitKey(dims, ivals)
-				if _, seen := cur[key]; seen {
-					continue
-				}
-				// Apriori prune: every (s-1)-subunit must be dense.
-				if !allSubunitsDense(dims, ivals, prev) {
-					stats.CandidatesPruned++
-					continue
-				}
-				stats.CandidatesGenerated++
-				objs := intersectSorted(a.Objects, b.Objects)
-				if len(objs) >= mc {
-					cur[key] = &Unit{Dims: dims, Intervals: ivals, Objects: objs}
+		func() {
+			_, end := obs.SpanCtx(ctx, rec, "subspace.grid.level")
+			defer end()
+			units := make([]*Unit, 0, len(prev))
+			for _, u := range prev {
+				units = append(units, u)
+			}
+			sort.Slice(units, func(i, j int) bool {
+				return unitKey(units[i].Dims, units[i].Intervals) < unitKey(units[j].Dims, units[j].Intervals)
+			})
+			mc := minCount(s)
+			for i := 0; i < len(units); i++ {
+				for j := i + 1; j < len(units); j++ {
+					a, b := units[i], units[j]
+					if !joinable(a, b) {
+						continue
+					}
+					dims, ivals := joinUnit(a, b)
+					key := unitKey(dims, ivals)
+					if _, seen := cur[key]; seen {
+						continue
+					}
+					// Apriori prune: every (s-1)-subunit must be dense.
+					if !allSubunitsDense(dims, ivals, prev) {
+						stats.CandidatesPruned++
+						continue
+					}
+					stats.CandidatesGenerated++
+					objs := intersectSorted(a.Objects, b.Objects)
+					if len(objs) >= mc {
+						cur[key] = &Unit{Dims: dims, Intervals: ivals, Objects: objs}
+					}
 				}
 			}
-		}
+		}()
 		appendLevel(&all, cur, &stats)
 		observeLevel(rec, s, stats, before)
 		prev = cur

@@ -1,6 +1,7 @@
 package subspace
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -50,6 +51,15 @@ func Subclu(points [][]float64, cfg SubcluConfig) (*SubcluResult, error) {
 	}
 	res := &SubcluResult{}
 
+	// The apriori walk over subspaces is serial; the per-level examined
+	// counts trace how hard the anti-monotonicity prune is working. The
+	// root span wraps the whole walk with one child span per lattice
+	// level, and each DBSCAN run receives the level's context so its own
+	// span nests beneath the level that dispatched it.
+	rec := obs.Default()
+	ctx, endSpan := obs.SpanCtx(context.Background(), rec, "subspace.subclu.search")
+	defer endSpan()
+
 	// level[subspaceKey] = clusters (object sets) found in that subspace.
 	level := map[string]*subInfo{}
 
@@ -62,7 +72,7 @@ func Subclu(points [][]float64, cfg SubcluConfig) (*SubcluResult, error) {
 		return cfg.MinPts
 	}
 
-	runDBSCAN := func(dims []int, candidates []int) [][]int {
+	runDBSCAN := func(ctx context.Context, dims []int, candidates []int) [][]int {
 		// Cluster only the candidate objects, measuring distance in the
 		// subspace. Candidate indices are into `points`.
 		sub := make([][]float64, len(candidates))
@@ -73,7 +83,7 @@ func Subclu(points [][]float64, cfg SubcluConfig) (*SubcluResult, error) {
 			}
 			sub[i] = row
 		}
-		c, err := dbscan.Run(sub, dist.Euclidean, dbscan.Config{Eps: cfg.Eps, MinPts: minPtsAt(len(dims))})
+		c, err := dbscan.RunContext(ctx, sub, dist.Euclidean, dbscan.Config{Eps: cfg.Eps, MinPts: minPtsAt(len(dims))})
 		if err != nil {
 			return nil
 		}
@@ -93,58 +103,63 @@ func Subclu(points [][]float64, cfg SubcluConfig) (*SubcluResult, error) {
 	for i := range allObjects {
 		allObjects[i] = i
 	}
-	for j := 0; j < d; j++ {
-		res.SubspacesExamined++
-		clusters := runDBSCAN([]int{j}, allObjects)
-		if len(clusters) > 0 {
-			level[fmt.Sprint([]int{j})] = &subInfo{dims: []int{j}, clusters: clusters}
-			res.SubspacesWithClust++
-			for _, c := range clusters {
-				res.Clusters = append(res.Clusters, core.NewSubspaceCluster(c, []int{j}))
+	func() {
+		lctx, end := obs.SpanCtx(ctx, rec, "subspace.subclu.level")
+		defer end()
+		for j := 0; j < d; j++ {
+			res.SubspacesExamined++
+			clusters := runDBSCAN(lctx, []int{j}, allObjects)
+			if len(clusters) > 0 {
+				level[fmt.Sprint([]int{j})] = &subInfo{dims: []int{j}, clusters: clusters}
+				res.SubspacesWithClust++
+				for _, c := range clusters {
+					res.Clusters = append(res.Clusters, core.NewSubspaceCluster(c, []int{j}))
+				}
 			}
 		}
-	}
-	// The apriori walk over subspaces is serial; the per-level examined
-	// counts trace how hard the anti-monotonicity prune is working.
-	rec := obs.Default()
+	}()
 	obs.Observe(rec, "subspace.subclu.level_examined", 1, float64(res.SubspacesExamined))
 
 	for s := 2; s <= cfg.MaxDim && len(level) > 1; s++ {
 		examinedBefore := res.SubspacesExamined
 		next := map[string]*subInfo{}
-		infos := make([]*subInfo, 0, len(level))
-		for _, si := range level {
-			infos = append(infos, si)
-		}
-		sort.Slice(infos, func(i, j int) bool { return fmt.Sprint(infos[i].dims) < fmt.Sprint(infos[j].dims) })
-		for i := 0; i < len(infos); i++ {
-			for j := i + 1; j < len(infos); j++ {
-				dims, ok := joinDims(infos[i].dims, infos[j].dims)
-				if !ok {
-					continue
-				}
-				key := fmt.Sprint(dims)
-				if _, seen := next[key]; seen {
-					continue
-				}
-				// Apriori prune: all (s-1)-subsets must contain clusters.
-				if !allSubspacesClustered(dims, level) {
-					continue
-				}
-				// Restrict to the objects of the parent subspace with the
-				// fewest clustered objects.
-				cand := smallestParentObjects(dims, level)
-				res.SubspacesExamined++
-				clusters := runDBSCAN(dims, cand)
-				if len(clusters) > 0 {
-					next[key] = &subInfo{dims: dims, clusters: clusters}
-					res.SubspacesWithClust++
-					for _, c := range clusters {
-						res.Clusters = append(res.Clusters, core.NewSubspaceCluster(c, dims))
+		func() {
+			lctx, end := obs.SpanCtx(ctx, rec, "subspace.subclu.level")
+			defer end()
+			infos := make([]*subInfo, 0, len(level))
+			for _, si := range level {
+				infos = append(infos, si)
+			}
+			sort.Slice(infos, func(i, j int) bool { return fmt.Sprint(infos[i].dims) < fmt.Sprint(infos[j].dims) })
+			for i := 0; i < len(infos); i++ {
+				for j := i + 1; j < len(infos); j++ {
+					dims, ok := joinDims(infos[i].dims, infos[j].dims)
+					if !ok {
+						continue
+					}
+					key := fmt.Sprint(dims)
+					if _, seen := next[key]; seen {
+						continue
+					}
+					// Apriori prune: all (s-1)-subsets must contain clusters.
+					if !allSubspacesClustered(dims, level) {
+						continue
+					}
+					// Restrict to the objects of the parent subspace with the
+					// fewest clustered objects.
+					cand := smallestParentObjects(dims, level)
+					res.SubspacesExamined++
+					clusters := runDBSCAN(lctx, dims, cand)
+					if len(clusters) > 0 {
+						next[key] = &subInfo{dims: dims, clusters: clusters}
+						res.SubspacesWithClust++
+						for _, c := range clusters {
+							res.Clusters = append(res.Clusters, core.NewSubspaceCluster(c, dims))
+						}
 					}
 				}
 			}
-		}
+		}()
 		obs.Observe(rec, "subspace.subclu.level_examined", s, float64(res.SubspacesExamined-examinedBefore))
 		level = next
 	}

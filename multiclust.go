@@ -133,6 +133,31 @@ func WithRecorder(ctx context.Context, r Recorder) context.Context {
 // fast path.
 func TeeRecorders(rs ...Recorder) Recorder { return obs.Tee(rs...) }
 
+// SpanID identifies one span instance in the trace tree; 0 means "no
+// span". Recorder implementations receive it in StartSpan.
+type SpanID = obs.SpanID
+
+// StartSpan opens an application-level span named name as a child of any
+// span already carried by ctx, resolving the recorder like the
+// ...Context algorithm variants do (context recorder, else the process
+// default). It returns the derived context — pass it into library calls
+// so their spans nest beneath yours in the trace tree — and the function
+// that closes the span. The span also applies runtime/pprof goroutine
+// labels ("algo", "phase" from the name around its last dot), so CPU
+// profile samples inside it are attributable; the end function restores
+// the caller's labels. With no recorder installed it returns ctx
+// unchanged and a no-op end at zero allocations.
+func StartSpan(ctx context.Context, name string) (context.Context, func()) {
+	return obs.SpanCtx(ctx, obs.From(ctx), name)
+}
+
+// WriteChromeTrace converts a JSONL trace captured by a TraceWriter
+// (read from r) into the Chrome trace-event format on w, loadable in
+// chrome://tracing or Perfetto: one complete event per span, grouped
+// into tracks by root span. `cmd/multiclust -trace out.jsonl -chrome
+// out.json` wraps this.
+func WriteChromeTrace(r io.Reader, w io.Writer) error { return obs.WriteChromeTrace(r, w) }
+
 // ---------------------------------------------------------------------------
 // Robustness — typed errors, validation, sanitization
 // ---------------------------------------------------------------------------

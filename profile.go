@@ -1,0 +1,52 @@
+package multiclust
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins capturing a CPU profile to path and returns the
+// function that stops the capture and closes the file. Samples taken
+// while an obs span is open (any instrumented algorithm, or an
+// application span from StartSpan) carry "algo" and "phase" pprof
+// labels, so `go tool pprof -tagfocus` can attribute time per algorithm
+// phase. Only one CPU profile can be active per process; a second call
+// before stop errors.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("multiclust: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("multiclust: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("multiclust: cpu profile: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeapProfile captures a heap profile to path, running a GC first
+// so the profile reflects live objects rather than garbage awaiting
+// collection.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("multiclust: heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("multiclust: heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("multiclust: heap profile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package multiclust_test
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"multiclust"
+)
+
+// metaSpanTree runs the same seeded meta-clustering workload at the given
+// worker count and renders its span tree with timings stripped.
+func metaSpanTree(t *testing.T, workers int) string {
+	t.Helper()
+	col := multiclust.NewCollector()
+	ctx := multiclust.WithRecorder(context.Background(), col)
+	ds, _, _ := multiclust.FourBlobToy(1, 40)
+	if _, err := multiclust.MetaClusteringContext(ctx, ds.Points, multiclust.MetaClusteringConfig{
+		K: 2, NumSolutions: 8, MetaClusters: 3, Seed: 1, Workers: workers,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := col.Snapshot().StripTimings().WriteSpanTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// The span hierarchy is part of the determinism contract: the same seeded
+// run must produce a byte-identical shape tree at any parallelism, because
+// worker goroutines attach their spans to the context parent, not to
+// whichever goroutine happened to dispatch them.
+func TestSpanTreeDeterministicAcrossWorkers(t *testing.T) {
+	want := metaSpanTree(t, 1)
+	for _, line := range []string{
+		"metaclust.run count=1",
+		"  metaclust.generate count=1",
+		"    kmeans.run count=8",
+		"  metaclust.group count=1",
+	} {
+		if !strings.Contains(want, line+" ") && !strings.Contains(want, line+"\n") {
+			t.Fatalf("span tree missing %q:\n%s", line, want)
+		}
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if got := metaSpanTree(t, workers); got != want {
+			t.Errorf("span tree at workers=%d differs from workers=1:\n--- got ---\n%s--- want ---\n%s", workers, got, want)
+		}
+	}
+}
+
+// A CPU profile captured around an instrumented run must carry the
+// algo/phase pprof labels applied by the spans, so `go tool pprof
+// -tagfocus algo=kmeans` can attribute samples.
+func TestCPUProfileCarriesSpanLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("samples the CPU for ~1s")
+	}
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := multiclust.StartCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second concurrent CPU profile must error, not silently truncate.
+	if _, err := multiclust.StartCPUProfile(filepath.Join(t.TempDir(), "again.pprof")); err == nil {
+		stop()
+		t.Fatal("overlapping StartCPUProfile succeeded; only one capture can be active")
+	}
+	col := multiclust.NewCollector()
+	ctx := multiclust.WithRecorder(context.Background(), col)
+	blobs, _ := multiclust.GaussianBlobs(1, 600, [][]float64{
+		{0, 0, 0, 0}, {4, 4, 0, 0}, {0, 4, 4, 0}, {4, 0, 0, 4},
+	}, 0.6)
+	for deadline := time.Now().Add(time.Second); time.Now().Before(deadline); {
+		if _, err := multiclust.KMeansContext(ctx, blobs.Points, multiclust.KMeansConfig{K: 4, Restarts: 4, Seed: 1}); err != nil {
+			stop()
+			t.Fatal(err)
+		}
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf("profile is not gzip-compressed (prefix % x)", raw[:min(4, len(raw))])
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The proto string table stores label keys and values verbatim.
+	for _, want := range []string{"algo", "phase", "kmeans"} {
+		if !bytes.Contains(proto, []byte(want)) {
+			t.Errorf("profile string table missing %q; span labels were not applied", want)
+		}
+	}
+}
+
+func TestWriteHeapProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pprof")
+	if err := multiclust.WriteHeapProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf("heap profile is not gzip-compressed (prefix % x)", raw[:min(4, len(raw))])
+	}
+	if err := multiclust.WriteHeapProfile(filepath.Join(t.TempDir(), "no-such-dir", "heap.pprof")); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}
+
+// The facade StartSpan must nest under an enclosing facade span and show
+// up as one tree path in the collector.
+func TestFacadeStartSpanNests(t *testing.T) {
+	col := multiclust.NewCollector()
+	ctx := multiclust.WithRecorder(context.Background(), col)
+	rctx, endRoot := multiclust.StartSpan(ctx, "app.request")
+	_, endChild := multiclust.StartSpan(rctx, "app.step")
+	endChild()
+	endRoot()
+	var buf bytes.Buffer
+	if err := col.Snapshot().WriteSpanTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "app.request count=1") || !strings.Contains(buf.String(), "  app.step count=1") {
+		t.Errorf("facade spans did not nest:\n%s", buf.String())
+	}
+}
