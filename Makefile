@@ -37,7 +37,7 @@ bench:
 # the committed baseline. Timings get a loose gate (they are noisy on
 # shared runners); the deterministic work counters get the strict one.
 bench-json:
-	$(GO) run ./cmd/multiclust-bench -quick -baseline BENCH_baseline.json -threshold 200 -counter-threshold 10
+	$(GO) run ./cmd/multiclust-bench -quick -baseline BENCH_baseline.json -threshold 200 -counter-threshold 10 -assert-le "coala/w4<=coala/w1"
 
 # Refresh the committed baseline after an intentional performance change.
 bench-baseline:

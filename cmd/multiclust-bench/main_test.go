@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -21,7 +22,7 @@ func report(ns int64, counters map[string]int64) Report {
 func TestCompareCleanRunPasses(t *testing.T) {
 	base := report(1000, map[string]int64{"kmeans.iterations": 10})
 	cur := report(1050, map[string]int64{"kmeans.iterations": 10}) // +5% < 10%
-	if regs := compare(base, cur, 10, 10); len(regs) != 0 {
+	if regs, _ := compare(base, cur, 10, 10); len(regs) != 0 {
 		t.Errorf("clean run flagged: %v", regs)
 	}
 }
@@ -43,7 +44,7 @@ func TestCompareDetectsInjectedRegressions(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			regs := compare(base, tc.cur, 10, 10)
+			regs, _ := compare(base, tc.cur, 10, 10)
 			if len(regs) == 0 {
 				t.Fatal("regression not detected")
 			}
@@ -58,12 +59,12 @@ func TestCompareRejectsModeAndSchemaMismatch(t *testing.T) {
 	base := report(1000, nil)
 	full := report(1000, nil)
 	full.Quick = false
-	if regs := compare(base, full, 10, 10); len(regs) != 1 || !strings.Contains(regs[0], "mode mismatch") {
+	if regs, _ := compare(base, full, 10, 10); len(regs) != 1 || !strings.Contains(regs[0], "mode mismatch") {
 		t.Errorf("quick-vs-full comparison must be refused, got %v", regs)
 	}
 	other := report(1000, nil)
 	other.Schema = "multiclust-bench/v0"
-	if regs := compare(base, other, 10, 10); len(regs) != 1 || !strings.Contains(regs[0], "schema mismatch") {
+	if regs, _ := compare(base, other, 10, 10); len(regs) != 1 || !strings.Contains(regs[0], "schema mismatch") {
 		t.Errorf("schema mismatch must be refused, got %v", regs)
 	}
 }
@@ -72,8 +73,71 @@ func TestCompareIgnoresNewWorkloads(t *testing.T) {
 	base := report(1000, nil)
 	cur := report(1000, nil)
 	cur.Workloads = append(cur.Workloads, Workload{Name: "new/w1", NsOp: 99})
-	if regs := compare(base, cur, 10, 10); len(regs) != 0 {
+	if regs, _ := compare(base, cur, 10, 10); len(regs) != 0 {
 		t.Errorf("a new workload is not a regression: %v", regs)
+	}
+}
+
+// TestCompareNotesNewCounters pins the new-counter contract: a counter
+// present in the current run but absent from the baseline is NOT a
+// regression, but it must surface as a "new, not in baseline" note
+// rather than being skipped silently.
+func TestCompareNotesNewCounters(t *testing.T) {
+	base := report(1000, map[string]int64{"kmeans.iterations": 10})
+	cur := report(1000, map[string]int64{"kmeans.iterations": 10, "kmeans.distance_computations": 4242})
+	regs, notes := compare(base, cur, 10, 10)
+	if len(regs) != 0 {
+		t.Errorf("new counter flagged as regression: %v", regs)
+	}
+	if len(notes) != 1 {
+		t.Fatalf("got %d notes, want 1: %v", len(notes), notes)
+	}
+	if !strings.Contains(notes[0], "kmeans.distance_computations") || !strings.Contains(notes[0], "new, not in baseline") {
+		t.Errorf("note %q does not identify the new counter", notes[0])
+	}
+}
+
+func TestAssertLe(t *testing.T) {
+	// Pin a multi-core view so the w1-vs-w4 comparison is active: on a
+	// single-CPU machine both sides clamp to the same effective worker
+	// count and the check goes vacuous (covered below).
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	cur := Report{Schema: Schema, Quick: true, Workloads: []Workload{
+		{Name: "coala/w1", Workers: 1, NsOp: 100},
+		{Name: "coala/w4", Workers: 4, NsOp: 90},
+	}}
+	if v, _ := assertLe(cur, []string{"coala/w4<=coala/w1"}); len(v) != 0 {
+		t.Errorf("holding assertion flagged: %v", v)
+	}
+	if v, _ := assertLe(cur, []string{"coala/w1<=coala/w4"}); len(v) != 1 || !strings.Contains(v[0], "ns/op") {
+		t.Errorf("violated assertion not flagged: %v", v)
+	}
+	if v, _ := assertLe(cur, []string{"coala/w1<=missing/w9"}); len(v) != 1 || !strings.Contains(v[0], "not in current report") {
+		t.Errorf("unknown workload not flagged: %v", v)
+	}
+	if v, _ := assertLe(cur, []string{"garbage"}); len(v) != 1 || !strings.Contains(v[0], "bad -assert-le spec") {
+		t.Errorf("malformed spec not flagged: %v", v)
+	}
+}
+
+// TestAssertLeVacuousOnSingleCPU pins the scheduler-clamp escape hatch: when
+// both sides of a relational assertion resolve to the same effective worker
+// count (e.g. GOMAXPROCS=1), they run identical code, so the harness must
+// report the check as vacuous instead of coin-flipping on timing noise.
+func TestAssertLeVacuousOnSingleCPU(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	cur := Report{Schema: Schema, Quick: true, Workloads: []Workload{
+		{Name: "coala/w1", Workers: 1, NsOp: 100},
+		{Name: "coala/w4", Workers: 4, NsOp: 170}, // would violate if compared
+	}}
+	v, notes := assertLe(cur, []string{"coala/w4<=coala/w1"})
+	if len(v) != 0 {
+		t.Errorf("vacuous assertion flagged: %v", v)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "vacuous") {
+		t.Errorf("vacuous skip not noted: %v", notes)
 	}
 }
 
@@ -135,7 +199,7 @@ func TestRunSuiteRoundTrip(t *testing.T) {
 	if loaded.Schema != Schema || loaded.Stamp != "test" || !loaded.Quick {
 		t.Errorf("round-trip lost fields: %+v", loaded)
 	}
-	if regs := compare(loaded, rep, 10, 10); len(regs) != 0 {
+	if regs, _ := compare(loaded, rep, 10, 10); len(regs) != 0 {
 		t.Errorf("self-comparison flagged regressions: %v", regs)
 	}
 }

@@ -1,0 +1,149 @@
+package alternative
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"multiclust/internal/core"
+	"multiclust/internal/obs"
+)
+
+// TestCoalaHeapMatchesReference pins the heap/triangular agglomeration core
+// to the full-rescan reference implementation: byte-identical labels and
+// identical QualityMerges/DissimilarityMerges on seeded random inputs
+// across sizes, dimensionalities, K, and W regimes.
+func TestCoalaHeapMatchesReference(t *testing.T) {
+	cases := []struct {
+		seed      int64
+		n, dims   int
+		givenK, k int
+		w         float64
+	}{
+		{1, 20, 2, 2, 2, 1},
+		{2, 35, 3, 3, 2, 1},
+		{3, 50, 2, 2, 4, 1},
+		{4, 40, 4, 4, 3, 0.01},
+		{5, 40, 4, 4, 3, 100},
+		{6, 25, 1, 2, 5, 1},
+		{7, 60, 2, 3, 2, 2.5},
+		{8, 30, 5, 2, 2, 0.5},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("seed=%d_n=%d_k=%d_w=%g", tc.seed, tc.n, tc.k, tc.w), func(t *testing.T) {
+			points, given := randomCoalaInput(tc.seed, tc.n, tc.dims, tc.givenK)
+			cfg := CoalaConfig{K: tc.k, W: tc.w}
+			want, err := coalaReference(points, given, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Coala(points, given, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Clustering.Labels, want.Clustering.Labels) {
+				t.Errorf("labels diverge from reference:\n got %v\nwant %v", got.Clustering.Labels, want.Clustering.Labels)
+			}
+			if got.QualityMerges != want.QualityMerges || got.DissimilarityMerges != want.DissimilarityMerges {
+				t.Errorf("merge counters diverge: got (%d,%d) want (%d,%d)",
+					got.QualityMerges, got.DissimilarityMerges, want.QualityMerges, want.DissimilarityMerges)
+			}
+		})
+	}
+}
+
+// TestCoalaHeapMatchesReferenceAnyWorkers repeats the equivalence at several
+// worker counts: the parallel pair seeding writes each candidate to a fixed
+// offset, so the result must not depend on scheduling.
+func TestCoalaHeapMatchesReferenceAnyWorkers(t *testing.T) {
+	points, given := randomCoalaInput(11, 45, 3, 3)
+	cfg := CoalaConfig{K: 3}
+	want, err := coalaReference(points, given, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		cfg.Workers = w
+		got, err := Coala(points, given, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got.Clustering.Labels, want.Clustering.Labels) {
+			t.Errorf("workers=%d: labels diverge from reference", w)
+		}
+		if got.QualityMerges != want.QualityMerges || got.DissimilarityMerges != want.DissimilarityMerges {
+			t.Errorf("workers=%d: merge counters diverge", w)
+		}
+	}
+}
+
+// TestCoalaContextBackgroundIdentity pins Run ≡ RunContext(Background).
+func TestCoalaContextBackgroundIdentity(t *testing.T) {
+	points, given := randomCoalaInput(21, 40, 2, 2)
+	cfg := CoalaConfig{K: 2}
+	a, err := Coala(points, given, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CoalaContext(context.Background(), points, given, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Coala and CoalaContext(Background) disagree")
+	}
+}
+
+// TestCoalaContextInterrupted checks the merge-boundary poll: a cancelled
+// context yields a valid best-so-far flattening (more clusters than K)
+// wrapped in core.ErrInterrupted.
+func TestCoalaContextInterrupted(t *testing.T) {
+	points, given := randomCoalaInput(31, 60, 2, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := CoalaContext(ctx, points, given, CoalaConfig{K: 2})
+	if !errors.Is(err, core.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if res == nil || res.Clustering == nil {
+		t.Fatal("interrupted run must return a best-so-far clustering")
+	}
+	if got := res.Clustering.N(); got != len(points) {
+		t.Fatalf("best-so-far covers %d objects, want %d", got, len(points))
+	}
+	// Cancelled before the first merge: every singleton is its own cluster.
+	if k := res.Clustering.K(); k != len(points) {
+		t.Errorf("immediately cancelled run should keep %d singleton groups, got %d", len(points), k)
+	}
+}
+
+// TestCoalaRunSpanAndCounters checks the observability satellite: a COALA
+// run under a context recorder emits the coala.run span and the merge
+// counters, and the counters agree with the returned result.
+func TestCoalaRunSpanAndCounters(t *testing.T) {
+	points, given := randomCoalaInput(41, 30, 2, 2)
+	col := obs.NewCollector()
+	ctx := obs.NewContext(context.Background(), col)
+	res, err := CoalaContext(ctx, points, given, CoalaConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Snapshot()
+	if _, ok := snap.Spans["coala.run"]; !ok {
+		t.Errorf("no coala.run span recorded; spans: %v", snap.Spans)
+	}
+	if got := col.Counter("coala.quality_merges"); got != int64(res.QualityMerges) {
+		t.Errorf("quality_merges counter %d, result says %d", got, res.QualityMerges)
+	}
+	if got := col.Counter("coala.dissimilarity_merges"); got != int64(res.DissimilarityMerges) {
+		t.Errorf("dissimilarity_merges counter %d, result says %d", got, res.DissimilarityMerges)
+	}
+	// The nearest-partner heaps seed O(n) entries (one per group per heap),
+	// not the full O(n²) pair set — just require that pushes were counted.
+	if col.Counter("coala.candidate_pairs") <= 0 {
+		t.Error("candidate_pairs should count the seeded and repaired pushes")
+	}
+}

@@ -1,0 +1,176 @@
+package alternative
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"multiclust/internal/core"
+	"multiclust/internal/dist"
+)
+
+// coalaReference is the pre-heap COALA implementation — a full O(G²) rescan
+// over sorted group ids per merge with map-held linkage sums — kept
+// verbatim as the behavioural oracle for the production heap/triangular
+// core. The property tests in coala_property_test.go pin the heap
+// implementation to this one: byte-identical labels and merge counters on
+// seeded random inputs.
+func coalaReference(points [][]float64, given *core.Clustering, cfg CoalaConfig) (*CoalaResult, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if err := given.Validate(n); err != nil {
+		return nil, err
+	}
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, errInvalidK(cfg.K)
+	}
+	if cfg.W <= 0 {
+		cfg.W = 1
+	}
+	if cfg.Distance == nil {
+		cfg.Distance = dist.Euclidean
+	}
+
+	pd := dist.PairwiseMatrix(points, cfg.Distance)
+
+	type group struct {
+		members []int
+		origSet map[int]bool
+	}
+	groups := make(map[int]*group, n)
+	for i := 0; i < n; i++ {
+		gs := map[int]bool{}
+		if l := given.Labels[i]; l >= 0 {
+			gs[l] = true
+		}
+		groups[i] = &group{members: []int{i}, origSet: gs}
+	}
+	sumDist := make(map[[2]int]float64)
+	key := func(a, b int) [2]int {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sumDist[key(i, j)] = pd.At(i, j)
+		}
+	}
+
+	compatible := func(a, b *group) bool {
+		small, large := a.origSet, b.origSet
+		if len(small) > len(large) {
+			small, large = large, small
+		}
+		for l := range small {
+			if large[l] {
+				return false
+			}
+		}
+		return true
+	}
+
+	res := &CoalaResult{}
+	nextID := n
+	for len(groups) > cfg.K {
+		bestQA, bestQB, bestQ := -1, -1, math.Inf(1)
+		bestDA, bestDB, bestD := -1, -1, math.Inf(1)
+		ids := sortedKeys(groups)
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				a, b := ids[x], ids[y]
+				ga, gb := groups[a], groups[b]
+				avg := sumDist[key(a, b)] / float64(len(ga.members)*len(gb.members))
+				if avg < bestQ {
+					bestQA, bestQB, bestQ = a, b, avg
+				}
+				if avg < bestD && compatible(ga, gb) {
+					bestDA, bestDB, bestD = a, b, avg
+				}
+			}
+		}
+		var ma, mb int
+		if bestDA < 0 || bestQ < cfg.W*bestD {
+			ma, mb = bestQA, bestQB
+			res.QualityMerges++
+		} else {
+			ma, mb = bestDA, bestDB
+			res.DissimilarityMerges++
+		}
+		ga, gb := groups[ma], groups[mb]
+		merged := &group{
+			members: append(append([]int(nil), ga.members...), gb.members...),
+			origSet: map[int]bool{},
+		}
+		for l := range ga.origSet {
+			merged.origSet[l] = true
+		}
+		for l := range gb.origSet {
+			merged.origSet[l] = true
+		}
+		for _, other := range ids {
+			if other == ma || other == mb {
+				continue
+			}
+			sumDist[key(nextID, other)] = sumDist[key(ma, other)] + sumDist[key(mb, other)]
+			delete(sumDist, key(ma, other))
+			delete(sumDist, key(mb, other))
+		}
+		delete(sumDist, key(ma, mb))
+		delete(groups, ma)
+		delete(groups, mb)
+		groups[nextID] = merged
+		nextID++
+	}
+
+	labels := make([]int, n)
+	cid := 0
+	for _, id := range sortedKeys(groups) {
+		for _, o := range groups[id].members {
+			labels[o] = cid
+		}
+		cid++
+	}
+	res.Clustering = core.NewClustering(labels)
+	return res, nil
+}
+
+func errInvalidK(k int) error { return &invalidKError{k} }
+
+type invalidKError struct{ k int }
+
+func (e *invalidKError) Error() string { return "alternative: invalid K" }
+
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// randomCoalaInput draws a seeded random dataset and a random given
+// clustering for the equivalence property tests.
+func randomCoalaInput(seed int64, n, dims, givenK int) ([][]float64, *core.Clustering) {
+	rng := rand.New(rand.NewSource(seed))
+	points := make([][]float64, n)
+	for i := range points {
+		row := make([]float64, dims)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		points[i] = row
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(givenK + 1) // givenK labels plus occasional noise
+		if labels[i] == givenK {
+			labels[i] = -1
+		}
+	}
+	return points, core.NewClustering(labels)
+}

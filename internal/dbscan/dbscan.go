@@ -32,7 +32,11 @@ type Config struct {
 // of every object is precomputed concurrently up front — the region queries
 // dominate the O(n²) cost and are independent per object — then the serial
 // expansion loop consumes the precomputed lists, so the labeling is
-// identical to a fully serial run.
+// identical to a fully serial run. A nil d selects the Euclidean metric
+// served by the uniform-grid spatial index (grid.go), which answers each
+// region query from the 3^d adjacent cells instead of a full scan; the
+// neighbor lists — and therefore the labeling — are identical to the
+// linear Euclidean scan.
 func Run(points [][]float64, d dist.Func, cfg Config) (*core.Clustering, error) {
 	return RunContext(context.Background(), points, d, cfg)
 }
@@ -41,7 +45,9 @@ func Run(points [][]float64, d dist.Func, cfg Config) (*core.Clustering, error) 
 // outer-object boundary and, when the context is done, labels every
 // still-unvisited object Noise and returns the partial clustering wrapped
 // in core.ErrInterrupted. With a background context the output is
-// byte-identical to Run.
+// byte-identical to Run. Region-query counters land on the recorder
+// resolved from ctx (falling back to the process default), matching where
+// the expansion loop records, so per-run Collectors see both.
 func RunContext(ctx context.Context, points [][]float64, d dist.Func, cfg Config) (*core.Clustering, error) {
 	if len(points) == 0 {
 		return nil, core.ErrEmptyDataset
@@ -49,13 +55,25 @@ func RunContext(ctx context.Context, points [][]float64, d dist.Func, cfg Config
 	if cfg.Eps <= 0 || cfg.MinPts <= 0 {
 		return nil, errors.New("dbscan: Eps and MinPts must be positive")
 	}
-	nf := PrecomputeNeighbors(points, d, cfg.Eps, cfg.Workers)
+	rec := obs.From(ctx)
+	var nf NeighborFunc
+	if d == nil {
+		nf = precomputeGridNeighbors(rec, points, cfg.Eps, cfg.Workers)
+	} else {
+		nf = precomputeNeighbors(rec, points, d, cfg.Eps, cfg.Workers)
+	}
 	return RunGenericContext(ctx, len(points), nf, cfg.MinPts)
 }
 
 // PrecomputeNeighbors materializes every object's ε-neighborhood with the
 // given worker count and returns a lookup into the precomputed lists.
+// Counters land on the process-default recorder; RunContext threads its
+// per-run recorder through the internal variant instead.
 func PrecomputeNeighbors(points [][]float64, d dist.Func, eps float64, workers int) NeighborFunc {
+	return precomputeNeighbors(obs.Default(), points, d, eps, workers)
+}
+
+func precomputeNeighbors(rec obs.Recorder, points [][]float64, d dist.Func, eps float64, workers int) NeighborFunc {
 	n := len(points)
 	nbs := make([][]int, n)
 	parallel.Each(n, workers, func(o int) {
@@ -69,16 +87,33 @@ func PrecomputeNeighbors(points [][]float64, d dist.Func, eps float64, workers i
 	})
 	// One O(n)-cost region query ran per object; count them as a batch so
 	// the per-object fast path stays untouched.
-	obs.Count(obs.Default(), "dbscan.region_queries", int64(n))
+	obs.Count(rec, "dbscan.region_queries", int64(n))
 	return func(o int) []int { return nbs[o] }
 }
 
 // EpsNeighbors builds the standard epsilon-ball neighbourhood function.
 // Unlike PrecomputeNeighbors it scans on every call, so each invocation
-// counts as one region query.
+// counts as one region query against the process-default recorder; use
+// EpsNeighborsRec to direct the counts at a per-run recorder.
 func EpsNeighbors(points [][]float64, d dist.Func, eps float64) NeighborFunc {
 	return func(o int) []int {
 		obs.Count(obs.Default(), "dbscan.region_queries", 1)
+		var out []int
+		for i, p := range points {
+			if d(points[o], p) <= eps {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+// EpsNeighborsRec is EpsNeighbors recording each region query on rec
+// instead of the process default, so callers that hold a per-run recorder
+// (a context Collector) do not lose the counts to the global path.
+func EpsNeighborsRec(rec obs.Recorder, points [][]float64, d dist.Func, eps float64) NeighborFunc {
+	return func(o int) []int {
+		obs.Count(rec, "dbscan.region_queries", 1)
 		var out []int
 		for i, p := range points {
 			if d(points[o], p) <= eps {

@@ -1,0 +1,196 @@
+package dbscan
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"multiclust/internal/dist"
+	"multiclust/internal/obs"
+)
+
+// randomPoints draws n seeded points in [0, spread)^dims.
+func randomPoints(seed int64, n, dims int, spread float64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		row := make([]float64, dims)
+		for j := range row {
+			row[j] = rng.Float64() * spread
+		}
+		pts[i] = row
+	}
+	return pts
+}
+
+// linearNeighbors is the oracle: the plain ascending Euclidean scan.
+func linearNeighbors(points [][]float64, o int, eps float64) []int {
+	var out []int
+	for i, p := range points {
+		if dist.Euclidean(points[o], p) <= eps {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TestGridEqualsLinear is the deterministic differential sweep: for a range
+// of sizes, dimensionalities and radii, every object's grid neighbor list
+// must be identical (same members, same ascending order) to the linear
+// scan's.
+func TestGridEqualsLinear(t *testing.T) {
+	cases := []struct {
+		seed   int64
+		n, dim int
+		eps    float64
+		spread float64
+	}{
+		{1, 50, 1, 0.1, 1},
+		{2, 120, 2, 0.15, 1},
+		{3, 200, 3, 0.3, 2},
+		{4, 80, 4, 0.5, 1},
+		{5, 60, 6, 0.9, 1},
+		{6, 40, 2, 5, 1},    // eps larger than the spread: everything neighbors
+		{7, 30, 2, 1e-6, 1}, // eps tiny: mostly singletons
+		{8, 100, 2, 0.25, 100},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("seed=%d_n=%d_d=%d", tc.seed, tc.n, tc.dim), func(t *testing.T) {
+			pts := randomPoints(tc.seed, tc.n, tc.dim, tc.spread)
+			g := NewGridIndex(pts, tc.eps)
+			if g == nil {
+				t.Fatalf("grid declined n=%d dims=%d", tc.n, tc.dim)
+			}
+			for o := range pts {
+				got := g.Neighbors(o)
+				want := linearNeighbors(pts, o, tc.eps)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("object %d: grid %v != linear %v", o, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestGridBoundaryDistances pins the exact-eps edge: pairs at distance
+// exactly eps must appear in each other's lists, even when they land in
+// adjacent cells.
+func TestGridBoundaryDistances(t *testing.T) {
+	eps := 0.5
+	pts := [][]float64{{0, 0}, {eps, 0}, {0, eps}, {2 * eps, 0}, {eps + 1e-12, eps}}
+	g := NewGridIndex(pts, eps)
+	if g == nil {
+		t.Fatal("grid declined")
+	}
+	for o := range pts {
+		got := g.Neighbors(o)
+		want := linearNeighbors(pts, o, eps)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("object %d: grid %v != linear %v", o, got, want)
+		}
+	}
+}
+
+// TestGridDeclines checks the fallback gates: high dimensionality and empty
+// input must return nil so callers use the linear scan.
+func TestGridDeclines(t *testing.T) {
+	if g := NewGridIndex(randomPoints(1, 10, maxGridDims+1, 1), 0.5); g != nil {
+		t.Error("grid should decline past maxGridDims")
+	}
+	if g := NewGridIndex(nil, 0.5); g != nil {
+		t.Error("grid should decline an empty point set")
+	}
+	if g := NewGridIndex(randomPoints(1, 10, 2, 1), 0); g != nil {
+		t.Error("grid should decline eps<=0")
+	}
+	// Degenerate range/eps ratio: falls back rather than overflowing.
+	pts := [][]float64{{0}, {1e18}}
+	if g := NewGridIndex(pts, 1e-9); g != nil {
+		t.Error("grid should decline an overflowing cell span")
+	}
+}
+
+// TestRunNilDistanceEqualsLinear pins the wiring: RunContext with a nil
+// distance (grid-indexed Euclidean) must produce byte-identical labels to
+// the explicit linear Euclidean scan.
+func TestRunNilDistanceEqualsLinear(t *testing.T) {
+	pts := randomPoints(9, 300, 3, 1)
+	cfg := Config{Eps: 0.2, MinPts: 4}
+	linear, err := Run(pts, dist.Euclidean, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := Run(pts, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(linear.Labels, grid.Labels) {
+		t.Error("grid-indexed run diverges from linear run")
+	}
+}
+
+// TestRegionQueriesReachContextRecorder is the recorder-split regression
+// test: RunContext must record dbscan.region_queries on the SAME recorder
+// as the expansion-loop counters (the one resolved from ctx), not on the
+// process default — a per-run Collector previously lost the region-query
+// counts entirely.
+func TestRegionQueriesReachContextRecorder(t *testing.T) {
+	pts := randomPoints(10, 100, 2, 1)
+	cfg := Config{Eps: 0.2, MinPts: 3}
+	for _, d := range []dist.Func{nil, dist.Euclidean} {
+		col := obs.NewCollector()
+		ctx := obs.NewContext(context.Background(), col)
+		if _, err := RunContext(ctx, pts, d, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if got := col.Counter("dbscan.region_queries"); got != int64(len(pts)) {
+			t.Errorf("d=%v: context collector saw %d region queries, want %d", d == nil, got, len(pts))
+		}
+		if col.Counter("dbscan.neighborhood_lookups") == 0 {
+			t.Errorf("expansion-loop counters missing from the same collector")
+		}
+	}
+}
+
+// TestEpsNeighborsRecThreading checks the per-call variant of the same fix.
+func TestEpsNeighborsRecThreading(t *testing.T) {
+	pts := randomPoints(11, 20, 2, 1)
+	col := obs.NewCollector()
+	nf := EpsNeighborsRec(col, pts, dist.Euclidean, 0.3)
+	nf(0)
+	nf(5)
+	if got := col.Counter("dbscan.region_queries"); got != 2 {
+		t.Errorf("EpsNeighborsRec recorded %d queries on the supplied recorder, want 2", got)
+	}
+}
+
+// FuzzGridEqualsLinear fuzzes the differential property over the point
+// geometry: whatever (n, dims, eps, spread, seed) the fuzzer finds, the
+// grid index and the linear scan must agree on every neighbor list.
+func FuzzGridEqualsLinear(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint8(2), 0.2, 1.0)
+	f.Add(int64(7), uint8(15), uint8(1), 0.01, 3.0)
+	f.Add(int64(9), uint8(64), uint8(5), 1.5, 0.5)
+	f.Fuzz(func(t *testing.T, seed int64, n, dims uint8, eps, spread float64) {
+		nn := int(n)%128 + 1
+		dd := int(dims)%maxGridDims + 1
+		if !(eps > 1e-12 && eps < 1e6) || !(spread > 1e-6 && spread < 1e6) {
+			t.Skip()
+		}
+		pts := randomPoints(seed, nn, dd, spread)
+		g := NewGridIndex(pts, eps)
+		if g == nil {
+			t.Skip() // geometry declined; linear fallback path
+		}
+		for o := range pts {
+			got := g.Neighbors(o)
+			want := linearNeighbors(pts, o, eps)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("object %d: grid %v != linear %v (n=%d dims=%d eps=%g)", o, got, want, nn, dd, eps)
+			}
+		}
+	})
+}

@@ -26,7 +26,28 @@ type Config struct {
 	Restarts int   // default 1; best-SSE run wins
 	Seed     int64 // RNG seed for seeding; restart r derives seed Seed+r
 	Workers  int   // parallelism; <=0 resolves via internal/parallel
+	// Pruning selects the assignment strategy. The default (zero value)
+	// resolves to Hamerly's triangle-inequality bounds, which skip exact
+	// distance evaluations that provably cannot change a point's label;
+	// assignments, iteration counts, and the recorded SSE trajectory are
+	// byte-identical to the plain Lloyd scans (pinned by the determinism
+	// suite at workers 1/2/4/8), only kmeans.distance_computations drops.
+	Pruning Pruning
 }
+
+// Pruning selects how the assignment step evaluates distances.
+type Pruning int
+
+const (
+	// PruneDefault resolves to PruneHamerly.
+	PruneDefault Pruning = iota
+	// PruneOff runs plain Lloyd full scans (n*k exact distances per
+	// iteration) — the reference the pruned path is pinned against.
+	PruneOff
+	// PruneHamerly maintains Hamerly's upper/lower bounds to skip provably
+	// unchanged points.
+	PruneHamerly
+)
 
 // Result is a fitted k-means model.
 type Result struct {
@@ -80,9 +101,17 @@ func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, e
 		res *Result
 		err error
 	}
+	pruned := cfg.Pruning != PruneOff
 	outs := parallel.Map(cfg.Restarts, w, func(r int) restartOut {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)))
-		res, err := runOnce(ctx, points, cfg.K, cfg.MaxIter, rng, innerW, rec)
+		centers := PlusPlusSeeds(points, cfg.K, rng)
+		var res *Result
+		var err error
+		if pruned {
+			res, err = runOnceHamerly(ctx, points, cfg.K, cfg.MaxIter, centers, innerW, rec)
+		} else {
+			res, err = runOnce(ctx, points, cfg.K, cfg.MaxIter, centers, innerW, rec)
+		}
 		return restartOut{res, err}
 	})
 	best := outs[0]
@@ -99,8 +128,7 @@ func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, e
 	return best.res, nil
 }
 
-func runOnce(ctx context.Context, points [][]float64, k, maxIter int, rng *rand.Rand, workers int, rec obs.Recorder) (*Result, error) {
-	centers := PlusPlusSeeds(points, k, rng)
+func runOnce(ctx context.Context, points [][]float64, k, maxIter int, centers [][]float64, workers int, rec obs.Recorder) (*Result, error) {
 	n, d := len(points), len(points[0])
 	labels := make([]int, n)
 	for i := range labels {
@@ -148,6 +176,7 @@ func runOnce(ctx context.Context, points [][]float64, k, maxIter int, rng *rand.
 			}
 			obs.Count(rec, "kmeans.iterations", 1)
 			obs.Count(rec, "kmeans.reassignments", nChanged)
+			obs.Count(rec, "kmeans.distance_computations", int64(n)*int64(len(centers)))
 			obs.Observe(rec, "kmeans.sse", iter, iterSSE)
 		}
 		if nChanged == 0 {

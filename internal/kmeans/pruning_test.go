@@ -1,0 +1,125 @@
+package kmeans
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"multiclust/internal/obs"
+)
+
+func randomBlobPoints(seed int64, n, dims, blobs int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, blobs)
+	for b := range centers {
+		row := make([]float64, dims)
+		for j := range row {
+			row[j] = rng.Float64() * 10
+		}
+		centers[b] = row
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		c := centers[rng.Intn(blobs)]
+		row := make([]float64, dims)
+		for j := range row {
+			row[j] = c[j] + rng.NormFloat64()*0.5
+		}
+		pts[i] = row
+	}
+	return pts
+}
+
+// TestHamerlyMatchesLloyd pins the pruning invariant: for every worker
+// count, Hamerly-pruned runs must be byte-identical to Lloyd in labels,
+// centers, SSE, and iteration count — the bounds only skip distance
+// evaluations that provably cannot change the argmin.
+func TestHamerlyMatchesLloyd(t *testing.T) {
+	for _, tc := range []struct {
+		seed    int64
+		n, dims int
+		k       int
+	}{
+		{1, 400, 3, 4},
+		{2, 250, 2, 5},
+		{3, 600, 5, 3},
+		{4, 120, 2, 8},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("seed=%d_n=%d_k=%d", tc.seed, tc.n, tc.k), func(t *testing.T) {
+			pts := randomBlobPoints(tc.seed, tc.n, tc.dims, tc.k)
+			for _, w := range []int{1, 2, 4, 8} {
+				lloyd, err := Run(pts, Config{K: tc.k, Seed: tc.seed, Restarts: 2, Workers: w, Pruning: PruneOff})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ham, err := Run(pts, Config{K: tc.k, Seed: tc.seed, Restarts: 2, Workers: w, Pruning: PruneHamerly})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(lloyd, ham) {
+					t.Errorf("workers=%d: Hamerly result diverges from Lloyd (labels equal: %v, SSE %v vs %v, iters %d vs %d)",
+						w, reflect.DeepEqual(lloyd.Clustering.Labels, ham.Clustering.Labels),
+						lloyd.SSE, ham.SSE, lloyd.Iterations, ham.Iterations)
+				}
+			}
+		})
+	}
+}
+
+// TestPruneDefaultIsHamerly pins the knob's default: the zero value must
+// run the pruned path and match an explicit PruneHamerly run exactly.
+func TestPruneDefaultIsHamerly(t *testing.T) {
+	pts := randomBlobPoints(7, 300, 3, 4)
+	def, err := Run(pts, Config{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ham, err := Run(pts, Config{K: 4, Seed: 7, Pruning: PruneHamerly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def, ham) {
+		t.Error("PruneDefault does not match PruneHamerly")
+	}
+}
+
+// TestHamerlyTelemetryMatchesLloyd pins the instrumented trajectories: the
+// recorded iterations, reassignments, and per-iteration SSE series must be
+// byte-identical between the two paths; only distance_computations may —
+// and must — differ, with Hamerly doing strictly less work than Lloyd's
+// n*k per iteration.
+func TestHamerlyTelemetryMatchesLloyd(t *testing.T) {
+	pts := randomBlobPoints(11, 500, 3, 4)
+	snap := func(p Pruning) (obs.Snapshot, *Result) {
+		col := obs.NewCollector()
+		ctx := obs.NewContext(context.Background(), col)
+		res, err := RunContext(ctx, pts, Config{K: 4, Seed: 11, Pruning: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return col.Snapshot(), res
+	}
+	ls, lr := snap(PruneOff)
+	hs, hr := snap(PruneHamerly)
+	for _, k := range []string{"kmeans.iterations", "kmeans.reassignments", "kmeans.restarts"} {
+		if ls.Counters[k] != hs.Counters[k] {
+			t.Errorf("counter %s: lloyd %d vs hamerly %d", k, ls.Counters[k], hs.Counters[k])
+		}
+	}
+	if !reflect.DeepEqual(ls.Series["kmeans.sse"], hs.Series["kmeans.sse"]) {
+		t.Error("per-iteration SSE series diverge")
+	}
+	ld, hd := ls.Counters["kmeans.distance_computations"], hs.Counters["kmeans.distance_computations"]
+	if ld == 0 || hd == 0 {
+		t.Fatalf("distance_computations not recorded (lloyd %d, hamerly %d)", ld, hd)
+	}
+	if hd >= ld {
+		t.Errorf("pruning saved nothing: hamerly %d >= lloyd %d distance computations", hd, ld)
+	}
+	if hr.SSE != lr.SSE || hr.Iterations != lr.Iterations {
+		t.Errorf("results diverge: SSE %v vs %v, iters %d vs %d", hr.SSE, lr.SSE, hr.Iterations, lr.Iterations)
+	}
+}

@@ -288,6 +288,17 @@ func clampWorkers(workers, n int) int {
 	w := workers
 	if w <= 0 {
 		w = Workers(0)
+		// A resolved (defaulted) count is capped at the schedulable CPUs:
+		// more pool goroutines than cores cannot run concurrently and only
+		// add spawn/switch overhead — half of the CI-documented "slower at
+		// workers=4" bug on small runners. An explicit per-call override is
+		// honored verbatim (tests force fan-out this way to exercise the
+		// concurrent paths under -race). Results are unaffected either way:
+		// every wired hot path is byte-identical for any worker count (see
+		// the package comment's determinism contract).
+		if p := runtime.GOMAXPROCS(0); w > p {
+			w = p
+		}
 	}
 	if w > n {
 		w = n

@@ -6,7 +6,6 @@ import (
 
 	"multiclust/internal/core"
 	"multiclust/internal/dbscan"
-	"multiclust/internal/dist"
 )
 
 // FiresConfig controls the approximate subspace clustering.
@@ -58,7 +57,9 @@ func Fires(points [][]float64, cfg FiresConfig) (*FiresResult, error) {
 		for i, p := range points {
 			col[i] = []float64{p[j]}
 		}
-		c, err := dbscan.Run(col, dist.Euclidean, dbscan.Config{Eps: cfg.Eps, MinPts: cfg.MinPts})
+		// nil distance: grid-indexed Euclidean — the per-dimension base
+		// clusterings are 1-d, the grid's best case.
+		c, err := dbscan.Run(col, nil, dbscan.Config{Eps: cfg.Eps, MinPts: cfg.MinPts})
 		if err != nil {
 			return nil, err
 		}

@@ -8,7 +8,6 @@ import (
 
 	"multiclust/internal/core"
 	"multiclust/internal/dbscan"
-	"multiclust/internal/dist"
 	"multiclust/internal/obs"
 )
 
@@ -83,7 +82,11 @@ func Subclu(points [][]float64, cfg SubcluConfig) (*SubcluResult, error) {
 			}
 			sub[i] = row
 		}
-		c, err := dbscan.RunContext(ctx, sub, dist.Euclidean, dbscan.Config{Eps: cfg.Eps, MinPts: minPtsAt(len(dims))})
+		// A nil distance selects the grid-indexed Euclidean neighborhoods:
+		// candidate subspaces are low-dimensional by construction, exactly
+		// where the uniform grid turns the O(n) region scans into
+		// adjacent-cell probes. Labels are identical to the linear scan.
+		c, err := dbscan.RunContext(ctx, sub, nil, dbscan.Config{Eps: cfg.Eps, MinPts: minPtsAt(len(dims))})
 		if err != nil {
 			return nil
 		}

@@ -294,6 +294,18 @@ type (
 	KMeansResult = kmeans.Result
 )
 
+// Pruning selects the k-means assignment strategy (KMeansConfig.Pruning):
+// Hamerly triangle-inequality bounds by default, byte-identical to the
+// plain Lloyd scans in every output and recorded trajectory.
+type Pruning = kmeans.Pruning
+
+// Pruning values.
+const (
+	PruneDefault = kmeans.PruneDefault
+	PruneOff     = kmeans.PruneOff
+	PruneHamerly = kmeans.PruneHamerly
+)
+
 // KMeans clusters points with k-means++.
 func KMeans(points [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 	return KMeansContext(context.Background(), points, cfg)
@@ -320,13 +332,16 @@ func DBSCAN(points [][]float64, cfg DBSCANConfig) (*Clustering, error) {
 
 // DBSCANContext is DBSCAN with cancellation: ctx is polled between object
 // expansions; objects not yet visited when it fires are labeled Noise and
-// the partial clustering is returned wrapped in ErrInterrupted.
+// the partial clustering is returned wrapped in ErrInterrupted. The
+// Euclidean neighborhoods are served by a uniform-grid spatial index (cell
+// width Eps) whenever the dimensionality permits, with labels identical to
+// the linear scan.
 func DBSCANContext(ctx context.Context, points [][]float64, cfg DBSCANConfig) (res *Clustering, err error) {
 	defer robust.RecoverTo(&err)
 	if err := robust.ValidateDataset(points); err != nil {
 		return nil, err
 	}
-	return dbscan.RunContext(ctx, points, dist.Euclidean, cfg)
+	return dbscan.RunContext(ctx, points, nil, cfg)
 }
 
 // Linkage selects the agglomerative merge rule.
@@ -464,6 +479,15 @@ type (
 // Coala computes an alternative clustering via cannot-link constrained
 // agglomeration.
 func Coala(points [][]float64, given *Clustering, cfg CoalaConfig) (res *CoalaResult, err error) {
+	return CoalaContext(context.Background(), points, given, cfg)
+}
+
+// CoalaContext is Coala with cancellation: ctx is polled at every merge
+// boundary; when it fires, the completed merges are flattened into a valid
+// clustering (coarser than requested, never half-merged) and returned
+// wrapped in ErrInterrupted. With a background context the output is
+// byte-identical to Coala.
+func CoalaContext(ctx context.Context, points [][]float64, given *Clustering, cfg CoalaConfig) (res *CoalaResult, err error) {
 	defer robust.RecoverTo(&err)
 	if err := robust.ValidateDataset(points); err != nil {
 		return nil, err
@@ -471,7 +495,7 @@ func Coala(points [][]float64, given *Clustering, cfg CoalaConfig) (res *CoalaRe
 	if err := robust.ValidateClustering(given, len(points)); err != nil {
 		return nil, err
 	}
-	return alternative.Coala(points, given, cfg)
+	return alternative.CoalaContext(ctx, points, given, cfg)
 }
 
 // CIBConfig / CIBResult: conditional information bottleneck (Gondek &
