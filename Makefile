@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json bench-baseline experiments examples fuzz fuzz-smoke chaos ci clean
+.PHONY: all build vet lint lint-json lint-sarif lint-fix test race cover bench bench-json bench-baseline experiments examples fuzz fuzz-smoke chaos ci clean
 
 all: build vet lint test
 
@@ -16,6 +16,20 @@ vet:
 # DESIGN.md "Determinism invariants"). Exits non-zero on any finding.
 lint:
 	$(GO) run ./cmd/multiclust-lint ./...
+
+# Machine-readable findings artifact (findings + suggested edits). The
+# leading dash keeps the artifact even when findings make the run exit 1.
+lint-json:
+	-$(GO) run ./cmd/multiclust-lint -json ./... > lint-findings.json
+
+# SARIF 2.1.0 artifact for GitHub code scanning upload.
+lint-sarif:
+	-$(GO) run ./cmd/multiclust-lint -sarif ./... > lint-findings.sarif
+
+# Apply the mechanical fixes (ctx forwarding, sorted-keys idiom) in place.
+# Refuses on a dirty worktree; -force overrides.
+lint-fix:
+	$(GO) run ./cmd/multiclust-lint -fix ./...
 
 test:
 	$(GO) test ./...
@@ -77,4 +91,4 @@ ci: build vet test race lint fuzz-smoke chaos cover bench-json
 
 clean:
 	$(GO) clean -testcache
-	rm -f coverage.out
+	rm -f coverage.out lint-findings.json lint-findings.sarif

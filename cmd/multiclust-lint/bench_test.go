@@ -1,0 +1,54 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// lintRepoBudget is the wall-clock ceiling for one full self-host run —
+// parse, type-check, and all thirteen analyzers over every package. The
+// interactive contract is "make lint is something you run on every save";
+// a run that blows this budget is a performance regression in the engine
+// (an accidental quadratic CFG walk, a FlowPass fixpoint that stopped
+// converging), not runner noise, which is why the ceiling is ~15x the
+// typical dev-machine time rather than a tight pin.
+const lintRepoBudget = 60 * time.Second
+
+func lintWholeRepo(tb testing.TB) int {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	chdir(tb, root)
+	var errOut strings.Builder
+	code := run([]string{"./..."}, io.Discard, &errOut)
+	if code != 0 {
+		tb.Fatalf("multiclust-lint ./... exited %d\nstderr:\n%s", code, errOut.String())
+	}
+	return code
+}
+
+// BenchmarkLintRepo times the full self-host run; `go test -bench LintRepo`
+// is the profiling entry point when the budget test starts flirting with
+// its ceiling.
+func BenchmarkLintRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lintWholeRepo(b)
+	}
+}
+
+// TestLintRepoTimeBudget pins the budget in the ordinary test run, so a
+// lint-engine slowdown fails CI even though nobody runs benchmarks there.
+func TestLintRepoTimeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing pin skipped in -short mode")
+	}
+	start := time.Now()
+	lintWholeRepo(t)
+	if elapsed := time.Since(start); elapsed > lintRepoBudget {
+		t.Fatalf("full-repo lint took %v, budget is %v — profile with go test -bench LintRepo", elapsed, lintRepoBudget)
+	}
+}

@@ -9,16 +9,25 @@
 //
 //	multiclust-lint [flags] [./... | dir ...]
 //
+// Output modes:
+//
+//	-json    machine-readable findings (positions, rules, suggested fixes)
+//	-sarif   SARIF 2.1.0 for GitHub code scanning upload
+//	-fix     apply suggested fixes in place; refuses on a dirty git
+//	         worktree unless -force is also given
+//
 // Suppress an individual finding with a comment on the offending line or the
 // line above it: //lint:ignore <rule> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"multiclust/internal/lint"
@@ -33,6 +42,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := fs.Bool("list", false, "list the available rules and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place")
+	force := fs.Bool("force", false, "with -fix: rewrite files even on a dirty git worktree")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -43,6 +56,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "multiclust-lint: -json and -sarif are mutually exclusive")
+		return 2
 	}
 	if *rules != "" {
 		selected, err := selectAnalyzers(analyzers, *rules)
@@ -75,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	exit := 0
+	var findings []lint.Finding
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
@@ -82,14 +100,82 @@ func run(args []string, stdout, stderr io.Writer) int {
 			exit = 2
 			continue
 		}
-		for _, f := range lint.Run(pkg, analyzers) {
+		findings = append(findings, lint.Run(pkg, analyzers)...)
+	}
+
+	switch {
+	case *fix:
+		if code := applyFixes(findings, root, *force, stdout, stderr); code != 0 {
+			return code
+		}
+	case *jsonOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{} // emit [], not null
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	case *sarifOut:
+		out, err := lint.SARIF(findings, analyzers, root)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(out))
+	default:
+		for _, f := range findings {
 			fmt.Fprintln(stdout, relativize(f, cwd))
-			if exit == 0 {
-				exit = 1
-			}
 		}
 	}
+	if exit == 0 && len(findings) > 0 && !*fix {
+		exit = 1
+	}
 	return exit
+}
+
+// applyFixes rewrites every file touched by the findings' suggested fixes.
+// It refuses on a dirty worktree (unless forced) so the rewrite is always
+// revertable, reports what it changed, and leaves unfixable findings on
+// stdout with exit 1.
+func applyFixes(findings []lint.Finding, root string, force bool, stdout, stderr io.Writer) int {
+	if !force {
+		if err := lint.CheckCleanWorktree(root); err != nil {
+			fmt.Fprintf(stderr, "multiclust-lint -fix: %v\n(commit or stash first, or pass -force)\n", err)
+			return 2
+		}
+	}
+	fixed, err := lint.ApplyFixes(findings, os.ReadFile)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	files := make([]string, 0, len(fixed))
+	for f := range fixed {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		if err := os.WriteFile(f, fixed[f], 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "fixed %s\n", f)
+	}
+	remaining := 0
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			fmt.Fprintln(stdout, f)
+			remaining++
+		}
+	}
+	if remaining > 0 {
+		fmt.Fprintf(stdout, "%d finding(s) have no mechanical fix\n", remaining)
+		return 1
+	}
+	return 0
 }
 
 func selectAnalyzers(all []*lint.Analyzer, names string) ([]*lint.Analyzer, error) {

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow flags a call that drops an in-scope context on the floor when the
+// callee has a context-capable sibling: a function (or method) named
+// <callee>Context whose first parameter is a context.Context. Inside a
+// ...Context entry point, calling kmeans.Run instead of kmeans.RunContext
+// silently severs cancellation for the whole subtree — the deadline keeps
+// ticking but nothing under the call can observe it. The lookup is
+// interprocedural over everything the package imports, so cross-package
+// drops (multiclust -> internal/kmeans) are caught, not just local ones.
+//
+// The rule fires only inside functions that actually have a named ctx
+// parameter; a function without one has nothing to forward.
+func CtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "in-scope ctx not forwarded to a callee with a ...Context-capable sibling",
+		Run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ctxName := contextParamName(p, fn)
+			if ctxName == "" {
+				continue
+			}
+			enclosing := p.Info.Defs[fn.Name]
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callForwardsContext(p, call) {
+					return true
+				}
+				id, callee := calleeFunc(p, call)
+				if callee == nil || signatureTakesContext(callee) {
+					return true
+				}
+				sibling := contextSibling(callee)
+				if sibling == nil {
+					return true
+				}
+				if types.Object(sibling) == enclosing {
+					// FooContext delegating to foo after its own ctx check is
+					// the implementation pattern, not a drop — and rewriting
+					// it would produce a self-recursive call.
+					return true
+				}
+				f := p.finding("ctxflow", call.Pos(),
+					"call to %s drops %s: %s accepts a context; forward it so cancellation propagates",
+					callee.Name(), ctxName, sibling.Name())
+				if siblingFixSafe(callee, sibling) {
+					f.Fixes = append(f.Fixes, ctxFlowFix(p, call, id, sibling, ctxName))
+				}
+				out = append(out, f)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// contextParamName returns the name of fn's first named (non-underscore)
+// context.Context parameter, or "".
+func contextParamName(p *Package, fn *ast.FuncDecl) string {
+	if fn.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fn.Type.Params.List {
+		if !isContextType(p, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// callForwardsContext reports whether any argument of the call is itself a
+// context.Context value.
+func callForwardsContext(p *Package, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isContextValue(p.Info.TypeOf(arg)) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method to its name identifier
+// and types.Func — nil for builtins, conversions, and calls through
+// function-typed values.
+func calleeFunc(p *Package, call *ast.CallExpr) (*ast.Ident, *types.Func) {
+	fun := call.Fun
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		fun = x.X
+	case *ast.IndexListExpr:
+		fun = x.X
+	}
+	var id *ast.Ident
+	switch x := fun.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil, nil
+	}
+	fn, _ := objectOf(p.Info, id).(*types.Func)
+	return id, fn
+}
+
+// siblingFixSafe reports whether swapping callee for sibling is a pure
+// mechanical rewrite: the sibling takes exactly ctx plus the callee's
+// parameters and returns exactly the same results, so prepending the context
+// argument cannot change any caller-visible type.
+func siblingFixSafe(callee, sibling *types.Func) bool {
+	cs, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	ss, ok := sibling.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if ss.Params().Len() != cs.Params().Len()+1 || ss.Variadic() != cs.Variadic() {
+		return false
+	}
+	for i := 0; i < cs.Params().Len(); i++ {
+		if !types.Identical(cs.Params().At(i).Type(), ss.Params().At(i+1).Type()) {
+			return false
+		}
+	}
+	return types.Identical(cs.Results(), ss.Results())
+}
+
+// ctxFlowFix rewrites callee(args...) into sibling(ctx, args...): one edit
+// renames the callee identifier, a second inserts the context as the first
+// argument.
+func ctxFlowFix(p *Package, call *ast.CallExpr, id *ast.Ident, sibling *types.Func, ctxName string) SuggestedFix {
+	insert := ctxName
+	if len(call.Args) > 0 {
+		insert += ", "
+	}
+	return SuggestedFix{
+		Message: "forward " + ctxName + " via " + sibling.Name(),
+		Edits: []TextEdit{
+			p.edit(id.Pos(), id.End(), sibling.Name()),
+			p.edit(call.Lparen+1, call.Lparen+1, insert),
+		},
+	}
+}
+
+// contextSibling returns the <name>Context function or method next to fn —
+// same package scope for functions, same method set for methods — whose
+// first parameter is a context.Context. Returns nil when there is none.
+func contextSibling(fn *types.Func) *types.Func {
+	if fn.Pkg() == nil {
+		return nil
+	}
+	name := fn.Name() + "Context"
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name)
+		if m, ok := obj.(*types.Func); ok && signatureTakesContext(m) {
+			return m
+		}
+		return nil
+	}
+	if obj, ok := fn.Pkg().Scope().Lookup(name).(*types.Func); ok && signatureTakesContext(obj) {
+		return obj
+	}
+	return nil
+}
+
+// signatureTakesContext reports whether fn's first parameter is a
+// context.Context.
+func signatureTakesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextValue(sig.Params().At(0).Type())
+}
+
+// isContextType reports whether the parameter type is context.Context.
+func isContextType(p *Package, expr ast.Expr) bool {
+	return isContextValue(p.Info.TypeOf(expr))
+}
+
+// isContextValue reports whether t is the context.Context interface type.
+func isContextValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

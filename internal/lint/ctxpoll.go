@@ -5,16 +5,26 @@ import (
 	"go/types"
 )
 
-// CtxPoll flags functions that accept a context.Context, contain at least
-// one loop, and never mention the context in their body. Such a function
-// advertises cancellation in its signature but can never observe it — the
-// exact bug the ...Context variants exist to prevent. The finding is
-// reported at the first loop, where the ctx.Err() poll belongs. A context
-// parameter named _ is an explicit opt-out and is not flagged.
+// CtxPoll flags functions that can observe a context — a context.Context
+// parameter, or a context stored in a field of the method's receiver — and
+// contain at least one loop, yet never consult the context. Such a function
+// advertises cancellation in its signature (or carries it in its receiver)
+// but can never observe it — the exact bug the ...Context variants exist to
+// prevent. The finding is reported at the first loop, where the ctx.Err()
+// poll belongs. A context parameter named _ is an explicit opt-out and is
+// not flagged.
+//
+// Two false negatives of the original per-ident check are covered:
+//
+//   - renaming the context (c := ctx) and then ignoring c: creating an
+//     alias is not consulting the context, but it used to count as a
+//     mention;
+//   - looping methods on a type that carries its context in a struct field
+//     (p.ctx) and never reads it.
 func CtxPoll() *Analyzer {
 	return &Analyzer{
 		Name: "ctxpoll",
-		Doc:  "context.Context parameter never consulted in a looping function",
+		Doc:  "context.Context (parameter or receiver field) never consulted in a looping function",
 		Run:  runCtxPoll,
 	}
 }
@@ -24,27 +34,14 @@ func runCtxPoll(p *Package) []Finding {
 	for _, file := range p.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || fn.Type.Params == nil {
+			if !ok || fn.Body == nil {
 				continue
 			}
-			// Named, non-underscore parameters of type context.Context.
-			var ctxObjs []types.Object
-			for _, field := range fn.Type.Params.List {
-				if !isContextType(p, field.Type) {
-					continue
-				}
-				for _, name := range field.Names {
-					if name.Name == "_" {
-						continue
-					}
-					if obj := p.Info.Defs[name]; obj != nil {
-						ctxObjs = append(ctxObjs, obj)
-					}
-				}
-			}
+			ctxObjs, kind := contextSources(p, fn)
 			if len(ctxObjs) == 0 {
 				continue
 			}
+			tracked, aliasSites := contextAliases(p, fn.Body, ctxObjs)
 			var firstLoop ast.Node
 			used := false
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -54,35 +51,136 @@ func runCtxPoll(p *Package) []Finding {
 						firstLoop = v
 					}
 				case *ast.Ident:
-					use := p.Info.Uses[v]
-					for _, obj := range ctxObjs {
-						if use == obj {
-							used = true
-						}
+					if tracked[p.Info.Uses[v]] && !aliasSites[v] {
+						used = true
 					}
 				}
 				return !used
 			})
 			if firstLoop != nil && !used {
 				out = append(out, p.finding("ctxpoll", firstLoop.Pos(),
-					"function %s takes a context.Context but never consults it; poll ctx.Err() at this loop's iteration boundary or rename the parameter to _",
-					fn.Name.Name))
+					"function %s %s but never consults it; poll ctx.Err() at this loop's iteration boundary%s",
+					fn.Name.Name, kind.describe, kind.optOut))
 			}
 		}
 	}
 	return out
 }
 
-// isContextType reports whether the parameter type is context.Context.
-func isContextType(p *Package, expr ast.Expr) bool {
-	t := p.Info.TypeOf(expr)
-	if t == nil {
-		return false
+// ctxKind carries the finding wording for the two context sources.
+type ctxKind struct {
+	describe string
+	optOut   string
+}
+
+// contextSources collects the objects through which fn can observe a
+// context: its named context.Context parameters, plus — for methods — any
+// context.Context fields of the receiver type.
+func contextSources(p *Package, fn *ast.FuncDecl) ([]types.Object, ctxKind) {
+	var objs []types.Object
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			if !isContextType(p, field.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					continue
+				}
+				if obj := p.Info.Defs[name]; obj != nil {
+					objs = append(objs, obj)
+				}
+			}
+		}
 	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
+	if len(objs) > 0 {
+		return objs, ctxKind{describe: "takes a context.Context", optOut: " or rename the parameter to _"}
 	}
-	obj := named.Obj()
-	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+	// Method receivers: a context stored in a struct field is just as
+	// observable as a parameter.
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		t := p.Info.TypeOf(fn.Recv.List[0].Type)
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				if isContextValue(st.Field(i).Type()) {
+					objs = append(objs, st.Field(i))
+				}
+			}
+		}
+	}
+	return objs, ctxKind{describe: "carries a context.Context in its receiver", optOut: ""}
+}
+
+// contextAliases tracks locals bound directly from a context source —
+// c := ctx, c := p.ctx, including chains — and returns the full tracked
+// object set plus the identifiers that only create aliases. An alias-
+// creating mention is not a consultation: `c := ctx` observes nothing.
+func contextAliases(p *Package, body *ast.BlockStmt, ctxObjs []types.Object) (map[types.Object]bool, map[*ast.Ident]bool) {
+	tracked := map[types.Object]bool{}
+	for _, o := range ctxObjs {
+		tracked[o] = true
+	}
+	aliasSites := map[*ast.Ident]bool{}
+	// Fixpoint: an alias of an alias is still just a rename.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				rhsIdents := bareContextRef(p, rhs, tracked)
+				if rhsIdents == nil {
+					continue
+				}
+				lhs, ok := assign.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if lhs.Name != "_" {
+					obj := objectOf(p.Info, lhs)
+					if obj == nil {
+						continue
+					}
+					if !tracked[obj] {
+						tracked[obj] = true
+						changed = true
+					}
+				}
+				for _, id := range rhsIdents {
+					if !aliasSites[id] {
+						aliasSites[id] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tracked, aliasSites
+}
+
+// bareContextRef reports whether e is a bare reference to a tracked context
+// — an identifier, or a selector whose field object is tracked — returning
+// the identifiers that make up the reference (nil when it is not one).
+func bareContextRef(p *Package, e ast.Expr, tracked map[types.Object]bool) []*ast.Ident {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[x]; obj != nil && tracked[obj] {
+			return []*ast.Ident{x}
+		}
+	case *ast.SelectorExpr:
+		if obj := p.Info.Uses[x.Sel]; obj != nil && tracked[obj] {
+			ids := []*ast.Ident{x.Sel}
+			if base, ok := x.X.(*ast.Ident); ok {
+				ids = append(ids, base)
+			}
+			return ids
+		}
+	}
+	return nil
 }

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetSource flags wall-clock or global-entropy values flowing into a
+// clustering Result. globalrand catches the call sites (rand.Intn, a
+// time-seeded rand.New); this rule generalizes it from call sites to
+// dataflow: time.Now()/time.Since laundered through locals and arithmetic
+// still taints whatever it reaches, and a tainted value stored into a field
+// of a *Result struct (any module type named Result/…Result) makes two
+// same-seed runs produce different artifacts — the reproducibility contract
+// the paper's cross-view comparisons rest on (see DESIGN.md).
+//
+// Timing that flows into obs recorders, spans, or logs is fine — the sink
+// is specifically the clustering result surface.
+func DetSource() *Analyzer {
+	return &Analyzer{
+		Name: "detsource",
+		Doc:  "time.Now/global entropy flowing (via dataflow) into a clustering Result",
+		Run:  runDetSource,
+	}
+}
+
+func runDetSource(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, detSourceInFunc(p, fn)...)
+		}
+	}
+	return out
+}
+
+func detSourceInFunc(p *Package, fn *ast.FuncDecl) []Finding {
+	// Quick syntactic gate before paying for a FlowPass: any entropy call?
+	hasSeed := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && isEntropySeed(p, e) {
+			hasSeed = true
+		}
+		return !hasSeed
+	})
+	if !hasSeed {
+		return nil
+	}
+
+	fp := NewFlowPass(p, fn)
+	seed := func(e ast.Expr) bool { return isEntropySeed(p, e) }
+	taint := fp.TaintedBy(seed)
+
+	var out []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				rt, fieldOK := resultBaseType(p, sel)
+				if !fieldOK {
+					continue
+				}
+				var rhs ast.Expr
+				switch {
+				case len(x.Rhs) == len(x.Lhs):
+					rhs = x.Rhs[i]
+				case len(x.Rhs) == 1:
+					rhs = x.Rhs[0]
+				}
+				if rhs != nil && taint.Tainted(fp, seed, rhs) {
+					out = append(out, p.finding("detsource", x.Pos(),
+						"wall-clock/global entropy flows into %s.%s: same-seed replays diverge; derive the value from the config Seed or record it via obs instead", rt, sel.Sel.Name))
+				}
+			}
+		case *ast.CompositeLit:
+			t := p.Info.TypeOf(x)
+			name, ok := resultTypeName(t)
+			if !ok {
+				return true
+			}
+			for _, elt := range x.Elts {
+				val := elt
+				field := ""
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						field = id.Name
+					}
+				}
+				if taint.Tainted(fp, seed, val) {
+					where := name
+					if field != "" {
+						where = name + "." + field
+					}
+					out = append(out, p.finding("detsource", val.Pos(),
+						"wall-clock/global entropy flows into %s: same-seed replays diverge; derive the value from the config Seed or record it via obs instead", where))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isEntropySeed matches the expressions whose value differs between two
+// identical runs: time.Now()/Since/Until and global math/rand draws.
+func isEntropySeed(p *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if name, ok := selectorCall(p.Info, call, "time"); ok {
+		switch name {
+		case "Now", "Since", "Until":
+			return true
+		}
+	}
+	if name, ok := selectorCallAnyPath(p, call, mathRandPath, mathRandV2Path); ok {
+		return !randConstructors[name]
+	}
+	return false
+}
+
+// resultBaseType resolves sel's base expression to a Result-named struct
+// type, returning its display name.
+func resultBaseType(p *Package, sel *ast.SelectorExpr) (string, bool) {
+	t := p.Info.TypeOf(sel.X)
+	return resultTypeName(t)
+}
+
+// resultTypeName reports whether t (or its pointee) is a named struct whose
+// name is Result or ends in Result — the shape every clustering algorithm in
+// this module returns.
+func resultTypeName(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj == nil {
+		return "", false
+	}
+	name := obj.Name()
+	if name != "Result" && !strings.HasSuffix(name, "Result") {
+		return "", false
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return "", false
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + name, true
+	}
+	return name, true
+}

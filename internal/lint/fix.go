@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+// ErrDirtyWorktree is returned by CheckCleanWorktree when the git worktree
+// has uncommitted changes. multiclust-lint -fix refuses to rewrite files on
+// top of unsaved work unless -force is given, so a bad fix is always one
+// `git checkout` away from undone.
+var ErrDirtyWorktree = errors.New("git worktree has uncommitted changes")
+
+// CheckCleanWorktree reports ErrDirtyWorktree (wrapped, with the offending
+// paths) when `git status --porcelain` in dir lists anything. A directory
+// that is not a git repository — or a machine without git — passes: there is
+// no committed state to protect there.
+func CheckCleanWorktree(dir string) error {
+	out, err := exec.Command("git", "-C", dir, "status", "--porcelain").Output()
+	if err != nil {
+		return nil // no git, or not a repository: nothing to guard
+	}
+	status := strings.TrimSpace(string(out))
+	if status == "" {
+		return nil
+	}
+	lines := strings.Split(status, "\n")
+	more := ""
+	if len(lines) > 5 {
+		more = fmt.Sprintf("\n  … and %d more", len(lines)-5)
+		lines = lines[:5]
+	}
+	return fmt.Errorf("%w:\n  %s%s", ErrDirtyWorktree, strings.Join(lines, "\n  "), more)
+}
+
+// TextEdit is one textual replacement: substitute NewText for the byte range
+// [Offset, End) of Filename. An insertion has Offset == End.
+type TextEdit struct {
+	Filename string `json:"file"`
+	Offset   int    `json:"offset"`
+	End      int    `json:"end"`
+	NewText  string `json:"newText"`
+}
+
+// SuggestedFix is a mechanical rewrite that resolves a finding. Fixes are
+// attached only when the rewrite is provably safe — the analyzers gate on
+// signature compatibility (ctxflow) or on the loop shape and key type
+// (maporder) before offering one.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// ApplyFixes computes the rewritten contents of every file touched by the
+// findings' suggested fixes. read supplies the current bytes of a file (pass
+// os.ReadFile for the real tree; tests substitute fakes). Identical edits
+// contributed by multiple findings — e.g. two loops both adding the sort
+// import — collapse to one; genuinely overlapping conflicting edits are an
+// error, never silently merged.
+func ApplyFixes(findings []Finding, read func(string) ([]byte, error)) (map[string][]byte, error) {
+	perFile := map[string][]TextEdit{}
+	for _, f := range findings {
+		for _, fix := range f.Fixes {
+			for _, e := range fix.Edits {
+				perFile[e.Filename] = append(perFile[e.Filename], e)
+			}
+		}
+	}
+	out := map[string][]byte{}
+	for file, edits := range perFile {
+		src, err := read(file)
+		if err != nil {
+			return nil, err
+		}
+		fixed, err := applyEdits(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", file, err)
+		}
+		out[file] = fixed
+	}
+	return out, nil
+}
+
+func applyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Offset != edits[j].Offset {
+			return edits[i].Offset < edits[j].Offset
+		}
+		return edits[i].End < edits[j].End
+	})
+	// Drop exact duplicates, then verify the rest are disjoint and in range.
+	dedup := edits[:0]
+	for i, e := range edits {
+		if i > 0 && e == edits[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	edits = dedup
+	for i, e := range edits {
+		if e.Offset < 0 || e.End < e.Offset || e.End > len(src) {
+			return nil, fmt.Errorf("edit [%d,%d) out of range (file has %d bytes)", e.Offset, e.End, len(src))
+		}
+		if i > 0 && e.Offset < edits[i-1].End {
+			return nil, fmt.Errorf("conflicting edits: [%d,%d) overlaps [%d,%d)",
+				edits[i-1].Offset, edits[i-1].End, e.Offset, e.End)
+		}
+	}
+	// Splice back to front so earlier offsets stay valid.
+	fixed := append([]byte(nil), src...)
+	for i := len(edits) - 1; i >= 0; i-- {
+		e := edits[i]
+		fixed = append(fixed[:e.Offset], append([]byte(e.NewText), fixed[e.End:]...)...)
+	}
+	return fixed, nil
+}

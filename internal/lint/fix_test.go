@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkFixGolden runs analyzer a over testdata/fix/<dir>, applies every
+// suggested fix, and then holds the result to three bars:
+//
+//  1. byte-identical to the .golden file next to the fixture;
+//  2. it recompiles — the fixed sources type-check in a scratch module;
+//  3. it re-lints clean — the analyzer reports nothing on the fixed code.
+func checkFixGolden(t *testing.T, dir string, a *Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "fix", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loaderForTest(t).Load(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(pkg, []*Analyzer{a})
+	if len(findings) == 0 {
+		t.Fatal("fix fixture produced no findings")
+	}
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			t.Errorf("finding without a suggested fix in a fix fixture: %s", f)
+		}
+	}
+
+	fixed, err := ApplyFixes(findings, os.ReadFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) == 0 {
+		t.Fatal("ApplyFixes rewrote no files")
+	}
+	for file, got := range fixed {
+		want, err := os.ReadFile(file + ".golden")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: fixed output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", file, got, want)
+		}
+	}
+
+	// Recompile and re-lint the fixed sources in a scratch module.
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte("module fixscratch\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for file, got := range fixed {
+		if err := os.WriteFile(filepath.Join(tmp, filepath.Base(file)), got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scratch, err := NewLoader(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repkg, err := scratch.Load(tmp)
+	if err != nil {
+		t.Fatalf("fixed sources do not recompile: %v", err)
+	}
+	if re := Run(repkg, []*Analyzer{a}); len(re) != 0 {
+		t.Errorf("fixed sources still flagged by %s: %v", a.Name, re)
+	}
+}
+
+func TestCtxFlowFixGolden(t *testing.T)  { checkFixGolden(t, "ctxflow", CtxFlow()) }
+func TestMapOrderFixGolden(t *testing.T) { checkFixGolden(t, "maporder", MapOrder()) }
+
+// The fix must only be offered when the sibling's signature matches the
+// callee's exactly (modulo the prepended context): the main ctxflow fixture
+// has both shapes.
+func TestCtxFlowFixGatedOnSignature(t *testing.T) {
+	abs, err := filepath.Abs(filepath.Join("testdata", "ctxflow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loaderForTest(t).Load(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var incompatible, compatible bool
+	for _, f := range Run(pkg, []*Analyzer{CtxFlow()}) {
+		switch {
+		case strings.Contains(f.Message, "call to process drops"):
+			incompatible = true
+			if len(f.Fixes) != 0 {
+				t.Errorf("fix offered for incompatible sibling (processContext adds an error result): %s", f)
+			}
+		case strings.Contains(f.Message, "call to Run drops"):
+			compatible = true
+			if len(f.Fixes) == 0 {
+				t.Errorf("no fix offered for signature-compatible sibling kmeans.RunContext: %s", f)
+			}
+		}
+	}
+	if !incompatible || !compatible {
+		t.Fatalf("fixture shapes missing (incompatible=%v compatible=%v)", incompatible, compatible)
+	}
+}
+
+func TestApplyEditsRejectsOverlapAndDedupes(t *testing.T) {
+	src := []byte("abcdef")
+	got, err := applyEdits(src, []TextEdit{
+		{Offset: 1, End: 3, NewText: "X"},
+		{Offset: 1, End: 3, NewText: "X"}, // exact duplicate collapses
+		{Offset: 4, End: 5, NewText: "YY"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aXdYYf" {
+		t.Errorf("applyEdits = %q, want %q", got, "aXdYYf")
+	}
+	if _, err := applyEdits(src, []TextEdit{
+		{Offset: 1, End: 4, NewText: "X"},
+		{Offset: 2, End: 5, NewText: "Y"},
+	}); err == nil {
+		t.Error("overlapping conflicting edits did not error")
+	}
+}

@@ -1,0 +1,454 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// FlowPass is the use-def half of the dataflow engine: reaching definitions
+// of *types.Var objects computed over the function's CFG, plus a taint
+// fixpoint built on the same def collection. Rules adopt it incrementally —
+// build one per function with NewFlowPass and query it; rules that only need
+// syntax keep using plain ast.Inspect.
+//
+// The lattice is the classic reaching-definitions one: for each variable, the
+// set of definition sites that may reach a program point (union at joins, a
+// new definition of the variable kills the previous set). Parameters, named
+// results, and the receiver are defined at function entry.
+type FlowPass struct {
+	Pkg *Package
+	Fn  ast.Node // *ast.FuncDecl or *ast.FuncLit
+	CFG *CFG
+
+	gen  map[*Block][]Def
+	in   map[*Block]defSet
+	out  map[*Block]defSet
+	vars map[types.Object]bool // every local/param var defined in Fn
+}
+
+// Def is one definition site of one variable. Node is nil for entry
+// definitions (parameters, receiver, named results).
+type Def struct {
+	Obj  types.Object
+	Node ast.Node
+}
+
+// defSet maps a variable to the set of its definition nodes that may reach a
+// point. The nil node (entry def) is represented like any other key.
+type defSet map[types.Object]map[ast.Node]bool
+
+func (s defSet) clone() defSet {
+	c := make(defSet, len(s))
+	for o, nodes := range s {
+		m := make(map[ast.Node]bool, len(nodes))
+		for n := range nodes {
+			m[n] = true
+		}
+		c[o] = m
+	}
+	return c
+}
+
+// mergeFrom unions o into s and reports whether s grew.
+func (s defSet) mergeFrom(o defSet) bool {
+	grew := false
+	for obj, nodes := range o {
+		dst := s[obj]
+		if dst == nil {
+			dst = map[ast.Node]bool{}
+			s[obj] = dst
+		}
+		for n := range nodes {
+			if !dst[n] {
+				dst[n] = true
+				grew = true
+			}
+		}
+	}
+	return grew
+}
+
+func (s defSet) size() int {
+	total := 0
+	for _, m := range s {
+		total += len(m)
+	}
+	return total
+}
+
+// NewFlowPass builds the CFG and solves reaching definitions for fn, which
+// must be an *ast.FuncDecl (with body) or *ast.FuncLit from p.
+func NewFlowPass(p *Package, fn ast.Node) *FlowPass {
+	var body *ast.BlockStmt
+	var ftype *ast.FuncType
+	var recv *ast.FieldList
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		body, ftype, recv = f.Body, f.Type, f.Recv
+	case *ast.FuncLit:
+		body, ftype = f.Body, f.Type
+	}
+	fp := &FlowPass{
+		Pkg:  p,
+		Fn:   fn,
+		CFG:  BuildCFG(body),
+		gen:  map[*Block][]Def{},
+		in:   map[*Block]defSet{},
+		out:  map[*Block]defSet{},
+		vars: map[types.Object]bool{},
+	}
+	fp.collectGen(ftype, recv)
+	fp.solve()
+	return fp
+}
+
+// collectGen fills gen[b] with the definitions each block makes, in order,
+// and seeds entry definitions for parameters / receiver / named results.
+func (fp *FlowPass) collectGen(ftype *ast.FuncType, recv *ast.FieldList) {
+	entry := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := fp.Pkg.Info.Defs[name]; obj != nil && name.Name != "_" {
+					fp.vars[obj] = true
+					fp.gen[fp.CFG.Entry] = append([]Def{{Obj: obj}}, fp.gen[fp.CFG.Entry]...)
+				}
+			}
+		}
+	}
+	entry(recv)
+	if ftype != nil {
+		entry(ftype.Params)
+		entry(ftype.Results)
+	}
+	for _, blk := range fp.CFG.Blocks {
+		for _, n := range blk.Nodes {
+			fp.genFromNode(blk, n)
+		}
+	}
+}
+
+// genFromNode records the definitions node n makes into gen[blk]. Nested
+// function literals are opaque: their assignments run at an unknown time, so
+// they neither generate nor kill definitions here.
+func (fp *FlowPass) genFromNode(blk *Block, n ast.Node) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			fp.defOf(blk, lhs, s)
+		}
+	case *ast.IncDecStmt:
+		fp.defOf(blk, s.X, s)
+	case *ast.RangeStmt:
+		fp.defOf(blk, s.Key, s)
+		fp.defOf(blk, s.Value, s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						fp.defIdent(blk, name, s)
+					}
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		// handled via its Assign statement when lowered into the head block
+		if as, ok := s.Assign.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				fp.defOf(blk, lhs, s)
+			}
+		}
+	}
+}
+
+func (fp *FlowPass) defOf(blk *Block, e ast.Expr, site ast.Node) {
+	if e == nil {
+		return
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		fp.defIdent(blk, id, site)
+	}
+	// Writes through selectors/indices (x.f = v, a[i] = v) define no local
+	// variable object; field taint is handled separately by the analyzers.
+}
+
+func (fp *FlowPass) defIdent(blk *Block, id *ast.Ident, site ast.Node) {
+	if id.Name == "_" {
+		return
+	}
+	obj := objectOf(fp.Pkg.Info, id)
+	if obj == nil || !isVar(obj) {
+		return
+	}
+	fp.vars[obj] = true
+	fp.gen[blk] = append(fp.gen[blk], Def{Obj: obj, Node: site})
+}
+
+// solve runs the forward worklist iteration:
+// in[b] = ∪ out[preds]; out[b] = gen-with-kill applied over in[b].
+func (fp *FlowPass) solve() {
+	for _, blk := range fp.CFG.Blocks {
+		fp.in[blk] = defSet{}
+		fp.out[blk] = fp.transfer(blk, defSet{})
+	}
+	work := make([]*Block, len(fp.CFG.Blocks))
+	copy(work, fp.CFG.Blocks)
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inSet := defSet{}
+		for _, p := range blk.Preds {
+			inSet.mergeFrom(fp.out[p])
+		}
+		fp.in[blk] = inSet
+		newOut := fp.transfer(blk, inSet)
+		// The transfer function is monotone in its input, so growth in
+		// cardinality is exactly "the set changed".
+		if newOut.size() != fp.out[blk].size() {
+			fp.out[blk] = newOut
+			work = append(work, blk.Succs...)
+		}
+	}
+}
+
+// transfer applies blk's definitions (in order, each killing the previous
+// defs of its variable) to the incoming set.
+func (fp *FlowPass) transfer(blk *Block, in defSet) defSet {
+	out := in.clone()
+	for _, d := range fp.gen[blk] {
+		out[d.Obj] = map[ast.Node]bool{d.Node: true}
+	}
+	return out
+}
+
+// ReachingIn returns the definitions reaching the entry of blk, sorted by
+// variable name then definition position for deterministic output.
+func (fp *FlowPass) ReachingIn(blk *Block) []Def {
+	return flatten(fp.in[blk])
+}
+
+// ReachingOut returns the definitions live at the exit of blk.
+func (fp *FlowPass) ReachingOut(blk *Block) []Def {
+	return flatten(fp.out[blk])
+}
+
+func flatten(s defSet) []Def {
+	var out []Def
+	for obj, nodes := range s {
+		for n := range nodes {
+			out = append(out, Def{Obj: obj, Node: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Obj != out[j].Obj {
+			if out[i].Obj.Name() != out[j].Obj.Name() {
+				return out[i].Obj.Name() < out[j].Obj.Name()
+			}
+			return out[i].Obj.Pos() < out[j].Obj.Pos()
+		}
+		return defPos(out[i]) < defPos(out[j])
+	})
+	return out
+}
+
+func defPos(d Def) token.Pos {
+	if d.Node == nil {
+		return token.NoPos
+	}
+	return d.Node.Pos()
+}
+
+// DefsReaching returns the definitions of obj that may reach stmt (the
+// in-set of stmt's block, refined by any kills earlier in the same block).
+func (fp *FlowPass) DefsReaching(obj types.Object, stmt ast.Node) []Def {
+	blk := fp.CFG.BlockOf(stmt)
+	if blk == nil {
+		return nil
+	}
+	cur := map[ast.Node]bool{}
+	for n := range fp.in[blk][obj] {
+		cur[n] = true
+	}
+	for _, n := range blk.Nodes {
+		if n.Pos() >= stmt.Pos() {
+			break
+		}
+		for _, d := range defsOfNode(fp, blk, n) {
+			if d.Obj == obj {
+				cur = map[ast.Node]bool{d.Node: true}
+			}
+		}
+	}
+	var out []Def
+	for n := range cur {
+		out = append(out, Def{Obj: obj, Node: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return defPos(out[i]) < defPos(out[j]) })
+	return out
+}
+
+// defsOfNode re-derives the defs a single node contributes (used for the
+// within-block refinement of DefsReaching).
+func defsOfNode(fp *FlowPass, blk *Block, n ast.Node) []Def {
+	var out []Def
+	for _, d := range fp.gen[blk] {
+		if d.Node == n {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Vars returns every variable the pass tracks (params, receiver, named
+// results, and locals defined in straight-line code), sorted by name.
+func (fp *FlowPass) Vars() []types.Object {
+	out := make([]types.Object, 0, len(fp.vars))
+	for o := range fp.vars {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name() != out[j].Name() {
+			return out[i].Name() < out[j].Name()
+		}
+		return out[i].Pos() < out[j].Pos()
+	})
+	return out
+}
+
+// ---- taint propagation ----
+
+// Taint tracks which variables a seeded value may have flowed into, by
+// iterating the function's assignments to a fixpoint. Seeds are expression
+// predicates (e.g. "calls time.Now"); propagation follows assignments,
+// short declarations, and simple call-free unary/binary/selector wrapping of
+// tainted operands. First[obj] records the node that first tainted obj, for
+// findings.
+type Taint struct {
+	Objs  map[types.Object]bool
+	First map[types.Object]ast.Node
+}
+
+// TaintedBy computes the taint fixpoint for fn's body: a variable is tainted
+// when some reaching assignment gives it a value containing a seed
+// expression or another tainted variable.
+func (fp *FlowPass) TaintedBy(isSeed func(ast.Expr) bool) *Taint {
+	t := &Taint{Objs: map[types.Object]bool{}, First: map[types.Object]ast.Node{}}
+	var body ast.Node
+	switch f := fp.Fn.(type) {
+	case *ast.FuncDecl:
+		body = f.Body
+	case *ast.FuncLit:
+		body = f.Body
+	}
+	if body == nil {
+		return t
+	}
+	// exprTainted: does e contain a seed or a tainted identifier?
+	exprTainted := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if ex, ok := n.(ast.Expr); ok && isSeed(ex) {
+				found = true
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := objectOf(fp.Pkg.Info, id); obj != nil && t.Objs[obj] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	mark := func(e ast.Expr, site ast.Node) {
+		root := rootIdent(e)
+		if root == nil {
+			return
+		}
+		obj := objectOf(fp.Pkg.Info, root)
+		if obj == nil || !isVar(obj) || t.Objs[obj] {
+			return
+		}
+		t.Objs[obj] = true
+		if _, ok := t.First[obj]; !ok {
+			t.First[obj] = site
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		before := len(t.Objs)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					var rhs ast.Expr
+					switch {
+					case len(s.Rhs) == len(s.Lhs):
+						rhs = s.Rhs[i]
+					case len(s.Rhs) == 1:
+						rhs = s.Rhs[0] // tuple assignment: taint all lhs
+					}
+					if rhs != nil && exprTainted(rhs) {
+						mark(lhs, s)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					var rhs ast.Expr
+					switch {
+					case len(s.Values) == len(s.Names):
+						rhs = s.Values[i]
+					case len(s.Values) == 1:
+						rhs = s.Values[0]
+					}
+					if rhs != nil && exprTainted(rhs) {
+						mark(name, s)
+					}
+				}
+			}
+			return true
+		})
+		if len(t.Objs) != before {
+			changed = true
+		}
+	}
+	return t
+}
+
+// Tainted reports whether e carries taint: it is itself a seed, contains a
+// seed, or mentions a tainted variable.
+func (t *Taint) Tainted(fp *FlowPass, isSeed func(ast.Expr) bool, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if ex, ok := n.(ast.Expr); ok && isSeed(ex) {
+			found = true
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := objectOf(fp.Pkg.Info, id); obj != nil && t.Objs[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// typecheckSrc parses and type-checks one synthetic file, returning a
+// Package the engine can run on.
+func typecheckSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "flow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("flowtest", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Package{Path: "flowtest", Fset: fset, Files: []*ast.File{f}, Types: pkg, Info: info}
+}
+
+func funcDecl(t *testing.T, p *Package, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == name {
+				return fn
+			}
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// A redefinition on one branch must merge with the original at the join:
+// both definitions reach; after an unconditional redefinition only the new
+// one does.
+func TestReachingDefinitionsBranchMerge(t *testing.T) {
+	p := typecheckSrc(t, `package p
+func f(cond bool) int {
+	x := 1
+	if cond {
+		x = 2
+	}
+	y := x // both defs of x reach here
+	x = 3
+	return x + y // only x = 3 reaches
+}`)
+	fn := funcDecl(t, p, "f")
+	fp := NewFlowPass(p, fn)
+
+	var xObj types.Object
+	for _, o := range fp.Vars() {
+		if o.Name() == "x" {
+			xObj = o
+		}
+	}
+	if xObj == nil {
+		t.Fatal("x not tracked")
+	}
+
+	stmtAtLine := func(line int) ast.Node {
+		var found ast.Node
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if n == nil || found != nil {
+				return false
+			}
+			if _, ok := n.(ast.Stmt); ok && p.Fset.Position(n.Pos()).Line == line {
+				found = n
+				return false
+			}
+			return true
+		})
+		if found == nil {
+			t.Fatalf("no statement at line %d", line)
+		}
+		return found
+	}
+
+	atJoin := fp.DefsReaching(xObj, stmtAtLine(7)) // y := x
+	if len(atJoin) != 2 {
+		t.Fatalf("want 2 defs of x at join, got %d: %v", len(atJoin), describeDefs(p, atJoin))
+	}
+	atReturn := fp.DefsReaching(xObj, stmtAtLine(9)) // return
+	if len(atReturn) != 1 {
+		t.Fatalf("want 1 def of x at return (x = 3 kills), got %d: %v", len(atReturn), describeDefs(p, atReturn))
+	}
+	if line := p.Fset.Position(atReturn[0].Node.Pos()).Line; line != 8 {
+		t.Errorf("surviving def should be line 8 (x = 3), got line %d", line)
+	}
+}
+
+// A loop's back-edge must carry definitions from the body to the head.
+func TestReachingDefinitionsLoopBackEdge(t *testing.T) {
+	p := typecheckSrc(t, `package p
+func f(n int) int {
+	x := 0
+	for i := 0; i < n; i++ {
+		x = i
+	}
+	return x
+}`)
+	fn := funcDecl(t, p, "f")
+	fp := NewFlowPass(p, fn)
+
+	var xObj types.Object
+	for _, o := range fp.Vars() {
+		if o.Name() == "x" {
+			xObj = o
+		}
+	}
+	var ret ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r
+		}
+		return true
+	})
+	defs := fp.DefsReaching(xObj, ret)
+	if len(defs) != 2 {
+		t.Fatalf("want both x := 0 and loop-body x = i to reach return, got %v", describeDefs(p, defs))
+	}
+}
+
+// Parameters are defined at entry; their defs reach uses until shadowed by
+// reassignment.
+func TestReachingDefinitionsParamEntry(t *testing.T) {
+	p := typecheckSrc(t, `package p
+func f(a int) int {
+	b := a
+	a = 5
+	return a + b
+}`)
+	fn := funcDecl(t, p, "f")
+	fp := NewFlowPass(p, fn)
+	var aObj types.Object
+	for _, o := range fp.Vars() {
+		if o.Name() == "a" {
+			aObj = o
+		}
+	}
+	var ret ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r
+		}
+		return true
+	})
+	defs := fp.DefsReaching(aObj, ret)
+	if len(defs) != 1 || defs[0].Node == nil {
+		t.Fatalf("a = 5 should be the only def at return, got %v", describeDefs(p, defs))
+	}
+}
+
+// Taint must follow a value laundered through intermediate locals, and must
+// not leak onto untainted variables.
+func TestTaintFixpointThroughLocals(t *testing.T) {
+	p := typecheckSrc(t, `package p
+import "time"
+func f() (int64, int64) {
+	t0 := time.Now()
+	n := t0.UnixNano()
+	m := n + 1
+	clean := int64(42)
+	return m, clean
+}`)
+	fn := funcDecl(t, p, "f")
+	fp := NewFlowPass(p, fn)
+	isTimeNow := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		name, ok := selectorCall(p.Info, call, "time")
+		return ok && name == "Now"
+	}
+	taint := fp.TaintedBy(isTimeNow)
+	want := map[string]bool{"t0": true, "n": true, "m": true, "clean": false}
+	for _, o := range fp.Vars() {
+		if exp, tracked := want[o.Name()]; tracked && taint.Objs[o] != exp {
+			t.Errorf("taint of %s = %v, want %v", o.Name(), taint.Objs[o], exp)
+		}
+	}
+	if len(taint.First) == 0 {
+		t.Error("taint.First should record originating sites")
+	}
+}
+
+func describeDefs(p *Package, defs []Def) []string {
+	out := make([]string, len(defs))
+	for i, d := range defs {
+		if d.Node == nil {
+			out[i] = fmt.Sprintf("%s@entry", d.Obj.Name())
+		} else {
+			out[i] = fmt.Sprintf("%s@line%d", d.Obj.Name(), p.Fset.Position(d.Node.Pos()).Line)
+		}
+	}
+	return out
+}
+
+// The engine must at least not choke on every function shape in the real
+// repository packages it will analyze (smoke coverage for odd shapes:
+// closures, methods, generics in parallel, select in ops).
+func TestFlowPassSmokesOverRealPackages(t *testing.T) {
+	for _, dir := range []string{"internal/parallel", "internal/ops", "internal/kmeans"} {
+		pkg, err := loaderForTest(t).Load(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		count := 0
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+					fp := NewFlowPass(pkg, fn)
+					if fp.CFG.Entry == nil || fp.CFG.Exit == nil {
+						t.Errorf("%s: nil entry/exit in %s", dir, fn.Name.Name)
+					}
+					count++
+				}
+			}
+		}
+		if count == 0 {
+			t.Errorf("%s: no functions analyzed", dir)
+		}
+	}
+}
+
+// Dump determinism: two builds of the same function render identically (the
+// golden tests depend on it).
+func TestCFGDumpDeterministic(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		switch {
+		case i%2 == 0:
+			s += i
+		default:
+			s -= i
+		}
+	}
+	return s
+}`
+	p := typecheckSrc(t, src)
+	fn := funcDecl(t, p, "f")
+	a := BuildCFG(fn.Body).Dump(p.Fset)
+	b := BuildCFG(fn.Body).Dump(p.Fset)
+	if a != b || !strings.Contains(a, "switch.case") {
+		t.Errorf("nondeterministic or malformed dump:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -16,6 +16,21 @@
 //     (the nil-guarded helpers are what keep disabled instrumentation free)
 //   - spanend:    no span-open (obs.Span/obs.SpanCtx/StartSpan) whose end
 //     function is neither deferred nor called on every return path
+//   - ctxflow:    no call that drops an in-scope ctx when the callee has a
+//     ...Context-capable sibling (interprocedural over the module)
+//   - rngescape:  no *rand.Rand crossing a parallel.For/Each/Map boundary
+//     through a struct field, channel, or worker return value
+//   - lockcopy:   no by-value copy of a type containing a sync primitive
+//     (Mutex, RWMutex, WaitGroup, Once, Cond — incl. obs.Collector)
+//   - goleak:     no goroutine spawn whose Wait/channel-receive join is
+//     skippable by an early return on some CFG path
+//   - detsource:  no time.Now/global-entropy value flowing (via dataflow)
+//     into a clustering Result
+//
+// The flow-sensitive rules (goleak, spanend) are built on the package's CFG
+// builder (cfg.go); the taint rules (detsource) on the use-def/reaching-
+// definitions engine (flowpass.go). Both are exported — see FlowPass — so
+// future rules can share them.
 //
 // A finding can be suppressed with a directive comment on the offending
 // line or the line directly above it:
@@ -34,11 +49,13 @@ import (
 	"strings"
 )
 
-// Finding is one rule violation at one source position.
+// Finding is one rule violation at one source position. Fixes, when present,
+// are mechanical rewrites that resolve it (applied by multiclust-lint -fix).
 type Finding struct {
-	Pos     token.Position
-	Rule    string
-	Message string
+	Pos     token.Position `json:"pos"`
+	Rule    string         `json:"rule"`
+	Message string         `json:"message"`
+	Fixes   []SuggestedFix `json:"fixes,omitempty"`
 }
 
 // String renders the finding in the canonical file:line: [rule] message form
@@ -75,6 +92,11 @@ func All() []*Analyzer {
 		CtxPoll(),
 		ObsNil(),
 		SpanEnd(),
+		CtxFlow(),
+		RngEscape(),
+		LockCopy(),
+		GoLeak(),
+		DetSource(),
 	}
 }
 
@@ -288,4 +310,11 @@ func (p *Package) position(pos token.Pos) token.Position { return p.Fset.Positio
 
 func (p *Package) finding(rule string, pos token.Pos, format string, args ...any) Finding {
 	return Finding{Pos: p.position(pos), Rule: rule, Message: fmt.Sprintf(format, args...)}
+}
+
+// edit builds a TextEdit replacing the source range [pos, end) with newText.
+func (p *Package) edit(pos, end token.Pos, newText string) TextEdit {
+	a := p.position(pos)
+	b := p.position(end)
+	return TextEdit{Filename: a.Filename, Offset: a.Offset, End: b.Offset, NewText: newText}
 }

@@ -116,6 +116,11 @@ func TestFloatKeyFixture(t *testing.T)   { checkFixture(t, "floatkey", FloatKey(
 func TestCtxPollFixture(t *testing.T)    { checkFixture(t, "ctxpoll", CtxPoll()) }
 func TestObsNilFixture(t *testing.T)     { checkFixture(t, "obsnil", ObsNil()) }
 func TestSpanEndFixture(t *testing.T)    { checkFixture(t, "spanend", SpanEnd()) }
+func TestCtxFlowFixture(t *testing.T)    { checkFixture(t, "ctxflow", CtxFlow()) }
+func TestRngEscapeFixture(t *testing.T)  { checkFixture(t, "rngescape", RngEscape()) }
+func TestLockCopyFixture(t *testing.T)   { checkFixture(t, "lockcopy", LockCopy()) }
+func TestGoLeakFixture(t *testing.T)     { checkFixture(t, "goleak", GoLeak()) }
+func TestDetSourceFixture(t *testing.T)  { checkFixture(t, "detsource", DetSource()) }
 
 // internal/obs is the one package allowed to call Recorder methods
 // directly: its helpers and sinks ARE the guard. The real package must

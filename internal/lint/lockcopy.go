@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy flags values of types that transitively contain a sync primitive
+// (sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once, sync.Cond — and
+// therefore obs.Collector, which embeds a Mutex) being copied: passed as a
+// by-value parameter, assigned from an existing value, returned by value, or
+// bound as a by-value range element. A copied lock guards nothing — two
+// goroutines each lock their own copy and race on the shared state behind
+// it — which is exactly the failure mode a multi-tenant job engine with
+// per-job Collectors cannot afford.
+//
+// Constructing a fresh value (var c Collector, T{}, composite literals) is
+// fine: there is no prior lock state to fork. go vet's copylocks covers part
+// of this; the rule here also understands obs.Collector-style wrappers and
+// reports in the suite's own finding format so -json/-sarif carry it.
+func LockCopy() *Analyzer {
+	return &Analyzer{
+		Name: "lockcopy",
+		Doc:  "value copy of a type containing sync.Mutex/WaitGroup/Once/Cond (incl. obs.Collector)",
+		Run:  runLockCopy,
+	}
+}
+
+func runLockCopy(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				out = append(out, lockParams(p, x.Type)...)
+				if x.Recv != nil {
+					for _, f := range x.Recv.List {
+						if t := p.Info.TypeOf(f.Type); containsLock(t) {
+							out = append(out, p.finding("lockcopy", f.Type.Pos(),
+								"method receiver copies %s which contains a sync primitive; use a pointer receiver", types.TypeString(t, relativeTo(p))))
+						}
+					}
+				}
+			case *ast.FuncLit:
+				out = append(out, lockParams(p, x.Type)...)
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					if i >= len(x.Lhs) || len(x.Rhs) != len(x.Lhs) {
+						break
+					}
+					if id, ok := x.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue // discard, no value is materialized
+					}
+					if isLockValueCopy(p, rhs) {
+						out = append(out, p.finding("lockcopy", x.Pos(),
+							"assignment copies %s which contains a sync primitive; copy a pointer instead", types.TypeString(p.Info.TypeOf(rhs), relativeTo(p))))
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range x.Values {
+					if isLockValueCopy(p, v) {
+						out = append(out, p.finding("lockcopy", x.Pos(),
+							"declaration copies %s which contains a sync primitive; copy a pointer instead", types.TypeString(p.Info.TypeOf(v), relativeTo(p))))
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					if t := p.Info.TypeOf(x.Value); containsLock(t) {
+						out = append(out, p.finding("lockcopy", x.Value.Pos(),
+							"range binds element copies of %s which contains a sync primitive; range over indices or pointers", types.TypeString(t, relativeTo(p))))
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range x.Results {
+					if isLockValueCopy(p, r) {
+						out = append(out, p.finding("lockcopy", r.Pos(),
+							"return copies %s which contains a sync primitive; return a pointer", types.TypeString(p.Info.TypeOf(r), relativeTo(p))))
+					}
+				}
+			case *ast.CallExpr:
+				out = append(out, lockArgs(p, x)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lockParams flags by-value parameters (and results) of lock-containing type
+// in a function signature.
+func lockParams(p *Package, ftype *ast.FuncType) []Finding {
+	var out []Finding
+	if ftype == nil || ftype.Params == nil {
+		return out
+	}
+	for _, f := range ftype.Params.List {
+		t := p.Info.TypeOf(f.Type)
+		if containsLock(t) {
+			out = append(out, p.finding("lockcopy", f.Type.Pos(),
+				"parameter passes %s by value which contains a sync primitive; take a pointer", types.TypeString(t, relativeTo(p))))
+		}
+	}
+	return out
+}
+
+// lockArgs flags call arguments that copy an existing lock-containing value.
+// (The callee-side parameter finding already covers module-internal callees;
+// the argument check additionally catches calls into other packages.)
+func lockArgs(p *Package, call *ast.CallExpr) []Finding {
+	var out []Finding
+	for _, arg := range call.Args {
+		if isLockValueCopy(p, arg) {
+			out = append(out, p.finding("lockcopy", arg.Pos(),
+				"argument copies %s which contains a sync primitive; pass a pointer", types.TypeString(p.Info.TypeOf(arg), relativeTo(p))))
+		}
+	}
+	return out
+}
+
+// isLockValueCopy reports whether e evaluates to an existing (addressable or
+// dereferenced) value of a lock-containing type — i.e. the copy forks live
+// lock state. Fresh composite literals and conversions of literals are not
+// copies of prior state.
+func isLockValueCopy(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if !containsLock(t) {
+		return false
+	}
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return false // fresh value
+	case *ast.CallExpr:
+		return false // function result: flagged at the returning function
+	case *ast.UnaryExpr:
+		return false // &x is a pointer, not a copy
+	case *ast.ParenExpr:
+		return isLockValueCopy(p, x.X)
+	case *ast.StarExpr:
+		return true // *ptr dereference copies the pointee
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// containsLock reports whether t (not a pointer) transitively holds one of
+// the sync primitives whose zero-value identity must not be forked.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, map[types.Type]bool{})
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if isSyncPrimitive(named) {
+			return true
+		}
+		return containsLockSeen(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+func isSyncPrimitive(named *types.Named) bool {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+		return true
+	}
+	return false
+}
+
+// relativeTo qualifies type names relative to the analyzed package, so
+// findings read sync.Mutex / obs.Collector rather than full import paths.
+func relativeTo(p *Package) types.Qualifier {
+	return func(other *types.Package) string {
+		if other == p.Types {
+			return ""
+		}
+		return other.Name()
+	}
+}

@@ -1,9 +1,12 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strconv"
+	"strings"
 )
 
 // MapOrder flags order-sensitive operations inside `for … range <map>`
@@ -43,7 +46,7 @@ func runMapOrder(p *Package) []Finding {
 			if t := p.Info.TypeOf(rs.X); t == nil || !isMap(t) {
 				return true
 			}
-			out = append(out, checkMapRange(p, rs, enclosingFuncBody(stack))...)
+			out = append(out, checkMapRange(p, rs, enclosingFuncBody(stack), file)...)
 			return true
 		})
 	}
@@ -70,7 +73,7 @@ func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
 	return nil
 }
 
-func checkMapRange(p *Package, rs *ast.RangeStmt, funcBody *ast.BlockStmt) []Finding {
+func checkMapRange(p *Package, rs *ast.RangeStmt, funcBody *ast.BlockStmt, file *ast.File) []Finding {
 	var out []Finding
 	keyObj := rangeVarObject(p.Info, rs.Key)
 
@@ -83,6 +86,16 @@ func checkMapRange(p *Package, rs *ast.RangeStmt, funcBody *ast.BlockStmt) []Fin
 		}
 		return true
 	})
+	// Every finding in this loop is resolved by the same rewrite: iterate
+	// sorted keys. Offer it when the loop shape permits a mechanical version;
+	// identical edits from multiple findings collapse in ApplyFixes.
+	if len(out) > 0 {
+		if fix, ok := sortedKeysFix(p, rs, funcBody, file); ok {
+			for i := range out {
+				out[i].Fixes = append(out[i].Fixes, fix)
+			}
+		}
+	}
 	return out
 }
 
@@ -268,4 +281,195 @@ func checkMapRangeArgmax(p *Package, rs *ast.RangeStmt, ifStmt *ast.IfStmt) []Fi
 func isVar(obj types.Object) bool {
 	_, ok := obj.(*types.Var)
 	return ok
+}
+
+// sortedKeysFix builds the collect-then-sort rewrite for a range-over-map
+// loop:
+//
+//	for k, v := range m { …         keys := make([]K, 0, len(m))
+//	                          =>    for k := range m { keys = append(keys, k) }
+//	                                sort.Slice(keys, …)
+//	                                for _, k := range keys { v := m[k]; …
+//
+// Offered only when the rewrite is provably mechanical: `:=` loop, plain
+// ident key of an ordered basic type (string/integer), plain ident (or
+// absent) value, and a side-effect-free map expression that can be evaluated
+// three times.
+func sortedKeysFix(p *Package, rs *ast.RangeStmt, funcBody *ast.BlockStmt, file *ast.File) (SuggestedFix, bool) {
+	if rs.Tok != token.DEFINE {
+		return SuggestedFix{}, false
+	}
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return SuggestedFix{}, false
+	}
+	mapT, ok := p.Info.TypeOf(rs.X).Underlying().(*types.Map)
+	if !ok {
+		return SuggestedFix{}, false
+	}
+	keyB, ok := mapT.Key().(*types.Basic)
+	if !ok || keyB.Info()&(types.IsInteger|types.IsString) == 0 {
+		return SuggestedFix{}, false
+	}
+	valName := ""
+	if rs.Value != nil {
+		valID, ok := rs.Value.(*ast.Ident)
+		if !ok {
+			return SuggestedFix{}, false
+		}
+		if valID.Name != "_" {
+			valName = valID.Name
+		}
+	}
+	if !pureRef(rs.X) {
+		return SuggestedFix{}, false
+	}
+	if mutatesMap(p, rs) {
+		// Deleting or inserting during iteration has different semantics
+		// against a snapshot of the keys; leave that rewrite to a human.
+		return SuggestedFix{}, false
+	}
+	mapSrc := types.ExprString(rs.X)
+	keys := freshName("keys", p, funcBody)
+
+	pos := p.position(rs.For)
+	indent := strings.Repeat("\t", pos.Column-1)
+	inner := indent + "\t"
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s := make([]%s, 0, len(%s))\n", keys, keyB.Name(), mapSrc)
+	fmt.Fprintf(&b, "%sfor %s := range %s {\n", indent, keyID.Name, mapSrc)
+	fmt.Fprintf(&b, "%s%s = append(%s, %s)\n", inner, keys, keys, keyID.Name)
+	fmt.Fprintf(&b, "%s}\n", indent)
+	fmt.Fprintf(&b, "%ssort.Slice(%s, func(i, j int) bool { return %s[i] < %s[j] })\n", indent, keys, keys, keys)
+	fmt.Fprintf(&b, "%sfor _, %s := range %s {", indent, keyID.Name, keys)
+	if valName != "" {
+		fmt.Fprintf(&b, "\n%s%s := %s[%s]", inner, valName, mapSrc, keyID.Name)
+	}
+
+	edits := []TextEdit{p.edit(rs.For, rs.Body.Lbrace+1, b.String())}
+	if imp, ok := importEdit(p, file, "sort"); ok {
+		edits = append(edits, imp)
+	} else if !importsPackage(file, "sort") {
+		return SuggestedFix{}, false
+	}
+	return SuggestedFix{
+		Message: "iterate sorted keys (collect-then-sort idiom)",
+		Edits:   edits,
+	}, true
+}
+
+// mutatesMap reports whether the loop body deletes from or writes into the
+// ranged-over map.
+func mutatesMap(p *Package, rs *ast.RangeStmt) bool {
+	root := rootIdent(rs.X)
+	if root == nil {
+		return true
+	}
+	obj := objectOf(p.Info, root)
+	if obj == nil {
+		return true
+	}
+	found := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				if b, ok := objectOf(p.Info, id).(*types.Builtin); ok && b.Name() == "delete" {
+					if len(x.Args) > 0 && mentionsObject(p.Info, x.Args[0], obj) {
+						found = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok && mentionsObject(p.Info, ix.X, obj) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// pureRef reports whether e is an identifier or a selector chain of
+// identifiers — safe to evaluate more than once.
+func pureRef(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return true
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// freshName returns base, or base2/base3/…, whichever is not already used as
+// an identifier in funcBody or as a package-scope name.
+func freshName(base string, p *Package, funcBody *ast.BlockStmt) string {
+	used := map[string]bool{}
+	if funcBody != nil {
+		ast.Inspect(funcBody, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				used[id.Name] = true
+			}
+			return true
+		})
+	}
+	name := base
+	for i := 2; used[name] || p.Types.Scope().Lookup(name) != nil; i++ {
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+	return name
+}
+
+// importsPackage reports whether file already imports path.
+func importsPackage(file *ast.File, path string) bool {
+	for _, imp := range file.Imports {
+		if imp.Path.Value == strconv.Quote(path) {
+			return true
+		}
+	}
+	return false
+}
+
+// importEdit builds an edit adding an import of path to file, or ok=false
+// when one already exists (no edit needed — the caller treats present and
+// added the same) or the file has no import declaration to extend.
+func importEdit(p *Package, file *ast.File, path string) (TextEdit, bool) {
+	if importsPackage(file, path) {
+		return TextEdit{}, false
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			return p.edit(gd.Lparen+1, gd.Lparen+1, "\n\t"+strconv.Quote(path)), true
+		}
+		// Single-import form: turn `import "x"` into a grouped block.
+		if len(gd.Specs) == 1 {
+			spec := gd.Specs[0].(*ast.ImportSpec)
+			return p.edit(spec.Pos(), spec.End(),
+				"(\n\t"+strconv.Quote(path)+"\n\t"+specText(spec)+"\n)"), true
+		}
+	}
+	// No import declaration at all: start one after the package clause.
+	if file.Name != nil {
+		return p.edit(file.Name.End(), file.Name.End(), "\n\nimport "+strconv.Quote(path)), true
+	}
+	return TextEdit{}, false
+}
+
+func specText(spec *ast.ImportSpec) string {
+	txt := spec.Path.Value
+	if spec.Name != nil {
+		txt = spec.Name.Name + " " + txt
+	}
+	return txt
 }

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RngEscape flags a *rand.Rand value crossing a parallel.For/Each/Map
+// boundary indirectly — through a struct field, a channel, or a worker
+// closure's return value. sharedrng catches the direct capture; this rule
+// catches the laundered versions:
+//
+//   - an rng stored into a struct field whose struct the worker closures
+//     touch (workers then share the generator through the field);
+//   - an rng sent on a channel the workers read, or sent from inside a
+//     worker (the generator hops goroutines mid-stream);
+//   - a worker closure returning its rng (parallel.Map collecting
+//     generators publishes per-worker state).
+//
+// All of them break the draw-sequence determinism the per-task
+// rand.New(rand.NewSource(cfg.Seed + int64(task))) pattern guarantees.
+func RngEscape() *Analyzer {
+	return &Analyzer{
+		Name: "rngescape",
+		Doc:  "*rand.Rand reaching a struct field/channel/return across a parallel boundary",
+		Run:  runRngEscape,
+	}
+}
+
+func runRngEscape(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, rngEscapeInFunc(p, fn.Body)...)
+		}
+	}
+	return out
+}
+
+// parClosure is one worker closure handed to a parallel entry point.
+type parClosure struct {
+	lit *ast.FuncLit
+	fn  string // For / Each / Map / MapReduce
+}
+
+func rngEscapeInFunc(p *Package, body *ast.BlockStmt) []Finding {
+	closures := parallelClosures(p, body)
+	if len(closures) == 0 {
+		return nil
+	}
+
+	// inside reports which worker closure (if any) contains pos.
+	inside := func(n ast.Node) (string, bool) {
+		for _, c := range closures {
+			if insideNode(c.lit, n) {
+				return c.fn, true
+			}
+		}
+		return "", false
+	}
+	// sharedWithWorkers reports whether the container expression's root
+	// variable is touched inside any worker closure.
+	sharedWithWorkers := func(container ast.Expr) (string, bool) {
+		root := rootIdent(container)
+		if root == nil {
+			return "", false
+		}
+		obj := objectOf(p.Info, root)
+		if obj == nil {
+			return "", false
+		}
+		for _, c := range closures {
+			if mentionsObject(p.Info, c.lit.Body, obj) {
+				return c.fn, true
+			}
+		}
+		return "", false
+	}
+
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || i >= len(x.Rhs) && len(x.Rhs) != 1 {
+					continue
+				}
+				rhs := x.Rhs[0]
+				if len(x.Rhs) == len(x.Lhs) {
+					rhs = x.Rhs[i]
+				}
+				t := p.Info.TypeOf(rhs)
+				if t == nil || !isRandRand(t) {
+					continue
+				}
+				if fn, ok := inside(x); ok {
+					out = append(out, p.finding("rngescape", x.Pos(),
+						"*rand.Rand stored into field %s from inside a parallel.%s worker: the generator escapes the worker; keep per-task generators local", fieldName(sel), fn))
+				} else if fn, ok := sharedWithWorkers(sel.X); ok {
+					out = append(out, p.finding("rngescape", x.Pos(),
+						"*rand.Rand stored into field %s of a struct the parallel.%s workers touch: workers share the generator through the field; derive one generator per task from the config seed", fieldName(sel), fn))
+				}
+			}
+		case *ast.SendStmt:
+			t := p.Info.TypeOf(x.Value)
+			if t == nil || !isRandRand(t) {
+				return true
+			}
+			if fn, ok := inside(x); ok {
+				out = append(out, p.finding("rngescape", x.Pos(),
+					"*rand.Rand sent on a channel from inside a parallel.%s worker: the generator hops goroutines mid-stream; keep per-task generators local", fn))
+			} else if fn, ok := sharedWithWorkers(x.Chan); ok {
+				out = append(out, p.finding("rngescape", x.Pos(),
+					"*rand.Rand sent on a channel the parallel.%s workers read: the generator crosses the worker boundary; derive one generator per task from the config seed", fn))
+			}
+		case *ast.ReturnStmt:
+			fn, ok := inside(x)
+			if !ok {
+				return true
+			}
+			for _, r := range x.Results {
+				t := p.Info.TypeOf(r)
+				if t != nil && isRandRand(t) {
+					out = append(out, p.finding("rngescape", r.Pos(),
+						"parallel.%s worker returns its *rand.Rand: per-worker generator state is published across the boundary; return drawn values, not the generator", fn))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// parallelClosures collects every FuncLit passed directly to a
+// parallel.For/Each/Map/MapReduce call under body.
+func parallelClosures(p *Package, body *ast.BlockStmt) []parClosure {
+	var out []parClosure
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := parallelCall(p, call)
+		if !ok || !parallelEntryPoints[name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				out = append(out, parClosure{lit: lit, fn: name})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func fieldName(sel *ast.SelectorExpr) string {
+	if root := rootIdent(sel.X); root != nil {
+		return root.Name + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}

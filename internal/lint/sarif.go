@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF renders findings as a SARIF 2.1.0 log — the format GitHub code
+// scanning ingests. One run, one tool ("multiclust-lint"), one result per
+// finding; artifact URIs are emitted relative to root (the repository root)
+// with %SRCROOT% as the base id, which is what the upload-sarif action
+// expects. Suggested fixes become SARIF fixes with byte-offset replacements.
+//
+// The structs mirror just the subset of the SARIF schema this tool emits;
+// field names follow the spec exactly so the output validates against the
+// official JSON schema.
+func SARIF(findings []Finding, rules []*Analyzer, root string) ([]byte, error) {
+	driver := sarifDriver{
+		Name:           "multiclust-lint",
+		InformationURI: "https://github.com/multiclust/multiclust",
+		Rules:          make([]sarifRule, len(rules)),
+	}
+	ruleIndex := map[string]int{}
+	for i, a := range rules {
+		driver.Rules[i] = sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		}
+		ruleIndex[a.Name] = i
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := sarifURI(f.Pos.Filename, root)
+		res := sarifResult{
+			RuleID:  f.Rule,
+			Level:   "warning",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: uri, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		}
+		if idx, ok := ruleIndex[f.Rule]; ok {
+			res.RuleIndex = &idx
+		}
+		for _, fix := range f.Fixes {
+			res.Fixes = append(res.Fixes, sarifFix{
+				Description:     sarifText{Text: fix.Message},
+				ArtifactChanges: sarifChanges(fix, root),
+			})
+		}
+		results = append(results, res)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: driver},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+func sarifURI(filename, root string) string {
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		filename = rel
+	}
+	return filepath.ToSlash(filename)
+}
+
+func sarifChanges(fix SuggestedFix, root string) []sarifArtifactChange {
+	perFile := map[string][]sarifReplacement{}
+	var order []string
+	for _, e := range fix.Edits {
+		uri := sarifURI(e.Filename, root)
+		if _, ok := perFile[uri]; !ok {
+			order = append(order, uri)
+		}
+		perFile[uri] = append(perFile[uri], sarifReplacement{
+			DeletedRegion:   sarifByteRegion{CharOffset: e.Offset, CharLength: e.End - e.Offset},
+			InsertedContent: sarifText{Text: e.NewText},
+		})
+	}
+	out := make([]sarifArtifactChange, 0, len(order))
+	for _, uri := range order {
+		out = append(out, sarifArtifactChange{
+			ArtifactLocation: sarifArtifactLocation{URI: uri, URIBaseID: "%SRCROOT%"},
+			Replacements:     perFile[uri],
+		})
+	}
+	return out
+}
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex *int            `json:"ruleIndex,omitempty"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	Fixes     []sarifFix      `json:"fixes,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifFix struct {
+	Description     sarifText             `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Replacements     []sarifReplacement    `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifByteRegion `json:"deletedRegion"`
+	InsertedContent sarifText       `json:"insertedContent"`
+}
+
+type sarifByteRegion struct {
+	CharOffset int `json:"charOffset"`
+	CharLength int `json:"charLength"`
+}

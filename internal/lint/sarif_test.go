@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// The SARIF output must have the 2.1.0 shape GitHub code scanning ingests:
+// $schema/version at the top, one run with a tool.driver carrying the rule
+// metadata, and results whose locations resolve file/line against %SRCROOT%.
+func TestSARIFShape(t *testing.T) {
+	abs, err := filepath.Abs(filepath.Join("testdata", "fix", "maporder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loaderForTest(t).Load(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := []*Analyzer{MapOrder()}
+	findings := Run(pkg, analyzers)
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	out, err := SARIF(findings, analyzers, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				Fixes []struct {
+					ArtifactChanges []struct {
+						Replacements []struct {
+							DeletedRegion struct {
+								CharOffset int `json:"charOffset"`
+								CharLength int `json:"charLength"`
+							} `json:"deletedRegion"`
+							InsertedContent struct {
+								Text string `json:"text"`
+							} `json:"insertedContent"`
+						} `json:"replacements"`
+					} `json:"artifactChanges"`
+				} `json:"fixes"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if log.Schema == "" {
+		t.Error("$schema missing")
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want exactly 1 run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "multiclust-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 1 || run.Tool.Driver.Rules[0].ID != "maporder" {
+		t.Errorf("rule metadata wrong: %+v", run.Tool.Driver.Rules)
+	}
+	if run.Tool.Driver.Rules[0].ShortDescription.Text == "" {
+		t.Error("rule shortDescription empty")
+	}
+	if len(run.Results) != len(findings) {
+		t.Fatalf("results = %d, findings = %d", len(run.Results), len(findings))
+	}
+	for i, res := range run.Results {
+		if res.RuleID != "maporder" || res.Level != "warning" || res.Message.Text == "" {
+			t.Errorf("result %d fields wrong: %+v", i, res)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result %d: want 1 location", i)
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != "internal/lint/testdata/fix/maporder/maporder.go" {
+			t.Errorf("result %d: uri = %q (not repo-root relative?)", i, loc.ArtifactLocation.URI)
+		}
+		if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+			t.Errorf("result %d: uriBaseId = %q", i, loc.ArtifactLocation.URIBaseID)
+		}
+		if loc.Region.StartLine == 0 {
+			t.Errorf("result %d: startLine missing", i)
+		}
+		if len(res.Fixes) == 0 || len(res.Fixes[0].ArtifactChanges) == 0 ||
+			len(res.Fixes[0].ArtifactChanges[0].Replacements) == 0 {
+			t.Errorf("result %d: suggested fix not carried into SARIF", i)
+		}
+	}
+}
+
+func TestCheckCleanWorktree(t *testing.T) {
+	tmp := t.TempDir()
+	git := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", tmp}, args...)...)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Skipf("git unavailable (%v): %s", err, out)
+		}
+	}
+	// Not a repository: nothing to guard, must pass.
+	if err := CheckCleanWorktree(tmp); err != nil {
+		t.Fatalf("non-repo dir should pass: %v", err)
+	}
+	git("init", "-q")
+	if err := os.WriteFile(filepath.Join(tmp, "f.txt"), []byte("hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := CheckCleanWorktree(tmp)
+	if err == nil {
+		t.Fatal("dirty worktree passed the gate")
+	}
+	if !errors.Is(err, ErrDirtyWorktree) {
+		t.Fatalf("error is not ErrDirtyWorktree: %v", err)
+	}
+	git("add", ".")
+	git("-c", "user.email=t@t", "-c", "user.name=t", "commit", "-q", "-m", "seed")
+	if err := CheckCleanWorktree(tmp); err != nil {
+		t.Fatalf("clean worktree failed the gate: %v", err)
+	}
+}

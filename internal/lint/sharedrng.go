@@ -79,29 +79,112 @@ func parallelCall(p *Package, call *ast.CallExpr) (string, bool) {
 	return sel.Sel.Name, true
 }
 
-// capturedRands reports each distinct *rand.Rand variable that lit uses but
-// does not declare.
+// capturedRands reports each distinct shared generator that lit uses but
+// does not declare: a captured *rand.Rand variable, a *rand.Rand struct
+// field reached through a captured variable, or a method invoked on a
+// captured value whose type holds a *rand.Rand field (the method draws from
+// the shared generator on the workers' behalf).
 func capturedRands(p *Package, lit *ast.FuncLit, fnName string) []Finding {
 	var out []Finding
-	seen := map[types.Object]bool{}
+	seenObj := map[types.Object]bool{}
+	seenSel := map[string]bool{}
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
+		switch x := n.(type) {
+		case *ast.Ident:
+			obj := objectOf(p.Info, x)
+			if obj == nil || seenObj[obj] || !isVar(obj) || !isRandRand(obj.Type()) {
+				return true
+			}
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				return true // reported by the selector case with field wording
+			}
+			if !declaredOutside(p.Info, x, lit) {
+				return true
+			}
+			seenObj[obj] = true
+			out = append(out, p.finding("sharedrng", x.Pos(),
+				"*rand.Rand %q is shared across parallel.%s workers: data race and nondeterministic draws; derive one generator per task from the config seed", x.Name, fnName))
+		case *ast.SelectorExpr:
+			// s.rng where s is captured: the field is one generator shared
+			// by every worker even though no *rand.Rand variable is captured.
+			t := p.Info.TypeOf(x)
+			if t == nil || !isRandRand(t) {
+				return true
+			}
+			root := rootIdent(x.X)
+			if root == nil || !isCapturedVar(p, root, lit) {
+				return true
+			}
+			key := root.Name + "." + x.Sel.Name
+			if seenSel[key] {
+				return true
+			}
+			seenSel[key] = true
+			out = append(out, p.finding("sharedrng", x.Pos(),
+				"*rand.Rand field %q is shared across parallel.%s workers: data race and nondeterministic draws; derive one generator per task from the config seed", key, fnName))
+		case *ast.CallExpr:
+			// s.Draw() where s is captured and s's type holds a *rand.Rand
+			// field: the method draws from the shared generator.
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recvT := p.Info.TypeOf(sel.X)
+			if recvT == nil || isRandRand(recvT) || !structHasRand(recvT) {
+				return true
+			}
+			root := rootIdent(sel.X)
+			if root == nil || !isCapturedVar(p, root, lit) {
+				return true
+			}
+			key := root.Name + "." + sel.Sel.Name + "()"
+			if seenSel[key] {
+				return true
+			}
+			seenSel[key] = true
+			out = append(out, p.finding("sharedrng", sel.Pos(),
+				"method %s draws from a *rand.Rand field of captured %q inside parallel.%s workers: data race and nondeterministic draws; derive one generator per task from the config seed", sel.Sel.Name, root.Name, fnName))
 		}
-		obj := objectOf(p.Info, id)
-		if obj == nil || seen[obj] || !isVar(obj) || !isRandRand(obj.Type()) {
-			return true
-		}
-		if !declaredOutside(p.Info, id, lit) {
-			return true
-		}
-		seen[obj] = true
-		out = append(out, p.finding("sharedrng", id.Pos(),
-			"*rand.Rand %q is shared across parallel.%s workers: data race and nondeterministic draws; derive one generator per task from the config seed", id.Name, fnName))
 		return true
 	})
 	return out
+}
+
+// isCapturedVar reports whether id is a variable declared outside lit.
+func isCapturedVar(p *Package, id *ast.Ident, lit *ast.FuncLit) bool {
+	obj := objectOf(p.Info, id)
+	return obj != nil && isVar(obj) && declaredOutside(p.Info, id, lit)
+}
+
+// structHasRand reports whether t (or its pointee) is a struct transitively
+// holding a *rand.Rand field.
+func structHasRand(t types.Type) bool {
+	return structHasRandSeen(t, map[types.Type]bool{})
+}
+
+func structHasRandSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isRandRand(ft) || structHasRandSeen(ft, seen) {
+			return true
+		}
+	}
+	return false
 }
 
 func isRandRand(t types.Type) bool {

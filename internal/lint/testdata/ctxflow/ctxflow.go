@@ -1,0 +1,96 @@
+// Fixture for the ctxflow analyzer: an in-scope ctx dropped at a call whose
+// callee has a ...Context-capable sibling — same package, another module
+// package, and a method set (true positives) — next to calls that forward
+// the context or have no context-capable sibling (true negatives).
+package fixture
+
+import (
+	"context"
+
+	"multiclust/internal/kmeans"
+)
+
+func process(data []float64) float64 {
+	total := 0.0
+	for _, v := range data {
+		total += v
+	}
+	return total
+}
+
+func processContext(ctx context.Context, data []float64) (float64, error) {
+	total := 0.0
+	for i, v := range data {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		total += v
+	}
+	return total, nil
+}
+
+type engine struct{ steps int }
+
+func (e *engine) Step() { e.steps++ }
+
+func (e *engine) StepContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e.steps++
+	return nil
+}
+
+// TP: same-package sibling ignored.
+func localDrop(ctx context.Context, data []float64) float64 {
+	_ = ctx.Err()
+	return process(data) // want `call to process drops ctx: processContext accepts a context`
+}
+
+// TP: cross-package sibling ignored — the interprocedural case.
+func moduleDrop(ctx context.Context, points [][]float64) (*kmeans.Result, error) {
+	_ = ctx.Err()
+	return kmeans.Run(points, kmeans.Config{K: 2, Seed: 1}) // want `call to Run drops ctx: RunContext accepts a context`
+}
+
+// TP: method sibling ignored.
+func methodDrop(ctx context.Context, e *engine) {
+	_ = ctx.Err()
+	e.Step() // want `call to Step drops ctx: StepContext accepts a context`
+}
+
+// TP: the drop also counts inside a closure — ctx is still in scope there.
+func closureDrop(ctx context.Context, data []float64) func() float64 {
+	_ = ctx.Err()
+	return func() float64 {
+		return process(data) // want `call to process drops ctx: processContext accepts a context`
+	}
+}
+
+// True negative: the context is forwarded.
+func forwards(ctx context.Context, data []float64) (float64, error) {
+	return processContext(ctx, data)
+}
+
+// True negative: forwarded to the cross-package sibling.
+func forwardsModule(ctx context.Context, points [][]float64) (*kmeans.Result, error) {
+	return kmeans.RunContext(ctx, points, kmeans.Config{K: 2, Seed: 1})
+}
+
+// True negative: callee has no ...Context sibling.
+func noSibling(ctx context.Context, data []float64) int {
+	_ = ctx.Err()
+	return len(data)
+}
+
+// True negative: no ctx in scope — nothing to forward.
+func noCtx(data []float64) float64 {
+	return process(data)
+}
+
+// True negative: an explicitly discarded context is an opt-out.
+func optedOut(_ context.Context, data []float64) float64 {
+	return process(data)
+}

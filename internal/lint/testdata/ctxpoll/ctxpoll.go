@@ -61,3 +61,70 @@ func optedOut(_ context.Context, n int) int {
 	}
 	return total
 }
+
+// Renaming the context is not consulting it — the alias blind spot.
+func aliasOnly(ctx context.Context, n int) int {
+	c := ctx
+	_ = c
+	total := 0
+	for i := 0; i < n; i++ { // want `never consults it`
+		total += i
+	}
+	return total
+}
+
+// An alias chain that ends in a real poll is fine.
+func aliasConsulted(ctx context.Context, n int) (int, error) {
+	c := ctx
+	inner := c
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := inner.Err(); err != nil {
+			return total, err
+		}
+		total += i
+	}
+	return total, nil
+}
+
+// poller carries its context in a receiver field — the method blind spot.
+type poller struct {
+	ctx  context.Context
+	hits int
+}
+
+// A looping method that never reads p.ctx can't observe cancellation.
+func (p *poller) spinUnchecked(n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want `carries a context.Context in its receiver but never consults it`
+		total += i
+	}
+	return total
+}
+
+// Reading the receiver's context each iteration is the approved shape.
+func (p *poller) spinChecked(n int) (int, error) {
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := p.ctx.Err(); err != nil {
+			return total, err
+		}
+		total++
+	}
+	return total, nil
+}
+
+// Stashing the receiver's context under a local and ignoring it is still
+// unobserved cancellation.
+func (p *poller) spinAliased(n int) int {
+	c := p.ctx
+	_ = c
+	total := 0
+	for i := 0; i < n; i++ { // want `carries a context.Context in its receiver but never consults it`
+		total += i
+	}
+	return total
+}
+
+// A non-looping method on the same type is not flagged.
+func (p *poller) bump() { p.hits++ }

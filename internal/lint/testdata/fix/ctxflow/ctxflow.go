@@ -1,0 +1,43 @@
+// Fixture for the ctxflow -fix rewrite: every finding here is mechanically
+// fixable (the ...Context sibling has an identical signature modulo the
+// prepended context), so applying the fixes must recompile and re-lint
+// clean. The golden file next to this one pins the rewritten output.
+package fixture
+
+import "context"
+
+func scale(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = v * f
+	}
+	return out
+}
+
+func scaleContext(ctx context.Context, xs []float64, f float64) []float64 {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return scale(xs, f)
+}
+
+type runner struct{ steps int }
+
+func (r *runner) Step() { r.steps++ }
+
+func (r *runner) StepContext(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
+	r.steps++
+}
+
+func pipeline(ctx context.Context, xs []float64) []float64 {
+	_ = ctx.Err()
+	return scale(xs, 2)
+}
+
+func drive(ctx context.Context, r *runner) {
+	_ = ctx.Err()
+	r.Step()
+}

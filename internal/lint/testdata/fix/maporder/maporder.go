@@ -1,0 +1,20 @@
+// Fixture for the maporder -fix rewrite: order-sensitive loops over maps
+// whose shape permits the mechanical collect-then-sort rewrite. Applying the
+// fixes must recompile and re-lint clean; the golden file pins the output.
+package fixture
+
+func keysOf(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func weighted(weights map[int]float64) float64 {
+	sum := 0.0
+	for id, w := range weights {
+		sum += w * float64(id)
+	}
+	return sum
+}

@@ -1,0 +1,122 @@
+// Fixture for the goleak analyzer: goroutines whose join can be skipped by
+// an early return (true positives) next to the joined, deferred, and
+// detached-but-tracked shapes that are fine (true negatives).
+package fixture
+
+import "sync"
+
+func work() error { return nil }
+
+// Early return between spawn and Wait: the classic leak.
+func earlyReturnSkipsWait(fail bool) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine can leak: a return path exits earlyReturnSkipsWait`
+		defer wg.Done()
+		_ = work()
+	}()
+	if fail {
+		return work() // leaves without waiting
+	}
+	wg.Wait()
+	return nil
+}
+
+// Channel variant: the receive is skippable.
+func earlyReturnSkipsReceive(fail bool) error {
+	done := make(chan struct{})
+	go func() { // want `goroutine can leak: a return path exits earlyReturnSkipsReceive`
+		_ = work()
+		close(done)
+	}()
+	if fail {
+		return work()
+	}
+	<-done
+	return nil
+}
+
+// No join at all: nothing ever waits for the goroutine.
+func fireAndForget() {
+	go func() { // want `goroutine has no WaitGroup or channel to join on`
+		_ = work()
+	}()
+}
+
+// True negative: unconditional Wait on the only path.
+func joinedStraightLine() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = work()
+	}()
+	wg.Wait()
+}
+
+// True negative: deferred Wait runs on every return path.
+func deferredWait(fail bool) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = work()
+	}()
+	if fail {
+		return work()
+	}
+	return nil
+}
+
+// True negative: both the early-return path and the fallthrough path join.
+func joinOnEveryPath(fail bool) error {
+	done := make(chan error, 1)
+	go func() {
+		done <- work()
+	}()
+	if fail {
+		return <-done
+	}
+	err := <-done
+	return err
+}
+
+// handle mirrors ops.Handle: the goroutine signals through a struct field,
+// so its lifecycle is owned by the peer that holds the handle.
+type handle struct {
+	err chan error
+}
+
+// True negative: detached-but-tracked via an escaping struct-field channel.
+func startDetached() *handle {
+	h := &handle{err: make(chan error, 1)}
+	go func() {
+		h.err <- work()
+	}()
+	return h
+}
+
+// True negative: the channel itself is returned — join duty moves to the
+// caller.
+func startReturningChannel() chan error {
+	done := make(chan error, 1)
+	go func() {
+		done <- work()
+	}()
+	return done
+}
+
+// True negative: spawn in a loop with the Wait after it (the parallel.For
+// shape).
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = work()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,108 @@
+// Fixture for the lockcopy analyzer: values of lock-containing types being
+// copied (true positives) next to the pointer-shaped patterns that are fine
+// (true negatives).
+package fixture
+
+import (
+	"sync"
+
+	"multiclust/internal/obs"
+)
+
+// jobState embeds a mutex indirectly: copying it forks the lock.
+type jobState struct {
+	mu   sync.Mutex
+	runs int
+}
+
+// nested contains a lock two levels down.
+type nested struct {
+	inner jobState
+}
+
+func byValueParam(s jobState) int { // want `parameter passes jobState by value`
+	return s.runs
+}
+
+func byValueCollector(c obs.Collector) { // want `parameter passes obs.Collector by value`
+	_ = c
+}
+
+func assignCopy() {
+	var a jobState
+	b := a // want `assignment copies jobState`
+	_ = b
+}
+
+func declCopy() {
+	var a nested
+	var b = a // want `declaration copies nested`
+	_ = b
+}
+
+func derefCopy(p *jobState) {
+	v := *p // want `assignment copies jobState`
+	_ = v
+}
+
+func rangeCopy(states []jobState) int {
+	total := 0
+	for _, s := range states { // want `range binds element copies of jobState`
+		total += s.runs
+	}
+	return total
+}
+
+func returnCopy(p *jobState) jobState {
+	return *p // want `return copies jobState`
+}
+
+func argCopy(states []jobState) int {
+	return byValueParam(states[0]) // want `argument copies jobState`
+}
+
+func (s jobState) valueReceiver() int { // want `method receiver copies jobState`
+	return s.runs
+}
+
+type counter struct{ n int }
+
+// methodOnValue is fine: counter holds no lock.
+func (c counter) methodOnValue() int { return c.n }
+
+// Pointer-shaped patterns: all clean.
+func pointerParam(s *jobState) int { return s.runs }
+
+func freshValue() *jobState {
+	var s jobState // fresh construction, no prior lock state
+	return &s
+}
+
+func freshLiteral() *nested {
+	n := nested{}
+	return &n
+}
+
+func pointerRange(states []*jobState) int {
+	total := 0
+	for _, s := range states {
+		total += s.runs
+	}
+	return total
+}
+
+func indexRange(states []jobState) int {
+	total := 0
+	for i := range states {
+		total += states[i].runs
+	}
+	return total
+}
+
+func addressOf() *jobState {
+	s := jobState{}
+	p := &s
+	return p
+}
+
+func collectorPointer(c *obs.Collector) { _ = c }

@@ -46,3 +46,52 @@ func serial(n int, seed int64) []float64 {
 	}
 	return out
 }
+
+// sampler hides its generator behind a struct field — the blind spot the
+// field/method extension covers: no *rand.Rand variable is ever captured,
+// but every worker still draws from the one generator.
+type sampler struct {
+	rng *rand.Rand
+}
+
+func (s *sampler) draw() float64 { return s.rng.Float64() }
+
+func sharedField(n int, seed int64) []float64 {
+	s := &sampler{rng: rand.New(rand.NewSource(seed))}
+	out := make([]float64, n)
+	parallel.Each(n, 0, func(i int) {
+		out[i] = s.rng.Float64() // want `\*rand.Rand field "s.rng" is shared across parallel.Each workers`
+	})
+	return out
+}
+
+func sharedMethod(n int, seed int64) []float64 {
+	s := &sampler{rng: rand.New(rand.NewSource(seed))}
+	out := make([]float64, n)
+	parallel.Each(n, 0, func(i int) {
+		out[i] = s.draw() // want `method draw draws from a \*rand.Rand field of captured "s" inside parallel.Each workers`
+	})
+	return out
+}
+
+// counter has no generator: its methods are safe to call from workers.
+type counter struct{ hits []int }
+
+func (c *counter) bump(i int) { c.hits[i]++ }
+
+func methodWithoutRand(n int) {
+	c := &counter{hits: make([]int, n)}
+	parallel.Each(n, 0, func(i int) {
+		c.bump(i)
+	})
+}
+
+// A sampler used serially is fine — the field rule only binds workers.
+func fieldSerial(n int, seed int64) []float64 {
+	s := &sampler{rng: rand.New(rand.NewSource(seed))}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.draw()
+	}
+	return out
+}
