@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json lint-sarif lint-fix test race cover bench bench-json bench-baseline experiments examples fuzz fuzz-smoke chaos ci clean
+.PHONY: all build vet lint lint-json lint-sarif lint-fix test race cover bench bench-json bench-baseline experiments examples fuzz fuzz-smoke chaos chaos-serve ci clean
 
 all: build vet lint test
 
@@ -86,8 +86,16 @@ chaos:
 	$(GO) test -race -timeout 120s -run 'TestChaos|TestCancelled|TestValidationGates|TestRobustness' .
 	$(GO) test -race -timeout 120s ./internal/robust/...
 
+# Service-layer fault injection under the race detector: the job engine's
+# property suite (panic containment, exactly-one terminal state, 429-iff-full
+# backpressure, lossless drain), the public serve facade, and the real-binary
+# SIGTERM drain integration test.
+chaos-serve:
+	$(GO) test -race -timeout 180s ./internal/jobs/... ./serve/...
+	$(GO) test -race -timeout 180s -run 'TestServe' ./cmd/multiclust/
+
 # Everything the GitHub Actions workflow runs, locally.
-ci: build vet test race lint fuzz-smoke chaos cover bench-json
+ci: build vet test race lint fuzz-smoke chaos chaos-serve cover bench-json
 
 clean:
 	$(GO) clean -testcache

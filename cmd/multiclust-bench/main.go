@@ -52,10 +52,13 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"multiclust"
+	"multiclust/internal/jobs/chaos"
+	"multiclust/serve"
 )
 
 // Schema identifies the report format for downstream consumers.
@@ -143,8 +146,31 @@ func workloads() ([]benchCase, error) {
 			_, err := multiclust.CoEM(viewA.Points, viewB.Points, multiclust.CoEMConfig{K: 3, Seed: 2})
 			return err
 		}},
+		{"jobs", "service", func() error {
+			// Submit one no-op job and wait for its terminal state: the
+			// measured ns/op is pure engine overhead — admission, queueing,
+			// worker dispatch, state machine — with zero clustering inside.
+			j, _, err := jobsEngine().Submit(serve.Spec{Algo: "noop", Points: toy.Points, Seed: 1})
+			if err != nil {
+				return err
+			}
+			<-j.Done()
+			return j.Err()
+		}},
 	}, nil
 }
+
+// jobsEngine lazily builds the dispatch-overhead engine on first use, so
+// -list and filtered runs that skip the jobs workload never start (or leak)
+// its worker pool. The bench process exits without a drain, which is fine:
+// every measured job is awaited to its terminal state.
+var jobsEngine = sync.OnceValue(func() *serve.Engine {
+	return serve.New(serve.Config{
+		Workers:   2,
+		QueueSize: 64,
+		Runners:   map[string]serve.Runner{"noop": chaos.Instant()},
+	})
+})
 
 // measureRepeats is how many timed repeats measure keeps the minimum of.
 const measureRepeats = 3

@@ -22,14 +22,18 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"multiclust"
+	"multiclust/internal/jobs/chaos"
 	"multiclust/internal/ops"
+	"multiclust/serve"
 )
 
 func main() {
@@ -49,7 +53,10 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "after the run, dump recorded counters/series in Prometheus text format to stdout")
 		metricsOut = flag.String("metrics-out", "", "write the Prometheus dump to this file instead of stdout, keeping clustering output clean (implies -metrics)")
 		chromeF    = flag.String("chrome", "", "additionally convert the -trace JSONL into a Chrome trace-event file at this path (open in chrome://tracing); requires -trace")
-		serveAddr  = flag.String("serve", "", "serve live ops endpoints (/metrics, /spans, /healthz, /debug/pprof/) on this host:port during the run, then block until interrupted")
+		serveAddr  = flag.String("serve", "", "serve live ops endpoints (/metrics, /spans, /healthz, /readyz, /debug/pprof/) and the async job API (/v1/jobs) on this host:port during the run, then block until interrupted")
+		jobWorkers = flag.Int("jobs-workers", 0, "worker goroutines for the /v1/jobs engine (0 = MULTICLUST_WORKERS env, then GOMAXPROCS)")
+		jobQueue   = flag.Int("jobs-queue", 0, "bounded admission queue for /v1/jobs (0 = default 64); a full queue answers 429")
+		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "on SIGINT/SIGTERM, wait this long for running jobs before cutting them to best-so-far")
 	)
 	flag.Parse()
 	multiclust.SetWorkers(*workers)
@@ -66,15 +73,36 @@ func main() {
 	}
 
 	var handle *ops.Handle
+	var engine *serve.Engine
+	var sigCh chan os.Signal
 	if *serveAddr != "" {
-		handle, err = ops.Serve(*serveAddr, collector)
+		// Register for shutdown signals before the listener is even up:
+		// the moment the URL is printed, clients may probe and orchestrate
+		// a SIGTERM, and the main goroutine may not be scheduled again in
+		// between — the signal must never reach the default handler.
+		sigCh = make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		cfg := serve.Config{Workers: *jobWorkers, QueueSize: *jobQueue}
+		if os.Getenv("MULTICLUST_JOBS_TESTRUNNERS") == "1" {
+			// Integration tests drive a real -serve process with the
+			// deterministic fault battery mounted under chaos-* names.
+			cfg.Runners = chaos.TestRunners()
+		}
+		engine = serve.New(cfg)
+		api := engine.Handler()
+		handle, err = ops.ServeOpts(*serveAddr, collector, ops.MuxOptions{
+			Ready: engine.Ready,
+			Mounts: map[string]http.Handler{
+				"/v1/jobs":  api,
+				"/v1/jobs/": api,
+			},
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "multiclust:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "multiclust: ops endpoints at %s\n", handle.URL)
 	}
-
 	err = run(*algo, *in, *header, *givenF, *k, *seed, *eps, *minPts, *xi, *tau)
 	if cerr := cleanup(); err == nil {
 		err = cerr
@@ -92,9 +120,17 @@ func main() {
 	}
 	if handle != nil {
 		fmt.Fprintln(os.Stderr, "multiclust: run finished; ops endpoints stay up — interrupt (Ctrl-C) to exit")
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-		<-ch
+		<-sigCh
+		// Graceful drain: stop admitting jobs, let running ones finish
+		// within the deadline, then cut stragglers to their best-so-far
+		// so no admitted job is lost — only then close the listener.
+		if engine != nil {
+			dctx, dstop := context.WithTimeout(context.Background(), *drainTO)
+			rep := engine.Drain(dctx)
+			dstop()
+			fmt.Fprintf(os.Stderr, "multiclust: drained jobs done=%d partial=%d failed=%d cancelled=%d truncated=%v\n",
+				rep.Done, rep.Partial, rep.Failed, rep.Cancelled, rep.Truncated)
+		}
 		if err := handle.Shutdown(context.Background()); err != nil {
 			fmt.Fprintln(os.Stderr, "multiclust:", err)
 			os.Exit(1)

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeGracefulDrainOnSIGTERM is the process-level shutdown test: build
+// the real binary, start it with -serve and the chaos runner registry, park
+// a 60s job on a worker, send SIGTERM, and require (1) exit code 0 within
+// the drain deadline plus slack and (2) a drain report on stderr showing
+// the stuck job was cut to its best-so-far (partial), not lost.
+func TestServeGracefulDrainOnSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+
+	bin := filepath.Join(t.TempDir(), "multiclust-test")
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-serve", "127.0.0.1:0", "-algo", "taxonomy", "-drain-timeout", "2s")
+	cmd.Env = append(os.Environ(), "MULTICLUST_JOBS_TESTRUNNERS=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatalf("stderr pipe: %v", err)
+	}
+	cmd.Stdout = nil // the taxonomy table is irrelevant here
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer cmd.Process.Kill() // no-op on the clean path; insurance on failures
+
+	// The URL line is printed as soon as the listener is up; keep scanning
+	// the rest of stderr in the background for the drain report.
+	sc := bufio.NewScanner(stderr)
+	var url string
+	for sc.Scan() {
+		line := sc.Text()
+		if _, rest, ok := strings.Cut(line, "ops endpoints at "); ok {
+			url = rest
+			break
+		}
+	}
+	if url == "" {
+		t.Fatalf("never saw the ops URL on stderr (scan err %v)", sc.Err())
+	}
+	restLines := make(chan string, 1)
+	go func() {
+		var rest strings.Builder
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteString("\n")
+		}
+		restLines <- rest.String()
+	}()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// The server readiness probe must answer before we submit.
+	waitFor(t, func() error {
+		resp, err := client.Get(url + "/readyz")
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("readyz %d", resp.StatusCode)
+		}
+		return nil
+	})
+
+	// Park a chaos-slow job: it blocks until its context is cut and then
+	// returns a best-so-far, exactly like an interrupted real algorithm.
+	body := `{"algo":"chaos-slow","points":[[0,0],[1,1],[2,2]],"timeout_ms":60000}`
+	resp, err := client.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	// Wait until the job is actually running so the drain has something
+	// in flight to truncate.
+	waitFor(t, func() error {
+		resp, err := client.Get(url + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return err
+		}
+		if st.State != "running" {
+			return fmt.Errorf("state %s", st.State)
+		}
+		return nil
+	})
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+
+	// Exit must be clean and inside the 2s drain deadline plus generous
+	// slack for process teardown.
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("process exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("process did not exit within 30s of SIGTERM")
+	}
+
+	rest := <-restLines
+	if !strings.Contains(rest, "drained jobs") {
+		t.Fatalf("stderr missing the drain report:\n%s", rest)
+	}
+	if !strings.Contains(rest, "partial=1") || !strings.Contains(rest, "truncated=true") {
+		t.Fatalf("drain report did not cut the stuck job to best-so-far:\n%s", rest)
+	}
+}
+
+func waitFor(t *testing.T, probe func() error) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	var last error
+	for time.Now().Before(deadline) {
+		if last = probe(); last == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("condition never held: %v", last)
+}
+
+// TestServeFlagsRegistered pins the new service flags into the CLI surface.
+func TestServeFlagsRegistered(t *testing.T) {
+	var buf bytes.Buffer
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	cmd := exec.Command(goTool, "run", ".", "-h")
+	cmd.Stderr = &buf
+	_ = cmd.Run() // -h exits 2 by flag convention
+	help := buf.String()
+	for _, flagName := range []string{"-jobs-workers", "-jobs-queue", "-drain-timeout"} {
+		if !strings.Contains(help, flagName) {
+			t.Errorf("help output missing %s:\n%s", flagName, help)
+		}
+	}
+}

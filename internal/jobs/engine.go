@@ -1,0 +1,487 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multiclust/internal/core"
+	"multiclust/internal/obs"
+	"multiclust/internal/parallel"
+	"multiclust/internal/robust"
+)
+
+// Config sizes the engine. The zero value resolves to conservative
+// defaults; every bound exists so overload degrades into refusals (429/503)
+// instead of unbounded memory or latency.
+type Config struct {
+	// Workers is the number of concurrent job executors; <=0 resolves via
+	// the shared parallel-layer knob (MULTICLUST_WORKERS, then
+	// GOMAXPROCS). This bounds service concurrency; the parallelism
+	// *inside* one job is still governed by multiclust.SetWorkers.
+	Workers int
+	// QueueSize bounds the admission queue (default 64). Submit fails
+	// with ErrQueueFull — never blocks, never grows — once it is full.
+	QueueSize int
+	// DefaultTimeout applies to jobs that request none (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps every requested timeout (default 5m), so no tenant
+	// can park a worker indefinitely.
+	MaxTimeout time.Duration
+	// RetryBudget is the number of deterministic reseed attempts for
+	// degenerate fits (default 3; see robust.RetryBackoff).
+	RetryBudget int
+	// Backoff schedules the waits between degenerate-fit retries. Seed is
+	// overridden per job with the job's spec seed, keeping the full retry
+	// timeline a pure function of the spec. The zero value retries
+	// immediately.
+	Backoff robust.Backoff
+	// MaxPoints bounds the dataset size admitted per job (default
+	// 200000 rows); larger submissions are refused with ErrBadSpec.
+	MaxPoints int
+	// Runners extends or overrides the default algorithm registry —
+	// the chaos suite injects faulty runners and the bench harness a
+	// no-op runner through this seam. Nil entries delete a default.
+	Runners map[string]Runner
+	// OnTerminal, when non-nil, observes every terminal transition
+	// (exactly one per admitted job). Used by the fault-injection suite
+	// and available for operational logging.
+	OnTerminal func(j *Job, s State)
+}
+
+// DrainReport summarizes what graceful shutdown did with the admitted jobs.
+type DrainReport struct {
+	Done      int  `json:"done"`
+	Partial   int  `json:"partial"`
+	Failed    int  `json:"failed"`
+	Cancelled int  `json:"cancelled"`
+	Truncated bool `json:"truncated"` // drain deadline fired before the pool went idle
+}
+
+// Engine is the bounded async job engine. Create with New, feed with
+// Submit (or the HTTP handler), stop with Drain.
+type Engine struct {
+	cfg   Config
+	queue chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	byKey    map[string]string // idempotency key -> job id
+	draining bool
+	seq      int64
+
+	// stopped is set at the drain deadline: every job context still alive
+	// is cancelled and jobs that start after it are cut immediately, so
+	// the pool settles to best-so-far instead of serving out timeouts.
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// New builds the engine and starts its worker pool. The pool runs until
+// Drain; an Engine is not restartable.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = parallel.Workers(0)
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 3
+	}
+	if cfg.MaxPoints <= 0 {
+		cfg.MaxPoints = 200000
+	}
+	runners := make(map[string]Runner, len(defaultRunners)+len(cfg.Runners))
+	for name, r := range defaultRunners {
+		runners[name] = r
+	}
+	for name, r := range cfg.Runners {
+		if r == nil {
+			delete(runners, name)
+			continue
+		}
+		runners[name] = r
+	}
+	cfg.Runners = runners
+
+	e := &Engine{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.QueueSize),
+		jobs:  make(map[string]*Job),
+		byKey: make(map[string]string),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		//lint:ignore nakedgo job workers are service lifecycle, not compute fan-out: they only move jobs from the bounded queue to the facade's ...Context calls, whose results are seed-deterministic regardless of which worker runs them; compute inside a job still funnels through internal/parallel
+		go func() {
+			defer e.wg.Done()
+			e.worker()
+		}()
+	}
+	return e
+}
+
+// validate is the admission gate: everything that can be rejected
+// synchronously with a 400 is rejected here, so the bounded queue holds
+// only runnable work. Deeper failures (degenerate fits, interrupts) are
+// legitimate terminal states, not admission errors.
+func (e *Engine) validate(spec Spec) error {
+	if _, ok := e.cfg.Runners[spec.Algo]; !ok {
+		return fmt.Errorf("%w: unknown algorithm %q (have %s)", ErrBadSpec, spec.Algo, e.algoNames())
+	}
+	if len(spec.Points) > e.cfg.MaxPoints {
+		return fmt.Errorf("%w: %d points exceeds the %d-row admission bound", ErrBadSpec, len(spec.Points), e.cfg.MaxPoints)
+	}
+	if err := robust.ValidateDataset(spec.Points); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if spec.TimeoutMS < 0 {
+		return fmt.Errorf("%w: negative timeout_ms %d", ErrBadSpec, spec.TimeoutMS)
+	}
+	if spec.K < 0 {
+		return fmt.Errorf("%w: negative k %d", ErrBadSpec, spec.K)
+	}
+	return nil
+}
+
+func (e *Engine) algoNames() string {
+	names := make([]string, 0, len(e.cfg.Runners))
+	for name := range e.cfg.Runners {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// Submit admits one job. The returned bool is true when an idempotency key
+// matched an existing job (nothing new was enqueued). Errors: ErrBadSpec
+// (refused outright), ErrQueueFull (queue at capacity — retry later),
+// ErrDraining (engine shutting down).
+func (e *Engine) Submit(spec Spec) (*Job, bool, error) {
+	if err := e.validate(spec); err != nil {
+		return nil, false, err
+	}
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		obs.Count(obs.Default(), "jobs.rejected_draining", 1)
+		return nil, false, ErrDraining
+	}
+	if spec.IdempotencyKey != "" {
+		if id, ok := e.byKey[spec.IdempotencyKey]; ok {
+			j := e.jobs[id]
+			e.mu.Unlock()
+			obs.Count(obs.Default(), "jobs.duplicate_hits", 1)
+			return j, true, nil
+		}
+	}
+	e.seq++
+	j := &Job{
+		ID:         "j-" + strconv.FormatInt(e.seq, 10),
+		Key:        spec.IdempotencyKey,
+		Spec:       spec,
+		col:        obs.NewCollector(),
+		enqueuedAt: time.Now(),
+		done:       make(chan struct{}),
+	}
+	select {
+	case e.queue <- j:
+	default:
+		e.seq-- // nothing admitted; keep ids dense
+		e.mu.Unlock()
+		obs.Count(obs.Default(), "jobs.rejected_full", 1)
+		return nil, false, ErrQueueFull
+	}
+	e.jobs[j.ID] = j
+	if j.Key != "" {
+		e.byKey[j.Key] = j.ID
+	}
+	e.mu.Unlock()
+	obs.Count(obs.Default(), "jobs.submitted", 1)
+	return j, false, nil
+}
+
+// Get returns the job by id.
+func (e *Engine) Get(id string) (*Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// List snapshots every known job, ordered by ascending id (admission
+// order).
+func (e *Engine) List() []Status {
+	e.mu.Lock()
+	all := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		all = append(all, j)
+	}
+	e.mu.Unlock()
+	sort.Slice(all, func(a, b int) bool {
+		na, _ := strconv.Atoi(all[a].ID[2:])
+		nb, _ := strconv.Atoi(all[b].ID[2:])
+		return na < nb
+	})
+	out := make([]Status, len(all))
+	for i, j := range all {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel requests cancellation of the job: a queued job transitions to
+// Cancelled immediately; a running job has its context cancelled and
+// settles (Cancelled, with any best-so-far result attached) as soon as the
+// algorithm observes it. Cancelling a terminal job is a no-op. The returned
+// state is the job's state after the request took effect.
+func (e *Engine) Cancel(id string) (State, error) {
+	j, err := e.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	j.mu.Lock()
+	switch {
+	case j.state == StateQueued:
+		j.mu.Unlock()
+		// The queued->cancelled transition goes through the single
+		// terminal path; the worker that later pulls the job sees a
+		// terminal state and skips it.
+		e.finish(j, StateCancelled, nil, context.Canceled)
+		obs.Count(obs.Default(), "jobs.cancelled_queued", 1)
+	case j.state == StateRunning:
+		j.userCancel = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	default:
+		j.mu.Unlock()
+	}
+	return j.State(), nil
+}
+
+// Ready reports whether the engine can admit work right now: an error
+// while draining or while the queue is saturated, nil otherwise. Wired to
+// the ops /readyz probe.
+func (e *Engine) Ready() error {
+	e.mu.Lock()
+	draining := e.draining
+	e.mu.Unlock()
+	if draining {
+		return ErrDraining
+	}
+	if len(e.queue) == cap(e.queue) {
+		return ErrQueueFull
+	}
+	return nil
+}
+
+// Drain gracefully shuts the engine down: admission stops immediately
+// (Submit returns ErrDraining), queued and in-flight jobs keep running
+// until the pool is idle or ctx fires, at which point every remaining job
+// context is cancelled so in-flight runs settle with their best-so-far
+// (Partial) and still-queued jobs settle as the workers sweep them. No
+// admitted job is lost: by return, every job is in exactly one terminal
+// state. Drain is idempotent; later calls wait on the same shutdown.
+func (e *Engine) Drain(ctx context.Context) DrainReport {
+	e.mu.Lock()
+	if !e.draining {
+		e.draining = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+
+	idle := make(chan struct{})
+	//lint:ignore nakedgo shutdown waiter, joined below on every path via the idle channel; it runs no algorithm code
+	go func() { e.wg.Wait(); close(idle) }()
+
+	rep := DrainReport{}
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		rep.Truncated = true
+		e.stop() // cut every in-flight job to best-so-far
+		<-idle
+	}
+
+	e.mu.Lock()
+	for _, j := range e.jobs {
+		switch j.State() {
+		case StateDone:
+			rep.Done++
+		case StatePartial:
+			rep.Partial++
+		case StateFailed:
+			rep.Failed++
+		case StateCancelled:
+			rep.Cancelled++
+		}
+	}
+	e.mu.Unlock()
+	if rep.Truncated {
+		obs.Count(obs.Default(), "jobs.drain_truncated", 1)
+	}
+	return rep
+}
+
+// stop marks the drain deadline and cancels every job context still alive.
+// The atomic flag and the per-job mutexes together close the race with a
+// concurrently starting job: a job that installs its cancel hook after the
+// sweep passed it must then observe stopped (sequentially consistent
+// atomics) and cut itself in execute.
+func (e *Engine) stop() {
+	e.stopped.Store(true)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, j := range e.jobs {
+		j.mu.Lock()
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+}
+
+// worker moves jobs from the bounded queue into execute until Drain closes
+// the queue and it runs dry.
+func (e *Engine) worker() {
+	for j := range e.queue {
+		e.execute(j)
+	}
+}
+
+// tryStart moves the job to Running and installs its cancel hook, or
+// reports false when the job was cancelled while queued.
+func (e *Engine) tryStart(j *Job, cancel func()) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	return true
+}
+
+// execute runs one job to its terminal state. Panics cannot escape: every
+// attempt is wrapped in robust.RecoverTo, so a panicking runner fails the
+// job (ErrPanic) and the worker lives on.
+func (e *Engine) execute(j *Job) {
+	timeout := time.Duration(j.Spec.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = e.cfg.DefaultTimeout
+	}
+	if timeout > e.cfg.MaxTimeout {
+		timeout = e.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if !e.tryStart(j, cancel) {
+		return // cancelled while queued; already terminal
+	}
+	if e.stopped.Load() {
+		// Swept from the queue at the drain deadline: the cancel hook is
+		// installed, so cutting here (or by the stop sweep — whichever
+		// observes the other) settles the run to best-so-far immediately.
+		cancel()
+	}
+	obs.Gauge(obs.Default(), "jobs.dispatch_wait_ns", float64(time.Since(j.enqueuedAt).Nanoseconds()))
+	tctx, tcancel := context.WithTimeout(ctx, timeout)
+	defer tcancel()
+	// The job's own collector is the context recorder: every counter the
+	// algorithm records lands in this job's metrics and nowhere else.
+	tctx = obs.NewContext(tctx, j.col)
+
+	runner := e.cfg.Runners[j.Spec.Algo]
+	backoff := e.cfg.Backoff
+	backoff.Seed = j.Spec.Seed
+	out, err := robust.RetryValueBackoff(tctx, j.Spec.Seed, e.cfg.RetryBudget, backoff,
+		func(seed int64) (o *Outcome, rerr error) {
+			defer robust.RecoverTo(&rerr)
+			j.mu.Lock()
+			j.attempts++
+			j.mu.Unlock()
+			return runner(tctx, j.Spec, seed, j.col)
+		})
+
+	j.mu.Lock()
+	userCancel := j.userCancel
+	j.mu.Unlock()
+	switch {
+	case err == nil:
+		e.finish(j, StateDone, out, nil)
+	case userCancel:
+		e.finish(j, StateCancelled, out, err)
+	case errors.Is(err, core.ErrInterrupted) && out != nil:
+		// Deadline or drain expiry: the contract is best-so-far, not
+		// failure — the partial result is served with partial=true.
+		e.finish(j, StatePartial, out, err)
+	case errors.Is(err, core.ErrInterrupted):
+		// Interrupted before any result existed (e.g. swept from the
+		// queue at the drain deadline).
+		e.finish(j, StateCancelled, nil, err)
+	default:
+		e.finish(j, StateFailed, out, err)
+	}
+}
+
+// finish performs the terminal transition. It is the only place a job's
+// state becomes terminal, and it refuses to run twice: the exactly-once
+// property the fault-injection suite asserts is enforced here, not merely
+// tested.
+func (e *Engine) finish(j *Job, s State, out *Outcome, err error) {
+	j.mu.Lock()
+	j.finishCalls++
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = s
+	j.result = out
+	j.err = err
+	close(j.done)
+	j.mu.Unlock()
+
+	rec := obs.Default()
+	switch s {
+	case StateDone:
+		obs.Count(rec, "jobs.done", 1)
+	case StatePartial:
+		obs.Count(rec, "jobs.partial", 1)
+	case StateFailed:
+		obs.Count(rec, "jobs.failed", 1)
+		if errors.Is(err, core.ErrPanic) {
+			obs.Count(rec, "jobs.panics_contained", 1)
+		}
+	case StateCancelled:
+		obs.Count(rec, "jobs.cancelled", 1)
+	}
+	if e.cfg.OnTerminal != nil {
+		e.cfg.OnTerminal(j, s)
+	}
+}

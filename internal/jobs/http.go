@@ -1,0 +1,130 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// API wire shapes beyond Status (which GET returns verbatim).
+type submitResponse struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Duplicate bool   `json:"duplicate,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds one POST body; a dataset bigger than this cannot be
+// admitted anyway (MaxPoints), so reading further would only buy memory
+// pressure.
+const maxBodyBytes = 64 << 20
+
+// Handler serves the job API:
+//
+//	POST   /v1/jobs        submit a Spec               -> 202 {id,state}
+//	                       duplicate idempotency key   -> 200 {id,state,duplicate:true}
+//	                       queue full                  -> 429 + Retry-After
+//	                       draining                    -> 503
+//	                       bad spec/body               -> 400
+//	GET    /v1/jobs        list all job statuses       -> 200 [Status...]
+//	GET    /v1/jobs/{id}   one status (+result,metrics)-> 200 Status | 404
+//	DELETE /v1/jobs/{id}   cancel                      -> 200 {id,state} | 404
+//
+// Partial results are a success surface: a job cut short by its deadline
+// reports state "partial" with "partial": true and the best-so-far result,
+// status 200.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest, ok := strings.CutPrefix(r.URL.Path, "/v1/jobs")
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "not found"})
+			return
+		}
+		rest = strings.Trim(rest, "/")
+		switch {
+		case rest == "" && r.Method == http.MethodPost:
+			e.handleSubmit(w, r)
+		case rest == "" && r.Method == http.MethodGet:
+			writeJSON(w, http.StatusOK, e.List())
+		case rest == "":
+			w.Header().Set("Allow", "GET, POST")
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+		case strings.Contains(rest, "/"):
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "not found"})
+		case r.Method == http.MethodGet:
+			e.handleGet(w, rest)
+		case r.Method == http.MethodDelete:
+			e.handleCancel(w, rest)
+		default:
+			w.Header().Set("Allow", "GET, DELETE")
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+		}
+	})
+}
+
+func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorResponse{Error: "decode spec: " + err.Error()})
+		return
+	}
+	// The header wins over the body field, per the usual idempotency-key
+	// convention; both feed the same dedup map.
+	if key := r.Header.Get("Idempotency-Key"); key != "" {
+		spec.IdempotencyKey = key
+	}
+	j, duplicate, err := e.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// A saturated queue drains at worker speed; one second is a
+		// deliberately conservative static hint (no clock consulted).
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	case duplicate:
+		writeJSON(w, http.StatusOK, submitResponse{ID: j.ID, State: j.State().String(), Duplicate: true})
+	default:
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID, State: j.State().String()})
+	}
+}
+
+func (e *Engine) handleGet(w http.ResponseWriter, id string) {
+	j, err := e.Get(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (e *Engine) handleCancel(w http.ResponseWriter, id string) {
+	state, err := e.Cancel(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, submitResponse{ID: id, State: state.String()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	// A failed encode after WriteHeader has no recovery surface; the
+	// connection is simply cut short.
+	_ = json.NewEncoder(w).Encode(v)
+}

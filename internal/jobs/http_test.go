@@ -1,0 +1,290 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func postJSON(t *testing.T, srv *httptest.Server, path string, body any, header map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+path, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, buf.Bytes()
+}
+
+func do(t *testing.T, srv *httptest.Server, method, path string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, srv.URL+path, nil)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, buf.Bytes()
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Engine, *httptest.Server) {
+	t.Helper()
+	e := newTestEngine(t, cfg)
+	srv := httptest.NewServer(e.Handler())
+	t.Cleanup(srv.Close)
+	return e, srv
+}
+
+func TestHTTPSubmitPollResult(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2, Runners: map[string]Runner{"instant": instantRunner}})
+	resp, body := postJSON(t, srv, "/v1/jobs", Spec{Algo: "instant", Points: testPoints(), Seed: 1}, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d body %s, want 202", resp.StatusCode, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit body %s: %v", body, err)
+	}
+
+	var st Status
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body = do(t, srv, http.MethodGet, "/v1/jobs/"+sub.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("get status = %d body %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("unmarshal status: %v", err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Result == nil || len(st.Result.Labels) != 4 {
+		t.Fatalf("terminal status %+v lacks the result", st)
+	}
+	if st.Partial {
+		t.Fatalf("done job reported partial: %+v", st)
+	}
+}
+
+func TestHTTPPartialIsSuccessSurface(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1, Runners: map[string]Runner{"slow": slowRunner(nil)}})
+	resp, body := postJSON(t, srv, "/v1/jobs", Spec{Algo: "slow", Points: testPoints(), TimeoutMS: 30}, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d body %s", resp.StatusCode, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body = do(t, srv, http.MethodGet, "/v1/jobs/"+sub.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("deadline-expired job answered %d, want 200 — partial is success", resp.StatusCode)
+		}
+		var st Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if st.State == "partial" {
+			if !st.Partial || st.Result == nil {
+				t.Fatalf("partial status %+v lacks flag or best-so-far result", st)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPBackpressure429(t *testing.T) {
+	started := make(chan struct{}, 1)
+	_, srv := newTestServer(t, Config{Workers: 1, QueueSize: 1, Runners: map[string]Runner{
+		"slow":    slowRunner(started),
+		"instant": instantRunner,
+	}})
+	resp, _ := postJSON(t, srv, "/v1/jobs", Spec{Algo: "slow", Points: testPoints(), TimeoutMS: 60000}, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker status = %d", resp.StatusCode)
+	}
+	<-started
+	resp, _ = postJSON(t, srv, "/v1/jobs", Spec{Algo: "instant", Points: testPoints()}, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("filler status = %d", resp.StatusCode)
+	}
+	resp, body := postJSON(t, srv, "/v1/jobs", Spec{Algo: "instant", Points: testPoints()}, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d body %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After hint")
+	}
+}
+
+func TestHTTPIdempotencyHeader(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2, Runners: map[string]Runner{"instant": instantRunner}})
+	spec := Spec{Algo: "instant", Points: testPoints()}
+	hdr := map[string]string{"Idempotency-Key": "k-1"}
+	resp, body := postJSON(t, srv, "/v1/jobs", spec, hdr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", resp.StatusCode)
+	}
+	var first submitResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	resp, body = postJSON(t, srv, "/v1/jobs", spec, hdr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate submit = %d, want 200", resp.StatusCode)
+	}
+	var second submitResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !second.Duplicate || second.ID != first.ID {
+		t.Fatalf("duplicate response %+v, want duplicate=true id=%s", second, first.ID)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	started := make(chan struct{}, 1)
+	_, srv := newTestServer(t, Config{Workers: 1, Runners: map[string]Runner{"slow": slowRunner(started)}})
+	resp, body := postJSON(t, srv, "/v1/jobs", Spec{Algo: "slow", Points: testPoints(), TimeoutMS: 60000}, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	<-started
+	resp, body = do(t, srv, http.MethodDelete, "/v1/jobs/"+sub.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete = %d body %s", resp.StatusCode, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body = do(t, srv, http.MethodGet, "/v1/jobs/"+sub.ID)
+		var st Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if st.State == "cancelled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled job stuck in state %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPList(t *testing.T) {
+	e, srv := newTestServer(t, Config{Workers: 2, Runners: map[string]Runner{"instant": instantRunner}})
+	for i := 0; i < 3; i++ {
+		j, _, err := e.Submit(Spec{Algo: "instant", Points: testPoints(), Seed: int64(i)})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		waitTerminal(t, j)
+	}
+	resp, body := do(t, srv, http.MethodGet, "/v1/jobs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list = %d", resp.StatusCode)
+	}
+	var all []Status
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatalf("unmarshal list: %v", err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("list has %d jobs, want 3", len(all))
+	}
+}
+
+func TestHTTPErrorSurface(t *testing.T) {
+	e, srv := newTestServer(t, Config{Workers: 1, Runners: map[string]Runner{"instant": instantRunner}})
+
+	// Bad spec -> 400 with a structured error body.
+	resp, body := postJSON(t, srv, "/v1/jobs", Spec{Algo: "no-such", Points: testPoints()}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad algo = %d, want 400", resp.StatusCode)
+	}
+	var e400 errorResponse
+	if err := json.Unmarshal(body, &e400); err != nil || e400.Error == "" {
+		t.Fatalf("400 body %s: %v", body, err)
+	}
+
+	// Unknown field -> 400 (DisallowUnknownFields).
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs",
+		bytes.NewReader([]byte(`{"algo":"instant","points":[[1,2]],"bogus":1}`)))
+	resp2, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field = %d, want 400", resp2.StatusCode)
+	}
+
+	// Unknown id -> 404; nested path -> 404.
+	if resp, _ := do(t, srv, http.MethodGet, "/v1/jobs/j-999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := do(t, srv, http.MethodGet, "/v1/jobs/a/b"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("nested path = %d, want 404", resp.StatusCode)
+	}
+
+	// Wrong methods -> 405 with Allow.
+	if resp, _ := do(t, srv, http.MethodDelete, "/v1/jobs"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE collection = %d, want 405", resp.StatusCode)
+	} else if resp.Header.Get("Allow") == "" {
+		t.Fatal("405 without Allow header")
+	}
+	if resp, _ := do(t, srv, http.MethodPut, "/v1/jobs/j-1"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT item = %d, want 405", resp.StatusCode)
+	}
+
+	// Draining -> 503.
+	dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer dcancel()
+	e.Drain(dctx)
+	resp, _ = postJSON(t, srv, "/v1/jobs", Spec{Algo: "instant", Points: testPoints()}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit = %d, want 503", resp.StatusCode)
+	}
+}

@@ -10,9 +10,18 @@
 //	                byte-identical to the CLI's -metrics dump of the
 //	                same state
 //	/spans          the hierarchical span tree (Snapshot.WriteSpanTree)
-//	/healthz        "ok" with process uptime
+//	/healthz        "ok" with process uptime — pure liveness: it stays
+//	                200 for as long as the process can answer at all
+//	/readyz         readiness: 200 when the optional Ready hook reports
+//	                nil, 503 with the reason otherwise (job queue
+//	                saturated, server draining); without a hook it
+//	                mirrors liveness
 //	/debug/pprof/   index, profile, heap, goroutine, cmdline, symbol,
 //	                trace — the net/http/pprof handler set
+//
+// MuxOptions additionally mounts application handlers (the job engine's
+// /v1/jobs API) on the same server, so one -serve flag exposes the whole
+// operational surface.
 package ops
 
 import (
@@ -26,16 +35,49 @@ import (
 	"multiclust/internal/obs"
 )
 
+// MuxOptions customizes the ops mux beyond the collector: a readiness
+// hook for /readyz and extra application mounts.
+type MuxOptions struct {
+	// Ready backs /readyz: nil error (or a nil hook) means ready. A
+	// non-nil error flips /readyz to 503 with the error text — the
+	// signal load balancers use to stop routing new work here while
+	// /healthz keeps reporting the process alive.
+	Ready func() error
+	// Mounts are extra handlers registered verbatim on the mux, keyed by
+	// pattern (e.g. "/v1/jobs" and "/v1/jobs/"). Registration order is
+	// irrelevant: net/http routes by pattern, not insertion.
+	Mounts map[string]http.Handler
+}
+
 // NewMux routes the ops endpoints. col may be nil, in which case
 // /metrics and /spans report 503 Service Unavailable (the pprof and
 // health endpoints still work).
 func NewMux(col *obs.Collector) *http.ServeMux {
+	return NewMuxOpts(col, MuxOptions{})
+}
+
+// NewMuxOpts is NewMux plus a readiness hook and application mounts.
+func NewMuxOpts(col *obs.Collector, opt MuxOptions) *http.ServeMux {
 	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ok uptime_s=%.0f\n", time.Since(start).Seconds())
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opt.Ready != nil {
+			if err := opt.Ready(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "not ready: %v\n", err)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	for pattern, h := range opt.Mounts {
+		mux.Handle(pattern, h)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if col == nil {
 			http.Error(w, "no collector installed", http.StatusServiceUnavailable)
@@ -69,9 +111,14 @@ func NewMux(col *obs.Collector) *http.ServeMux {
 // truncate the profile; slow-loris exposure is bounded by
 // ReadHeaderTimeout and IdleTimeout instead.
 func NewServer(addr string, col *obs.Collector) *http.Server {
+	return NewServerOpts(addr, col, MuxOptions{})
+}
+
+// NewServerOpts is NewServer with a readiness hook and application mounts.
+func NewServerOpts(addr string, col *obs.Collector, opt MuxOptions) *http.Server {
 	return &http.Server{
 		Addr:              addr,
-		Handler:           NewMux(col),
+		Handler:           NewMuxOpts(col, opt),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		IdleTimeout:       120 * time.Second,
@@ -88,13 +135,19 @@ type Handle struct {
 // Serve binds addr (host:port; port 0 picks an ephemeral port) and
 // serves the ops endpoints in a background goroutine until Shutdown.
 func Serve(addr string, col *obs.Collector) (*Handle, error) {
+	return ServeOpts(addr, col, MuxOptions{})
+}
+
+// ServeOpts is Serve with a readiness hook and application mounts — how the
+// CLI exposes the job engine's /v1/jobs API next to the ops endpoints.
+func ServeOpts(addr string, col *obs.Collector, opt MuxOptions) (*Handle, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ops: listen %s: %w", addr, err)
 	}
 	h := &Handle{
 		URL: "http://" + ln.Addr().String(),
-		srv: NewServer(ln.Addr().String(), col),
+		srv: NewServerOpts(ln.Addr().String(), col, opt),
 		err: make(chan error, 1),
 	}
 	//lint:ignore nakedgo HTTP accept loop is I/O lifecycle, not compute; it never touches algorithm state, so the determinism contract is unaffected

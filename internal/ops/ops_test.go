@@ -128,3 +128,80 @@ func TestServeRejectsBadAddr(t *testing.T) {
 		t.Fatal("Serve on an invalid address must error")
 	}
 }
+
+func TestReadyzWithoutHookMirrorsLiveness(t *testing.T) {
+	h, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Shutdown(context.Background())
+	if code, body := get(t, h.URL+"/readyz"); code != http.StatusOK || !strings.HasPrefix(body, "ready") {
+		t.Errorf("/readyz without hook = %d %q, want 200 ready", code, body)
+	}
+}
+
+func TestReadyzReportsNotReady(t *testing.T) {
+	// The hook is consulted per request, so readiness can flip live — the
+	// saturated-queue / draining signal the job engine feeds it.
+	ready := make(chan error, 1)
+	ready <- nil
+	hook := func() error {
+		err := <-ready
+		ready <- err
+		return err
+	}
+	h, err := ServeOpts("127.0.0.1:0", nil, MuxOptions{Ready: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Shutdown(context.Background())
+
+	if code, body := get(t, h.URL+"/readyz"); code != http.StatusOK || !strings.HasPrefix(body, "ready") {
+		t.Fatalf("/readyz while ready = %d %q", code, body)
+	}
+	<-ready
+	ready <- errTestSaturated
+	code, body := get(t, h.URL+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while saturated = %d, want 503", code)
+	}
+	if !strings.Contains(body, "queue saturated") {
+		t.Fatalf("/readyz body %q missing the reason", body)
+	}
+	// Liveness is unaffected: /healthz keeps answering 200.
+	if code, _ := get(t, h.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz during saturation = %d, want 200", code)
+	}
+}
+
+var errTestSaturated = errTest("queue saturated")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestMountsServeApplicationHandlers(t *testing.T) {
+	mounted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		io.WriteString(w, "mounted:"+r.URL.Path)
+	})
+	h, err := ServeOpts("127.0.0.1:0", nil, MuxOptions{Mounts: map[string]http.Handler{
+		"/v1/jobs":  mounted,
+		"/v1/jobs/": mounted,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Shutdown(context.Background())
+
+	for _, path := range []string{"/v1/jobs", "/v1/jobs/j-1"} {
+		code, body := get(t, h.URL+path)
+		if code != http.StatusTeapot || !strings.HasPrefix(body, "mounted:") {
+			t.Errorf("%s = %d %q, want the mounted handler", path, code, body)
+		}
+	}
+	// The ops endpoints still work next to the mounts.
+	if code, _ := get(t, h.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz with mounts = %d", code)
+	}
+}

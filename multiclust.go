@@ -388,7 +388,7 @@ func EMContext(ctx context.Context, points [][]float64, cfg EMConfig) (res *EMRe
 	if err := robust.ValidateDataset(points); err != nil {
 		return nil, err
 	}
-	return robust.RetryValue(cfg.Seed, retryBudget, func(seed int64) (*EMResult, error) {
+	return robust.RetryValueBackoff(ctx, cfg.Seed, retryBudget, robust.Backoff{}, func(seed int64) (*EMResult, error) {
 		c := cfg
 		c.Seed = seed
 		r, ferr := em.FitContext(ctx, points, c)
@@ -424,7 +424,7 @@ func SpectralContext(ctx context.Context, points [][]float64, cfg SpectralConfig
 	if err := robust.ValidateDataset(points); err != nil {
 		return nil, err
 	}
-	return robust.RetryValue(cfg.Seed, retryBudget, func(seed int64) (*SpectralResult, error) {
+	return robust.RetryValueBackoff(ctx, cfg.Seed, retryBudget, robust.Backoff{}, func(seed int64) (*SpectralResult, error) {
 		c := cfg
 		c.Seed = seed
 		r, ferr := spectral.RunContext(ctx, points, c)

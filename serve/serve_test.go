@@ -1,0 +1,110 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"multiclust"
+	"multiclust/serve"
+)
+
+func TestPublicSurfaceEndToEnd(t *testing.T) {
+	eng := serve.New(serve.Config{Workers: 2, QueueSize: 16})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		eng.Drain(ctx)
+	}()
+
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+
+	body := `{"algo":"kmeans","points":[[0,0],[0,1],[10,10],[10,11]],"k":2,"seed":1}`
+	resp, err := srv.Client().Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: status %d, body %+v", resp.StatusCode, sub)
+	}
+
+	j, err := eng.Get(sub.ID)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never finished")
+	}
+	if j.State() != serve.StateDone {
+		t.Fatalf("state = %v (err %v), want done", j.State(), j.Err())
+	}
+	if r := j.Result(); r == nil || r.K != 2 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestCustomRunnerThroughFacadeAlias(t *testing.T) {
+	// An embedder outside the module can only name the recorder through the
+	// facade alias; this pins that the seam stays implementable.
+	custom := func(_ context.Context, spec serve.Spec, _ int64, _ multiclust.Recorder) (*serve.Outcome, error) {
+		return &serve.Outcome{Labels: make([]int, len(spec.Points)), K: 1}, nil
+	}
+	eng := serve.New(serve.Config{Workers: 1, Runners: map[string]serve.Runner{"custom": custom}})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		eng.Drain(ctx)
+	}()
+	j, dup, err := eng.Submit(serve.Spec{Algo: "custom", Points: [][]float64{{1, 2}}})
+	if err != nil || dup {
+		t.Fatalf("Submit: dup=%v err=%v", dup, err)
+	}
+	<-j.Done()
+	if j.State() != serve.StateDone {
+		t.Fatalf("state = %v, want done", j.State())
+	}
+}
+
+func TestErrorsAndAlgorithmsReExported(t *testing.T) {
+	eng := serve.New(serve.Config{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		eng.Drain(ctx)
+	}()
+	if _, _, err := eng.Submit(serve.Spec{Algo: "nope", Points: [][]float64{{1}}}); !errors.Is(err, serve.ErrBadSpec) {
+		t.Fatalf("want serve.ErrBadSpec, got %v", err)
+	}
+	if _, err := eng.Get("j-404"); !errors.Is(err, serve.ErrNotFound) {
+		t.Fatalf("want serve.ErrNotFound, got %v", err)
+	}
+	algos := serve.Algorithms()
+	if len(algos) == 0 {
+		t.Fatal("Algorithms() empty")
+	}
+	found := false
+	for _, a := range algos {
+		if a == "kmeans" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Algorithms() = %v, want kmeans present", algos)
+	}
+}
