@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json lint-sarif lint-fix test race cover bench bench-json bench-baseline experiments examples fuzz fuzz-smoke chaos chaos-serve ci clean
+.PHONY: all build vet lint lint-json lint-sarif lint-fix test race cover bench bench-json bench-baseline experiments examples fuzz fuzz-smoke chaos chaos-serve stream-chaos ci clean
 
 all: build vet lint test
 
@@ -51,7 +51,7 @@ bench:
 # the committed baseline. Timings get a loose gate (they are noisy on
 # shared runners); the deterministic work counters get the strict one.
 bench-json:
-	$(GO) run ./cmd/multiclust-bench -quick -baseline BENCH_baseline.json -threshold 200 -counter-threshold 10 -assert-le "coala/w4<=coala/w1"
+	$(GO) run ./cmd/multiclust-bench -quick -baseline BENCH_baseline.json -threshold 200 -counter-threshold 10 -assert-le "coala/w4<=coala/w1" -assert-le "minibatch/w4<=minibatch/w1"
 
 # Refresh the committed baseline after an intentional performance change.
 bench-baseline:
@@ -94,8 +94,15 @@ chaos-serve:
 	$(GO) test -race -timeout 180s ./internal/jobs/... ./serve/...
 	$(GO) test -race -timeout 180s -run 'TestServe' ./cmd/multiclust/
 
+# Streaming fault injection under the race detector: chunk appends racing
+# cancels and a graceful drain against the fault-handle fleet, plus the
+# chunked-replay determinism harness at workers 1/2/4/8.
+stream-chaos:
+	$(GO) test -race -timeout 180s -run 'TestStreamProperty' ./internal/jobs/chaos/
+	$(GO) test -race -timeout 180s ./internal/stream/...
+
 # Everything the GitHub Actions workflow runs, locally.
-ci: build vet test race lint fuzz-smoke chaos chaos-serve cover bench-json
+ci: build vet test race lint fuzz-smoke chaos chaos-serve stream-chaos cover bench-json
 
 clean:
 	$(GO) clean -testcache

@@ -118,6 +118,9 @@ func workloads() ([]benchCase, error) {
 	}
 	meta, _, _ := multiclust.FourBlobToy(1, 40)
 	viewA, viewB, _ := multiclust.TwoSourceViews(1, 300, 3, 4, 4, 0.5, 0)
+	streamBlobs, _ := multiclust.GaussianBlobs(1, 6000, [][]float64{
+		{0, 0, 0, 0}, {4, 4, 0, 0}, {0, 4, 4, 0}, {4, 0, 0, 4},
+	}, 0.6)
 
 	return []benchCase{
 		{"kmeans", "partitional", func() error {
@@ -144,6 +147,48 @@ func workloads() ([]benchCase, error) {
 		}},
 		{"coem", "multiview", func() error {
 			_, err := multiclust.CoEM(viewA.Points, viewB.Points, multiclust.CoEMConfig{K: 3, Seed: 2})
+			return err
+		}},
+		{"minibatch", "streaming-partitional", func() error {
+			// One pass of the incremental layer: the streaming blob dataset
+			// replayed through mini-batch k-means in 1500-row chunks, plus a
+			// final snapshot. A fresh learner per op keeps the measured work
+			// constant (the learner accumulates state across pushes); the
+			// chunks are large enough that the row-sharded assign fan-out
+			// dominates dispatch overhead, which is what the w4<=w1 gate
+			// checks.
+			m, err := multiclust.NewStreamKMeans(multiclust.StreamKMeansConfig{K: 4, Seed: 1})
+			if err != nil {
+				return err
+			}
+			for at := 0; at < len(streamBlobs.Points); at += 1500 {
+				end := at + 1500
+				if end > len(streamBlobs.Points) {
+					end = len(streamBlobs.Points)
+				}
+				if err := m.Push(streamBlobs.Points[at:end]); err != nil {
+					return err
+				}
+			}
+			_, err = m.Snapshot()
+			return err
+		}},
+		{"ensemble-window", "streaming-ensemble", func() error {
+			// Sliding-window ensemble with eviction on the hot path: six
+			// 40-row chunks through a 3-chunk window, so half the stream is
+			// evicted before the grouped snapshot.
+			e, err := multiclust.NewStreamEnsemble(multiclust.StreamEnsembleConfig{
+				K: 2, Seed: 1, Window: 3, PerChunk: 6, MetaClusters: 3,
+			})
+			if err != nil {
+				return err
+			}
+			for at := 0; at+40 <= 240; at += 40 {
+				if err := e.Push(meta.Points[at%len(meta.Points) : at%len(meta.Points)+40]); err != nil {
+					return err
+				}
+			}
+			_, err = e.Snapshot()
 			return err
 		}},
 		{"jobs", "service", func() error {

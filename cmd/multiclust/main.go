@@ -14,6 +14,11 @@
 // Given-knowledge algorithms (coala, cib, metricflip, alttransform) read the
 // known clustering from -given, a CSV with one integer label per line; if
 // omitted the result of k-means is used as the given clustering.
+//
+// With -stream the dataset is replayed through the incremental layer in
+// chunks of -chunk rows instead of one batch solve: -algo selects the
+// streaming learner (kmeans, meta, or coem), each chunk prints a progress
+// line, and the final snapshot is reported when the stream ends.
 package main
 
 import (
@@ -57,6 +62,8 @@ func main() {
 		jobWorkers = flag.Int("jobs-workers", 0, "worker goroutines for the /v1/jobs engine (0 = MULTICLUST_WORKERS env, then GOMAXPROCS)")
 		jobQueue   = flag.Int("jobs-queue", 0, "bounded admission queue for /v1/jobs (0 = default 64); a full queue answers 429")
 		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "on SIGINT/SIGTERM, wait this long for running jobs before cutting them to best-so-far")
+		streamMode = flag.Bool("stream", false, "replay the dataset through the incremental layer chunk by chunk (-algo kmeans, meta or coem)")
+		chunkRows  = flag.Int("chunk", 64, "rows per chunk in -stream mode")
 	)
 	flag.Parse()
 	multiclust.SetWorkers(*workers)
@@ -103,7 +110,11 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "multiclust: ops endpoints at %s\n", handle.URL)
 	}
-	err = run(*algo, *in, *header, *givenF, *k, *seed, *eps, *minPts, *xi, *tau)
+	if *streamMode {
+		err = runStream(*algo, *in, *header, *k, *seed, *chunkRows)
+	} else {
+		err = run(*algo, *in, *header, *givenF, *k, *seed, *eps, *minPts, *xi, *tau)
+	}
 	if cerr := cleanup(); err == nil {
 		err = cerr
 	}
@@ -476,6 +487,117 @@ func run(algo, in string, header bool, givenF string, k int, seed int64, eps flo
 		return fmt.Errorf("unknown algorithm %q", algo)
 	}
 	return nil
+}
+
+// runStream replays the dataset through the incremental layer: the rows
+// are cut into chunks of chunkRows and pushed through the streaming
+// learner selected by algo, printing one progress line per chunk and the
+// final snapshot at the end. The result is a pure function of (config,
+// chunk sequence): replaying the same file with the same flags reproduces
+// it byte for byte.
+func runStream(algo, in string, header bool, k int, seed int64, chunkRows int) error {
+	if chunkRows <= 0 {
+		return fmt.Errorf("-chunk must be positive, got %d", chunkRows)
+	}
+	ds, _, _, err := loadData(in, header)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: n=%d d=%d, streaming in chunks of %d\n", ds.N(), ds.Dim(), chunkRows)
+
+	var push func(rows [][]float64) error
+	var report func() error
+	switch algo {
+	case "kmeans":
+		m, err := multiclust.NewStreamKMeans(multiclust.StreamKMeansConfig{K: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		push = func(rows [][]float64) error {
+			if err := m.Push(rows); err != nil {
+				return err
+			}
+			s, err := m.Snapshot()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("chunk %d: rows=%d sse=%.3f reseeds=%d\n", s.Chunks, s.RowsSeen, s.LastSSE, s.Reseeds)
+			return nil
+		}
+		report = func() error {
+			s, err := m.Snapshot()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("stream kmeans: k=%d rows=%d chunks=%d\n", len(s.Centers), s.RowsSeen, s.Chunks)
+			fmt.Printf("  last-chunk labels: %s\n", labelString(s.LastLabels, 40))
+			return nil
+		}
+	case "meta":
+		e, err := multiclust.NewStreamEnsemble(multiclust.StreamEnsembleConfig{K: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		push = func(rows [][]float64) error {
+			if err := e.Push(rows); err != nil {
+				return err
+			}
+			fmt.Printf("chunk %d: rows=%d\n", e.Chunks(), e.RowsSeen())
+			return nil
+		}
+		report = func() error {
+			s, err := e.Snapshot()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("stream ensemble: %d representatives over window of %d chunks (%d rows), %d evicted, mean pairwise %.3f\n",
+				len(s.Representatives), s.WindowChunks, s.WindowRows, s.Evicted, s.MeanPairwise)
+			for i, r := range s.Representatives {
+				fmt.Printf("  representative %d: k=%d labels: %s\n", i+1, r.K(), labelString(r.Labels, 40))
+			}
+			return nil
+		}
+	case "coem":
+		c, err := multiclust.NewStreamCoEM(multiclust.StreamCoEMConfig{K: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		push = func(rows [][]float64) error {
+			if err := c.Push(rows); err != nil {
+				return err
+			}
+			s, err := c.Snapshot()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("chunk %d: rows=%d agreement=%.3f loglik=(%.2f, %.2f)\n",
+				s.Chunks, s.RowsSeen, s.Agreement, s.LogLikA, s.LogLikB)
+			return nil
+		}
+		report = func() error {
+			s, err := c.Snapshot()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("stream coem: k=%d rows=%d chunks=%d agreement=%.3f\n",
+				s.Clustering.K(), s.RowsSeen, s.Chunks, s.Agreement)
+			fmt.Printf("  consensus labels (last chunk): %s\n", labelString(s.Clustering.Labels, 40))
+			return nil
+		}
+	default:
+		return fmt.Errorf("algorithm %q has no streaming mode (want kmeans, meta or coem)", algo)
+	}
+
+	for at := 0; at < len(ds.Points); at += chunkRows {
+		end := at + chunkRows
+		if end > len(ds.Points) {
+			end = len(ds.Points)
+		}
+		if err := push(ds.Points[at:end]); err != nil {
+			return err
+		}
+	}
+	return report()
 }
 
 // loadData reads the CSV, or builds the toy with its two ground truths.

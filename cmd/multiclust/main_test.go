@@ -64,6 +64,38 @@ func TestRunAlgorithms(t *testing.T) {
 	}
 }
 
+// TestRunStream drives the -stream replay mode across every streaming
+// learner on the toy dataset, plus the flag/algorithm error paths.
+func TestRunStream(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	for _, algo := range []string{"kmeans", "meta", "coem"} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			if err := runStream(algo, "", true, 2, 1, 30); err != nil {
+				t.Fatalf("%s: %v", algo, err)
+			}
+		})
+	}
+	if err := runStream("dbscan", "", true, 2, 1, 30); err == nil {
+		t.Error("non-streaming algorithm should fail")
+	}
+	if err := runStream("kmeans", "", true, 2, 1, 0); err == nil {
+		t.Error("non-positive chunk size should fail")
+	}
+	if err := runStream("kmeans", "missing.csv", true, 2, 1, 30); err == nil {
+		t.Error("missing input should fail")
+	}
+}
+
 func TestRunWithCSVAndGiven(t *testing.T) {
 	dir := t.TempDir()
 	dataPath := filepath.Join(dir, "data.csv")

@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"multiclust/internal/core"
+	"multiclust/internal/jobs"
+)
+
+// Streaming fault handles, the incremental counterpart of the batch
+// fault runners above: injected through jobs.Config.Streams, they let
+// the property tests race chunk appends against cancel and drain without
+// paying for a real learner. Determinism rule unchanged — each handle's
+// behavior is a pure function of its spec and the chunk sequence it is
+// fed; no handle consults a clock or an unseeded RNG.
+
+// countingHandle is the control-group stream: it accepts every chunk
+// instantly and snapshots exact bookkeeping (rows_seen, chunks), which
+// the accounting property compares against the acknowledged totals. The
+// mutex only orders the engine's serialized calls with the test's final
+// inspection barrier; there is no internal concurrency.
+type countingHandle struct {
+	mu     sync.Mutex
+	rows   int64
+	chunks int
+}
+
+func (h *countingHandle) PushChunk(_ context.Context, rows [][]float64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rows += int64(len(rows))
+	h.chunks++
+	return nil
+}
+
+func (h *countingHandle) Snapshot(context.Context) (*jobs.Outcome, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.chunks == 0 {
+		return nil, fmt.Errorf("chaos: empty stream: %w", core.ErrEmptyDataset)
+	}
+	return &jobs.Outcome{K: 1, Stats: map[string]float64{
+		"rows_seen": float64(h.rows), "chunks": float64(h.chunks),
+	}}, nil
+}
+
+// InstantStream is the factory for the counting control handle.
+func InstantStream() jobs.StreamFactory {
+	return func(jobs.Spec) (jobs.StreamHandle, error) {
+		return &countingHandle{}, nil
+	}
+}
+
+// slowHandle blocks inside every push until the chunk context is cut —
+// by deadline, DELETE, or the drain sweep — then reports the chunk
+// half-eaten via core.ErrInterrupted, exactly as a real learner's chunk
+// boundary would. Snapshots still serve the chunks folded in before.
+type slowHandle struct{ countingHandle }
+
+func (h *slowHandle) PushChunk(ctx context.Context, rows [][]float64) error {
+	<-ctx.Done()
+	return fmt.Errorf("chaos: slow stream chunk cut short: %w", core.ErrInterrupted)
+}
+
+// SlowStream is the factory for the stalling handle: the canonical probe
+// for chunk appends racing cancels and drain deadlines.
+func SlowStream() jobs.StreamFactory {
+	return func(jobs.Spec) (jobs.StreamHandle, error) {
+		return &slowHandle{}, nil
+	}
+}
+
+// panicHandle panics on the n-th pushed chunk (0-based) and counts
+// normally before that; the engine must contain the panic, fail the job,
+// and keep the worker alive.
+type panicHandle struct {
+	countingHandle
+	panicAt int
+}
+
+func (h *panicHandle) PushChunk(ctx context.Context, rows [][]float64) error {
+	h.mu.Lock()
+	n := h.chunks
+	h.mu.Unlock()
+	if n >= h.panicAt {
+		panic(fmt.Sprintf("chaos: injected stream panic at chunk %d", n))
+	}
+	return h.countingHandle.PushChunk(ctx, rows)
+}
+
+// PanicStream is the factory for a handle that panics on chunk n.
+func PanicStream(n int) jobs.StreamFactory {
+	return func(jobs.Spec) (jobs.StreamHandle, error) {
+		return &panicHandle{panicAt: n}, nil
+	}
+}
+
+// StreamFaults is the streaming battery under stable names, the
+// Config.Streams counterpart of TestRunners.
+func StreamFaults() map[string]jobs.StreamFactory {
+	return map[string]jobs.StreamFactory{
+		"chaos-stream-instant": InstantStream(),
+		"chaos-stream-slow":    SlowStream(),
+		"chaos-stream-panic":   PanicStream(1),
+	}
+}

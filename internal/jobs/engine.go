@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"sort"
 	"strconv"
 	"sync"
@@ -48,6 +49,10 @@ type Config struct {
 	// the chaos suite injects faulty runners and the bench harness a
 	// no-op runner through this seam. Nil entries delete a default.
 	Runners map[string]Runner
+	// Streams extends or overrides the streaming algorithm registry
+	// (Spec.Stream jobs), the same seam Runners is for batch jobs. Nil
+	// entries delete a default.
+	Streams map[string]StreamFactory
 	// OnTerminal, when non-nil, observes every terminal transition
 	// (exactly one per admitted job). Used by the fault-injection suite
 	// and available for operational logging.
@@ -115,6 +120,18 @@ func New(cfg Config) *Engine {
 		runners[name] = r
 	}
 	cfg.Runners = runners
+	streams := make(map[string]StreamFactory, len(defaultStreams)+len(cfg.Streams))
+	for name, f := range defaultStreams {
+		streams[name] = f
+	}
+	for name, f := range cfg.Streams {
+		if f == nil {
+			delete(streams, name)
+			continue
+		}
+		streams[name] = f
+	}
+	cfg.Streams = streams
 
 	e := &Engine{
 		cfg:   cfg,
@@ -138,28 +155,48 @@ func New(cfg Config) *Engine {
 // only runnable work. Deeper failures (degenerate fits, interrupts) are
 // legitimate terminal states, not admission errors.
 func (e *Engine) validate(spec Spec) error {
-	if _, ok := e.cfg.Runners[spec.Algo]; !ok {
-		return fmt.Errorf("%w: unknown algorithm %q (have %s)", ErrBadSpec, spec.Algo, e.algoNames())
+	if spec.Stream {
+		if _, ok := e.cfg.Streams[spec.Algo]; !ok {
+			return fmt.Errorf("%w: unknown streaming algorithm %q (have %s)", ErrBadSpec, spec.Algo, e.algoNames(true))
+		}
+	} else if _, ok := e.cfg.Runners[spec.Algo]; !ok {
+		return fmt.Errorf("%w: unknown algorithm %q (have %s)", ErrBadSpec, spec.Algo, e.algoNames(false))
 	}
 	if len(spec.Points) > e.cfg.MaxPoints {
 		return fmt.Errorf("%w: %d points exceeds the %d-row admission bound", ErrBadSpec, len(spec.Points), e.cfg.MaxPoints)
 	}
-	if err := robust.ValidateDataset(spec.Points); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	// A streaming job may open with no rows at all — the first chunk
+	// arrives by PATCH; a batch job's dataset is validated here in full.
+	if !spec.Stream || len(spec.Points) > 0 {
+		if err := robust.ValidateDataset(spec.Points); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
 	}
 	if spec.TimeoutMS < 0 {
 		return fmt.Errorf("%w: negative timeout_ms %d", ErrBadSpec, spec.TimeoutMS)
 	}
+	if max := e.cfg.MaxTimeout.Milliseconds(); spec.TimeoutMS > max {
+		return fmt.Errorf("%w: timeout_ms %d exceeds the %dms cap", ErrBadSpec, spec.TimeoutMS, max)
+	}
 	if spec.K < 0 {
 		return fmt.Errorf("%w: negative k %d", ErrBadSpec, spec.K)
+	}
+	if spec.Window < 0 {
+		return fmt.Errorf("%w: negative window %d", ErrBadSpec, spec.Window)
 	}
 	return nil
 }
 
-func (e *Engine) algoNames() string {
+func (e *Engine) algoNames(stream bool) string {
 	names := make([]string, 0, len(e.cfg.Runners))
-	for name := range e.cfg.Runners {
-		names = append(names, name)
+	if stream {
+		for name := range e.cfg.Streams {
+			names = append(names, name)
+		}
+	} else {
+		for name := range e.cfg.Runners {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	out := ""
@@ -173,12 +210,23 @@ func (e *Engine) algoNames() string {
 }
 
 // Submit admits one job. The returned bool is true when an idempotency key
-// matched an existing job (nothing new was enqueued). Errors: ErrBadSpec
-// (refused outright), ErrQueueFull (queue at capacity — retry later),
-// ErrDraining (engine shutting down).
+// matched an existing job with the same spec (nothing new was enqueued).
+// Errors: ErrBadSpec (refused outright), ErrConflict (idempotency key
+// reused with a different spec), ErrQueueFull (queue at capacity — retry
+// later), ErrDraining (engine shutting down).
 func (e *Engine) Submit(spec Spec) (*Job, bool, error) {
 	if err := e.validate(spec); err != nil {
 		return nil, false, err
+	}
+	// The streaming handle is built outside the engine lock — factory
+	// errors are admission errors, surfaced as 400s like any bad spec.
+	var handle StreamHandle
+	if spec.Stream {
+		h, err := e.cfg.Streams[spec.Algo](spec)
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		handle = h
 	}
 	e.mu.Lock()
 	if e.draining {
@@ -190,6 +238,13 @@ func (e *Engine) Submit(spec Spec) (*Job, bool, error) {
 		if id, ok := e.byKey[spec.IdempotencyKey]; ok {
 			j := e.jobs[id]
 			e.mu.Unlock()
+			if !reflect.DeepEqual(j.Spec, spec) {
+				// Same key, different request: refusing loudly is the
+				// only safe answer — silent dedup would hand the caller
+				// a result for a spec it never sent.
+				obs.Count(obs.Default(), "jobs.key_conflicts", 1)
+				return nil, false, fmt.Errorf("%w: idempotency key %q was used with a different spec", ErrConflict, spec.IdempotencyKey)
+			}
 			obs.Count(obs.Default(), "jobs.duplicate_hits", 1)
 			return j, true, nil
 		}
@@ -202,14 +257,30 @@ func (e *Engine) Submit(spec Spec) (*Job, bool, error) {
 		col:        obs.NewCollector(),
 		enqueuedAt: time.Now(),
 		done:       make(chan struct{}),
+		handle:     handle,
 	}
-	select {
-	case e.queue <- j:
-	default:
-		e.seq-- // nothing admitted; keep ids dense
-		e.mu.Unlock()
-		obs.Count(obs.Default(), "jobs.rejected_full", 1)
-		return nil, false, ErrQueueFull
+	// A streaming job that opens with rows carries them as its first
+	// chunk; one that opens empty holds no queue slot until a PATCH
+	// appends work.
+	needToken := true
+	if spec.Stream {
+		if len(spec.Points) > 0 {
+			j.pending = []streamChunk{{rows: spec.Points}}
+			j.chunksAcked = 1
+			j.rowsAcked = int64(len(spec.Points))
+		} else {
+			needToken = false
+		}
+	}
+	if needToken {
+		select {
+		case e.queue <- j:
+		default:
+			e.seq-- // nothing admitted; keep ids dense
+			e.mu.Unlock()
+			obs.Count(obs.Default(), "jobs.rejected_full", 1)
+			return nil, false, ErrQueueFull
+		}
 	}
 	e.jobs[j.ID] = j
 	if j.Key != "" {
@@ -218,6 +289,78 @@ func (e *Engine) Submit(spec Spec) (*Job, bool, error) {
 	e.mu.Unlock()
 	obs.Count(obs.Default(), "jobs.submitted", 1)
 	return j, false, nil
+}
+
+// Append acknowledges one more chunk of a streaming job and enqueues its
+// processing. Acknowledgement and backpressure are one decision: the
+// chunk is accepted exactly when a queue slot is, so every acknowledged
+// chunk has a worker token and a full queue refuses the chunk outright
+// (ErrQueueFull, HTTP 429 — the caller retries, nothing is buffered).
+// final closes the stream: after the final chunk is processed the job
+// terminalizes (Done), and later appends are refused with ErrConflict.
+// An empty final append is a pure close. Errors: ErrNotFound, ErrBadSpec
+// (not a streaming job, empty or invalid chunk), ErrConflict (stream
+// closed or job terminal), ErrDraining, ErrQueueFull.
+func (e *Engine) Append(id string, rows [][]float64, final bool) (*Job, error) {
+	if len(rows) == 0 && !final {
+		return nil, fmt.Errorf("%w: empty chunk", ErrBadSpec)
+	}
+	if len(rows) > e.cfg.MaxPoints {
+		return nil, fmt.Errorf("%w: %d rows exceeds the %d-row admission bound", ErrBadSpec, len(rows), e.cfg.MaxPoints)
+	}
+	if len(rows) > 0 {
+		if err := robust.ValidateDataset(rows); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+	}
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if !j.Spec.Stream {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: job %s is not a streaming job", ErrBadSpec, id)
+	}
+	if e.draining {
+		// Admission stops with drain exactly like Submit; chunks already
+		// acknowledged still drain through the queue.
+		e.mu.Unlock()
+		obs.Count(obs.Default(), "jobs.rejected_draining", 1)
+		return nil, ErrDraining
+	}
+	j.mu.Lock()
+	if j.state.Terminal() {
+		st := j.state
+		j.mu.Unlock()
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: job %s is already %s", ErrConflict, id, st)
+	}
+	if j.closed {
+		j.mu.Unlock()
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: stream %s is closed", ErrConflict, id)
+	}
+	j.pending = append(j.pending, streamChunk{rows: rows, final: final})
+	// The queue cannot be closed here: close happens under e.mu together
+	// with the draining flag checked above.
+	select {
+	case e.queue <- j:
+		j.closed = final
+		j.chunksAcked++
+		j.rowsAcked += int64(len(rows))
+		j.mu.Unlock()
+		e.mu.Unlock()
+		obs.Count(obs.Default(), "jobs.chunks_appended", 1)
+		return j, nil
+	default:
+		j.pending = j.pending[:len(j.pending)-1] // not acknowledged
+		j.mu.Unlock()
+		e.mu.Unlock()
+		obs.Count(obs.Default(), "jobs.rejected_full", 1)
+		return nil, ErrQueueFull
+	}
 }
 
 // Get returns the job by id.
@@ -274,9 +417,17 @@ func (e *Engine) Cancel(id string) (State, error) {
 	case j.state == StateRunning:
 		j.userCancel = true
 		cancel := j.cancel
+		// A streaming job idling between chunks has no context to cancel
+		// and no queue token that would sweep it; it settles here, with
+		// its best-so-far snapshot attached.
+		idle := j.Spec.Stream && !j.processing && len(j.pending) == 0
+		best := j.result
 		j.mu.Unlock()
 		if cancel != nil {
 			cancel()
+		}
+		if idle {
+			e.finish(j, StateCancelled, best, context.Canceled)
 		}
 	default:
 		j.mu.Unlock()
@@ -328,6 +479,35 @@ func (e *Engine) Drain(ctx context.Context) DrainReport {
 		<-idle
 	}
 
+	// Open streams never see a final chunk once admission stops, so the
+	// workers alone cannot terminalize them: every acknowledged chunk has
+	// been processed by now (the pool is idle), and this sweep settles
+	// each still-open stream with its last snapshot (Partial) — or
+	// Cancelled when no chunk ever produced one.
+	e.mu.Lock()
+	ids := make([]string, 0, len(e.jobs))
+	for id := range e.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var open []*Job
+	for _, id := range ids {
+		if j := e.jobs[id]; j.Spec.Stream && !j.State().Terminal() {
+			open = append(open, j)
+		}
+	}
+	e.mu.Unlock()
+	for _, j := range open {
+		j.mu.Lock()
+		best := j.result
+		j.mu.Unlock()
+		if best != nil {
+			e.finish(j, StatePartial, best, fmt.Errorf("jobs: stream cut short by drain: %w", core.ErrInterrupted))
+		} else {
+			e.finish(j, StateCancelled, nil, fmt.Errorf("jobs: stream drained before any snapshot: %w", core.ErrInterrupted))
+		}
+	}
+
 	e.mu.Lock()
 	for _, j := range e.jobs {
 		switch j.State() {
@@ -368,11 +548,29 @@ func (e *Engine) stop() {
 }
 
 // worker moves jobs from the bounded queue into execute until Drain closes
-// the queue and it runs dry.
+// the queue and it runs dry. A streaming job appears once per
+// acknowledged chunk; each token processes exactly one.
 func (e *Engine) worker() {
 	for j := range e.queue {
-		e.execute(j)
+		if j.Spec.Stream {
+			e.executeChunk(j)
+		} else {
+			e.execute(j)
+		}
 	}
+}
+
+// resolveTimeout maps a spec's requested per-run (or, for streams,
+// per-chunk) budget onto the engine bounds.
+func (e *Engine) resolveTimeout(ms int64) time.Duration {
+	timeout := time.Duration(ms) * time.Millisecond
+	if timeout <= 0 {
+		timeout = e.cfg.DefaultTimeout
+	}
+	if timeout > e.cfg.MaxTimeout {
+		timeout = e.cfg.MaxTimeout
+	}
+	return timeout
 }
 
 // tryStart moves the job to Running and installs its cancel hook, or
@@ -392,13 +590,7 @@ func (e *Engine) tryStart(j *Job, cancel func()) bool {
 // attempt is wrapped in robust.RecoverTo, so a panicking runner fails the
 // job (ErrPanic) and the worker lives on.
 func (e *Engine) execute(j *Job) {
-	timeout := time.Duration(j.Spec.TimeoutMS) * time.Millisecond
-	if timeout <= 0 {
-		timeout = e.cfg.DefaultTimeout
-	}
-	if timeout > e.cfg.MaxTimeout {
-		timeout = e.cfg.MaxTimeout
-	}
+	timeout := e.resolveTimeout(j.Spec.TimeoutMS)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	if !e.tryStart(j, cancel) {
@@ -447,6 +639,114 @@ func (e *Engine) execute(j *Job) {
 		e.finish(j, StateCancelled, nil, err)
 	default:
 		e.finish(j, StateFailed, out, err)
+	}
+}
+
+// executeChunk consumes one queue token of a streaming job. The first
+// token to arrive claims the job (j.processing) and its worker folds
+// pending chunks in acknowledgement order until every delivered token is
+// consumed; tokens landing on a claimed job just bump the owed count and
+// free their worker. The claim is what makes a stream's result a pure
+// function of its append sequence even when the pool is wide: the handle
+// never sees two concurrent pushes, and chunks never reorder. The job
+// terminalizes only on a final chunk (Done), a typed error (Failed), a
+// cancel (Cancelled), or an interrupt with best-so-far (Partial);
+// otherwise it stays Running between chunks.
+func (e *Engine) executeChunk(j *Job) {
+	j.mu.Lock()
+	j.tokens++
+	if j.processing {
+		// Another worker holds the claim; it will consume this token
+		// before letting go. Returning keeps this worker free for other
+		// jobs instead of contending on one stream.
+		j.mu.Unlock()
+		return
+	}
+	j.processing = true
+	for j.tokens > 0 && !j.state.Terminal() && len(j.pending) > 0 {
+		j.tokens--
+		chunk := j.pending[0]
+		j.pending = j.pending[1:]
+		if j.state == StateQueued {
+			j.state = StateRunning
+			obs.Gauge(obs.Default(), "jobs.dispatch_wait_ns", float64(time.Since(j.enqueuedAt).Nanoseconds()))
+		}
+		if j.userCancel {
+			best := j.result
+			j.mu.Unlock()
+			e.finish(j, StateCancelled, best, context.Canceled)
+			j.mu.Lock()
+			continue // terminal now; the loop condition drains the claim
+		}
+		j.attempts++
+		j.mu.Unlock()
+		e.runChunk(j, chunk)
+		j.mu.Lock()
+	}
+	j.processing = false
+	j.mu.Unlock()
+}
+
+// runChunk folds one popped chunk into the handle and settles the job if
+// that chunk was terminal (final, faulty, cancelled, or interrupted).
+// Called without j.mu held, by the worker holding the processing claim.
+func (e *Engine) runChunk(j *Job, chunk streamChunk) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	if e.stopped.Load() {
+		cancel() // swept at the drain deadline; settle to best-so-far
+	}
+	tctx, tcancel := context.WithTimeout(ctx, e.resolveTimeout(j.Spec.TimeoutMS))
+	defer tcancel()
+	tctx = obs.NewContext(tctx, j.col)
+
+	var perr error
+	if len(chunk.rows) > 0 {
+		func() {
+			defer robust.RecoverTo(&perr)
+			perr = j.handle.PushChunk(tctx, chunk.rows)
+		}()
+	}
+	// The snapshot reflects whatever the handle accepted, including a
+	// partial chunk cut by the deadline, so it runs on a fresh context:
+	// a cancelled push must not also starve the best-so-far refresh.
+	var out *Outcome
+	var serr error
+	func() {
+		defer robust.RecoverTo(&serr)
+		out, serr = j.handle.Snapshot(obs.NewContext(context.Background(), j.col))
+	}()
+
+	j.mu.Lock()
+	if out != nil {
+		j.result = out
+	}
+	best := j.result
+	userCancel := j.userCancel
+	j.cancel = nil
+	j.mu.Unlock()
+
+	switch {
+	case userCancel:
+		e.finish(j, StateCancelled, best, context.Canceled)
+	case perr == nil && serr != nil:
+		// The push held but the snapshot did not (empty stream closed,
+		// or a contained snapshot panic): the typed snapshot error is
+		// the terminal error, with any earlier snapshot attached.
+		e.finish(j, StateFailed, best, serr)
+	case perr == nil && chunk.final:
+		e.finish(j, StateDone, best, nil)
+	case perr == nil:
+		// Chunk folded in, stream stays open for the next append.
+	case errors.Is(perr, core.ErrInterrupted) && best != nil:
+		e.finish(j, StatePartial, best, perr)
+	case errors.Is(perr, core.ErrInterrupted):
+		e.finish(j, StateCancelled, nil, perr)
+	default:
+		e.finish(j, StateFailed, best, perr)
 	}
 }
 

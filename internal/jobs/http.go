@@ -18,6 +18,23 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// appendRequest is the body of PATCH /v1/jobs/{id}: one more chunk of a
+// streaming job. final closes the stream (an empty final body is a pure
+// close); the job terminalizes once the final chunk is processed.
+type appendRequest struct {
+	Points [][]float64 `json:"points,omitempty"`
+	Final  bool        `json:"final,omitempty"`
+}
+
+// appendResponse acknowledges an accepted chunk. ChunksAcked and
+// RowsAcked count everything accepted so far, this chunk included.
+type appendResponse struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	ChunksAcked int    `json:"chunks_acked"`
+	RowsAcked   int64  `json:"rows_acked"`
+}
+
 // maxBodyBytes bounds one POST body; a dataset bigger than this cannot be
 // admitted anyway (MaxPoints), so reading further would only buy memory
 // pressure.
@@ -27,16 +44,23 @@ const maxBodyBytes = 64 << 20
 //
 //	POST   /v1/jobs        submit a Spec               -> 202 {id,state}
 //	                       duplicate idempotency key   -> 200 {id,state,duplicate:true}
+//	                       key reused, different spec  -> 409
 //	                       queue full                  -> 429 + Retry-After
 //	                       draining                    -> 503
 //	                       bad spec/body               -> 400
 //	GET    /v1/jobs        list all job statuses       -> 200 [Status...]
 //	GET    /v1/jobs/{id}   one status (+result,metrics)-> 200 Status | 404
+//	PATCH  /v1/jobs/{id}   append a chunk (stream job) -> 202 {id,state,chunks_acked,rows_acked}
+//	                       stream closed/job terminal  -> 409
+//	                       queue full                  -> 429 + Retry-After
+//	                       draining                    -> 503
+//	                       not a stream / bad chunk    -> 400
 //	DELETE /v1/jobs/{id}   cancel                      -> 200 {id,state} | 404
 //
 // Partial results are a success surface: a job cut short by its deadline
 // reports state "partial" with "partial": true and the best-so-far result,
-// status 200.
+// status 200. While a streaming job is open, GET serves its latest
+// snapshot in "result".
 func (e *Engine) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rest, ok := strings.CutPrefix(r.URL.Path, "/v1/jobs")
@@ -57,10 +81,12 @@ func (e *Engine) Handler() http.Handler {
 			writeJSON(w, http.StatusNotFound, errorResponse{Error: "not found"})
 		case r.Method == http.MethodGet:
 			e.handleGet(w, rest)
+		case r.Method == http.MethodPatch:
+			e.handleAppend(w, r, rest)
 		case r.Method == http.MethodDelete:
 			e.handleCancel(w, rest)
 		default:
-			w.Header().Set("Allow", "GET, DELETE")
+			w.Header().Set("Allow", "GET, PATCH, DELETE")
 			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
 		}
 	})
@@ -94,6 +120,8 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrConflict):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 	case duplicate:
@@ -110,6 +138,41 @@ func (e *Engine) handleGet(w http.ResponseWriter, id string) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (e *Engine) handleAppend(w http.ResponseWriter, r *http.Request, id string) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req appendRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorResponse{Error: "decode chunk: " + err.Error()})
+		return
+	}
+	j, err := e.Append(id, req.Points, req.Final)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrConflict):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	default:
+		st := j.Status()
+		writeJSON(w, http.StatusAccepted, appendResponse{
+			ID: j.ID, State: st.State, ChunksAcked: st.ChunksAcked, RowsAcked: st.RowsAcked,
+		})
+	}
 }
 
 func (e *Engine) handleCancel(w http.ResponseWriter, id string) {

@@ -45,8 +45,14 @@ var (
 	// ErrNotFound reports an unknown job id. Maps to 404.
 	ErrNotFound = errors.New("jobs: no such job")
 	// ErrBadSpec reports a spec the engine refuses to admit (unknown
-	// algorithm, invalid dataset, negative timeout). Maps to 400.
+	// algorithm, invalid dataset, negative or over-cap timeout). Maps
+	// to 400.
 	ErrBadSpec = errors.New("jobs: invalid spec")
+	// ErrConflict reports a request that contradicts recorded state: an
+	// idempotency key reused with a different spec body, or a chunk
+	// appended to a stream that is already closed or terminal. Maps to
+	// 409.
+	ErrConflict = errors.New("jobs: conflict")
 )
 
 // Spec is the JSON body of POST /v1/jobs: one dataset plus the algorithm
@@ -71,9 +77,22 @@ type Spec struct {
 	// best-so-far result and the job lands in StatePartial.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// IdempotencyKey deduplicates retried submissions: a second POST with
-	// the same key returns the job admitted by the first instead of
-	// enqueueing a sibling. The Idempotency-Key HTTP header overrides it.
+	// the same key and the same spec returns the job admitted by the
+	// first instead of enqueueing a sibling; the same key with a
+	// *different* spec is refused with ErrConflict (409), never silently
+	// deduplicated. The Idempotency-Key HTTP header overrides it.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Stream marks an incremental job: Points (optional) is the first
+	// chunk, PATCH /v1/jobs/{id} appends more, GET serves the latest
+	// snapshot while the stream is open, and a final append — or a
+	// graceful drain — terminalizes the job (Done, or Partial with the
+	// last snapshot). Streaming algorithms live in their own registry;
+	// see StreamAlgorithms. TimeoutMS bounds each chunk, not the stream.
+	Stream bool `json:"stream,omitempty"`
+	// Window bounds the sliding window of the streaming "meta" ensemble
+	// (chunks retained before FIFO eviction); 0 defers to the
+	// stream-layer default. Ignored by the other streaming algorithms.
+	Window int `json:"window,omitempty"`
 }
 
 // State is a job's lifecycle position. Done, Partial, Failed and Cancelled
@@ -138,6 +157,12 @@ type Status struct {
 	Error    string           `json:"error,omitempty"`
 	Result   *Outcome         `json:"result,omitempty"`
 	Metrics  map[string]int64 `json:"metrics,omitempty"`
+	// Streaming bookkeeping (Spec.Stream jobs only): chunks and rows
+	// acknowledged so far — acknowledged means the append was accepted
+	// into the bounded queue, not necessarily processed yet.
+	Stream      bool  `json:"stream,omitempty"`
+	ChunksAcked int   `json:"chunks_acked,omitempty"`
+	RowsAcked   int64 `json:"rows_acked,omitempty"`
 }
 
 // Job is one admitted clustering run. All mutable fields are guarded by mu;
@@ -160,6 +185,30 @@ type Job struct {
 	enqueuedAt  time.Time
 	finishCalls int // total finish attempts; >1 would break exactly-once
 	done        chan struct{}
+
+	// Streaming state (Spec.Stream jobs only), also guarded by mu. Every
+	// acknowledged chunk in pending has a matching token in the engine
+	// queue, so pending is bounded by the queue capacity. Chunk
+	// processing is serialized by a claim: the first worker whose token
+	// arrives sets processing and consumes every owed token (tokens
+	// counts the ones delivered meanwhile), so the handle never sees two
+	// concurrent pushes and chunks fold in strictly in acknowledgement
+	// order.
+	handle      StreamHandle
+	pending     []streamChunk
+	closed      bool // a final append was acknowledged; no more chunks
+	processing  bool // a worker holds the chunk-processing claim
+	tokens      int  // queue tokens delivered but not yet consumed
+	chunksAcked int
+	rowsAcked   int64
+}
+
+// streamChunk is one acknowledged, not-yet-processed chunk of a
+// streaming job. A final chunk (possibly with no rows) closes the
+// stream: processing it terminalizes the job.
+type streamChunk struct {
+	rows  [][]float64
+	final bool
 }
 
 // Done returns a channel closed at the job's terminal transition.
@@ -215,6 +264,11 @@ func (j *Job) Status() Status {
 	}
 	if j.state.Terminal() {
 		st.Metrics = j.col.Snapshot().Counters
+	}
+	if j.Spec.Stream {
+		st.Stream = true
+		st.ChunksAcked = j.chunksAcked
+		st.RowsAcked = j.rowsAcked
 	}
 	return st
 }

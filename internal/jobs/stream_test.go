@@ -1,0 +1,281 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"multiclust/internal/kmeans"
+)
+
+// chunkA/chunkB are two tiny well-separated chunks sharing the blob
+// structure of testPoints.
+func chunkA() [][]float64 { return [][]float64{{0, 0}, {0, 1}, {10, 10}, {10, 11}} }
+func chunkB() [][]float64 { return [][]float64{{0.5, 0.5}, {10.5, 10.5}} }
+
+// waitRowsSeen polls the job until its snapshot covers the given row
+// count — the only way to observe chunk progress without racing the
+// worker.
+func waitRowsSeen(t *testing.T, j *Job, rows float64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := j.Status()
+		if st.Result != nil && st.Result.Stats["rows_seen"] >= rows {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never saw %v rows (status %+v)", j.ID, rows, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestStreamSubmitAppendFinalize(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	j, dup, err := e.Submit(Spec{Algo: "kmeans", Stream: true, K: 2, Seed: 3, Points: chunkA()})
+	if err != nil || dup {
+		t.Fatalf("Submit: dup=%v err=%v", dup, err)
+	}
+	if _, err := e.Append(j.ID, chunkB(), false); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := e.Append(j.ID, nil, true); err != nil {
+		t.Fatalf("final Append: %v", err)
+	}
+	waitTerminal(t, j)
+	if j.State() != StateDone {
+		t.Fatalf("state = %s, want done (err %v)", j.State(), j.Err())
+	}
+	out := j.Result()
+	if out == nil || out.Stats["rows_seen"] != 6 || out.Stats["chunks"] != 2 {
+		t.Fatalf("result = %+v, want rows_seen=6 chunks=2", out)
+	}
+	if j.FinishCalls() != 1 {
+		t.Fatalf("finishCalls = %d, want 1", j.FinishCalls())
+	}
+	st := j.Status()
+	if !st.Stream || st.ChunksAcked != 3 || st.RowsAcked != 6 {
+		t.Fatalf("status bookkeeping = %+v, want stream=true chunks_acked=3 rows_acked=6", st)
+	}
+}
+
+// TestStreamSingleChunkMatchesBatchKMeans pins the cross-layer
+// equivalence contract at the service surface: a single-chunk streaming
+// kmeans job finalizes to exactly the batch algorithm's labels.
+func TestStreamSingleChunkMatchesBatchKMeans(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	j, _, err := e.Submit(Spec{Algo: "kmeans", Stream: true, K: 2, Seed: 11, Points: chunkA()})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitRowsSeen(t, j, 4)
+	if _, err := e.Append(j.ID, nil, true); err != nil {
+		t.Fatalf("final Append: %v", err)
+	}
+	waitTerminal(t, j)
+	batch, err := kmeans.RunContext(context.Background(), chunkA(), kmeans.Config{K: 2, Seed: 11})
+	if err != nil {
+		t.Fatalf("batch kmeans: %v", err)
+	}
+	out := j.Result()
+	if out == nil || !reflect.DeepEqual(out.Labels, batch.Clustering.Labels) {
+		t.Fatalf("stream labels %v differ from batch %v", out, batch.Clustering.Labels)
+	}
+	if out.Stats["sse"] != batch.SSE {
+		t.Fatalf("stream sse %v differs from batch %v", out.Stats["sse"], batch.SSE)
+	}
+}
+
+// TestStreamGetServesLatestSnapshot: while the stream is open the job
+// stays Running and its Status carries the latest snapshot.
+func TestStreamGetServesLatestSnapshot(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	j, _, err := e.Submit(Spec{Algo: "kmeans", Stream: true, K: 2, Seed: 5, Points: chunkA()})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitRowsSeen(t, j, 4)
+	st := j.Status()
+	if st.State != "running" || st.Result == nil || st.Partial {
+		t.Fatalf("open stream status = %+v, want running with a snapshot", st)
+	}
+	if _, err := e.Append(j.ID, chunkB(), false); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	waitRowsSeen(t, j, 6)
+	if st := j.Status(); st.Result.Stats["chunks"] != 2 {
+		t.Fatalf("snapshot did not advance: %+v", st.Result)
+	}
+}
+
+// TestStreamDrainYieldsPartial: a graceful drain settles an open stream
+// as Partial with its last snapshot — the acknowledged chunks are all
+// reflected in it, none lost.
+func TestStreamDrainYieldsPartial(t *testing.T) {
+	e := New(Config{Workers: 2})
+	j, _, err := e.Submit(Spec{Algo: "kmeans", Stream: true, K: 2, Seed: 7, Points: chunkA()})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := e.Append(j.ID, chunkB(), false); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	rep := e.Drain(context.Background())
+	if rep.Truncated {
+		t.Fatalf("graceful drain reported truncation: %+v", rep)
+	}
+	if j.State() != StatePartial {
+		t.Fatalf("state = %s, want partial (err %v)", j.State(), j.Err())
+	}
+	st := j.Status()
+	if !st.Partial || st.Result == nil || st.Result.Stats["rows_seen"] != 6 {
+		t.Fatalf("drained stream status = %+v, want partial with all 6 acknowledged rows", st)
+	}
+	if j.FinishCalls() != 1 {
+		t.Fatalf("finishCalls = %d, want 1", j.FinishCalls())
+	}
+	if rep.Partial != 1 {
+		t.Fatalf("drain report %+v, want 1 partial", rep)
+	}
+}
+
+// TestStreamDrainWithoutChunksCancels: a stream opened empty and never
+// fed has no snapshot to serve; drain settles it Cancelled.
+func TestStreamDrainWithoutChunksCancels(t *testing.T) {
+	e := New(Config{Workers: 1})
+	j, _, err := e.Submit(Spec{Algo: "kmeans", Stream: true, K: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	rep := e.Drain(context.Background())
+	if j.State() != StateCancelled || rep.Cancelled != 1 {
+		t.Fatalf("state = %s report %+v, want cancelled", j.State(), rep)
+	}
+}
+
+// TestStreamCancelIdle: DELETE on a stream idling between chunks settles
+// it immediately, best-so-far snapshot attached.
+func TestStreamCancelIdle(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	j, _, err := e.Submit(Spec{Algo: "kmeans", Stream: true, K: 2, Seed: 9, Points: chunkA()})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitRowsSeen(t, j, 4)
+	if _, err := e.Cancel(j.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	waitTerminal(t, j)
+	if j.State() != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", j.State())
+	}
+	if out := j.Result(); out == nil || out.Stats["rows_seen"] != 4 {
+		t.Fatalf("cancelled stream lost its best-so-far: %+v", out)
+	}
+}
+
+func TestStreamAppendConflicts(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2, Runners: map[string]Runner{"instant": instantRunner}})
+	j, _, err := e.Submit(Spec{Algo: "kmeans", Stream: true, K: 2, Seed: 13, Points: chunkA()})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := e.Append(j.ID, nil, true); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Closed stream: refused before the job even terminalizes.
+	if _, err := e.Append(j.ID, chunkB(), false); !errors.Is(err, ErrConflict) {
+		t.Fatalf("append to closed stream = %v, want ErrConflict", err)
+	}
+	waitTerminal(t, j)
+	if _, err := e.Append(j.ID, chunkB(), false); !errors.Is(err, ErrConflict) {
+		t.Fatalf("append to terminal job = %v, want ErrConflict", err)
+	}
+	// Batch jobs have no append surface.
+	b, _, err := e.Submit(Spec{Algo: "instant", Points: testPoints()})
+	if err != nil {
+		t.Fatalf("batch Submit: %v", err)
+	}
+	if _, err := e.Append(b.ID, chunkB(), false); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("append to batch job = %v, want ErrBadSpec", err)
+	}
+	if _, err := e.Append("j-404", chunkB(), false); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("append to unknown job = %v, want ErrNotFound", err)
+	}
+	if _, err := e.Append(j.ID, nil, false); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("empty non-final append = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestStreamSpecValidation(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	cases := []Spec{
+		{Algo: "dbscan", Stream: true, K: 2, Points: chunkA()},       // no streaming counterpart
+		{Algo: "kmeans", Stream: true, K: 2, Window: -1},             // negative window
+		{Algo: "kmeans", Stream: true, K: 0, Points: chunkA()},       // K required by the factory
+		{Algo: "kmeans", K: 2, Points: chunkA(), TimeoutMS: 1 << 40}, // over the cap
+	}
+	for i, spec := range cases {
+		if _, _, err := e.Submit(spec); !errors.Is(err, ErrBadSpec) {
+			t.Fatalf("case %d: err = %v, want ErrBadSpec", i, err)
+		}
+	}
+}
+
+func TestIdempotencyKeyConflictOnDifferentSpec(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1, Runners: map[string]Runner{"instant": instantRunner}})
+	spec := Spec{Algo: "instant", Points: testPoints(), IdempotencyKey: "k"}
+	if _, _, err := e.Submit(spec); err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	changed := spec
+	changed.Seed = 99
+	if _, _, err := e.Submit(changed); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting Submit = %v, want ErrConflict", err)
+	}
+	// The identical spec still dedupes.
+	if _, dup, err := e.Submit(spec); err != nil || !dup {
+		t.Fatalf("identical Submit: dup=%v err=%v", dup, err)
+	}
+}
+
+// TestStreamMetaAndCoEMFinalize exercises the other two streaming
+// algorithms end to end through the engine.
+func TestStreamMetaAndCoEMFinalize(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	rows := make([][]float64, 0, 24)
+	for i := 0; i < 12; i++ {
+		c := float64(i % 2)
+		rows = append(rows, []float64{10 * c, 10*c + 1, -5 * c, -5*c + 2})
+	}
+	meta, _, err := e.Submit(Spec{Algo: "meta", Stream: true, K: 2, Seed: 4, NumSolutions: 3, MetaClusters: 2, Window: 4, Points: rows})
+	if err != nil {
+		t.Fatalf("meta Submit: %v", err)
+	}
+	coem, _, err := e.Submit(Spec{Algo: "coem", Stream: true, K: 2, Seed: 4, Points: rows})
+	if err != nil {
+		t.Fatalf("coem Submit: %v", err)
+	}
+	for _, j := range []*Job{meta, coem} {
+		if _, err := e.Append(j.ID, rows, false); err != nil {
+			t.Fatalf("%s Append: %v", j.Spec.Algo, err)
+		}
+		if _, err := e.Append(j.ID, nil, true); err != nil {
+			t.Fatalf("%s close: %v", j.Spec.Algo, err)
+		}
+		waitTerminal(t, j)
+		if j.State() != StateDone {
+			t.Fatalf("%s state = %s, want done (err %v)", j.Spec.Algo, j.State(), j.Err())
+		}
+		out := j.Result()
+		if out == nil || len(out.Labels) == 0 || out.Stats["rows_seen"] != 24 {
+			t.Fatalf("%s result = %+v", j.Spec.Algo, out)
+		}
+	}
+	if j := meta.Result(); len(j.Solutions) == 0 {
+		t.Fatalf("meta stream served no representative solutions: %+v", j)
+	}
+}

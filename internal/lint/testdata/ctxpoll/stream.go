@@ -1,0 +1,72 @@
+// Streaming-loop shapes for the ctxpoll analyzer: chunked-replay loops
+// mirror internal/stream — a learner folds in one chunk per iteration, so
+// a replay that never consults its context cannot be interrupted at a
+// chunk boundary.
+package fixture
+
+import "context"
+
+type learner struct{ rows int }
+
+func (l *learner) push(rows [][]float64) { l.rows += len(rows) }
+
+func (l *learner) pushContext(ctx context.Context, rows [][]float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.rows += len(rows)
+	return nil
+}
+
+// A chunk-replay loop that ignores its context is exactly the streaming
+// bug: once the replay starts, nothing can stop it between chunks.
+func replayIgnoresContext(ctx context.Context, chunks [][][]float64) int {
+	l := &learner{}
+	for _, chunk := range chunks { // want `never consults it`
+		l.push(chunk)
+	}
+	return l.rows
+}
+
+// Polling at the chunk boundary is the approved replay shape (the
+// stream-layer boundary idiom): a cancelled context rejects the next
+// chunk and the learner keeps its last consistent state.
+func replayPollsBoundary(ctx context.Context, chunks [][][]float64) (int, error) {
+	l := &learner{}
+	for _, chunk := range chunks {
+		if err := ctx.Err(); err != nil {
+			return l.rows, err
+		}
+		l.push(chunk)
+	}
+	return l.rows, nil
+}
+
+// Forwarding ctx into the per-chunk push also consults it: the callee
+// owns the boundary poll.
+func replayForwardsContext(ctx context.Context, chunks [][][]float64) (int, error) {
+	l := &learner{}
+	for _, chunk := range chunks {
+		if err := l.pushContext(ctx, chunk); err != nil {
+			return l.rows, err
+		}
+	}
+	return l.rows, nil
+}
+
+// Selecting on ctx.Done while waiting for the next chunk consults the
+// context too — the appender-loop shape of the job engine.
+func appendLoopSelects(ctx context.Context, feed <-chan [][]float64) int {
+	l := &learner{}
+	for {
+		select {
+		case chunk, ok := <-feed:
+			if !ok {
+				return l.rows
+			}
+			l.push(chunk)
+		case <-ctx.Done():
+			return l.rows
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Streaming-loop shapes for the goleak analyzer: chunk appenders and
+// snapshot fan-outs mirror the job engine's streaming paths, where a
+// failed append must not strand the goroutine feeding the stream.
+package fixture
+
+import "sync"
+
+func pushChunk(rows [][]float64) error { return nil }
+
+// An appender goroutine whose join is skipped when admission fails: the
+// streaming true positive — the feeder keeps running after the caller
+// has given up on the stream.
+func appendersLeakOnAdmitError(chunks [][][]float64, fail bool) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine can leak: a return path exits appendersLeakOnAdmitError`
+		defer wg.Done()
+		for _, c := range chunks {
+			_ = pushChunk(c)
+		}
+	}()
+	if fail {
+		return pushChunk(nil) // stream refused; feeder never joined
+	}
+	wg.Wait()
+	return nil
+}
+
+// Snapshot fan-out with no join at all: nothing ever waits for the
+// per-learner snapshot goroutines.
+func snapshotFireAndForget(n int) {
+	for i := 0; i < n; i++ {
+		go func() { // want `goroutine has no WaitGroup or channel to join on`
+			_ = pushChunk(nil)
+		}()
+	}
+}
+
+// True negative: the replay worker is joined by a deferred Wait on every
+// return path, including the early bail-out on a rejected chunk.
+func replayWorkerDeferredJoin(chunks [][][]float64, fail bool) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, c := range chunks {
+			_ = pushChunk(c)
+		}
+	}()
+	if fail {
+		return pushChunk(nil)
+	}
+	return nil
+}
+
+// True negative: the appender hands its completion channel to the caller
+// — join duty moves with it (the engine's token-delivery shape).
+func startAppender(chunks [][][]float64) chan error {
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		for _, c := range chunks {
+			if err = pushChunk(c); err != nil {
+				break
+			}
+		}
+		done <- err
+	}()
+	return done
+}
+
+// True negative: chunk-sharded fan-out with the Wait after the spawn loop
+// (the parallel.For shape the stream learners use internally).
+func shardChunks(chunks [][][]float64) {
+	var wg sync.WaitGroup
+	for _, c := range chunks {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = pushChunk(c)
+		}()
+	}
+	wg.Wait()
+}

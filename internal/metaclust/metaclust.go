@@ -8,6 +8,12 @@
 // The tutorial's criticism — blind generation yields many near-duplicate
 // solutions — is observable in the result: Generated holds every base
 // clustering, Representatives the few distinct ones.
+//
+// The pipeline is exposed in two exported stages — Generate (perturbed base
+// solutions) and Group (dissimilarity matrix, agglomerative meta clustering,
+// medoid representatives) — so the streaming sliding-window ensemble in
+// internal/stream can generate per chunk and group per snapshot while a
+// single-chunk stream stays byte-identical to RunContext.
 package metaclust
 
 import (
@@ -37,6 +43,34 @@ type Config struct {
 	Diss          core.DissimilarityFunc // default 1 - Rand index
 }
 
+// normalize validates cfg against an n-point dataset and fills defaults.
+func (cfg Config) normalize(n int) (Config, error) {
+	if n == 0 {
+		return cfg, core.ErrEmptyDataset
+	}
+	if cfg.K <= 0 || cfg.K > n {
+		return cfg, fmt.Errorf("metaclust: invalid K=%d", cfg.K)
+	}
+	if cfg.NumSolutions <= 0 {
+		cfg.NumSolutions = 20
+	}
+	if cfg.MetaClusters <= 0 {
+		cfg.MetaClusters = 3
+	}
+	if cfg.MetaClusters > cfg.NumSolutions {
+		return cfg, errors.New("metaclust: MetaClusters exceeds NumSolutions")
+	}
+	if cfg.FeatureJitter <= 0 {
+		cfg.FeatureJitter = 1
+	}
+	if cfg.Diss == nil {
+		cfg.Diss = func(a, b *core.Clustering) float64 {
+			return 1 - metrics.RandIndex(a.Labels, b.Labels)
+		}
+	}
+	return cfg, nil
+}
+
 // Result of a meta clustering run.
 type Result struct {
 	Generated       []*core.Clustering // all base solutions
@@ -44,6 +78,17 @@ type Result struct {
 	MetaLabels      []int              // meta-cluster id per base solution
 	Representatives []*core.Clustering // one per meta cluster (medoid by Diss)
 	MeanPairwise    float64            // mean pairwise dissimilarity of Generated
+}
+
+// BaseSolution is one perturbed base clustering: its labels, the feature
+// weighting that produced it, the k-means centers in that weighted space
+// (what a streaming consumer needs to extend the solution to rows it was
+// not fitted on), and the k-means seed that ran it.
+type BaseSolution struct {
+	Clustering *core.Clustering
+	Weights    []float64
+	Centers    [][]float64
+	Seed       int64
 }
 
 // Run generates and groups base clusterings of points.
@@ -59,167 +104,35 @@ func Run(points [][]float64, cfg Config) (*Result, error) {
 // core.ErrInterrupted. With a background context the output is
 // byte-identical to Run.
 func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, error) {
-	n := len(points)
-	if n == 0 {
-		return nil, core.ErrEmptyDataset
+	cfg, err := cfg.normalize(len(points))
+	if err != nil {
+		return nil, err
 	}
-	if cfg.K <= 0 || cfg.K > n {
-		return nil, fmt.Errorf("metaclust: invalid K=%d", cfg.K)
-	}
-	if cfg.NumSolutions <= 0 {
-		cfg.NumSolutions = 20
-	}
-	if cfg.MetaClusters <= 0 {
-		cfg.MetaClusters = 3
-	}
-	if cfg.MetaClusters > cfg.NumSolutions {
-		return nil, errors.New("metaclust: MetaClusters exceeds NumSolutions")
-	}
-	if cfg.FeatureJitter <= 0 {
-		cfg.FeatureJitter = 1
-	}
-	if cfg.Diss == nil {
-		cfg.Diss = func(a, b *core.Clustering) float64 {
-			return 1 - metrics.RandIndex(a.Labels, b.Labels)
-		}
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	d := len(points[0])
-
 	rec := obs.From(ctx)
 	ctx, endSpan := obs.SpanCtx(ctx, rec, "metaclust.run")
 	defer endSpan()
-	obs.Count(rec, "metaclust.base_solutions", int64(cfg.NumSolutions))
 
-	res := &Result{}
-	// Base-solution generation is the hot path: every member reweights the
-	// features and runs a full k-means. The RNG draws (weights, then the
-	// member's k-means seed) happen serially up front in exactly the order
-	// the serial loop made them, so the generated ensemble is identical for
-	// any worker count; only the k-means runs fan out.
-	weights := make([][]float64, cfg.NumSolutions)
-	seeds := make([]int64, cfg.NumSolutions)
-	for s := range weights {
-		// Zipf-style random feature weighting, the diversity device of the
-		// original paper: w_j = exp(jitter * N(0,1)).
-		w := make([]float64, d)
-		for j := range w {
-			w[j] = expNorm(rng, cfg.FeatureJitter)
-		}
-		weights[s] = w
-		seeds[s] = rng.Int63()
+	sols, interrupted := Generate(ctx, points, cfg)
+	if sols == nil {
+		return nil, interrupted
 	}
-	workers := parallel.Workers(cfg.Workers)
-	innerW := workers / cfg.NumSolutions
-	if innerW < 1 {
-		innerW = 1
+	res := &Result{
+		Generated: make([]*core.Clustering, len(sols)),
+		Weights:   make([][]float64, len(sols)),
 	}
-	type genOut struct {
-		clustering *core.Clustering
-		err        error
+	for i, s := range sols {
+		res.Generated[i] = s.Clustering
+		res.Weights[i] = s.Weights
 	}
-	// Phase span: the base-run fan-out. Each k-means run receives the
-	// generate-phase context, so its own span nests under
-	// metaclust.run/metaclust.generate in the trace tree.
-	outs := func() []genOut {
-		gctx, end := obs.SpanCtx(ctx, rec, "metaclust.generate")
-		defer end()
-		return parallel.Map(cfg.NumSolutions, workers, func(s int) genOut {
-			w := weights[s]
-			weighted := make([][]float64, n)
-			for i, p := range points {
-				row := make([]float64, d)
-				for j, v := range p {
-					row[j] = v * w[j]
-				}
-				weighted[i] = row
-			}
-			km, err := kmeans.RunContext(gctx, weighted, kmeans.Config{K: cfg.K, Seed: seeds[s], Workers: innerW})
-			if km == nil {
-				return genOut{err: err}
-			}
-			return genOut{clustering: km.Clustering, err: err}
-		})
-	}()
-	var interrupted error
-	for _, o := range outs {
-		if o.clustering == nil {
-			return nil, o.err
-		}
-		if o.err != nil {
-			interrupted = o.err
-		}
-		res.Generated = append(res.Generated, o.clustering)
-	}
-	res.Weights = weights
 
-	// Phase span: meta-level grouping — pairwise dissimilarities,
-	// agglomerative meta clustering, and representative (medoid)
-	// selection.
-	if err := func() error {
-		_, end := obs.SpanCtx(ctx, rec, "metaclust.group")
-		defer end()
-		// Pairwise dissimilarity at the meta level; the triangular loop is
-		// sharded by row and the mean accumulated in row order afterwards.
-		m := len(res.Generated)
-		diss := make([][]float64, m)
-		var sum float64
-		var cnt int
-		for i := range diss {
-			diss[i] = make([]float64, m)
-		}
-		parallel.Each(m, workers, func(i int) {
-			for j := i + 1; j < m; j++ {
-				v := cfg.Diss(res.Generated[i], res.Generated[j])
-				diss[i][j], diss[j][i] = v, v
-			}
-		})
-		for i := 0; i < m; i++ {
-			for j := i + 1; j < m; j++ {
-				sum += diss[i][j]
-				cnt++
-			}
-		}
-		if cnt > 0 {
-			res.MeanPairwise = sum / float64(cnt)
-		}
-
-		// Group solutions: average-link agglomerative over the meta distance.
-		// Each "point" is a solution index; the distance function looks up the
-		// precomputed matrix.
-		ids := make([][]float64, m)
-		for i := range ids {
-			ids[i] = []float64{float64(i)}
-		}
-		metaDist := dist.Func(func(a, b []float64) float64 { return diss[int(a[0])][int(b[0])] })
-		dg, err := hierarchical.Run(ids, metaDist, hierarchical.AverageLink)
-		if err != nil {
-			return err
-		}
-		metaC, err := dg.Cut(cfg.MetaClusters)
-		if err != nil {
-			return err
-		}
-		res.MetaLabels = metaC.Labels
-
-		// Representative of each meta cluster: the medoid (min summed Diss to
-		// the rest of its group).
-		for _, group := range metaC.Clusters() {
-			best, bestCost := group[0], -1.0
-			for _, i := range group {
-				var cost float64
-				for _, j := range group {
-					cost += diss[i][j]
-				}
-				if bestCost < 0 || cost < bestCost {
-					best, bestCost = i, cost
-				}
-			}
-			res.Representatives = append(res.Representatives, res.Generated[best])
-		}
-		return nil
-	}(); err != nil {
+	g, err := Group(ctx, res.Generated, cfg.MetaClusters, cfg.Diss, cfg.Workers)
+	if err != nil {
 		return nil, err
+	}
+	res.MetaLabels = g.MetaLabels
+	res.MeanPairwise = g.MeanPairwise
+	for _, idx := range g.Representatives {
+		res.Representatives = append(res.Representatives, res.Generated[idx])
 	}
 	if rec != nil {
 		obs.Count(rec, "metaclust.representatives", int64(len(res.Representatives)))
@@ -229,6 +142,175 @@ func RunContext(ctx context.Context, points [][]float64, cfg Config) (*Result, e
 		return res, fmt.Errorf("metaclust: interrupted: %v: %w", interrupted, core.ErrInterrupted)
 	}
 	return res, nil
+}
+
+// Generate produces cfg.NumSolutions perturbed base solutions of points.
+// The RNG draws (each member's feature weights, then its k-means seed)
+// happen serially up front in exactly the order a serial loop would make
+// them, so the generated ensemble is identical for any worker count; only
+// the k-means runs fan out. On a hard failure the returned slice is nil; on
+// interruption the slice holds valid best-so-far clusterings and the error
+// is the raw cause (RunContext wraps it in core.ErrInterrupted).
+func Generate(ctx context.Context, points [][]float64, cfg Config) ([]BaseSolution, error) {
+	cfg, err := cfg.normalize(len(points))
+	if err != nil {
+		return nil, err
+	}
+	n, d := len(points), len(points[0])
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rec := obs.From(ctx)
+	obs.Count(rec, "metaclust.base_solutions", int64(cfg.NumSolutions))
+
+	sols := make([]BaseSolution, cfg.NumSolutions)
+	for s := range sols {
+		// Zipf-style random feature weighting, the diversity device of the
+		// original paper: w_j = exp(jitter * N(0,1)).
+		w := make([]float64, d)
+		for j := range w {
+			w[j] = expNorm(rng, cfg.FeatureJitter)
+		}
+		sols[s].Weights = w
+		sols[s].Seed = rng.Int63()
+	}
+	workers := parallel.Workers(cfg.Workers)
+	innerW := workers / cfg.NumSolutions
+	if innerW < 1 {
+		innerW = 1
+	}
+	type genOut struct {
+		clustering *core.Clustering
+		centers    [][]float64
+		err        error
+	}
+	// Phase span: the base-run fan-out. Each k-means run receives the
+	// generate-phase context, so its own span nests under the caller's span
+	// in the trace tree.
+	outs := func() []genOut {
+		gctx, end := obs.SpanCtx(ctx, rec, "metaclust.generate")
+		defer end()
+		return parallel.Map(cfg.NumSolutions, workers, func(s int) genOut {
+			w := sols[s].Weights
+			weighted := make([][]float64, n)
+			for i, p := range points {
+				row := make([]float64, d)
+				for j, v := range p {
+					row[j] = v * w[j]
+				}
+				weighted[i] = row
+			}
+			km, err := kmeans.RunContext(gctx, weighted, kmeans.Config{K: cfg.K, Seed: sols[s].Seed, Workers: innerW})
+			if km == nil {
+				return genOut{err: err}
+			}
+			return genOut{clustering: km.Clustering, centers: km.Centers, err: err}
+		})
+	}()
+	var interrupted error
+	for s, o := range outs {
+		if o.clustering == nil {
+			return nil, o.err
+		}
+		if o.err != nil {
+			interrupted = o.err
+		}
+		sols[s].Clustering = o.clustering
+		sols[s].Centers = o.centers
+	}
+	return sols, interrupted
+}
+
+// Grouping is the meta-level structure over a set of base solutions.
+type Grouping struct {
+	MetaLabels      []int   // meta-cluster id per solution
+	Representatives []int   // medoid solution index per meta cluster
+	MeanPairwise    float64 // mean pairwise dissimilarity
+}
+
+// Group clusters the base solutions themselves: pairwise dissimilarities
+// (default 1 − Rand index when dissFn is nil), average-link agglomerative
+// grouping into metaClusters groups, and the medoid of each group as its
+// representative. The triangular dissimilarity loop is sharded by row and
+// the mean accumulated in row order afterwards, so the grouping is
+// byte-identical for any worker count. All clusterings must label the same
+// objects.
+func Group(ctx context.Context, sols []*core.Clustering, metaClusters int, dissFn core.DissimilarityFunc, workers int) (*Grouping, error) {
+	m := len(sols)
+	if m == 0 {
+		return nil, core.ErrEmptyDataset
+	}
+	if metaClusters <= 0 {
+		metaClusters = 3
+	}
+	if metaClusters > m {
+		return nil, errors.New("metaclust: MetaClusters exceeds NumSolutions")
+	}
+	if dissFn == nil {
+		dissFn = func(a, b *core.Clustering) float64 {
+			return 1 - metrics.RandIndex(a.Labels, b.Labels)
+		}
+	}
+	workers = parallel.Workers(workers)
+	rec := obs.From(ctx)
+	_, end := obs.SpanCtx(ctx, rec, "metaclust.group")
+	defer end()
+
+	g := &Grouping{}
+	diss := make([][]float64, m)
+	var sum float64
+	var cnt int
+	for i := range diss {
+		diss[i] = make([]float64, m)
+	}
+	parallel.Each(m, workers, func(i int) {
+		for j := i + 1; j < m; j++ {
+			v := dissFn(sols[i], sols[j])
+			diss[i][j], diss[j][i] = v, v
+		}
+	})
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			sum += diss[i][j]
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		g.MeanPairwise = sum / float64(cnt)
+	}
+
+	// Group solutions: average-link agglomerative over the meta distance.
+	// Each "point" is a solution index; the distance function looks up the
+	// precomputed matrix.
+	ids := make([][]float64, m)
+	for i := range ids {
+		ids[i] = []float64{float64(i)}
+	}
+	metaDist := dist.Func(func(a, b []float64) float64 { return diss[int(a[0])][int(b[0])] })
+	dg, err := hierarchical.Run(ids, metaDist, hierarchical.AverageLink)
+	if err != nil {
+		return nil, err
+	}
+	metaC, err := dg.Cut(metaClusters)
+	if err != nil {
+		return nil, err
+	}
+	g.MetaLabels = metaC.Labels
+
+	// Representative of each meta cluster: the medoid (min summed Diss to
+	// the rest of its group).
+	for _, group := range metaC.Clusters() {
+		best, bestCost := group[0], -1.0
+		for _, i := range group {
+			var cost float64
+			for _, j := range group {
+				cost += diss[i][j]
+			}
+			if bestCost < 0 || cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		g.Representatives = append(g.Representatives, best)
+	}
+	return g, nil
 }
 
 // expNorm returns exp(sigma * N(0,1)), clamped to avoid overflow.

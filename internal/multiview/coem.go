@@ -139,6 +139,12 @@ func CoEM(viewA, viewB [][]float64, cfg CoEMConfig) (*CoEMResult, error) {
 	return res, nil
 }
 
+// Agreement returns the fraction of objects whose hard labels agree across
+// the two posterior matrices, maximized over a greedy label matching — the
+// metric CoEM records per round, exported so the streaming co-EM snapshot
+// can report the same number for its online rounds.
+func Agreement(a, b [][]float64) float64 { return agreement(a, b) }
+
 // agreement returns the fraction of objects whose hard labels agree across
 // the two posterior matrices, maximized over a greedy label matching (the
 // label spaces of the two views are not aligned a priori).

@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+
+	"multiclust/internal/core"
+)
+
+// typedStreamError reports whether err wraps one of the library's typed
+// sentinels — the only errors a push or snapshot is allowed to surface.
+func typedStreamError(err error) bool {
+	for _, sentinel := range []error{
+		core.ErrEmptyDataset, core.ErrInvalidInput, core.ErrShape,
+		core.ErrInterrupted, core.ErrDegenerate, core.ErrPanic,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// fuzzRows decodes the fuzzer's byte stream into an n×d row matrix, capped
+// so a single iteration stays fast.
+func fuzzRows(data []byte, d int) [][]float64 {
+	n := len(data) / d
+	if n > 64 {
+		n = 64
+	}
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			row[j] = (float64(data[i*d+j]) - 128) / 8
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// fuzzChunks cuts rows at boundaries derived from the fuzzer's second byte
+// stream: every byte contributes one chunk of 1..8 rows, the remainder
+// becomes the final chunk.
+func fuzzChunks(rows [][]float64, boundsRaw []byte) [][][]float64 {
+	var chunks [][][]float64
+	off := 0
+	for _, b := range boundsRaw {
+		if off >= len(rows) {
+			break
+		}
+		size := 1 + int(b%8)
+		if off+size > len(rows) {
+			size = len(rows) - off
+		}
+		chunks = append(chunks, rows[off:off+size])
+		off += size
+	}
+	if off < len(rows) {
+		chunks = append(chunks, rows[off:])
+	}
+	return chunks
+}
+
+// FuzzChunkedReplay replays random row streams under random chunk
+// boundaries through all three learners and asserts the streaming
+// contract's safety half: no panic ever escapes (the fuzzer itself fails
+// on panics), every push error is a typed sentinel, stream.rows_seen is
+// monotone and only advances on accepted chunks, and after the replay the
+// learner either serves a structurally valid snapshot or reports a typed
+// error — never both, never neither.
+func FuzzChunkedReplay(f *testing.F) {
+	f.Add([]byte{10, 20, 200, 210, 15, 25, 205, 215, 12, 22, 202, 212}, byte(2), byte(2), byte(0), int64(1), []byte{3, 3})
+	f.Add([]byte{0, 255, 128, 64, 32, 16, 8, 4, 2, 1, 0, 255, 128, 64, 32, 16}, byte(4), byte(3), byte(1), int64(7), []byte{2})
+	f.Add([]byte{100, 101, 102, 103, 104, 105, 106, 107}, byte(1), byte(1), byte(2), int64(42), []byte{})
+	f.Add([]byte{}, byte(3), byte(2), byte(0), int64(0), []byte{1, 2, 3})
+	f.Add([]byte{50, 60, 70, 80, 90, 100, 110, 120, 130, 140}, byte(2), byte(4), byte(1), int64(-3), []byte{1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte, dRaw, kRaw, pick byte, seed int64, boundsRaw []byte) {
+		d := 1 + int(dRaw%4)
+		k := 1 + int(kRaw%5)
+		rows := fuzzRows(data, d)
+		chunks := fuzzChunks(rows, boundsRaw)
+
+		type learner interface {
+			Push(rows [][]float64) error
+			RowsSeen() int64
+			Chunks() int
+		}
+		var l learner
+		var err error
+		switch pick % 3 {
+		case 0:
+			l, err = NewMiniBatch(MiniBatchConfig{K: k, Seed: seed})
+		case 1:
+			l, err = NewEnsemble(EnsembleConfig{K: k, PerChunk: 3, MetaClusters: 2, Window: 4, Seed: seed})
+		case 2:
+			l, err = NewCoEM(CoEMConfig{K: k, Seed: seed})
+		}
+		if err != nil {
+			if !typedStreamError(err) {
+				t.Fatalf("constructor error is not typed: %v", err)
+			}
+			return
+		}
+
+		accepted := 0
+		for _, chunk := range chunks {
+			prevRows, prevChunks := l.RowsSeen(), l.Chunks()
+			perr := l.Push(chunk)
+			if perr != nil && !typedStreamError(perr) {
+				t.Fatalf("push error is not typed: %v", perr)
+			}
+			if l.RowsSeen() < prevRows {
+				t.Fatalf("rows_seen went backwards: %d -> %d", prevRows, l.RowsSeen())
+			}
+			if perr != nil && !errors.Is(perr, core.ErrInterrupted) && l.RowsSeen() != prevRows {
+				t.Fatalf("rejected chunk advanced rows_seen: %d -> %d (err %v)", prevRows, l.RowsSeen(), perr)
+			}
+			if l.Chunks() > prevChunks {
+				accepted++
+			}
+		}
+
+		// Typed-error XOR valid snapshot: an empty replay must report
+		// ErrEmptyDataset, a non-empty one must serve a valid snapshot.
+		switch s := l.(type) {
+		case *MiniBatch:
+			snap, serr := s.Snapshot()
+			checkXOR(t, accepted, serr, snap == nil)
+			if snap != nil {
+				if len(snap.Centers) != k || len(snap.Counts) != k {
+					t.Fatalf("snapshot shape: %d centers, %d counts, want K=%d", len(snap.Centers), len(snap.Counts), k)
+				}
+				if snap.RowsSeen != s.RowsSeen() || snap.Chunks != accepted {
+					t.Fatalf("snapshot bookkeeping drifted: %+v vs rows=%d chunks=%d", snap, s.RowsSeen(), accepted)
+				}
+			}
+		case *Ensemble:
+			snap, serr := s.Snapshot()
+			checkXOR(t, accepted, serr, snap == nil)
+			if snap != nil {
+				for _, rep := range snap.Representatives {
+					if verr := rep.Validate(snap.WindowRows); verr != nil {
+						t.Fatalf("invalid representative: %v", verr)
+					}
+				}
+			}
+		case *CoEM:
+			snap, serr := s.Snapshot()
+			checkXOR(t, accepted, serr, snap == nil)
+			if snap != nil {
+				if verr := snap.Clustering.Validate(snap.LastChunkRows); verr != nil {
+					t.Fatalf("invalid consensus clustering: %v", verr)
+				}
+			}
+		}
+	})
+}
+
+// checkXOR enforces the typed-error XOR valid-snapshot contract.
+func checkXOR(t *testing.T, accepted int, serr error, nilSnap bool) {
+	t.Helper()
+	if serr != nil {
+		if !typedStreamError(serr) {
+			t.Fatalf("snapshot error is not typed: %v", serr)
+		}
+		if !nilSnap {
+			t.Fatal("snapshot returned both a value and an error")
+		}
+		if accepted > 0 {
+			t.Fatalf("stream accepted %d chunks but refused a snapshot: %v", accepted, serr)
+		}
+		return
+	}
+	if nilSnap {
+		t.Fatal("snapshot returned neither a value nor an error")
+	}
+	if accepted == 0 {
+		t.Fatal("empty stream served a snapshot instead of ErrEmptyDataset")
+	}
+}

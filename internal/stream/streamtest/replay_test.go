@@ -1,0 +1,277 @@
+package streamtest
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"multiclust/internal/dist"
+	"multiclust/internal/kmeans"
+	"multiclust/internal/metaclust"
+	"multiclust/internal/multiview"
+	"multiclust/internal/stream"
+)
+
+// blobRows draws n rows around k well-separated centers, deterministic in
+// seed.
+func blobRows(n, d, k int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		c := i % k
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = 10*float64(c) + rng.NormFloat64()
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// assignSSE is the batch cost of centers on rows: every row to its nearest
+// center, squared distances summed in row order.
+func assignSSE(rows, centers [][]float64) float64 {
+	var sse float64
+	for _, r := range rows {
+		best := -1.0
+		for _, c := range centers {
+			if sq := dist.SqEuclidean(r, c); best < 0 || sq < best {
+				best = sq
+			}
+		}
+		sse += best
+	}
+	return sse
+}
+
+// TestSingleChunkEquivalenceMiniBatch: pushing the whole dataset as one
+// chunk is byte-identical to batch k-means on the same rows — centers,
+// labels, and SSE all compare exactly, not within tolerance.
+func TestSingleChunkEquivalenceMiniBatch(t *testing.T) {
+	rows := blobRows(90, 3, 3, 42)
+	snap, err := ReplayMiniBatch(stream.MiniBatchConfig{K: 3, Seed: 7}, [][][]float64{rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := kmeans.RunContext(context.Background(), rows, kmeans.Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap.Centers, batch.Centers) {
+		t.Fatalf("single-chunk centers differ from batch:\nstream %v\nbatch  %v", snap.Centers, batch.Centers)
+	}
+	if !reflect.DeepEqual(snap.LastLabels, batch.Clustering.Labels) {
+		t.Fatal("single-chunk labels differ from batch")
+	}
+	if snap.LastSSE != batch.SSE {
+		t.Fatalf("single-chunk SSE %v differs from batch %v", snap.LastSSE, batch.SSE)
+	}
+}
+
+// TestSingleChunkEquivalenceEnsemble: a single-chunk ensemble stream
+// reproduces batch metaclust on the same rows byte for byte — meta labels,
+// mean pairwise dissimilarity, and every representative's labels.
+func TestSingleChunkEquivalenceEnsemble(t *testing.T) {
+	rows := blobRows(60, 2, 2, 17)
+	cfg := stream.EnsembleConfig{K: 2, PerChunk: 6, MetaClusters: 3, Seed: 5}
+	snap, err := ReplayEnsemble(cfg, [][][]float64{rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := metaclust.RunContext(context.Background(), rows, metaclust.Config{
+		K: 2, NumSolutions: 6, MetaClusters: 3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap.MetaLabels, batch.MetaLabels) {
+		t.Fatalf("meta labels differ: stream %v batch %v", snap.MetaLabels, batch.MetaLabels)
+	}
+	if snap.MeanPairwise != batch.MeanPairwise {
+		t.Fatalf("mean pairwise differs: stream %v batch %v", snap.MeanPairwise, batch.MeanPairwise)
+	}
+	if len(snap.Representatives) != len(batch.Representatives) {
+		t.Fatalf("representative count differs: %d vs %d", len(snap.Representatives), len(batch.Representatives))
+	}
+	for i := range snap.Representatives {
+		if !reflect.DeepEqual(snap.Representatives[i].Labels, batch.Representatives[i].Labels) {
+			t.Fatalf("representative %d labels differ", i)
+		}
+	}
+}
+
+// TestSingleChunkEquivalenceCoEM: a single-chunk co-EM stream reproduces
+// the batch multiview.CoEM models and consensus clustering byte for byte.
+func TestSingleChunkEquivalenceCoEM(t *testing.T) {
+	rows := blobRows(40, 4, 2, 23)
+	snap, err := ReplayCoEM(stream.CoEMConfig{K: 2, Seed: 9}, [][][]float64{rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewA := make([][]float64, len(rows))
+	viewB := make([][]float64, len(rows))
+	for i, r := range rows {
+		viewA[i] = r[:2]
+		viewB[i] = r[2:]
+	}
+	batch, err := multiview.CoEM(viewA, viewB, multiview.CoEMConfig{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(SnapshotBytes(snap.ModelA), SnapshotBytes(batch.ModelA)) {
+		t.Fatal("model A differs from batch co-EM")
+	}
+	if !bytes.Equal(SnapshotBytes(snap.ModelB), SnapshotBytes(batch.ModelB)) {
+		t.Fatal("model B differs from batch co-EM")
+	}
+	if !reflect.DeepEqual(snap.Clustering.Labels, batch.Clustering.Labels) {
+		t.Fatal("consensus clustering differs from batch co-EM")
+	}
+}
+
+// TestReplayDeterminismAcrossWorkers: same seed + same chunking gives
+// byte-identical snapshots at workers 1, 2, 4 and 8, for all three
+// learners. Runs under -race in the race/chaos CI lanes.
+func TestReplayDeterminismAcrossWorkers(t *testing.T) {
+	rows := blobRows(120, 3, 3, 99)
+	sizes := []int{40, 25, 35, 20}
+	chunks, err := Split(rows, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerCounts := []int{1, 2, 4, 8}
+
+	var refMB, refEns, refCo []byte
+	for _, w := range workerCounts {
+		mb, err := ReplayMiniBatch(stream.MiniBatchConfig{K: 3, Seed: 3, Workers: w}, chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ens, err := ReplayEnsemble(stream.EnsembleConfig{K: 3, PerChunk: 4, MetaClusters: 2, Window: 3, Seed: 3, Workers: w}, chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		co, err := ReplayCoEM(stream.CoEMConfig{K: 3, Seed: 3, Workers: w}, chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMB, gotEns, gotCo := SnapshotBytes(mb), SnapshotBytes(ens), SnapshotBytes(co)
+		if refMB == nil {
+			refMB, refEns, refCo = gotMB, gotEns, gotCo
+			continue
+		}
+		if !bytes.Equal(gotMB, refMB) {
+			t.Fatalf("mini-batch snapshot at workers=%d differs from workers=1", w)
+		}
+		if !bytes.Equal(gotEns, refEns) {
+			t.Fatalf("ensemble snapshot at workers=%d differs from workers=1", w)
+		}
+		if !bytes.Equal(gotCo, refCo) {
+			t.Fatalf("co-EM snapshot at workers=%d differs from workers=1", w)
+		}
+	}
+}
+
+// TestMiniBatchDriftBound: multi-chunk streams are not the batch solution,
+// but their cost is pinned — the concatenation's SSE under the streamed
+// centers stays within MiniBatchDriftBound of the batch k-means SSE.
+func TestMiniBatchDriftBound(t *testing.T) {
+	rows := blobRows(200, 3, 3, 7)
+	batch, err := kmeans.RunContext(context.Background(), rows, kmeans.Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sizes := range [][]int{
+		{200},
+		{100, 100},
+		{50, 50, 50, 50},
+		{20, 20, 20, 20, 20, 20, 20, 20, 20, 20},
+	} {
+		chunks, err := Split(rows, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := ReplayMiniBatch(stream.MiniBatchConfig{K: 3, Seed: 7}, chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := assignSSE(rows, snap.Centers) / batch.SSE
+		if ratio > MiniBatchDriftBound {
+			t.Fatalf("chunking %v: SSE ratio %.3f exceeds pinned bound %.1f", sizes, ratio, MiniBatchDriftBound)
+		}
+	}
+}
+
+// TestChunkingInvarianceMetamorphic: permuting the chunk boundaries of the
+// same row sequence keeps the streamed solution inside the drift envelope
+// — the learner's quality must not depend on where the row stream happened
+// to be cut.
+func TestChunkingInvarianceMetamorphic(t *testing.T) {
+	rows := blobRows(160, 2, 2, 31)
+	batch, err := kmeans.RunContext(context.Background(), rows, kmeans.Config{K: 2, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := int64(0); trial < 8; trial++ {
+		sizes := Boundaries(len(rows), 8, 1000+trial)
+		chunks, err := Split(rows, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := ReplayMiniBatch(stream.MiniBatchConfig{K: 2, Seed: 31}, chunks)
+		if err != nil {
+			t.Fatalf("chunking %v: %v", sizes, err)
+		}
+		ratio := assignSSE(rows, snap.Centers) / batch.SSE
+		if ratio > MiniBatchDriftBound {
+			t.Fatalf("chunking %v: SSE ratio %.3f exceeds pinned bound %.1f", sizes, ratio, MiniBatchDriftBound)
+		}
+	}
+}
+
+// TestEnsembleWindowCoversStream: with a window at least as long as the
+// stream nothing evicts, so replays are byte-identical and interleaving
+// snapshots between pushes does not perturb the final snapshot — the
+// mergeable-window half of the equivalence contract.
+func TestEnsembleWindowCoversStream(t *testing.T) {
+	rows := blobRows(90, 2, 3, 53)
+	chunks, err := Split(rows, []int{30, 30, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stream.EnsembleConfig{K: 3, PerChunk: 4, MetaClusters: 2, Window: 8, Seed: 13}
+	pure, err := ReplayEnsemble(cfg, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pure.Evicted != 0 || pure.WindowChunks != len(chunks) {
+		t.Fatalf("window should cover the stream: %+v", pure)
+	}
+	replay, err := ReplayEnsemble(cfg, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(SnapshotBytes(pure), SnapshotBytes(replay)) {
+		t.Fatal("identical replays produced different snapshots")
+	}
+	// Interleaved snapshots: snapshot after every push, then compare the
+	// final snapshot against the pure replay.
+	e, err := stream.NewEnsemble(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *stream.EnsembleSnapshot
+	for _, c := range chunks {
+		if err := e.Push(c); err != nil {
+			t.Fatal(err)
+		}
+		if last, err = e.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(SnapshotBytes(pure), SnapshotBytes(last)) {
+		t.Fatal("interleaved snapshots perturbed the final snapshot")
+	}
+}

@@ -1,0 +1,141 @@
+// Package streamtest is the deterministic chunked-replay harness for the
+// streaming layer: helpers to split a row sequence into chunks, replay a
+// chunk sequence through a fresh learner, and serialize snapshots into
+// canonical bytes so equivalence and determinism claims can be asserted as
+// byte equality. The property tests in this package pin the streaming
+// contract documented in internal/stream:
+//
+//   - exact equivalence where it is exact: a single-chunk stream is
+//     byte-identical to the batch algorithm on the concatenation, and an
+//     ensemble whose window covers the whole stream replays byte-identically;
+//   - pinned drift bounds where it is not: a multi-chunk mini-batch
+//     stream's SSE over the concatenation stays within
+//     MiniBatchDriftBound of the batch k-means SSE;
+//   - replay determinism: same seed + same chunking gives byte-identical
+//     snapshots at workers 1/2/4/8;
+//   - chunking-invariance (metamorphic): permuting chunk boundaries of
+//     the same row sequence stays within the drift envelope.
+package streamtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"multiclust/internal/stream"
+)
+
+// MiniBatchDriftBound is the pinned drift envelope of the mini-batch
+// learner: over any chunking exercised by the harness, the SSE of the full
+// row sequence under the streamed centers is at most this multiple of the
+// batch k-means SSE on the same rows with the same seed. The bound is a
+// regression pin, not a theorem — tightening it is progress, loosening it
+// is a behavior change that needs a story.
+const MiniBatchDriftBound = 2.5
+
+// Split partitions rows into consecutive chunks of the given sizes. The
+// sizes must sum to len(rows) and each must be positive.
+func Split(rows [][]float64, sizes []int) ([][][]float64, error) {
+	total := 0
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("streamtest: chunk size %d must be positive", s)
+		}
+		total += s
+	}
+	if total != len(rows) {
+		return nil, fmt.Errorf("streamtest: chunk sizes sum to %d, have %d rows", total, len(rows))
+	}
+	chunks := make([][][]float64, 0, len(sizes))
+	off := 0
+	for _, s := range sizes {
+		chunks = append(chunks, rows[off:off+s])
+		off += s
+	}
+	return chunks, nil
+}
+
+// Boundaries draws a random chunking of n rows into at most maxChunks
+// chunks, deterministic in seed: every chunk is non-empty and the sizes
+// sum to n.
+func Boundaries(n, maxChunks int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	if maxChunks < 1 {
+		maxChunks = 1
+	}
+	k := 1 + rng.Intn(maxChunks)
+	if k > n {
+		k = n
+	}
+	sizes := make([]int, k)
+	remaining := n
+	for i := 0; i < k-1; i++ {
+		// Leave at least one row for each later chunk.
+		max := remaining - (k - 1 - i)
+		s := 1
+		if max > 1 {
+			s = 1 + rng.Intn(max)
+		}
+		sizes[i] = s
+		remaining -= s
+	}
+	sizes[k-1] = remaining
+	return sizes
+}
+
+// SnapshotBytes serializes any snapshot into canonical JSON bytes.
+// Byte-equal outputs mean byte-equal snapshots: every float64 round-trips
+// through the shortest representation that parses back exactly, so two
+// snapshots differing in even one ULP serialize differently.
+func SnapshotBytes(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("streamtest: snapshot not serializable: " + err.Error())
+	}
+	return b
+}
+
+// ReplayMiniBatch pushes the chunk sequence through a fresh mini-batch
+// learner and returns its final snapshot.
+func ReplayMiniBatch(cfg stream.MiniBatchConfig, chunks [][][]float64) (*stream.KMeansSnapshot, error) {
+	m, err := stream.NewMiniBatch(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range chunks {
+		if err := m.Push(c); err != nil {
+			return nil, err
+		}
+	}
+	return m.Snapshot()
+}
+
+// ReplayEnsemble pushes the chunk sequence through a fresh ensemble
+// learner and returns its final snapshot.
+func ReplayEnsemble(cfg stream.EnsembleConfig, chunks [][][]float64) (*stream.EnsembleSnapshot, error) {
+	e, err := stream.NewEnsemble(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range chunks {
+		if err := e.Push(c); err != nil {
+			return nil, err
+		}
+	}
+	return e.Snapshot()
+}
+
+// ReplayCoEM pushes the chunk sequence through a fresh co-EM learner and
+// returns its final snapshot.
+func ReplayCoEM(cfg stream.CoEMConfig, chunks [][][]float64) (*stream.CoEMSnapshot, error) {
+	s, err := stream.NewCoEM(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range chunks {
+		if err := s.Push(c); err != nil {
+			return nil, err
+		}
+	}
+	return s.Snapshot()
+}

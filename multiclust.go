@@ -59,6 +59,7 @@ import (
 	"multiclust/internal/robust"
 	"multiclust/internal/simultaneous"
 	"multiclust/internal/spectral"
+	"multiclust/internal/stream"
 	"multiclust/internal/subspace"
 	"multiclust/internal/taxonomy"
 )
@@ -1063,6 +1064,60 @@ var (
 	ADCODissimilarity   = metrics.ADCODissimilarity
 	EvaluateSolutionSet = metrics.EvaluateSolutionSet
 )
+
+// ---------------------------------------------------------------------------
+// Streaming / incremental clustering
+// ---------------------------------------------------------------------------
+
+// Streaming learners consume a row stream chunk by chunk (Push) and
+// materialize their current state on demand (Snapshot). The contract,
+// pinned by internal/stream/streamtest: a single-chunk stream is
+// byte-identical to the batch algorithm on the same rows; multi-chunk
+// streams stay inside a pinned drift envelope; snapshots are
+// byte-identical at any worker count. PushContext/SnapshotContext honour
+// cancellation at chunk boundaries with best-so-far ErrInterrupted
+// semantics. Learners are not safe for concurrent use — the serve layer
+// serializes chunk processing per job.
+type (
+	// StreamKMeansConfig configures incremental mini-batch k-means
+	// (Sculley 2010 on this repo's deterministic batch core).
+	StreamKMeansConfig = stream.MiniBatchConfig
+	// StreamKMeans is the mini-batch k-means learner.
+	StreamKMeans = stream.MiniBatch
+	// StreamKMeansSnapshot is its point-in-time state (centers, counts,
+	// last-chunk labels and SSE).
+	StreamKMeansSnapshot = stream.KMeansSnapshot
+	// StreamEnsembleConfig configures the sliding-window meta-clustering
+	// ensemble (base solutions per chunk, window length, meta clusters).
+	StreamEnsembleConfig = stream.EnsembleConfig
+	// StreamEnsemble is the mergeable sliding-window ensemble learner.
+	StreamEnsemble = stream.Ensemble
+	// StreamEnsembleSnapshot is the grouped view of the current window.
+	StreamEnsembleSnapshot = stream.EnsembleSnapshot
+	// StreamCoEMConfig configures online multi-view co-EM with
+	// exponential forgetting.
+	StreamCoEMConfig = stream.CoEMConfig
+	// StreamCoEM is the online co-EM learner.
+	StreamCoEM = stream.CoEM
+	// StreamCoEMSnapshot carries both view models and the consensus
+	// clustering of the most recent chunk.
+	StreamCoEMSnapshot = stream.CoEMSnapshot
+)
+
+// NewStreamKMeans builds an incremental mini-batch k-means learner.
+func NewStreamKMeans(cfg StreamKMeansConfig) (*StreamKMeans, error) {
+	return stream.NewMiniBatch(cfg)
+}
+
+// NewStreamEnsemble builds a sliding-window meta-clustering ensemble.
+func NewStreamEnsemble(cfg StreamEnsembleConfig) (*StreamEnsemble, error) {
+	return stream.NewEnsemble(cfg)
+}
+
+// NewStreamCoEM builds an online co-EM learner over column-split views.
+func NewStreamCoEM(cfg StreamCoEMConfig) (*StreamCoEM, error) {
+	return stream.NewCoEM(cfg)
+}
 
 // ---------------------------------------------------------------------------
 // Taxonomy

@@ -42,6 +42,13 @@ type (
 	Outcome = jobs.Outcome
 	// Runner executes one attempt of a job; override via Config.Runners.
 	Runner = jobs.Runner
+	// StreamHandle is the live incremental learner behind one streaming
+	// job ("stream": true); custom implementations plug in via
+	// Config.Streams.
+	StreamHandle = jobs.StreamHandle
+	// StreamFactory builds the StreamHandle for an admitted streaming
+	// job from its spec.
+	StreamFactory = jobs.StreamFactory
 	// DrainReport summarizes what graceful shutdown did with admitted jobs.
 	DrainReport = jobs.DrainReport
 )
@@ -57,12 +64,13 @@ const (
 )
 
 // Typed admission and lookup errors; the HTTP layer maps them to 429, 503,
-// 404 and 400.
+// 404, 400 and 409.
 var (
 	ErrQueueFull = jobs.ErrQueueFull
 	ErrDraining  = jobs.ErrDraining
 	ErrNotFound  = jobs.ErrNotFound
 	ErrBadSpec   = jobs.ErrBadSpec
+	ErrConflict  = jobs.ErrConflict
 )
 
 // New builds a job engine and starts its worker pool. The zero Config
@@ -71,3 +79,7 @@ func New(cfg Config) *Engine { return jobs.New(cfg) }
 
 // Algorithms lists the service's built-in algorithm names.
 func Algorithms() []string { return jobs.Algorithms() }
+
+// StreamAlgorithms lists the built-in incremental algorithms accepted by
+// streaming ("stream": true) job specs.
+func StreamAlgorithms() []string { return jobs.StreamAlgorithms() }
