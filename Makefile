@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json lint-sarif lint-fix test race cover bench bench-json bench-baseline experiments examples fuzz fuzz-smoke chaos chaos-serve stream-chaos ci clean
+.PHONY: all build vet lint lint-json lint-sarif lint-fix test race cover bench bench-json bench-baseline experiments examples fuzz fuzz-smoke chaos chaos-serve stream-chaos logs-check ci clean
 
 all: build vet lint test
 
@@ -101,8 +101,16 @@ stream-chaos:
 	$(GO) test -race -timeout 180s -run 'TestStreamProperty' ./internal/jobs/chaos/
 	$(GO) test -race -timeout 180s ./internal/stream/...
 
+# Structured-log schema contract: every JSONL line the logger emits — the
+# middleware's http.request access lines and the engine's job.state
+# transition lines — must validate against obs.ValidateLogLine. Run after
+# any change to the log fields so dashboards parsing the stream never
+# break silently.
+logs-check:
+	$(GO) test -run 'TestLogSchema' -count=1 ./internal/obs/ ./internal/ops/ ./internal/jobs/
+
 # Everything the GitHub Actions workflow runs, locally.
-ci: build vet test race lint fuzz-smoke chaos chaos-serve stream-chaos cover bench-json
+ci: build vet test race lint fuzz-smoke chaos chaos-serve stream-chaos logs-check cover bench-json
 
 clean:
 	$(GO) clean -testcache

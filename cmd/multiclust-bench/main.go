@@ -48,6 +48,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -58,6 +60,7 @@ import (
 
 	"multiclust"
 	"multiclust/internal/jobs/chaos"
+	"multiclust/internal/ops"
 	"multiclust/serve"
 )
 
@@ -191,6 +194,28 @@ func workloads() ([]benchCase, error) {
 			_, err = e.Snapshot()
 			return err
 		}},
+		{"obs-http", "observability", func() error {
+			// The full per-request observability path, no clustering: one
+			// traced status GET plus one Chrome-trace render against an
+			// already-terminal job, through the Instrument middleware
+			// (traceparent parse, context plumbing, route histogram,
+			// status capture). ns/op is the request-scoped telemetry tax.
+			h, id := obsHTTPEnv()
+			req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+id, nil)
+			req.Header.Set("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+			rw := httptest.NewRecorder()
+			h.ServeHTTP(rw, req)
+			if rw.Code != http.StatusOK {
+				return fmt.Errorf("obs-http: status GET returned %d", rw.Code)
+			}
+			req = httptest.NewRequest(http.MethodGet, "/v1/jobs/"+id+"/trace", nil)
+			rw = httptest.NewRecorder()
+			h.ServeHTTP(rw, req)
+			if rw.Code != http.StatusOK {
+				return fmt.Errorf("obs-http: trace GET returned %d", rw.Code)
+			}
+			return nil
+		}},
 		{"jobs", "service", func() error {
 			// Submit one no-op job and wait for its terminal state: the
 			// measured ns/op is pure engine overhead — admission, queueing,
@@ -215,6 +240,25 @@ var jobsEngine = sync.OnceValue(func() *serve.Engine {
 		QueueSize: 64,
 		Runners:   map[string]serve.Runner{"noop": chaos.Instant()},
 	})
+})
+
+// obsHTTPEnv lazily builds the obs-http fixture: a no-op job run to its
+// terminal state once, outside the timed loop, plus the engine handler
+// wrapped in the same Instrument middleware the CLI serves. Lazy for the
+// same reason jobsEngine is — a filtered run that skips obs-http must not
+// start a worker pool.
+var obsHTTPEnv = sync.OnceValues(func() (http.Handler, string) {
+	e := serve.New(serve.Config{
+		Workers:   1,
+		QueueSize: 8,
+		Runners:   map[string]serve.Runner{"noop": chaos.Instant()},
+	})
+	j, _, err := e.Submit(serve.Spec{Algo: "noop", Points: [][]float64{{0, 0}, {1, 1}}, Seed: 1})
+	if err != nil {
+		panic("obs-http fixture: " + err.Error())
+	}
+	<-j.Done()
+	return ops.Instrument(e.Handler(), nil), j.ID
 })
 
 // measureRepeats is how many timed repeats measure keeps the minimum of.

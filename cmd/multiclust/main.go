@@ -64,6 +64,8 @@ func main() {
 		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "on SIGINT/SIGTERM, wait this long for running jobs before cutting them to best-so-far")
 		streamMode = flag.Bool("stream", false, "replay the dataset through the incremental layer chunk by chunk (-algo kmeans, meta or coem)")
 		chunkRows  = flag.Int("chunk", 64, "rows per chunk in -stream mode")
+		logF       = flag.String("log", "", "write structured JSONL logs (HTTP access lines, job lifecycle lines) to this file, or '-' for stderr")
+		logLevel   = flag.String("log-level", "info", "minimum log level for -log: debug, info, warn or error")
 	)
 	flag.Parse()
 	multiclust.SetWorkers(*workers)
@@ -78,9 +80,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "multiclust:", err)
 		os.Exit(1)
 	}
+	logger, logClose, err := setupLogger(*logF, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "multiclust:", err)
+		os.Exit(1)
+	}
 
 	var handle *ops.Handle
 	var engine *serve.Engine
+	var poller *multiclust.RuntimePoller
 	var sigCh chan os.Signal
 	if *serveAddr != "" {
 		// Register for shutdown signals before the listener is even up:
@@ -89,7 +97,7 @@ func main() {
 		// between — the signal must never reach the default handler.
 		sigCh = make(chan os.Signal, 1)
 		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-		cfg := serve.Config{Workers: *jobWorkers, QueueSize: *jobQueue}
+		cfg := serve.Config{Workers: *jobWorkers, QueueSize: *jobQueue, Log: logger}
 		if os.Getenv("MULTICLUST_JOBS_TESTRUNNERS") == "1" {
 			// Integration tests drive a real -serve process with the
 			// deterministic fault battery mounted under chaos-* names.
@@ -103,11 +111,16 @@ func main() {
 				"/v1/jobs":  api,
 				"/v1/jobs/": api,
 			},
+			Log: logger,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "multiclust:", err)
 			os.Exit(1)
 		}
+		// Process-health gauges (goroutines, heap, GC pauses) refresh on a
+		// fixed tick while the ops surface is up, so /metrics answers with
+		// live runtime state.
+		poller = multiclust.StartRuntimePoller(collector, 5*time.Second)
 		fmt.Fprintf(os.Stderr, "multiclust: ops endpoints at %s\n", handle.URL)
 	}
 	if *streamMode {
@@ -142,11 +155,46 @@ func main() {
 			fmt.Fprintf(os.Stderr, "multiclust: drained jobs done=%d partial=%d failed=%d cancelled=%d truncated=%v\n",
 				rep.Done, rep.Partial, rep.Failed, rep.Cancelled, rep.Truncated)
 		}
+		poller.Stop()
 		if err := handle.Shutdown(context.Background()); err != nil {
 			fmt.Fprintln(os.Stderr, "multiclust:", err)
 			os.Exit(1)
 		}
 	}
+	if err := logClose(); err != nil {
+		fmt.Fprintln(os.Stderr, "multiclust:", err)
+		os.Exit(1)
+	}
+}
+
+// setupLogger resolves the -log/-log-level flags: no -log means no logger
+// (nil is a valid no-op everywhere it is wired), "-" logs to stderr, any
+// other value appends to that file. The returned close function flushes
+// and reports the first log write error.
+func setupLogger(path, level string) (*serve.Logger, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	min, err := serve.ParseLogLevel(level)
+	if err != nil {
+		return nil, nil, err
+	}
+	if path == "-" {
+		logger := serve.NewLogger(os.Stderr, min)
+		return logger, logger.Err, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open -log file: %w", err)
+	}
+	logger := serve.NewLogger(f, min)
+	return logger, func() error {
+		werr := logger.Err()
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		return werr
+	}, nil
 }
 
 // dumpMetrics renders the collector after the run: to the -metrics-out

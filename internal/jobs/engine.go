@@ -57,6 +57,12 @@ type Config struct {
 	// (exactly one per admitted job). Used by the fault-injection suite
 	// and available for operational logging.
 	OnTerminal func(j *Job, s State)
+	// Log, when non-nil, receives one job.state JSONL line per lifecycle
+	// transition (queued, running, and the terminal state), carrying the
+	// job id, state, trace id and — on terminal lines — attempt count
+	// and error text. Failed transitions log at error level, partial at
+	// warn, everything else at info.
+	Log *obs.Logger
 }
 
 // DrainReport summarizes what graceful shutdown did with the admitted jobs.
@@ -215,6 +221,18 @@ func (e *Engine) algoNames(stream bool) string {
 // reused with a different spec), ErrQueueFull (queue at capacity — retry
 // later), ErrDraining (engine shutting down).
 func (e *Engine) Submit(spec Spec) (*Job, bool, error) {
+	return e.SubmitTraced(spec, "")
+}
+
+// SubmitTraced is Submit with the creating request's trace id attached:
+// the id sticks to the job for its whole async lifetime — the per-job
+// collector, the JSONL trace behind /v1/jobs/{id}/trace, the job.state
+// log lines and the Status all carry it. The HTTP handler threads the
+// middleware's trace id through here; "" submits untraced (identical to
+// Submit). The trace id is pure telemetry and deliberately excluded from
+// idempotency comparison: a retried request with a fresh traceparent
+// still deduplicates, keeping the original job's id.
+func (e *Engine) SubmitTraced(spec Spec, traceID string) (*Job, bool, error) {
 	if err := e.validate(spec); err != nil {
 		return nil, false, err
 	}
@@ -250,11 +268,22 @@ func (e *Engine) Submit(spec Spec) (*Job, bool, error) {
 		}
 	}
 	e.seq++
+	col := obs.NewCollector()
+	buf := &traceBuf{}
+	tw := obs.NewTraceWriter(buf)
+	if traceID != "" {
+		col.SetTraceID(traceID)
+		tw.SetTraceID(traceID)
+	}
 	j := &Job{
 		ID:         "j-" + strconv.FormatInt(e.seq, 10),
 		Key:        spec.IdempotencyKey,
 		Spec:       spec,
-		col:        obs.NewCollector(),
+		TraceID:    traceID,
+		col:        col,
+		traceLog:   buf,
+		trace:      tw,
+		rec:        obs.Tee(col, tw),
 		enqueuedAt: time.Now(),
 		done:       make(chan struct{}),
 		handle:     handle,
@@ -288,7 +317,36 @@ func (e *Engine) Submit(spec Spec) (*Job, bool, error) {
 	}
 	e.mu.Unlock()
 	obs.Count(obs.Default(), "jobs.submitted", 1)
+	e.logState(j, StateQueued, 0, nil)
 	return j, false, nil
+}
+
+// logState emits one job.state line for a lifecycle transition. attempts
+// and err are only rendered on terminal transitions (attempts > 0).
+func (e *Engine) logState(j *Job, s State, attempts int, err error) {
+	log := e.cfg.Log
+	if log == nil {
+		return
+	}
+	fields := make([]obs.LogField, 0, 5)
+	fields = append(fields, obs.LStr("job", j.ID), obs.LStr("state", s.String()))
+	if j.TraceID != "" {
+		fields = append(fields, obs.LStr("trace", j.TraceID))
+	}
+	if attempts > 0 {
+		fields = append(fields, obs.LInt("attempts", int64(attempts)))
+	}
+	if err != nil {
+		fields = append(fields, obs.LStr("err", err.Error()))
+	}
+	level := obs.LogInfo
+	switch s {
+	case StateFailed:
+		level = obs.LogError
+	case StatePartial:
+		level = obs.LogWarn
+	}
+	log.Log(level, "job.state", fields...)
 }
 
 // Append acknowledges one more chunk of a streaming job and enqueues its
@@ -596,30 +654,48 @@ func (e *Engine) execute(j *Job) {
 	if !e.tryStart(j, cancel) {
 		return // cancelled while queued; already terminal
 	}
+	e.logState(j, StateRunning, 0, nil)
 	if e.stopped.Load() {
 		// Swept from the queue at the drain deadline: the cancel hook is
 		// installed, so cutting here (or by the stop sweep — whichever
 		// observes the other) settles the run to best-so-far immediately.
 		cancel()
 	}
-	obs.Gauge(obs.Default(), "jobs.dispatch_wait_ns", float64(time.Since(j.enqueuedAt).Nanoseconds()))
+	wait := time.Since(j.enqueuedAt)
+	obs.Gauge(obs.Default(), "jobs.dispatch_wait_ns", float64(wait.Nanoseconds()))
+	obs.Histogram(obs.Default(), "jobs.queue_wait_seconds", wait.Seconds())
 	tctx, tcancel := context.WithTimeout(ctx, timeout)
 	defer tcancel()
-	// The job's own collector is the context recorder: every counter the
-	// algorithm records lands in this job's metrics and nowhere else.
-	tctx = obs.NewContext(tctx, j.col)
+	// The job's own recorder (collector + trace stream) is the context
+	// recorder: every counter and span the algorithm records lands in this
+	// job's telemetry and nowhere else. The trace id rides along so nested
+	// SpanCtx trees stay correlated with the creating request.
+	tctx = obs.NewContext(obs.WithTraceID(tctx, j.TraceID), j.rec)
 
 	runner := e.cfg.Runners[j.Spec.Algo]
 	backoff := e.cfg.Backoff
 	backoff.Seed = j.Spec.Seed
+	execStart := time.Now()
 	out, err := robust.RetryValueBackoff(tctx, j.Spec.Seed, e.cfg.RetryBudget, backoff,
 		func(seed int64) (o *Outcome, rerr error) {
 			defer robust.RecoverTo(&rerr)
 			j.mu.Lock()
 			j.attempts++
 			j.mu.Unlock()
-			return runner(tctx, j.Spec, seed, j.col)
+			attemptStart := time.Now()
+			defer func() {
+				obs.Histogram(obs.Default(), "jobs.attempt_seconds", time.Since(attemptStart).Seconds())
+			}()
+			// One jobs.run span per attempt, on the job's own recorder, so
+			// the /v1/jobs/{id}/trace tree roots every algorithm phase
+			// under its attempt. The deferred end closes the span before
+			// the terminal transition, keeping the trace stream complete by
+			// the time /trace becomes servable.
+			actx, end := obs.SpanCtx(tctx, j.rec, "jobs.run")
+			defer end()
+			return runner(actx, j.Spec, seed, j.rec)
 		})
+	obs.Histogram(obs.Default(), "jobs.exec_seconds", time.Since(execStart).Seconds())
 
 	j.mu.Lock()
 	userCancel := j.userCancel
@@ -669,7 +745,10 @@ func (e *Engine) executeChunk(j *Job) {
 		j.pending = j.pending[1:]
 		if j.state == StateQueued {
 			j.state = StateRunning
-			obs.Gauge(obs.Default(), "jobs.dispatch_wait_ns", float64(time.Since(j.enqueuedAt).Nanoseconds()))
+			wait := time.Since(j.enqueuedAt)
+			obs.Gauge(obs.Default(), "jobs.dispatch_wait_ns", float64(wait.Nanoseconds()))
+			obs.Histogram(obs.Default(), "jobs.queue_wait_seconds", wait.Seconds())
+			e.logState(j, StateRunning, 0, nil)
 		}
 		if j.userCancel {
 			best := j.result
@@ -701,14 +780,18 @@ func (e *Engine) runChunk(j *Job, chunk streamChunk) {
 	}
 	tctx, tcancel := context.WithTimeout(ctx, e.resolveTimeout(j.Spec.TimeoutMS))
 	defer tcancel()
-	tctx = obs.NewContext(tctx, j.col)
+	tctx = obs.NewContext(obs.WithTraceID(tctx, j.TraceID), j.rec)
 
 	var perr error
 	if len(chunk.rows) > 0 {
+		pushStart := time.Now()
 		func() {
 			defer robust.RecoverTo(&perr)
-			perr = j.handle.PushChunk(tctx, chunk.rows)
+			pctx, end := obs.SpanCtx(tctx, j.rec, "jobs.chunk_push")
+			defer end()
+			perr = j.handle.PushChunk(pctx, chunk.rows)
 		}()
+		obs.Histogram(obs.Default(), "jobs.chunk_push_seconds", time.Since(pushStart).Seconds())
 	}
 	// The snapshot reflects whatever the handle accepted, including a
 	// partial chunk cut by the deadline, so it runs on a fresh context:
@@ -717,7 +800,7 @@ func (e *Engine) runChunk(j *Job, chunk streamChunk) {
 	var serr error
 	func() {
 		defer robust.RecoverTo(&serr)
-		out, serr = j.handle.Snapshot(obs.NewContext(context.Background(), j.col))
+		out, serr = j.handle.Snapshot(obs.NewContext(context.Background(), j.rec))
 	}()
 
 	j.mu.Lock()
@@ -764,9 +847,11 @@ func (e *Engine) finish(j *Job, s State, out *Outcome, err error) {
 	j.state = s
 	j.result = out
 	j.err = err
+	attempts := j.attempts
 	close(j.done)
 	j.mu.Unlock()
 
+	e.logState(j, s, attempts, err)
 	rec := obs.Default()
 	switch s {
 	case StateDone:

@@ -1,10 +1,14 @@
 package jobs
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strings"
+
+	"multiclust/internal/obs"
 )
 
 // API wire shapes beyond Status (which GET returns verbatim).
@@ -12,6 +16,7 @@ type submitResponse struct {
 	ID        string `json:"id"`
 	State     string `json:"state"`
 	Duplicate bool   `json:"duplicate,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
 }
 
 type errorResponse struct {
@@ -56,6 +61,9 @@ const maxBodyBytes = 64 << 20
 //	                       draining                    -> 503
 //	                       not a stream / bad chunk    -> 400
 //	DELETE /v1/jobs/{id}   cancel                      -> 200 {id,state} | 404
+//	GET    /v1/jobs/{id}/spans  recorded span tree     -> 200 text | 404
+//	GET    /v1/jobs/{id}/trace  Chrome trace-event JSON-> 200 | 404
+//	                            job not terminal yet   -> 409
 //
 // Partial results are a success surface: a job cut short by its deadline
 // reports state "partial" with "partial": true and the best-so-far result,
@@ -78,7 +86,18 @@ func (e *Engine) Handler() http.Handler {
 			w.Header().Set("Allow", "GET, POST")
 			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
 		case strings.Contains(rest, "/"):
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: "not found"})
+			id, sub, _ := strings.Cut(rest, "/")
+			switch {
+			case sub == "spans" && r.Method == http.MethodGet:
+				e.handleSpans(w, id)
+			case sub == "trace" && r.Method == http.MethodGet:
+				e.handleTrace(w, id)
+			case sub == "spans" || sub == "trace":
+				w.Header().Set("Allow", "GET")
+				writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+			default:
+				writeJSON(w, http.StatusNotFound, errorResponse{Error: "not found"})
+			}
 		case r.Method == http.MethodGet:
 			e.handleGet(w, rest)
 		case r.Method == http.MethodPatch:
@@ -111,7 +130,9 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if key := r.Header.Get("Idempotency-Key"); key != "" {
 		spec.IdempotencyKey = key
 	}
-	j, duplicate, err := e.Submit(spec)
+	// The ops Instrument middleware put the request's trace id on the
+	// context; the job carries it for its whole async lifetime.
+	j, duplicate, err := e.SubmitTraced(spec, obs.TraceIDFrom(r.Context()))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// A saturated queue drains at worker speed; one second is a
@@ -125,9 +146,15 @@ func (e *Engine) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 	case duplicate:
-		writeJSON(w, http.StatusOK, submitResponse{ID: j.ID, State: j.State().String(), Duplicate: true})
+		// A deduplicated submission reports the original job's trace id —
+		// that is the one its telemetry carries.
+		w.Header().Set("X-Job-Id", j.ID)
+		writeJSON(w, http.StatusOK, submitResponse{ID: j.ID, State: j.State().String(), Duplicate: true, TraceID: j.TraceID})
 	default:
-		writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID, State: j.State().String()})
+		// X-Job-Id lets the access-log middleware correlate this request
+		// with the job it admitted.
+		w.Header().Set("X-Job-Id", j.ID)
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID, State: j.State().String(), TraceID: j.TraceID})
 	}
 }
 
@@ -173,6 +200,51 @@ func (e *Engine) handleAppend(w http.ResponseWriter, r *http.Request, id string)
 			ID: j.ID, State: st.State, ChunksAcked: st.ChunksAcked, RowsAcked: st.RowsAcked,
 		})
 	}
+}
+
+// handleSpans serves the job's recorded span tree as indented text,
+// prefixed with a trace_id line when the job was traced. Unlike /trace it
+// is served at any lifecycle stage: it snapshots whatever has been
+// aggregated so far, which is useful while a long job is still running.
+func (e *Engine) handleSpans(w http.ResponseWriter, id string) {
+	j, err := e.Get(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if j.TraceID != "" {
+		fmt.Fprintf(w, "trace_id %s\n", j.TraceID)
+	}
+	_ = j.col.Snapshot().WriteSpanTree(w)
+}
+
+// handleTrace serves the job's JSONL trace stream converted to Chrome
+// trace-event JSON (loadable in chrome://tracing / Perfetto). It refuses
+// with 409 until the job is terminal: spans close before the terminal
+// transition, so a terminal job's stream is complete and immutable.
+func (e *Engine) handleTrace(w http.ResponseWriter, id string) {
+	j, err := e.Get(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	if !j.State().Terminal() {
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error: fmt.Sprintf("jobs: job %s is %s; the trace is served once the job is terminal", id, j.State()),
+		})
+		return
+	}
+	// Render into a buffer first so a conversion error can still become a
+	// clean 500 instead of a half-written body.
+	var out bytes.Buffer
+	if err := obs.WriteChromeTrace(bytes.NewReader(j.traceLog.Bytes()), &out); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out.Bytes())
 }
 
 func (e *Engine) handleCancel(w http.ResponseWriter, id string) {

@@ -26,6 +26,7 @@
 package jobs
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -163,6 +164,10 @@ type Status struct {
 	Stream      bool  `json:"stream,omitempty"`
 	ChunksAcked int   `json:"chunks_acked,omitempty"`
 	RowsAcked   int64 `json:"rows_acked,omitempty"`
+	// TraceID is the W3C trace id of the request that created the job
+	// ("" for jobs submitted without one). It is the caller's key into
+	// GET /v1/jobs/{id}/spans and /trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Job is one admitted clustering run. All mutable fields are guarded by mu;
@@ -172,8 +177,18 @@ type Job struct {
 	ID   string
 	Key  string // idempotency key, "" when none
 	Spec Spec
+	// TraceID is the trace id of the creating request, fixed at admission
+	// for the job's whole async lifetime ("" when untraced).
+	TraceID string
 
 	col *obs.Collector // per-job recorder; no cross-tenant leakage
+	// traceLog buffers the job's JSONL trace stream (written via trace)
+	// so GET /v1/jobs/{id}/trace can replay it into Chrome trace-event
+	// JSON after the job completes.
+	traceLog *traceBuf
+	trace    *obs.TraceWriter
+	// rec tees col and trace; it is what runners and job spans record to.
+	rec obs.Recorder
 
 	mu          sync.Mutex
 	state       State
@@ -209,6 +224,29 @@ type Job struct {
 type streamChunk struct {
 	rows  [][]float64
 	final bool
+}
+
+// traceBuf is the mutex-guarded byte buffer behind a job's TraceWriter:
+// span lines are written by whichever worker runs the job while the HTTP
+// layer may concurrently snapshot the accumulated stream, so both sides
+// go through the lock. Bytes returns a copy.
+type traceBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (t *traceBuf) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.b.Write(p)
+}
+
+func (t *traceBuf) Bytes() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]byte, t.b.Len())
+	copy(out, t.b.Bytes())
+	return out
 }
 
 // Done returns a channel closed at the job's terminal transition.
@@ -270,5 +308,6 @@ func (j *Job) Status() Status {
 		st.ChunksAcked = j.chunksAcked
 		st.RowsAcked = j.rowsAcked
 	}
+	st.TraceID = j.TraceID
 	return st
 }

@@ -10,7 +10,8 @@ import (
 // obs.Recorder interface anywhere but internal/obs itself. The
 // observability layer's zero-cost-when-disabled guarantee rests on one
 // convention: instrumented code goes through the nil-guarded package
-// helpers (obs.Count, obs.Gauge, obs.Observe, obs.Span), which compile to
+// helpers (obs.Count, obs.Gauge, obs.Observe, obs.Histogram, obs.Span),
+// which compile to
 // a single pointer test when no recorder is installed. A direct
 // rec.Count(...) call panics on a nil interface and, worse, normalizes a
 // second calling convention that silently skips the guard. Calls on
@@ -77,11 +78,11 @@ func isObsRecorder(t types.Type) bool {
 // helperFor names the package helper that wraps the given Recorder method.
 func helperFor(method string) string {
 	switch method {
-	case "Count", "Gauge", "Observe":
+	case "Count", "Gauge", "Observe", "Histogram":
 		return method
 	case "StartSpan":
 		return "Span"
 	default:
-		return "Count/Gauge/Observe/Span"
+		return "Count/Gauge/Observe/Histogram/Span"
 	}
 }

@@ -13,6 +13,7 @@ import (
 func direct(rec obs.Recorder, n int) {
 	rec.Count("fixture.items", int64(n)) // want `direct Count call on an obs.Recorder`
 	rec.Gauge("fixture.load", 0.5)       // want `direct Gauge call on an obs.Recorder`
+	rec.Histogram("fixture.wait", 0.001) // want `direct Histogram call on an obs.Recorder`
 	if rec != nil {
 		rec.Observe("fixture.err", 1, 0.25) // want `direct Observe call on an obs.Recorder`
 		done := rec.StartSpan("fixture.op", obs.NewSpanID(), 0) // want `direct StartSpan call on an obs.Recorder`
@@ -25,6 +26,7 @@ func guarded(rec obs.Recorder, n int) {
 	obs.Count(rec, "fixture.items", int64(n))
 	obs.Gauge(rec, "fixture.load", 0.5)
 	obs.Observe(rec, "fixture.err", 1, 0.25)
+	obs.Histogram(rec, "fixture.wait", 0.001)
 	defer obs.Span(rec, "fixture.op")()
 }
 

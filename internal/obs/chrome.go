@@ -17,19 +17,20 @@ type traceSpanLine struct {
 	Parent uint64 `json:"parent"`
 	TUs    int64  `json:"t_us"`
 	DurNs  int64  `json:"dur_ns"`
+	Trace  string `json:"trace"`
 }
 
 // chromeEvent is one Chrome trace-event object. Ph "X" is a complete
 // event: a begin timestamp (ts, microseconds) plus a duration (dur).
 type chromeEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`
-	Dur  float64           `json:"dur"`
-	Pid  int               `json:"pid"`
-	Tid  uint64            `json:"tid"`
-	Args map[string]uint64 `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // WriteChromeTrace converts a JSONL trace (as written by TraceWriter)
@@ -87,6 +88,10 @@ func WriteChromeTrace(r io.Reader, w io.Writer) error {
 	})
 	events := make([]chromeEvent, 0, len(spans))
 	for _, s := range spans {
+		args := map[string]any{"id": s.ID, "parent": s.Parent}
+		if s.Trace != "" {
+			args["trace_id"] = s.Trace
+		}
 		events = append(events, chromeEvent{
 			Name: s.Name,
 			Cat:  "span",
@@ -95,7 +100,7 @@ func WriteChromeTrace(r io.Reader, w io.Writer) error {
 			Dur:  float64(s.DurNs) / 1e3,
 			Pid:  1,
 			Tid:  root(s.ID),
-			Args: map[string]uint64{"id": s.ID, "parent": s.Parent},
+			Args: args,
 		})
 	}
 	enc := json.NewEncoder(w)

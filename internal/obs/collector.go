@@ -34,9 +34,11 @@ type Collector struct {
 	counters map[string]int64
 	gauges   map[string]float64
 	series   map[string][]Sample
+	hists    map[string]*HistStat
 	spans    map[string]SpanStat
 	tree     map[string]SpanStat // keyed by slash-joined root→leaf name path
 	active   map[SpanID]string   // live span id → its full path
+	traceID  string              // request/job trace id, "" when untraced
 }
 
 // NewCollector returns an empty Collector ready for use.
@@ -45,10 +47,27 @@ func NewCollector() *Collector {
 		counters: map[string]int64{},
 		gauges:   map[string]float64{},
 		series:   map[string][]Sample{},
+		hists:    map[string]*HistStat{},
 		spans:    map[string]SpanStat{},
 		tree:     map[string]SpanStat{},
 		active:   map[SpanID]string{},
 	}
+}
+
+// SetTraceID attaches a W3C trace id to everything this collector
+// records: snapshots carry it, so a per-job collector's span tree stays
+// correlated with the request that created the job.
+func (c *Collector) SetTraceID(id string) {
+	c.mu.Lock()
+	c.traceID = id
+	c.mu.Unlock()
+}
+
+// TraceID returns the trace id attached with SetTraceID ("" when none).
+func (c *Collector) TraceID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.traceID
 }
 
 // Count implements Recorder.
@@ -70,6 +89,33 @@ func (c *Collector) Observe(name string, iter int, v float64) {
 	c.mu.Lock()
 	c.series[name] = append(c.series[name], Sample{Iter: iter, Value: v})
 	c.mu.Unlock()
+}
+
+// Histogram implements Recorder. Bucket counts and the integer-nanosecond
+// sum are both additive, so the aggregate state — like the counters — is
+// scheduling-independent: any interleaving of the same observations
+// yields the same HistStat.
+func (c *Collector) Histogram(name string, seconds float64) {
+	c.mu.Lock()
+	h := c.hists[name]
+	if h == nil {
+		h = &HistStat{}
+		c.hists[name] = h
+	}
+	h.observe(seconds)
+	c.mu.Unlock()
+}
+
+// HistValue returns a copy of the named histogram's state and whether it
+// was ever observed.
+func (c *Collector) HistValue(name string) (HistStat, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hists[name]
+	if !ok {
+		return HistStat{}, false
+	}
+	return *h, true
 }
 
 // StartSpan implements Recorder. The span is aggregated twice: under its
@@ -109,12 +155,14 @@ func (c *Collector) StartSpan(name string, id, parent SpanID) func() {
 	}
 }
 
-// Reset discards everything recorded so far.
+// Reset discards everything recorded so far (the trace id, which is
+// identity rather than recorded state, survives).
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	c.counters = map[string]int64{}
 	c.gauges = map[string]float64{}
 	c.series = map[string][]Sample{}
+	c.hists = map[string]*HistStat{}
 	c.spans = map[string]SpanStat{}
 	c.tree = map[string]SpanStat{}
 	c.active = map[SpanID]string{}
@@ -160,8 +208,12 @@ type Snapshot struct {
 	Counters map[string]int64
 	Gauges   map[string]float64
 	Series   map[string][]Sample
+	Hists    map[string]HistStat
 	Spans    map[string]SpanStat
 	Tree     map[string]SpanStat
+	// TraceID is the id attached with SetTraceID ("" when the collector
+	// is not request-scoped).
+	TraceID string
 }
 
 // Snapshot copies the recorded state. Series are sorted by (iter, value);
@@ -174,8 +226,10 @@ func (c *Collector) Snapshot() Snapshot {
 		Counters: make(map[string]int64, len(c.counters)),
 		Gauges:   make(map[string]float64, len(c.gauges)),
 		Series:   make(map[string][]Sample, len(c.series)),
+		Hists:    make(map[string]HistStat, len(c.hists)),
 		Spans:    make(map[string]SpanStat, len(c.spans)),
 		Tree:     make(map[string]SpanStat, len(c.tree)),
+		TraceID:  c.traceID,
 	}
 	for k, v := range c.counters {
 		snap.Counters[k] = v
@@ -188,6 +242,9 @@ func (c *Collector) Snapshot() Snapshot {
 		copy(dup, v)
 		sortSamples(dup)
 		snap.Series[k] = dup
+	}
+	for k, v := range c.hists {
+		snap.Hists[k] = *v
 	}
 	for k, v := range c.spans {
 		snap.Spans[k] = v
@@ -211,9 +268,14 @@ func (s Snapshot) StripTimings() Snapshot {
 	for k, v := range s.Tree {
 		tree[k] = SpanStat{Count: v.Count}
 	}
+	hists := make(map[string]HistStat, len(s.Hists))
+	for k, v := range s.Hists {
+		hists[k] = v.stripped()
+	}
 	out := s
 	out.Spans = spans
 	out.Tree = tree
+	out.Hists = hists
 	return out
 }
 
@@ -238,7 +300,9 @@ func (s Snapshot) WriteSpanTree(w io.Writer) error {
 // WriteProm renders the snapshot in the Prometheus text exposition style:
 // one `name value` line per sample, names sanitised to [a-z0-9_] with a
 // multiclust_ prefix, keys sorted so the dump is reproducible. Spans emit
-// _count and _seconds, series emit _points plus _first/_last values.
+// _count and _seconds, series emit _points plus _first/_last values, and
+// histograms emit the standard cumulative _bucket{le="..."} ladder plus
+// _sum and _count.
 func (s Snapshot) WriteProm(w io.Writer) error {
 	var b strings.Builder
 	for _, k := range sortedKeys(s.Counters) {
@@ -246,6 +310,17 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	}
 	for _, k := range sortedKeys(s.Gauges) {
 		fmt.Fprintf(&b, "%s %g\n", promName(k), s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.Hists) {
+		h := s.Hists[k]
+		name := promName(k)
+		var cum int64
+		for i, n := range h.Counts {
+			cum += n
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, histogramLabels[i], cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %g\n", name, h.Sum())
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
 	}
 	for _, k := range sortedKeys(s.Series) {
 		ser := s.Series[k]

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+)
+
+// The latency histogram uses one fixed exponential bucket scheme for the
+// whole process: 30 upper bounds doubling from 1µs (1e-6 s) up to
+// ~537 s, plus a +Inf overflow bucket. The bounds are compile-time
+// constants of the format, never derived from the data, so two
+// collectors that saw the same multiset of observations render
+// byte-identical Prometheus blocks regardless of arrival order or worker
+// count. The span covers everything the service records: a sub-10µs
+// in-process dispatch at the bottom, the 5-minute job timeout cap with
+// headroom at the top.
+const (
+	// NumHistogramBuckets is how many finite upper bounds the scheme has;
+	// every HistStat carries NumHistogramBuckets+1 counts (the last is
+	// the +Inf overflow bucket).
+	NumHistogramBuckets = 30
+	// histogramStart is the smallest upper bound, in seconds.
+	histogramStart = 1e-6
+)
+
+// histogramBounds holds the finite bucket upper bounds in seconds:
+// 1e-6 * 2^i for i in [0, NumHistogramBuckets).
+var histogramBounds = func() [NumHistogramBuckets]float64 {
+	var b [NumHistogramBuckets]float64
+	v := histogramStart
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// histogramLabels are the pre-rendered `le` label values, one per finite
+// bound plus "+Inf". Rendering once at init keeps WriteProm free of
+// per-call float formatting and guarantees every dump uses identical
+// bytes for the same bound.
+var histogramLabels = func() [NumHistogramBuckets + 1]string {
+	var l [NumHistogramBuckets + 1]string
+	for i, b := range histogramBounds {
+		l[i] = strconv.FormatFloat(b, 'g', -1, 64)
+	}
+	l[NumHistogramBuckets] = "+Inf"
+	return l
+}()
+
+// HistogramBounds returns a copy of the finite bucket upper bounds in
+// seconds, smallest first.
+func HistogramBounds() []float64 {
+	out := make([]float64, NumHistogramBuckets)
+	copy(out, histogramBounds[:])
+	return out
+}
+
+// HistStat is the aggregated state of one latency histogram. Counts are
+// per-bucket (not cumulative; WriteProm accumulates at render time), the
+// last slot being the +Inf overflow. The sum is kept as an integer
+// nanosecond total: each observation is rounded to whole nanoseconds
+// independently, so the aggregate is a sum of int64s — commutative and
+// associative — and therefore identical for any recording order or
+// worker count, unlike a float64 accumulator.
+type HistStat struct {
+	Counts [NumHistogramBuckets + 1]int64
+	Count  int64
+	SumNs  int64
+}
+
+// Sum returns the observation total in seconds.
+func (h HistStat) Sum() float64 { return float64(h.SumNs) / 1e9 }
+
+// observe folds one observation (seconds) into the stat. Negative values
+// clamp to zero: durations cannot be negative, and a clock hiccup must
+// not corrupt the bucket walk.
+func (h *HistStat) observe(seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		seconds = 0
+	}
+	i := 0
+	for i < NumHistogramBuckets && seconds > histogramBounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.Count++
+	h.SumNs += int64(math.Round(seconds * 1e9))
+}
+
+// stripped returns the stat with everything wall-clock-derived zeroed.
+// Only the observation count survives: how many latencies were recorded
+// is deterministic for a seeded workload, but which bucket each landed
+// in (and their sum) is scheduling noise — the histogram analogue of
+// SpanStat keeping Count while StripTimings zeroes Total.
+func (h HistStat) stripped() HistStat {
+	return HistStat{Count: h.Count}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a deterministic timestamp source for byte-stable
+// log assertions.
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 9, 12, 30, 45, 123456789, time.UTC)
+}
+
+func TestLoggerByteStableOutput(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LogInfo)
+	l.SetClock(fixedClock)
+	l.Info("http.request",
+		LStr("method", "POST"),
+		LStr("route", "v1_jobs"),
+		LInt("status", 202),
+		LInt("bytes", 84),
+		LDurMS("dur_ms", 1500*time.Microsecond),
+		LStr("trace", "0af7651916cd43dd8448eb211c80319c"),
+	)
+	want := `{"ts":"2026-08-09T12:30:45.123456Z","level":"info","event":"http.request",` +
+		`"method":"POST","route":"v1_jobs","status":202,"bytes":84,"dur_ms":1.500,` +
+		`"trace":"0af7651916cd43dd8448eb211c80319c"}` + "\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("log line mismatch:\n got %q\nwant %q", got, want)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LogWarn)
+	l.SetClock(fixedClock)
+	l.Debug("job.state", LStr("job", "j-1"), LStr("state", "queued"))
+	l.Info("job.state", LStr("job", "j-1"), LStr("state", "running"))
+	if sb.Len() != 0 {
+		t.Fatalf("below-min lines were written: %q", sb.String())
+	}
+	if l.Enabled(LogInfo) || !l.Enabled(LogError) {
+		t.Fatal("Enabled disagrees with the min level")
+	}
+	l.Error("job.state", LStr("job", "j-1"), LStr("state", "failed"), LStr("err", "boom"))
+	if n := strings.Count(sb.String(), "\n"); n != 1 {
+		t.Fatalf("want exactly 1 line, got %d: %q", n, sb.String())
+	}
+}
+
+func TestLoggerNilReceiverIsNoOp(t *testing.T) {
+	var l *Logger
+	l.Info("http.request", LStr("method", "GET")) // must not panic
+	l.SetClock(fixedClock)
+	if l.Enabled(LogError) {
+		t.Fatal("nil logger claims to be enabled")
+	}
+	if l.Err() != nil {
+		t.Fatal("nil logger has an error")
+	}
+}
+
+func TestLoggerRetainsFirstWriteError(t *testing.T) {
+	l := NewLogger(logFailWriter{}, LogInfo)
+	l.Info("job.state", LStr("job", "j-1"), LStr("state", "queued"))
+	if err := l.Err(); err == nil {
+		t.Fatal("write error was not retained")
+	}
+}
+
+type logFailWriter struct{}
+
+func (logFailWriter) Write(p []byte) (int, error) { return 0, errors.New("disk gone") }
+
+func TestParseLogLevel(t *testing.T) {
+	for in, want := range map[string]LogLevel{
+		"debug": LogDebug, "info": LogInfo, "WARN": LogWarn,
+		"warning": LogWarn, "Error": LogError, "": LogInfo,
+	} {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+// TestLogSchemaValidator pins the documented schema contract that `make
+// logs-check` enforces: real logger output for both events validates,
+// and each class of malformation is rejected.
+func TestLogSchemaValidator(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LogDebug)
+	l.SetClock(fixedClock)
+	l.Info("http.request",
+		LStr("method", "GET"), LStr("route", "metrics"), LInt("status", 200),
+		LInt("bytes", 1024), LDurMS("dur_ms", time.Millisecond),
+		LStr("trace", "0af7651916cd43dd8448eb211c80319c"), LStr("job", "j-9"))
+	l.Warn("job.state", LStr("job", "j-9"), LStr("state", "partial"),
+		LStr("trace", "0af7651916cd43dd8448eb211c80319c"), LInt("attempts", 2))
+	for _, line := range strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n") {
+		if err := ValidateLogLine([]byte(line)); err != nil {
+			t.Errorf("emitted line fails its own schema: %v\n%s", err, line)
+		}
+	}
+
+	bad := map[string]string{
+		"not json":       `{"ts":`,
+		"missing ts":     `{"level":"info","event":"http.request"}`,
+		"bad ts layout":  `{"ts":"2026-08-09 12:30:45","level":"info","event":"job.state","job":"j-1","state":"done"}`,
+		"unknown level":  `{"ts":"2026-08-09T12:30:45.123456Z","level":"loud","event":"job.state","job":"j-1","state":"done"}`,
+		"unknown event":  `{"ts":"2026-08-09T12:30:45.123456Z","level":"info","event":"mystery"}`,
+		"missing field":  `{"ts":"2026-08-09T12:30:45.123456Z","level":"info","event":"http.request","method":"GET"}`,
+		"wrong type":     `{"ts":"2026-08-09T12:30:45.123456Z","level":"info","event":"http.request","method":"GET","route":"metrics","status":"200","bytes":1,"dur_ms":1,"trace":"abc"}`,
+		"unknown state":  `{"ts":"2026-08-09T12:30:45.123456Z","level":"info","event":"job.state","job":"j-1","state":"exploded"}`,
+		"job not string": `{"ts":"2026-08-09T12:30:45.123456Z","level":"info","event":"job.state","job":7,"state":"done"}`,
+	}
+	for name, line := range bad {
+		if err := ValidateLogLine([]byte(line)); err == nil {
+			t.Errorf("%s: malformed line passed validation: %s", name, line)
+		}
+	}
+}

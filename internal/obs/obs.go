@@ -54,6 +54,11 @@ type Recorder interface {
 	// Observe appends one (iter, v) sample to the named series, e.g. SSE
 	// per k-means iteration or log-likelihood per EM iteration.
 	Observe(name string, iter int, v float64)
+	// Histogram folds one latency observation (in seconds) into the
+	// named fixed-exponential-bucket histogram; see HistogramBounds for
+	// the process-wide bucket scheme. Callers outside this package use
+	// the nil-guarded Histogram helper.
+	Histogram(name string, seconds float64)
 	// StartSpan opens a named timed region and returns the function that
 	// closes it. Implementations record count and total duration. id
 	// identifies this span instance (0 when the caller does not track
@@ -97,6 +102,16 @@ func Gauge(rec Recorder, name string, v float64) {
 func Observe(rec Recorder, name string, iter int, v float64) {
 	if rec != nil {
 		rec.Observe(name, iter, v)
+	}
+}
+
+// Histogram folds one latency observation (seconds) into rec's named
+// histogram; no-op when rec is nil. Like the other helpers it takes only
+// concrete argument types, so the disabled path is a single pointer test
+// with zero allocations.
+func Histogram(rec Recorder, name string, seconds float64) {
+	if rec != nil {
+		rec.Histogram(name, seconds)
 	}
 }
 
@@ -254,6 +269,12 @@ func (m multiRecorder) Gauge(name string, v float64) {
 func (m multiRecorder) Observe(name string, iter int, v float64) {
 	for _, r := range m {
 		r.Observe(name, iter, v)
+	}
+}
+
+func (m multiRecorder) Histogram(name string, seconds float64) {
+	for _, r := range m {
+		r.Histogram(name, seconds)
 	}
 }
 

@@ -13,6 +13,7 @@ func TestHelpersNilRecorderAreNoOps(t *testing.T) {
 	Count(nil, "x", 3)
 	Gauge(nil, "x", 1.5)
 	Observe(nil, "x", 0, 2.5)
+	Histogram(nil, "x", 0.001)
 	end := Span(nil, "x")
 	if end == nil {
 		t.Fatal("Span(nil) returned nil end func")
@@ -25,10 +26,11 @@ func TestHelpersNilRecorderAreNoOps(t *testing.T) {
 func TestNilRecorderPathDoesNotAllocate(t *testing.T) {
 	ctx := context.Background()
 	cases := map[string]func(){
-		"count":   func() { Count(nil, "kmeans.iterations", 1) },
-		"gauge":   func() { Gauge(nil, "metaclust.mean_pairwise", 0.5) },
-		"observe": func() { Observe(nil, "kmeans.sse", 3, 12.5) },
-		"span":    func() { Span(nil, "kmeans.run")() },
+		"count":     func() { Count(nil, "kmeans.iterations", 1) },
+		"gauge":     func() { Gauge(nil, "metaclust.mean_pairwise", 0.5) },
+		"observe":   func() { Observe(nil, "kmeans.sse", 3, 12.5) },
+		"histogram": func() { Histogram(nil, "jobs.exec_seconds", 0.004) },
+		"span":      func() { Span(nil, "kmeans.run")() },
 		"spanctx": func() {
 			_, end := SpanCtx(ctx, nil, "kmeans.run")
 			end()

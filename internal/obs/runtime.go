@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime-metrics polling. A RuntimePoller samples the Go runtime's
+// exported metrics on a tick and writes them into a Collector as gauges,
+// so /metrics exposes process health next to the workload counters:
+//
+//	runtime.goroutines               live goroutine count
+//	runtime.heap_live_bytes          bytes in live heap objects
+//	runtime.gc_pause_count           stop-the-world pauses since start
+//	runtime.gc_pause_total_seconds   total pause time (midpoint approx)
+//	runtime.sched_latency_count      goroutine scheduling waits sampled
+//	runtime.sched_latency_total_seconds  total scheduling wait (midpoint approx)
+//
+// The histogram-shaped runtime metrics (GC pauses, sched latency) are
+// folded to count + approximate-total gauges: the runtime reports bucket
+// counts, so the total is reconstructed from bucket midpoints — an
+// approximation, clearly marked, good enough for trend dashboards.
+//
+// Gauge values are wall-clock/runtime state and therefore inherently
+// nondeterministic; they live in the Gauges map, which deterministic
+// comparisons already exclude by construction (golden dumps compare
+// collectors that never had a poller attached).
+
+// runtimeSampleNames are the runtime/metrics names the poller reads, with
+// the gauge name each scalar maps to ("" for histogram-shaped metrics,
+// which fan out to _count/_total_seconds pairs in SampleRuntime).
+var runtimeSampleNames = []struct {
+	metric string
+	gauge  string
+}{
+	{"/sched/goroutines:goroutines", "runtime.goroutines"},
+	{"/memory/classes/heap/objects:bytes", "runtime.heap_live_bytes"},
+	{"/gc/pauses:seconds", "runtime.gc_pause"},
+	{"/sched/latencies:seconds", "runtime.sched_latency"},
+}
+
+// supportedRuntimeSamples resolves, once, which of the wanted metrics
+// this Go runtime actually exports — names vary across releases, and an
+// unsupported name yields KindBad samples rather than an error.
+var supportedRuntimeSamples = sync.OnceValue(func() []metrics.Sample {
+	known := map[string]bool{}
+	for _, d := range metrics.All() {
+		known[d.Name] = true
+	}
+	var out []metrics.Sample
+	for _, w := range runtimeSampleNames {
+		if known[w.metric] {
+			out = append(out, metrics.Sample{Name: w.metric})
+		}
+	}
+	return out
+})
+
+// SampleRuntime reads the runtime metrics once and writes them into c as
+// gauges. Exposed directly (not only via the poller) so tests and
+// one-shot dumps can sample without a goroutine.
+func SampleRuntime(c *Collector) {
+	if c == nil {
+		return
+	}
+	template := supportedRuntimeSamples()
+	samples := make([]metrics.Sample, len(template))
+	copy(samples, template)
+	metrics.Read(samples)
+	gaugeFor := map[string]string{}
+	for _, w := range runtimeSampleNames {
+		gaugeFor[w.metric] = w.gauge
+	}
+	for _, s := range samples {
+		base := gaugeFor[s.Name]
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			c.Gauge(base, float64(s.Value.Uint64()))
+		case metrics.KindFloat64:
+			c.Gauge(base, s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			count, total := summarizeRuntimeHistogram(s.Value.Float64Histogram())
+			c.Gauge(base+"_count", float64(count))
+			c.Gauge(base+"_total_seconds", total)
+		}
+	}
+}
+
+// summarizeRuntimeHistogram folds a runtime bucket histogram into an
+// event count and a midpoint-approximated value total, skipping buckets
+// whose both edges are non-finite (their contribution is unknowable).
+func summarizeRuntimeHistogram(h *metrics.Float64Histogram) (count uint64, total float64) {
+	if h == nil {
+		return 0, 0
+	}
+	for i, n := range h.Counts {
+		count += n
+		if n == 0 || i+1 >= len(h.Buckets) {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := 0.0
+		switch {
+		case !math.IsInf(lo, 0) && !math.IsInf(hi, 0):
+			mid = (lo + hi) / 2
+		case !math.IsInf(lo, 0):
+			mid = lo
+		case !math.IsInf(hi, 0):
+			mid = hi
+		default:
+			continue
+		}
+		total += mid * float64(n)
+	}
+	return count, total
+}
+
+// RuntimePoller periodically samples runtime metrics into a Collector.
+// Stop is idempotent and joins the polling goroutine before returning.
+type RuntimePoller struct {
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+	ticker   *time.Ticker // nil when the tick channel was injected
+}
+
+// StartRuntimePoller samples into c now and then every interval until
+// Stop. Intervals below 100ms clamp up — runtime sampling is cheap but
+// not free, and sub-100ms process gauges carry no extra signal.
+func StartRuntimePoller(c *Collector, interval time.Duration) *RuntimePoller {
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	p := startRuntimePoller(c, t.C)
+	p.ticker = t
+	return p
+}
+
+// StartRuntimePollerTick is StartRuntimePoller with an injected tick
+// channel, so tests drive sampling deterministically without sleeping.
+// The caller keeps ownership of the channel.
+func StartRuntimePollerTick(c *Collector, tick <-chan time.Time) *RuntimePoller {
+	return startRuntimePoller(c, tick)
+}
+
+func startRuntimePoller(c *Collector, tick <-chan time.Time) *RuntimePoller {
+	p := &RuntimePoller{
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	SampleRuntime(c)
+	//lint:ignore nakedgo telemetry lifecycle goroutine joined by Stop via the done channel; it only samples runtime gauges and never touches algorithm state
+	go func() {
+		defer close(p.done)
+		for {
+			select {
+			case <-p.stopCh:
+				return
+			case <-tick:
+				SampleRuntime(c)
+			}
+		}
+	}()
+	return p
+}
+
+// Stop halts polling and waits for the goroutine to exit. Safe to call
+// more than once.
+func (p *RuntimePoller) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() {
+		close(p.stopCh)
+		<-p.done
+		if p.ticker != nil {
+			p.ticker.Stop()
+		}
+	})
+}

@@ -18,10 +18,11 @@ import (
 // with WriteChromeTrace. The first write error is retained (and all
 // later events dropped) — check Err() after the run.
 type TraceWriter struct {
-	mu    sync.Mutex
-	w     io.Writer
-	err   error
-	start time.Time
+	mu      sync.Mutex
+	w       io.Writer
+	err     error
+	start   time.Time
+	traceID string
 }
 
 // NewTraceWriter wraps w. The caller owns buffering and closing of w.
@@ -29,20 +30,37 @@ func NewTraceWriter(w io.Writer) *TraceWriter {
 	return &TraceWriter{w: w, start: time.Now()}
 }
 
+// SetTraceID stamps every subsequently emitted line with a
+// `"trace":"<id>"` field, correlating the JSONL stream (and any Chrome
+// trace converted from it) with the request that produced it. Pass ""
+// to stop stamping.
+func (t *TraceWriter) SetTraceID(id string) {
+	t.mu.Lock()
+	t.traceID = id
+	t.mu.Unlock()
+}
+
 // Count implements Recorder.
 func (t *TraceWriter) Count(name string, delta int64) {
-	t.emit(`{"type":"count","name":` + strconv.Quote(name) + `,"delta":` + strconv.FormatInt(delta, 10) + "}\n")
+	t.emit(`{"type":"count","name":` + strconv.Quote(name) + `,"delta":` + strconv.FormatInt(delta, 10))
 }
 
 // Gauge implements Recorder.
 func (t *TraceWriter) Gauge(name string, v float64) {
-	t.emit(`{"type":"gauge","name":` + strconv.Quote(name) + `,"value":` + jsonFloat(v) + "}\n")
+	t.emit(`{"type":"gauge","name":` + strconv.Quote(name) + `,"value":` + jsonFloat(v))
 }
 
 // Observe implements Recorder.
 func (t *TraceWriter) Observe(name string, iter int, v float64) {
 	t.emit(`{"type":"observe","name":` + strconv.Quote(name) +
-		`,"iter":` + strconv.Itoa(iter) + `,"value":` + jsonFloat(v) + "}\n")
+		`,"iter":` + strconv.Itoa(iter) + `,"value":` + jsonFloat(v))
+}
+
+// Histogram implements Recorder. The raw observation is emitted (value in
+// seconds); bucketing is the Collector's concern — the trace keeps full
+// resolution for offline percentile analysis.
+func (t *TraceWriter) Histogram(name string, seconds float64) {
+	t.emit(`{"type":"hist","name":` + strconv.Quote(name) + `,"value":` + jsonFloat(seconds))
 }
 
 // StartSpan implements Recorder. The event line is emitted when the span
@@ -55,7 +73,7 @@ func (t *TraceWriter) StartSpan(name string, id, parent SpanID) func() {
 			`,"id":` + strconv.FormatUint(uint64(id), 10) +
 			`,"parent":` + strconv.FormatUint(uint64(parent), 10) +
 			`,"t_us":` + strconv.FormatInt(spanStart.Sub(t.start).Microseconds(), 10) +
-			`,"dur_ns":` + strconv.FormatInt(time.Since(spanStart).Nanoseconds(), 10) + "}\n")
+			`,"dur_ns":` + strconv.FormatInt(time.Since(spanStart).Nanoseconds(), 10))
 	}
 }
 
@@ -66,12 +84,20 @@ func (t *TraceWriter) Err() error {
 	return t.err
 }
 
-func (t *TraceWriter) emit(line string) {
+// emit appends the trace-id field (when set) and the closing brace to the
+// partial JSON object and writes the finished line. Callers pass the line
+// up to — but excluding — the final `}`.
+func (t *TraceWriter) emit(partial string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.err != nil {
 		return
 	}
+	line := partial
+	if t.traceID != "" {
+		line += `,"trace":` + strconv.Quote(t.traceID)
+	}
+	line += "}\n"
 	if _, err := io.WriteString(t.w, line); err != nil {
 		t.err = fmt.Errorf("obs: trace write: %w", err)
 	}

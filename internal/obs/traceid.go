@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Trace identity. A trace id is the request-scoped correlation key of the
+// service layer: the ops middleware parses one from an incoming W3C
+// `traceparent` header (or mints a fresh one), threads it through the
+// request context, and echoes it back via the X-Trace-Id response header;
+// a job created by a traced request keeps the id for its whole async
+// lifetime, so the caller can later pull the job's span tree and Chrome
+// trace by the id it already holds. The id is pure telemetry — it never
+// influences clustering results — and follows the W3C trace-context
+// shape: 32 lowercase hex characters, never all zeros.
+
+// traceIDKey is the context key carrying the request's trace id.
+type traceIDKey struct{}
+
+// WithTraceID returns a copy of ctx carrying the trace id.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom returns the trace id carried by ctx, or "" when the call
+// path was never traced.
+func TraceIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// traceIDFallback feeds MintTraceID when the system entropy source fails:
+// a process-unique counter still yields distinct, spec-shaped ids.
+var traceIDFallback atomic.Uint64
+
+// MintTraceID returns a fresh random W3C-shaped trace id: 32 lowercase
+// hex characters, never all zeros. Entropy comes from crypto/rand (ids
+// must be unguessable across processes, and the deterministic-clustering
+// contract does not extend to telemetry identifiers); if the entropy
+// source fails, a process-unique counter keeps ids distinct.
+func MintTraceID() string {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		allZero := true
+		for _, v := range b {
+			if v != 0 {
+				allZero = false
+				break
+			}
+		}
+		if !allZero {
+			return hex.EncodeToString(b[:])
+		}
+	}
+	n := traceIDFallback.Add(1)
+	for i := 0; i < 8; i++ {
+		b[15-i] = byte(n >> (8 * i))
+	}
+	b[0] = 0xfa // marks the fallback path and guarantees non-zero
+	return hex.EncodeToString(b[:])
+}

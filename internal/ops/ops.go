@@ -47,6 +47,10 @@ type MuxOptions struct {
 	// pattern (e.g. "/v1/jobs" and "/v1/jobs/"). Registration order is
 	// irrelevant: net/http routes by pattern, not insertion.
 	Mounts map[string]http.Handler
+	// Log receives one http.request access-log line per request from the
+	// Instrument middleware that NewServerOpts/ServeOpts wrap around the
+	// mux. nil disables access logging (tracing and metrics still run).
+	Log *obs.Logger
 }
 
 // NewMux routes the ops endpoints. col may be nil, in which case
@@ -114,11 +118,14 @@ func NewServer(addr string, col *obs.Collector) *http.Server {
 	return NewServerOpts(addr, col, MuxOptions{})
 }
 
-// NewServerOpts is NewServer with a readiness hook and application mounts.
+// NewServerOpts is NewServer with a readiness hook and application
+// mounts. The whole mux is wrapped in the Instrument middleware, so every
+// request gets a trace id, a latency histogram observation and (with
+// opt.Log set) an access-log line.
 func NewServerOpts(addr string, col *obs.Collector, opt MuxOptions) *http.Server {
 	return &http.Server{
 		Addr:              addr,
-		Handler:           NewMuxOpts(col, opt),
+		Handler:           Instrument(NewMuxOpts(col, opt), opt.Log),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		IdleTimeout:       120 * time.Second,

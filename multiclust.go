@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"multiclust/internal/alternative"
 	"multiclust/internal/core"
@@ -158,6 +159,18 @@ func StartSpan(ctx context.Context, name string) (context.Context, func()) {
 // into tracks by root span. `cmd/multiclust -trace out.jsonl -chrome
 // out.json` wraps this.
 func WriteChromeTrace(r io.Reader, w io.Writer) error { return obs.WriteChromeTrace(r, w) }
+
+// RuntimePoller periodically samples Go runtime metrics (goroutines,
+// live heap, GC pause and scheduling-latency totals) into a Collector as
+// runtime.* gauges; stop it with Stop. `multiclust -serve` runs one so
+// /metrics carries process health next to workload counters.
+type RuntimePoller = obs.RuntimePoller
+
+// StartRuntimePoller samples runtime metrics into c immediately and then
+// every interval (clamped to >=100ms) until Stop.
+func StartRuntimePoller(c *Collector, interval time.Duration) *RuntimePoller {
+	return obs.StartRuntimePoller(c, interval)
+}
 
 // ---------------------------------------------------------------------------
 // Robustness — typed errors, validation, sanitization

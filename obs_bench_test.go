@@ -110,6 +110,7 @@ func TestDisabledRecorderHotPathDoesNotAllocate(t *testing.T) {
 			obs.Count(rec, "kmeans.reassignments", 17)
 			obs.Observe(rec, "kmeans.sse", iter, 42.5)
 		}
+		obs.Histogram(rec, "jobs.exec_seconds", 0.0042)
 		end()
 	})
 	if allocs != 0 {

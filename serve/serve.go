@@ -20,7 +20,10 @@
 package serve
 
 import (
+	"io"
+
 	"multiclust/internal/jobs"
+	"multiclust/internal/obs"
 )
 
 // Core service types, re-exported verbatim.
@@ -51,6 +54,11 @@ type (
 	StreamFactory = jobs.StreamFactory
 	// DrainReport summarizes what graceful shutdown did with admitted jobs.
 	DrainReport = jobs.DrainReport
+	// Logger is the structured JSONL logger Config.Log accepts; build one
+	// with NewLogger.
+	Logger = obs.Logger
+	// LogLevel orders log severities for NewLogger / ParseLogLevel.
+	LogLevel = obs.LogLevel
 )
 
 // Lifecycle states.
@@ -61,6 +69,14 @@ const (
 	StatePartial   = jobs.StatePartial
 	StateFailed    = jobs.StateFailed
 	StateCancelled = jobs.StateCancelled
+)
+
+// Log levels for NewLogger.
+const (
+	LogDebug = obs.LogDebug
+	LogInfo  = obs.LogInfo
+	LogWarn  = obs.LogWarn
+	LogError = obs.LogError
 )
 
 // Typed admission and lookup errors; the HTTP layer maps them to 429, 503,
@@ -83,3 +99,12 @@ func Algorithms() []string { return jobs.Algorithms() }
 // StreamAlgorithms lists the built-in incremental algorithms accepted by
 // streaming ("stream": true) job specs.
 func StreamAlgorithms() []string { return jobs.StreamAlgorithms() }
+
+// NewLogger builds a structured JSONL logger writing to w, dropping lines
+// below min. Wire it into Config.Log for per-job lifecycle lines and into
+// the ops mux options for HTTP access logs.
+func NewLogger(w io.Writer, min LogLevel) *Logger { return obs.NewLogger(w, min) }
+
+// ParseLogLevel maps a level name ("debug", "info", "warn", "error") to
+// its LogLevel — the parser behind the CLI's -log-level flag.
+func ParseLogLevel(s string) (LogLevel, error) { return obs.ParseLogLevel(s) }
